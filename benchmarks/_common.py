@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints a paper-style table (bypassing pytest capture so
+results are always visible) and archives it under
+``benchmarks/results/``.  Scale knobs come from environment variables so
+CI can run quick passes and a full reproduction can crank them up:
+
+* ``MCTLS_BENCH_PAGES`` — corpus pages per PLT series (default 12)
+* ``MCTLS_BENCH_REPS`` — repetitions for CPU measurements (default 3)
+* ``MCTLS_BENCH_KEY_BITS`` — RSA/DH size for CPU benches (default 1024)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_PAGES = int(os.environ.get("MCTLS_BENCH_PAGES", "12"))
+BENCH_REPS = int(os.environ.get("MCTLS_BENCH_REPS", "3"))
+BENCH_KEY_BITS = int(os.environ.get("MCTLS_BENCH_KEY_BITS", "1024"))
+
+
+def emit(name: str, text: str, capsys=None) -> None:
+    """Print a result table (uncaptured) and archive it."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    if capsys is not None:
+        with capsys.disabled():
+            print(banner)
+    else:
+        print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def format_table(headers, rows) -> str:
+    """Fixed-width text table."""
+    columns = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns) for i in range(len(headers))]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in columns[1:]:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def quick_testbed():
+    """Small-key testbed for simulation benches (timing is simulated, so
+    key size only affects handshake byte counts; 512-bit keeps message
+    flights in the same sub-MSS regime the paper's build started in)."""
+    from repro.crypto.dh import GROUP_TEST_512
+    from repro.experiments.harness import TestBed
+
+    if not hasattr(quick_testbed, "_bed"):
+        quick_testbed._bed = TestBed(key_bits=512, dh_group=GROUP_TEST_512)
+    return quick_testbed._bed
+
+
+def cpu_testbed():
+    """Realistically sized testbed for CPU-bound benches."""
+    from repro.experiments.harness import shared_testbed
+
+    return shared_testbed(key_bits=BENCH_KEY_BITS)

@@ -1,0 +1,68 @@
+"""Figure 3: time to first byte vs. #contexts (left) and #middleboxes (right).
+
+Paper shapes to check in the output:
+
+* NoEncrypt ≈ 2 RTT; mcTLS / SplitTLS / E2E-TLS ≈ 4 RTT at small context
+  counts;
+* mcTLS with Nagle steps up by ~1 hop-RTT at context counts where a
+  handshake flight crosses an MSS (10 and 14 in the paper's build; the
+  exact counts depend on message sizes — ours are recorded in
+  EXPERIMENTS.md);
+* mcTLS with Nagle disabled stays flat on the common curve;
+* TTFB grows linearly with middleboxes (each adds a 20 ms hop).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import emit, format_table, quick_testbed
+
+from repro.experiments.handshake_time import figure3_left, figure3_right
+
+
+def test_fig3_left_contexts(benchmark, capsys):
+    bed = quick_testbed()
+    rows = benchmark.pedantic(
+        lambda: figure3_left(bed, context_counts=tuple(range(1, 17))),
+        rounds=1,
+        iterations=1,
+    )
+    by_series = {}
+    for r in rows:
+        by_series.setdefault(r.mode, {})[r.n_contexts] = r.ttfb_s * 1000
+    contexts = sorted({r.n_contexts for r in rows})
+    table_rows = [
+        [series] + [f"{by_series[series].get(c, float('nan')):.0f}" for c in contexts]
+        for series in sorted(by_series)
+    ]
+    emit(
+        "fig3_left_ttfb_vs_contexts",
+        "Time to first byte (ms), 1 middlebox, 10 Mbps / 20 ms hops\n"
+        + format_table(["series"] + [str(c) for c in contexts], table_rows),
+        capsys,
+    )
+
+
+def test_fig3_right_middleboxes(benchmark, capsys):
+    bed = quick_testbed()
+    rows = benchmark.pedantic(
+        lambda: figure3_right(bed, middlebox_counts=(0, 1, 2, 4, 8, 12, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    by_series = {}
+    for r in rows:
+        by_series.setdefault(r.mode, {})[r.n_middleboxes] = r.ttfb_s * 1000
+    counts = sorted({r.n_middleboxes for r in rows})
+    table_rows = [
+        [series] + [f"{by_series[series].get(c, float('nan')):.0f}" for c in counts]
+        for series in sorted(by_series)
+    ]
+    emit(
+        "fig3_right_ttfb_vs_middleboxes",
+        "Time to first byte (ms) vs middlebox count (each adds a 20 ms hop)\n"
+        + format_table(["series"] + [str(c) for c in counts], table_rows),
+        capsys,
+    )

@@ -1,0 +1,75 @@
+"""Figure 5: sustainable handshake rate at the server (left) and the
+middlebox (right), vs number of contexts.
+
+Absolute rates are pure-Python rates; the paper's *ratios* are the
+reproduction target:
+
+* server: mcTLS 23–35 % below SplitTLS/E2E-TLS, the gap widening with
+  contexts; client-key-distribution mode reclaims it;
+* middlebox: mcTLS 45–75 % above SplitTLS (one mcTLS handshake vs two
+  TLS handshakes); E2E-TLS orders of magnitude above both (blind
+  forwarding).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import BENCH_REPS, cpu_testbed, emit, format_table
+
+from repro.experiments.throughput import figure5
+
+
+def test_fig5_connection_rates(benchmark, capsys):
+    bed = cpu_testbed()
+    rows = benchmark.pedantic(
+        lambda: figure5(bed, context_counts=(1, 2, 4, 8, 16), repetitions=BENCH_REPS),
+        rounds=1,
+        iterations=1,
+    )
+    table_rows = []
+    for r in rows:
+        mbox = f"{r.middlebox_cps:.0f}" if r.middlebox_cps else "-"
+        table_rows.append(
+            [
+                r.mode,
+                str(r.n_contexts),
+                str(r.n_middleboxes),
+                f"{r.server_cps:.0f}",
+                mbox,
+                f"{r.client_cps:.0f}",
+            ]
+        )
+    # Ratio summary at 1 and 16 contexts (the paper's 23%→35% span).
+    def rate(mode, ctx, field):
+        for r in rows:
+            if r.mode == mode and r.n_contexts == ctx and r.n_middleboxes == 1:
+                return getattr(r, field)
+        return float("nan")
+
+    summary_lines = []
+    for ctx in (1, 16):
+        mctls = rate("mcTLS", ctx, "server_cps")
+        split = rate("SplitTLS", ctx, "server_cps")
+        summary_lines.append(
+            f"server: mcTLS vs SplitTLS at {ctx} ctx: "
+            f"{100 * (1 - mctls / split):.0f}% fewer conns/s (paper: 23-35%)"
+        )
+    mctls_mb = rate("mcTLS", 1, "middlebox_cps")
+    split_mb = rate("SplitTLS", 1, "middlebox_cps")
+    summary_lines.append(
+        f"middlebox: mcTLS vs SplitTLS at 1 ctx: "
+        f"{100 * (mctls_mb / split_mb - 1):.0f}% more conns/s (paper: 45-75%)"
+    )
+    emit(
+        "fig5_connection_rates",
+        "Handshakes per second by node (pure-Python rates; ratios are the target)\n"
+        + format_table(
+            ["series", "contexts", "mboxes", "server/s", "mbox/s", "client/s"],
+            table_rows,
+        )
+        + "\n\n"
+        + "\n".join(summary_lines),
+        capsys,
+    )

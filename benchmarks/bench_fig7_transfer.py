@@ -1,0 +1,35 @@
+"""Figure 7: file download time across link speeds and file sizes.
+
+Paper findings: handshake overhead dominates small files (all encrypted
+protocols pay a similar fixed cost over NoEncrypt); large transfers are
+bandwidth-bound with negligible protocol differences; the same holds in
+the wide-area (fiber / 3G) profiles.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import emit, format_table, quick_testbed
+
+from repro.experiments.transfer import figure7
+
+
+def test_fig7_transfer_times(benchmark, capsys):
+    bed = quick_testbed()
+    rows = benchmark.pedantic(lambda: figure7(bed), rounds=1, iterations=1)
+    by_config = {}
+    for r in rows:
+        by_config.setdefault(r.config, {})[r.mode] = r.download_time_s
+    series = sorted({r.mode for r in rows})
+    table_rows = [
+        [config] + [f"{by_config[config].get(s, float('nan')):.3f}" for s in series]
+        for config in by_config
+    ]
+    emit(
+        "fig7_transfer_times",
+        "Download time (s): connection start to last byte, 1 middlebox\n"
+        + format_table(["config"] + series, table_rows),
+        capsys,
+    )

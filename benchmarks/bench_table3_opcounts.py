@@ -1,0 +1,48 @@
+"""Table 3: cryptographic operations per handshake and per party.
+
+Prints measured operation counts (real handshakes, per-party counters)
+next to the paper's closed-form expressions evaluated at the same (N, K).
+Counting granularity differs (see EXPERIMENTS.md) — the structural
+relationships are the target: client/server cost growing with N and K in
+default mode, the CKD mode collapsing server cost, SplitTLS's middlebox
+paying for two full handshakes.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import cpu_testbed, emit, format_table
+
+from repro.crypto.opcount import CATEGORIES
+from repro.experiments.opcounts import table3
+
+_SHOW = ("hash", "secret_comp", "key_gen", "asym_verify", "asym_sign", "sym_encrypt", "sym_decrypt")
+
+
+def test_table3_opcounts(benchmark, capsys):
+    bed = cpu_testbed()
+    results = benchmark.pedantic(
+        lambda: table3(bed, n_contexts=4, n_middleboxes=1), rounds=1, iterations=1
+    )
+    table_rows = []
+    for result in results:
+        for party in ("client", "middlebox", "server"):
+            if party not in result.counts:
+                continue
+            measured = result.counts[party]
+            paper = result.paper.get(party, {})
+            table_rows.append(
+                [result.mode, party]
+                + [
+                    f"{measured.get(cat, 0)}/{paper.get(cat, '-')}"
+                    for cat in _SHOW
+                ]
+            )
+    emit(
+        "table3_opcounts",
+        "Crypto ops per handshake, measured/paper-formula (N=1 middlebox, K=4 contexts)\n"
+        + format_table(["mode", "party"] + list(_SHOW), table_rows),
+        capsys,
+    )

@@ -1,0 +1,24 @@
+"""Table 4: design-requirement compliance of mcTLS vs prior proposals."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import emit, format_table
+
+from repro.mctls.compliance import TABLE4
+
+
+def test_table4_compliance(benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: [[row.name] + [c.symbol for c in row.cells()] for row in TABLE4],
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "table4_compliance",
+        "Requirement compliance (● full, ◌ partial)\n"
+        + format_table(["proposal", "R1", "R2", "R3", "R4", "R5"], rows),
+        capsys,
+    )

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The corporate-firewall / IDS use case (§4.2 of the paper).
+
+An enterprise inserts an intrusion detection system with *read-only*
+access to all four HTTP contexts.  Unlike today's practice, the IDS no
+longer impersonates servers with a custom root certificate: both the
+employee's client and the outside server see it in the session and
+consent to exactly read-only access.  The IDS can detect exfiltration
+and attack signatures but cannot alter a byte.
+
+Run:  python examples/corporate_ids.py
+"""
+
+from repro.crypto.certs import CertificateAuthority, Identity
+from repro.crypto.dh import GROUP_MODP_1024
+from repro.http import FOUR_CONTEXT, HttpClientSession, HttpRequest, HttpResponse, HttpServerSession
+from repro.mctls import McTLSClient, McTLSServer, MiddleboxInfo, SessionTopology
+from repro.mctls.session import McTLSApplicationData
+from repro.middleboxes import IntrusionDetectionSystem
+from repro.tls.connection import TLSConfig
+from repro.transport import Chain
+
+
+def main() -> None:
+    print("Generating keys...")
+    ca = CertificateAuthority.create_root("Corp + Web CA", key_bits=1024)
+    server_identity = Identity.issued_by(ca, "partner.example", key_bits=1024)
+    ids_identity = Identity.issued_by(ca, "ids.corp.example", key_bits=1024)
+
+    ids = IntrusionDetectionSystem(
+        "ids.corp.example",
+        TLSConfig(identity=ids_identity, trusted_roots=[ca.certificate]),
+    )
+    topology = SessionTopology(
+        middleboxes=[MiddleboxInfo(1, "ids.corp.example")],
+        contexts=IntrusionDetectionSystem.context_definitions(1),
+    )
+
+    client = McTLSClient(
+        TLSConfig(
+            trusted_roots=[ca.certificate],
+            server_name="partner.example",
+            dh_group=GROUP_MODP_1024,
+        ),
+        topology=topology,
+    )
+    server = McTLSServer(
+        TLSConfig(
+            identity=server_identity,
+            trusted_roots=[ca.certificate],
+            dh_group=GROUP_MODP_1024,
+        ),
+    )
+
+    def handler(request: HttpRequest) -> HttpResponse:
+        return HttpResponse(body=b"<html>form received</html>")
+
+    client_session = HttpClientSession(client, FOUR_CONTEXT)
+    server_session = HttpServerSession(server, handler, FOUR_CONTEXT)
+
+    chain = Chain(client, [ids.middlebox], server)
+    chain.on_client_event = (
+        lambda e: client_session.on_data(e.data)
+        if isinstance(e, McTLSApplicationData)
+        else None
+    )
+    chain.on_server_event = (
+        lambda e: server_session.on_data(e.data)
+        if isinstance(e, McTLSApplicationData)
+        else None
+    )
+    client.start_handshake()
+    chain.pump()
+    print(f"IDS in session with permissions: "
+          f"{ {c: p.name for c, p in ids.middlebox.permissions.items()} }")
+
+    # Benign traffic.
+    client_session.request(HttpRequest(target="/status"), lambda r: None)
+    chain.pump()
+    print(f"after benign request: alerts={len(ids.alerts)}")
+
+    # An injection attempt inside a POST body.
+    client_session.request(
+        HttpRequest(method="POST", target="/search", body=b"q=' OR 1=1 --"),
+        lambda r: None,
+    )
+    chain.pump()
+    print(f"after injection attempt: alerts={len(ids.alerts)}")
+    for alert in ids.alerts:
+        print(f"  ALERT: signature {alert.signature!r} in context {alert.context_id}")
+
+    assert ids.alarmed and ids.alerts[0].signature == b"' OR 1=1"
+    print(f"OK: IDS scanned {ids.bytes_scanned} bytes read-only and caught the attack.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Middlebox discovery (§6.1) and graceful TLS fallback (§5.4).
+
+Two deployment realities the paper discusses beyond the core protocol:
+
+1. the client assembles its middlebox list from several sources —
+   operator requirements (DHCP-style), user choices (mDNS-style service
+   registry), and content-provider policy (DNS-style records);
+2. when the server turns out not to speak mcTLS at all, the client
+   falls back to plain TLS — but never downgrades in response to a
+   security failure.
+
+Run:  python examples/discovery_and_fallback.py
+"""
+
+from repro.crypto.certs import CertificateAuthority, Identity
+from repro.crypto.dh import GROUP_MODP_1024
+from repro.mctls import (
+    ContextDefinition,
+    McTLSClient,
+    McTLSMiddlebox,
+    McTLSServer,
+    Permission,
+    SessionTopology,
+)
+from repro.mctls.discovery import (
+    ContentProviderPolicy,
+    DiscoveredMiddlebox,
+    NetworkPolicy,
+    ServiceRegistry,
+    discover,
+)
+from repro.mctls.fallback import connect_with_fallback
+from repro.tls.client import TLSClient
+from repro.tls.connection import TLSConfig
+from repro.tls.server import TLSServer
+from repro.transport import Chain, pump
+
+
+def main() -> None:
+    print("Generating keys...")
+    ca = CertificateAuthority.create_root("Web CA", key_bits=1024)
+    server_identity = Identity.issued_by(ca, "shop.example", key_bits=1024)
+    scanner_identity = Identity.issued_by(ca, "virus-scan.corp.example", key_bits=1024)
+    compress_identity = Identity.issued_by(ca, "compress.isp.example", key_bits=1024)
+    waf_identity = Identity.issued_by(ca, "waf.shop.example", key_bits=1024)
+
+    # -- §6.1: three discovery sources --------------------------------
+    corporate_network = NetworkPolicy(
+        required=[DiscoveredMiddlebox("virus-scan.corp.example", service="ids")]
+    )
+    registry = ServiceRegistry()
+    registry.advertise("compression", "compress.isp.example", "10.1.2.3:443")
+    provider_dns = ContentProviderPolicy()
+    provider_dns.publish(
+        "shop.example", [DiscoveredMiddlebox("waf.shop.example", service="waf")]
+    )
+
+    middleboxes = discover(
+        "shop.example",
+        network=corporate_network,
+        user=registry.find("compression"),
+        content_provider=provider_dns,
+    )
+    print("discovered middlebox path:")
+    for m in middleboxes:
+        print(f"  {m.mbox_id}. {m.name}")
+
+    topology = SessionTopology(
+        middleboxes=middleboxes,
+        contexts=[
+            ContextDefinition(
+                1, "traffic", {m.mbox_id: Permission.READ for m in middleboxes}
+            )
+        ],
+    )
+    client_config = TLSConfig(
+        trusted_roots=[ca.certificate],
+        server_name="shop.example",
+        dh_group=GROUP_MODP_1024,
+    )
+
+    # Full mcTLS session through all three discovered middleboxes.
+    client = McTLSClient(client_config, topology=topology)
+    server = McTLSServer(
+        TLSConfig(
+            identity=server_identity,
+            trusted_roots=[ca.certificate],
+            dh_group=GROUP_MODP_1024,
+        )
+    )
+    relays = [
+        McTLSMiddlebox(ident.name, TLSConfig(identity=ident, trusted_roots=[ca.certificate]))
+        for ident in (scanner_identity, compress_identity, waf_identity)
+    ]
+    chain = Chain(client, relays, server)
+    client.start_handshake()
+    chain.pump()
+    print(f"mcTLS session up through {len(relays)} middleboxes: "
+          f"{client.handshake_complete}")
+
+    # -- §5.4: fallback against a TLS-only server ----------------------
+    def dial_tls_only_server():
+        server = TLSServer(
+            TLSConfig(identity=server_identity, dh_group=GROUP_MODP_1024)
+        )
+        return server, pump
+
+    conn = connect_with_fallback(
+        client_config,
+        SessionTopology(contexts=[ContextDefinition(1, "all")]),
+        dial_tls_only_server,
+    )
+    assert isinstance(conn, TLSClient) and conn.handshake_complete
+    print("legacy server detected: fell back to plain TLS and completed.")
+    print("OK: discovery assembled the path; fallback handled the legacy peer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""A live mcTLS session over real TCP sockets on localhost.
+
+Everything else in ``examples/`` runs over in-memory pipes; this one
+starts an actual mcTLS server and middlebox relay on loopback ports and
+drives a client through them — the deployment shape of §5.4, three OS
+processes' worth of roles in one script via threads.
+
+Run:  python examples/live_sockets.py
+"""
+
+import threading
+
+from repro.crypto.certs import CertificateAuthority, Identity
+from repro.crypto.dh import GROUP_MODP_1024
+from repro.mctls import (
+    ContextDefinition,
+    McTLSClient,
+    McTLSMiddlebox,
+    McTLSServer,
+    MiddleboxInfo,
+    Permission,
+    SessionTopology,
+)
+from repro.sockets import EndpointServer, RelayServer, connect
+from repro.tls.connection import TLSConfig
+
+
+def main() -> None:
+    print("Generating keys...")
+    ca = CertificateAuthority.create_root("Live Demo CA", key_bits=1024)
+    server_identity = Identity.issued_by(ca, "live.example", key_bits=1024)
+    proxy_identity = Identity.issued_by(ca, "proxy.live.example", key_bits=1024)
+
+    topology = SessionTopology(
+        middleboxes=[MiddleboxInfo(1, "proxy.live.example")],
+        contexts=[
+            ContextDefinition(1, "request", {1: Permission.READ}),
+            ContextDefinition(2, "response", {1: Permission.READ}),
+        ],
+    )
+
+    # The echo server: receives a message, answers in the response context.
+    def handle(conn) -> None:
+        conn.handshake()
+        event = conn.recv_app_data()
+        print(f"[server] got {event.data!r} on context {event.context_id}")
+        conn.send(b"echo: " + event.data, context_id=2)
+
+    server = EndpointServer(
+        ("127.0.0.1", 0),
+        connection_factory=lambda: McTLSServer(
+            TLSConfig(
+                identity=server_identity,
+                trusted_roots=[ca.certificate],
+                dh_group=GROUP_MODP_1024,
+            )
+        ),
+        handler=handle,
+    ).start()
+
+    observed = []
+    relay = RelayServer(
+        ("127.0.0.1", 0),
+        upstream_addr=("127.0.0.1", server.port),
+        relay_factory=lambda: McTLSMiddlebox(
+            "proxy.live.example",
+            TLSConfig(identity=proxy_identity, trusted_roots=[ca.certificate]),
+            observer=lambda d, ctx, data: observed.append((ctx, data)),
+        ),
+    ).start()
+    print(f"[setup] server on :{server.port}, middlebox on :{relay.port}")
+
+    client = connect(
+        ("127.0.0.1", relay.port),
+        McTLSClient(
+            TLSConfig(
+                trusted_roots=[ca.certificate],
+                server_name="live.example",
+                dh_group=GROUP_MODP_1024,
+            ),
+            topology=topology,
+        ),
+    )
+    client.handshake()
+    print("[client] mcTLS handshake complete over real sockets")
+    client.send(b"hello across loopback", context_id=1)
+    reply = client.recv_app_data()
+    print(f"[client] reply: {reply.data!r} (context {reply.context_id})")
+
+    assert reply.data == b"echo: hello across loopback"
+    assert (1, b"hello across loopback") in observed
+    print(f"[middlebox] observed: {observed}")
+    print("OK: live sockets, real middlebox relay, least-privilege intact.")
+
+    client.close()
+    relay.stop()
+    server.stop()
+
+
+if __name__ == "__main__":
+    main()

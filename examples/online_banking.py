@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The online-banking use case (§4.2 of the paper): the server says no.
+
+A careless user (or a misconfigured device) grants a third-party
+"helper" proxy read access to everything.  The bank's server applies a
+topology policy that withholds its half of the context keys, so the
+proxy never gains access — contributory context keys mean *both*
+endpoints must consent (requirement R4).
+
+Run:  python examples/online_banking.py
+"""
+
+from repro.crypto.certs import CertificateAuthority, Identity
+from repro.crypto.dh import GROUP_MODP_1024
+from repro.mctls import (
+    ContextDefinition,
+    McTLSClient,
+    McTLSMiddlebox,
+    McTLSServer,
+    MiddleboxInfo,
+    Permission,
+    SessionTopology,
+)
+from repro.mctls.contexts import restrict_topology
+from repro.mctls.session import McTLSApplicationData
+from repro.tls.connection import TLSConfig
+from repro.transport import Chain
+
+CTX_PORTAL = 1  # generic portal pages: the bank tolerates read access
+CTX_ACCOUNTS = 2  # account numbers and balances: endpoints only
+
+
+def bank_policy(proposed: SessionTopology) -> SessionTopology:
+    """The bank refuses everyone access to the accounts context."""
+    grants = {
+        mbox.mbox_id: {CTX_ACCOUNTS: Permission.NONE}
+        for mbox in proposed.middleboxes
+    }
+    return restrict_topology(proposed, grants)
+
+
+def main() -> None:
+    print("Generating keys...")
+    ca = CertificateAuthority.create_root("Web CA", key_bits=1024)
+    bank_identity = Identity.issued_by(ca, "bank.example", key_bits=1024)
+    helper_identity = Identity.issued_by(ca, "helper.freeproxy.example", key_bits=1024)
+
+    # The client (unwisely) grants the helper READ on everything.
+    topology = SessionTopology(
+        middleboxes=[MiddleboxInfo(1, "helper.freeproxy.example")],
+        contexts=[
+            ContextDefinition(CTX_PORTAL, "portal pages", {1: Permission.READ}),
+            ContextDefinition(CTX_ACCOUNTS, "account data", {1: Permission.READ}),
+        ],
+    )
+
+    client = McTLSClient(
+        TLSConfig(
+            trusted_roots=[ca.certificate],
+            server_name="bank.example",
+            dh_group=GROUP_MODP_1024,
+        ),
+        topology=topology,
+    )
+    bank = McTLSServer(
+        TLSConfig(
+            identity=bank_identity,
+            trusted_roots=[ca.certificate],
+            dh_group=GROUP_MODP_1024,
+        ),
+        topology_policy=bank_policy,
+    )
+    snooped = []
+    helper = McTLSMiddlebox(
+        "helper.freeproxy.example",
+        TLSConfig(identity=helper_identity, trusted_roots=[ca.certificate]),
+        observer=lambda d, ctx, data: snooped.append((ctx, data)),
+    )
+
+    chain = Chain(client, [helper], bank)
+    client.start_handshake()
+    chain.pump()
+    print(f"client proposed : portal=READ, accounts=READ")
+    print(f"helper ended up with: "
+          f"{ {c: p.name for c, p in helper.permissions.items()} }")
+
+    bank.send_application_data(b"<h1>Welcome to Example Bank</h1>", context_id=CTX_PORTAL)
+    bank.send_application_data(b"IBAN DE00 1234 5678 balance 1,234.56", context_id=CTX_ACCOUNTS)
+    events = chain.pump()
+    delivered = [e.data for e in events if isinstance(e, McTLSApplicationData)]
+
+    print(f"client received {len(delivered)} messages (both contexts intact)")
+    print(f"helper observed: {snooped}")
+    assert helper.permissions[CTX_ACCOUNTS] is Permission.NONE
+    assert all(ctx != CTX_ACCOUNTS for ctx, _ in snooped)
+    assert any(b"IBAN" in d for d in delivered)
+    print("OK: the bank withheld its key half; account data never reached "
+          "the proxy, even though the client had granted access.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""The protocol baselines the paper compares mcTLS against (§5).
+
+* **SplitTLS** — today's interception practice: a custom root certificate
+  is installed on the client; the middlebox impersonates the server by
+  minting a certificate on the fly and maintains two independent TLS
+  connections, decrypting and re-encrypting everything.
+* **E2E-TLS** — one end-to-end TLS connection; the middlebox blindly
+  forwards ciphertext and can do nothing else.
+* **NoEncrypt** — plain TCP through a forwarding relay.
+
+All three expose the same sans-I/O surfaces as the mcTLS classes
+(endpoints: ``start_handshake``/``receive_bytes``/``data_to_send``;
+relays: ``receive_from_client``/``data_to_server``/…), so experiments
+swap protocols without changing harness code.
+"""
+
+from repro.baselines.e2e import BlindRelay
+from repro.baselines.noencrypt import PlainConnection, PlainRelay
+from repro.baselines.split import SplitTLSRelay
+
+__all__ = ["BlindRelay", "PlainConnection", "PlainRelay", "SplitTLSRelay"]

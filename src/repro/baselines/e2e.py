@@ -1,0 +1,40 @@
+"""E2E-TLS: a blind forwarding relay.
+
+The endpoints run plain TLS end to end; the middlebox shuttles bytes
+between its two connections without interpreting them.  This is the
+paper's "E2E-TLS" baseline: maximal security, zero in-network
+functionality, and (as Figure 5 shows) near-zero middlebox CPU cost.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BlindRelay:
+    """Forwards bytes verbatim in both directions."""
+
+    def __init__(self) -> None:
+        self._to_client = bytearray()
+        self._to_server = bytearray()
+        self.bytes_relayed = 0
+
+    def receive_from_client(self, data: bytes) -> List[object]:
+        self._to_server += data
+        self.bytes_relayed += len(data)
+        return []
+
+    def receive_from_server(self, data: bytes) -> List[object]:
+        self._to_client += data
+        self.bytes_relayed += len(data)
+        return []
+
+    def data_to_client(self) -> bytes:
+        out = bytes(self._to_client)
+        self._to_client.clear()
+        return out
+
+    def data_to_server(self) -> bytes:
+        out = bytes(self._to_server)
+        self._to_server.clear()
+        return out

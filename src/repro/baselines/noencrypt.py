@@ -1,0 +1,86 @@
+"""NoEncrypt: plain TCP endpoints and relay.
+
+The cleartext baseline.  :class:`PlainConnection` mimics the sans-I/O
+connection API (including a no-op "handshake") so harness code treats all
+four protocol modes uniformly; :class:`PlainRelay` forwards bytes and can
+observe or transform them — a cleartext middlebox sees everything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.tls.connection import ApplicationData, Event, HandshakeComplete
+
+
+class PlainConnection:
+    """A no-op 'secure' connection: bytes in, bytes out."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self.handshake_complete = False
+        self.closed = False
+        self._started = False
+
+    def start_handshake(self) -> None:
+        """No handshake on plain TCP; completes instantly."""
+        self._started = True
+        self.handshake_complete = True
+
+    def data_to_send(self) -> bytes:
+        out = bytes(self._out)
+        self._out.clear()
+        return out
+
+    def receive_bytes(self, data: bytes) -> List[Event]:
+        events: List[Event] = []
+        if not self.handshake_complete:
+            self.handshake_complete = True
+            events.append(HandshakeComplete(cipher_suite="none"))
+        if data:
+            events.append(ApplicationData(data=data))
+        return events
+
+    def send_application_data(self, data: bytes, context_id: int = 0) -> None:
+        self._out += data
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class PlainRelay:
+    """A cleartext relay with optional transform/observe hooks."""
+
+    def __init__(
+        self,
+        transformer: Optional[Callable[[str, bytes], bytes]] = None,
+        observer: Optional[Callable[[str, bytes], None]] = None,
+    ):
+        self.transformer = transformer
+        self.observer = observer
+        self._to_client = bytearray()
+        self._to_server = bytearray()
+
+    def _relay(self, direction: str, data: bytes, out: bytearray) -> List[object]:
+        if self.transformer is not None:
+            data = self.transformer(direction, data)
+        if self.observer is not None:
+            self.observer(direction, data)
+        out += data
+        return []
+
+    def receive_from_client(self, data: bytes) -> List[object]:
+        return self._relay("c2s", data, self._to_server)
+
+    def receive_from_server(self, data: bytes) -> List[object]:
+        return self._relay("s2c", data, self._to_client)
+
+    def data_to_client(self) -> bytes:
+        out = bytes(self._to_client)
+        self._to_client.clear()
+        return out
+
+    def data_to_server(self) -> bytes:
+        out = bytes(self._to_server)
+        self._to_server.clear()
+        return out

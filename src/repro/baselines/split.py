@@ -1,0 +1,129 @@
+"""SplitTLS: today's TLS interception practice (§2.2).
+
+The middlebox holds a *custom root* certificate that has been installed
+in the client's trust store (e.g. by an enterprise administrator).  For
+each session it mints a certificate for the intended server name, signs
+it with the custom root, and terminates the client's TLS connection
+itself; a second, independent TLS connection carries the data on to the
+real server.  Everything is decrypted and re-encrypted in the middle, and
+the middlebox has unrestricted read/write access — the all-or-nothing
+model mcTLS replaces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.crypto.certs import CertificateAuthority, Identity, generate_rsa_key
+from repro.tls.client import TLSClient
+from repro.tls.connection import ApplicationData, Event, TLSConfig
+from repro.tls.server import TLSServer
+
+
+class SplitTLSRelay:
+    """A TLS-terminating middlebox using an interception CA.
+
+    ``interception_ca`` signs the forged server certificate (the client
+    must trust its root); ``upstream_config`` configures the relay's own
+    TLS client towards the real server.  ``transformer``/``observer`` see
+    *all* plaintext in both directions — split TLS has no least privilege.
+    """
+
+    def __init__(
+        self,
+        interception_ca: CertificateAuthority,
+        upstream_config: TLSConfig,
+        server_name: str,
+        transformer: Optional[Callable[[str, bytes], bytes]] = None,
+        observer: Optional[Callable[[str, bytes], None]] = None,
+        key_bits: int = 2048,
+        forged_identity: Optional[Identity] = None,
+    ):
+        self.transformer = transformer
+        self.observer = observer
+        self.server_name = server_name
+
+        if forged_identity is not None:
+            # Real interception proxies cache forged certificates per
+            # server name; callers running many sessions pass one in.
+            identity = forged_identity
+        else:
+            # Mint an impersonation certificate for the server name.
+            key = generate_rsa_key(key_bits)
+            forged_cert = interception_ca.issue(server_name, key.public_key)
+            chain = [forged_cert]
+            if not interception_ca.certificate.is_self_signed:
+                chain.append(interception_ca.certificate)
+            identity = Identity(name=server_name, key=key, chain=tuple(chain))
+
+        downstream_config = TLSConfig(
+            identity=identity,
+            cipher_suites=upstream_config.cipher_suites,
+            dh_group=upstream_config.dh_group,
+        )
+        self.client_side = TLSServer(downstream_config)  # we act as the server
+        self.server_side = TLSClient(upstream_config)  # we act as the client
+        self.server_side.start_handshake()
+
+        self._pending_to_server: List[bytes] = []
+        self._pending_to_client: List[bytes] = []
+
+    # -- relay interface ------------------------------------------------------
+
+    def ready_to_dial_upstream(self) -> bool:
+        """A transparent split-TLS proxy contacts the real server only
+        once the client-side handshake has completed and the first
+        decrypted request bytes are in hand (squid-style behaviour; this
+        is what makes SplitTLS cost the same 4-RTT TTFB as E2E-TLS in the
+        paper's Figure 3)."""
+        return bool(self.client_side.handshake_complete and self._pending_to_server)
+
+    def receive_from_client(self, data: bytes) -> List[Event]:
+        events = self.client_side.receive_bytes(data)
+        for event in events:
+            if isinstance(event, ApplicationData):
+                self._forward("c2s", event.data)
+        self._flush_pending()
+        return events
+
+    def receive_from_server(self, data: bytes) -> List[Event]:
+        events = self.server_side.receive_bytes(data)
+        for event in events:
+            if isinstance(event, ApplicationData):
+                self._forward("s2c", event.data)
+        self._flush_pending()
+        return events
+
+    def data_to_client(self) -> bytes:
+        return self.client_side.data_to_send()
+
+    def data_to_server(self) -> bytes:
+        return self.server_side.data_to_send()
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _forward(self, direction: str, payload: bytes) -> None:
+        if self.transformer is not None:
+            payload = self.transformer(direction, payload)
+        if self.observer is not None:
+            self.observer(direction, payload)
+        if direction == "c2s":
+            if self.server_side.handshake_complete:
+                self.server_side.send_application_data(payload)
+            else:
+                self._pending_to_server.append(payload)
+        else:
+            if self.client_side.handshake_complete:
+                self.client_side.send_application_data(payload)
+            else:
+                self._pending_to_client.append(payload)
+
+    def _flush_pending(self) -> None:
+        if self.server_side.handshake_complete and self._pending_to_server:
+            for payload in self._pending_to_server:
+                self.server_side.send_application_data(payload)
+            self._pending_to_server.clear()
+        if self.client_side.handshake_complete and self._pending_to_client:
+            for payload in self._pending_to_client:
+                self.client_side.send_application_data(payload)
+            self._pending_to_client.clear()

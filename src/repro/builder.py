@@ -1,0 +1,208 @@
+"""A high-level session builder — the deployability claim, §5.4.
+
+The paper built a 17-line Ruby web client on its library to argue mcTLS
+integrates easily.  :class:`SessionBuilder` is that argument for this
+library: declare who participates and who may see what, and get fully
+wired endpoint/middlebox objects (plus an in-memory chain for tests and
+demos) without touching certificates, topologies or configs directly.
+
+    from repro.builder import SessionBuilder
+
+    session = (SessionBuilder(server_name="shop.example")
+               .context("headers", middleboxes={"proxy.isp": "read"})
+               .context("payload")
+               .middlebox("proxy.isp")
+               .build())
+    session.client.send_application_data(b"GET /", context_id=session.ctx("headers"))
+    session.pump()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.certs import CertificateAuthority, Identity
+from repro.crypto.dh import GROUP_MODP_1024, DHGroup
+from repro.mctls import (
+    ContextDefinition,
+    HandshakeMode,
+    KeyTransport,
+    McTLSClient,
+    McTLSMiddlebox,
+    McTLSServer,
+    MiddleboxInfo,
+    Permission,
+    SessionTopology,
+)
+from repro.tls.connection import TLSConfig
+from repro.transport import Chain
+
+_PERMISSIONS = {
+    "none": Permission.NONE,
+    "read": Permission.READ,
+    "write": Permission.WRITE,
+}
+
+
+@dataclass
+class BuiltSession:
+    """Everything :class:`SessionBuilder.build` produces, ready to use."""
+
+    client: McTLSClient
+    middleboxes: List[McTLSMiddlebox]
+    server: McTLSServer
+    chain: Chain
+    topology: SessionTopology
+    ca: CertificateAuthority
+    _context_ids: Dict[str, int] = field(default_factory=dict)
+
+    def ctx(self, purpose: str) -> int:
+        """Look up a context id by the purpose given to the builder."""
+        return self._context_ids[purpose]
+
+    def pump(self):
+        """Deliver all pending in-memory bytes; returns new events."""
+        return self.chain.pump()
+
+
+class SessionBuilder:
+    """Fluent construction of a complete mcTLS session.
+
+    A throwaway CA and identities are generated unless provided — the
+    ten lines a real deployment replaces with its actual PKI.
+    """
+
+    def __init__(
+        self,
+        server_name: str = "server.example",
+        key_bits: int = 1024,
+        dh_group: Optional[DHGroup] = None,
+        mode: HandshakeMode = HandshakeMode.DEFAULT,
+        key_transport: KeyTransport = KeyTransport.DHE,
+        ca: Optional[CertificateAuthority] = None,
+    ):
+        self.server_name = server_name
+        self.key_bits = key_bits
+        self.dh_group = dh_group or GROUP_MODP_1024
+        self.mode = mode
+        self.key_transport = key_transport
+        self._ca = ca
+        self._middlebox_order: List[str] = []
+        self._middlebox_kwargs: Dict[str, dict] = {}
+        self._contexts: List[dict] = []
+        self._topology_policy = None
+
+    # -- declaration ------------------------------------------------------
+
+    def middlebox(self, name: str, transformer=None, observer=None) -> "SessionBuilder":
+        """Add a middlebox (path order = declaration order)."""
+        if name in self._middlebox_order:
+            raise ValueError(f"middlebox {name!r} declared twice")
+        self._middlebox_order.append(name)
+        self._middlebox_kwargs[name] = {
+            "transformer": transformer,
+            "observer": observer,
+        }
+        return self
+
+    def context(
+        self, purpose: str, middleboxes: Optional[Dict[str, str]] = None
+    ) -> "SessionBuilder":
+        """Add a context; ``middleboxes`` maps name → 'read'/'write'."""
+        if any(c["purpose"] == purpose for c in self._contexts):
+            raise ValueError(f"context purpose {purpose!r} declared twice")
+        self._contexts.append({"purpose": purpose, "grants": dict(middleboxes or {})})
+        return self
+
+    def server_policy(self, policy) -> "SessionBuilder":
+        """Attach a server-side topology policy (e.g. restrict_topology)."""
+        self._topology_policy = policy
+        return self
+
+    # -- construction ------------------------------------------------------------
+
+    def build(self) -> BuiltSession:
+        if not self._contexts:
+            self.context("default")
+
+        ca = self._ca or CertificateAuthority.create_root(
+            "SessionBuilder CA", key_bits=self.key_bits
+        )
+        server_identity = Identity.issued_by(ca, self.server_name, key_bits=self.key_bits)
+        mbox_identities = {
+            name: Identity.issued_by(ca, name, key_bits=self.key_bits)
+            for name in self._middlebox_order
+        }
+
+        name_to_id = {name: i + 1 for i, name in enumerate(self._middlebox_order)}
+        context_ids: Dict[str, int] = {}
+        definitions = []
+        for index, spec in enumerate(self._contexts):
+            ctx_id = index + 1
+            context_ids[spec["purpose"]] = ctx_id
+            permissions = {}
+            for mbox_name, level in spec["grants"].items():
+                if mbox_name not in name_to_id:
+                    raise ValueError(
+                        f"context {spec['purpose']!r} grants access to "
+                        f"undeclared middlebox {mbox_name!r}"
+                    )
+                permission = _PERMISSIONS.get(level)
+                if permission is None:
+                    raise ValueError(f"unknown permission level {level!r}")
+                if permission is not Permission.NONE:
+                    permissions[name_to_id[mbox_name]] = permission
+            definitions.append(
+                ContextDefinition(ctx_id, spec["purpose"], permissions)
+            )
+
+        topology = SessionTopology(
+            middleboxes=[
+                MiddleboxInfo(name_to_id[name], name) for name in self._middlebox_order
+            ],
+            contexts=definitions,
+        )
+
+        client = McTLSClient(
+            TLSConfig(
+                trusted_roots=[ca.certificate],
+                server_name=self.server_name,
+                dh_group=self.dh_group,
+            ),
+            topology=topology,
+            key_transport=self.key_transport,
+        )
+        server = McTLSServer(
+            TLSConfig(
+                identity=server_identity,
+                trusted_roots=[ca.certificate],
+                dh_group=self.dh_group,
+            ),
+            mode=self.mode,
+            topology_policy=self._topology_policy,
+        )
+        middleboxes = [
+            McTLSMiddlebox(
+                name,
+                TLSConfig(
+                    identity=mbox_identities[name],
+                    trusted_roots=[ca.certificate],
+                    dh_group=self.dh_group,
+                ),
+                **self._middlebox_kwargs[name],
+            )
+            for name in self._middlebox_order
+        ]
+        chain = Chain(client, middleboxes, server)
+        client.start_handshake()
+        chain.pump()
+        return BuiltSession(
+            client=client,
+            middleboxes=middleboxes,
+            server=server,
+            chain=chain,
+            topology=topology,
+            ca=ca,
+            _context_ids=context_ids,
+        )

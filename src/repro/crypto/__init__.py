@@ -1,0 +1,35 @@
+"""Cryptographic substrate for the mcTLS reproduction.
+
+Everything here is implemented from scratch on top of the Python standard
+library (``hashlib``/``hmac``/``os.urandom``): AES, block-cipher modes,
+finite-field Diffie-Hellman, RSA with PKCS#1 v1.5, the TLS 1.2 PRF, a toy
+certificate infrastructure, and an operation counter used to reproduce the
+paper's Table 3.
+
+These primitives exist to make the *protocol* reproduction self-contained;
+they are not hardened against side channels and must not be used to protect
+real traffic.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.dh import DHGroup, DHKeyPair, GROUP_MODP_2048, GROUP_TEST_512
+from repro.crypto.opcount import OpCounter, current_counter, count_op, counting
+from repro.crypto.prf import prf, p_sha256
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey, generate_rsa_key
+
+__all__ = [
+    "AES",
+    "DHGroup",
+    "DHKeyPair",
+    "GROUP_MODP_2048",
+    "GROUP_TEST_512",
+    "OpCounter",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "count_op",
+    "counting",
+    "current_counter",
+    "generate_rsa_key",
+    "p_sha256",
+    "prf",
+]

@@ -1,0 +1,101 @@
+"""Counting cryptographic operations.
+
+The paper's Table 3 reports the number of cryptographic operations each party
+performs during a handshake, broken into six categories.  The primitives in
+:mod:`repro.crypto` report each operation they perform to a thread-local
+:class:`OpCounter`, so an experiment can run a real handshake and read off
+exactly the Table 3 row it produced.
+
+Categories (matching Table 3 of the paper):
+
+* ``hash`` — cryptographic hash / HMAC / PRF block computations counted at
+  the level the paper counts them (one logical hash per PRF invocation).
+* ``secret_comp`` — shared-secret computations (Diffie-Hellman combines or
+  RSA decryptions of premaster secrets).
+* ``key_gen`` — symmetric key blocks generated (PRF-based key derivations).
+* ``asym_verify`` — signature verifications (and certificate verifications).
+* ``sym_encrypt`` — symmetric encryption operations (one per logical
+  message, not per block).
+* ``sym_decrypt`` — symmetric decryption operations.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+CATEGORIES = (
+    "hash",
+    "secret_comp",
+    "key_gen",
+    "asym_verify",
+    "asym_sign",
+    "sym_encrypt",
+    "sym_decrypt",
+)
+
+
+@dataclass
+class OpCounter:
+    """A tally of cryptographic operations, one bucket per category."""
+
+    counts: Dict[str, int] = field(default_factory=lambda: {c: 0 for c in CATEGORIES})
+
+    def add(self, category: str, n: int = 1) -> None:
+        if category not in self.counts:
+            raise ValueError(f"unknown op category: {category!r}")
+        self.counts[category] += n
+
+    def get(self, category: str) -> int:
+        return self.counts[category]
+
+    def reset(self) -> None:
+        for c in self.counts:
+            self.counts[c] = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    def __sub__(self, other: "OpCounter") -> "OpCounter":
+        diff = OpCounter()
+        for c in CATEGORIES:
+            diff.counts[c] = self.counts[c] - other.counts[c]
+        return diff
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{c}={v}" for c, v in self.counts.items() if v)
+        return f"OpCounter({parts})"
+
+
+_local = threading.local()
+
+
+def current_counter() -> Optional[OpCounter]:
+    """Return the active counter for this thread, or ``None``."""
+    return getattr(_local, "counter", None)
+
+
+def count_op(category: str, n: int = 1) -> None:
+    """Record ``n`` operations of ``category`` on the active counter, if any."""
+    counter = current_counter()
+    if counter is not None:
+        counter.add(category, n)
+
+
+@contextmanager
+def counting(counter: Optional[OpCounter] = None) -> Iterator[OpCounter]:
+    """Activate ``counter`` (or a fresh one) for the duration of the block.
+
+    Nested ``counting`` blocks stack: the innermost counter receives the
+    operations; outer counters are restored on exit.
+    """
+    if counter is None:
+        counter = OpCounter()
+    previous = current_counter()
+    _local.counter = counter
+    try:
+        yield counter
+    finally:
+        _local.counter = previous

@@ -1,0 +1,36 @@
+"""The TLS 1.2 pseudorandom function (RFC 5246 §5) with SHA-256.
+
+``PRF(secret, label, seed)`` = P_SHA256(secret, label || seed), the
+HMAC-based data-expansion function.  mcTLS keys everything — master
+secrets, connection keys, partial context keys and final context keys —
+through this PRF, exactly as TLS 1.2 does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.crypto.opcount import count_op
+
+
+def p_sha256(secret: bytes, seed: bytes, length: int) -> bytes:
+    """The P_hash data-expansion function with SHA-256 (RFC 5246 §5)."""
+    output = bytearray()
+    a = seed
+    while len(output) < length:
+        a = hmac.new(secret, a, hashlib.sha256).digest()
+        output += hmac.new(secret, a + seed, hashlib.sha256).digest()
+    return bytes(output[:length])
+
+
+def prf(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
+    """TLS 1.2 PRF.  Counted as one logical ``hash`` operation (Table 3)."""
+    count_op("hash")
+    return p_sha256(secret, label + seed, length)
+
+
+def prf_key_block(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
+    """PRF invocation that derives key material (counted as ``key_gen``)."""
+    count_op("key_gen")
+    return p_sha256(secret, label + seed, length)

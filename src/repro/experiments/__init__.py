@@ -1,0 +1,22 @@
+"""Experiment implementations, one module per paper table/figure.
+
+=================  =====================================================
+module             reproduces
+=================  =====================================================
+``opcounts``       Table 3 — crypto operations per handshake
+``handshake_time`` Figure 3 — time to first byte vs contexts/middleboxes
+``page_load``      Figures 4 & 6 — page load time CDFs
+``throughput``     Figure 5 — handshakes/sec at server and middlebox
+``transfer``       Figure 7 — file download times
+``handshake_size`` Figure 8 — handshake sizes
+``overhead``       §5.2 — record MAC/data volume overhead
+=================  =====================================================
+
+Each experiment is a plain function returning structured rows; the
+``benchmarks/`` directory wraps them in pytest-benchmark entries that
+print paper-style tables.
+"""
+
+from repro.experiments.harness import Mode, TestBed
+
+__all__ = ["Mode", "TestBed"]

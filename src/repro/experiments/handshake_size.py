@@ -1,0 +1,106 @@
+"""Figure 8: handshake sizes.
+
+Counts the bytes crossing the client's access link (both directions)
+from the first ClientHello until the client's handshake completes — the
+certificate flights, key exchanges and (for mcTLS) middlebox flights and
+key material.  Configurations follow the paper: contexts {1, 4, 8} with
+no middlebox, and 4 contexts with {1, 2} middleboxes.
+
+Expected shape (paper values with 2048-bit OpenSSL certificates): a base
+mcTLS handshake ≈ 0.5 kB larger than TLS (≈2.1 vs ≈1.6 kB), growing with
+both contexts (key material) and middleboxes (certificates + flights),
+while SplitTLS / E2E-TLS stay flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.harness import Mode, TestBed
+from repro.transport import Chain
+
+
+@dataclass
+class HandshakeSizeResult:
+    mode: str
+    n_contexts: int
+    n_middleboxes: int
+    bytes_total: int
+
+
+class _CountingChain(Chain):
+    """Chain that counts bytes crossing the client's first hop."""
+
+    def __init__(self, client, relays, server):
+        super().__init__(client, relays, server)
+        self.client_hop_bytes = 0
+
+    def pump(self, max_rounds: int = 400):
+        new_events = []
+        for _ in range(max_rounds):
+            moved = False
+            data = self.client.data_to_send()
+            if data:
+                moved = True
+                self.client_hop_bytes += len(data)
+                new_events.extend(self._deliver_towards_server(0, data))
+            for i, relay in enumerate(self.relays):
+                to_server = relay.data_to_server()
+                if to_server:
+                    moved = True
+                    new_events.extend(self._deliver_towards_server(i + 1, to_server))
+                to_client = relay.data_to_client()
+                if to_client:
+                    moved = True
+                    if i == 0:
+                        self.client_hop_bytes += len(to_client)
+                    new_events.extend(self._deliver_towards_client(i - 1, to_client))
+            data = self.server.data_to_send()
+            if data:
+                moved = True
+                if not self.relays:
+                    self.client_hop_bytes += len(data)
+                new_events.extend(self._deliver_towards_client(len(self.relays) - 1, data))
+            if not moved:
+                return new_events
+        raise RuntimeError("handshake did not converge")
+
+
+def measure_handshake_size(
+    bed: TestBed, mode: Mode, n_contexts: int, n_middleboxes: int
+) -> HandshakeSizeResult:
+    topology = (
+        bed.topology(n_middleboxes, n_contexts=n_contexts)
+        if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+        else None
+    )
+    client, server = bed.make_endpoints(mode, topology=topology)
+    relays = bed.make_relays(mode, n_middleboxes)
+    chain = _CountingChain(client, relays, server)
+    client.start_handshake()
+    chain.pump()
+    if not client.handshake_complete:
+        raise RuntimeError(f"handshake failed: {mode} ctx={n_contexts} mbox={n_middleboxes}")
+    return HandshakeSizeResult(
+        mode=mode.value,
+        n_contexts=n_contexts,
+        n_middleboxes=n_middleboxes,
+        bytes_total=chain.client_hop_bytes,
+    )
+
+
+def figure8(bed: TestBed, modes=(Mode.MCTLS, Mode.SPLIT_TLS, Mode.E2E_TLS)) -> List[HandshakeSizeResult]:
+    """The five bar groups of Figure 8."""
+    configurations = [
+        (1, 0),
+        (4, 0),
+        (8, 0),
+        (4, 1),
+        (4, 2),
+    ]
+    rows: List[HandshakeSizeResult] = []
+    for n_contexts, n_middleboxes in configurations:
+        for mode in modes:
+            rows.append(measure_handshake_size(bed, mode, n_contexts, n_middleboxes))
+    return rows

@@ -1,0 +1,152 @@
+"""Figure 3: time to first byte vs. number of contexts / middleboxes.
+
+Setup from the paper: one middlebox (left plot) or a varying number
+(right plot), every hop a 10 Mbps link with 20 ms one-way delay, all
+middleboxes granted full read/write access (worst case).  The client
+requests a small object as soon as the session is up; TTFB is the arrival
+time of the first response byte at the client.
+
+The paper's observations this experiment must reproduce:
+
+* NoEncrypt ≈ 2 total-RTTs; all encrypted protocols ≈ 4 total-RTTs;
+* with Nagle enabled, mcTLS jumps by +1 RTT at context counts where a
+  handshake flight crosses an MSS boundary (10 and 14 in the paper's
+  build; the crossover points depend on message sizes);
+* disabling Nagle (TCP_NODELAY) restores mcTLS to the common curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.harness import (
+    Mode,
+    SimPath,
+    TestBed,
+    build_links,
+    build_path,
+    is_app_data,
+    is_handshake_complete,
+)
+from repro.netsim import Simulator
+from repro.netsim.profiles import controlled
+
+REQUEST_SIZE = 100
+RESPONSE_SIZE = 100
+
+
+@dataclass
+class TTFBResult:
+    mode: str
+    n_contexts: int
+    n_middleboxes: int
+    nagle: bool
+    ttfb_s: float
+    total_rtt_s: float
+
+    @property
+    def rtts(self) -> float:
+        """TTFB expressed in multiples of the end-to-end RTT."""
+        return self.ttfb_s / self.total_rtt_s
+
+
+def measure_ttfb(
+    bed: TestBed,
+    mode: Mode,
+    n_contexts: int = 1,
+    n_middleboxes: int = 1,
+    nagle: bool = True,
+    bandwidth_mbps: float = 10.0,
+    hop_delay_ms: float = 20.0,
+) -> TTFBResult:
+    """Run one TTFB measurement in a fresh simulator."""
+    sim = Simulator()
+    profile = controlled(
+        hops=n_middleboxes + 1,
+        bandwidth_mbps=bandwidth_mbps,
+        hop_delay_ms=hop_delay_ms,
+    )
+    links = build_links(sim, profile)
+    topology = (
+        bed.topology(n_middleboxes, n_contexts=n_contexts)
+        if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+        else None
+    )
+
+    result: Dict[str, float] = {}
+    path_holder: List[SimPath] = []
+
+    def client_event(event, now):
+        if is_handshake_complete(event):
+            path_holder[0].client_node.send_application_data(
+                b"R" * REQUEST_SIZE, context_id=1 if topology is not None else None
+            )
+        elif is_app_data(event) and "ttfb" not in result:
+            result["ttfb"] = now
+
+    def server_event(event, now):
+        if is_app_data(event):
+            path_holder[0].server_node.send_application_data(
+                b"D" * RESPONSE_SIZE, context_id=1 if topology is not None else None
+            )
+
+    path = build_path(
+        sim,
+        bed,
+        mode,
+        links,
+        topology=topology,
+        nagle=nagle,
+        client_on_event=client_event,
+        server_on_event=server_event,
+    )
+    path_holder.append(path)
+    path.start()
+    sim.run(until=60.0)
+    if "ttfb" not in result:
+        raise RuntimeError(
+            f"no response byte arrived ({mode}, ctx={n_contexts}, mbox={n_middleboxes})"
+        )
+    return TTFBResult(
+        mode=mode.value if nagle else f"{mode.value} (Nagle off)",
+        n_contexts=n_contexts,
+        n_middleboxes=n_middleboxes,
+        nagle=nagle,
+        ttfb_s=result["ttfb"],
+        total_rtt_s=profile.total_rtt_s,
+    )
+
+
+def figure3_left(
+    bed: TestBed, context_counts=tuple(range(1, 17)), n_middleboxes: int = 1
+) -> List[TTFBResult]:
+    """TTFB vs number of contexts (mcTLS sweeps; baselines are flat)."""
+    rows: List[TTFBResult] = []
+    for n_ctx in context_counts:
+        rows.append(measure_ttfb(bed, Mode.MCTLS, n_contexts=n_ctx, n_middleboxes=n_middleboxes))
+        rows.append(
+            measure_ttfb(
+                bed, Mode.MCTLS, n_contexts=n_ctx, n_middleboxes=n_middleboxes, nagle=False
+            )
+        )
+        for mode in (Mode.SPLIT_TLS, Mode.E2E_TLS, Mode.NO_ENCRYPT):
+            rows.append(measure_ttfb(bed, mode, n_contexts=n_ctx, n_middleboxes=n_middleboxes))
+    return rows
+
+
+def figure3_right(
+    bed: TestBed, middlebox_counts=tuple(range(0, 17, 2)), n_contexts: int = 1
+) -> List[TTFBResult]:
+    """TTFB vs number of middleboxes (each adds a 20 ms hop)."""
+    rows: List[TTFBResult] = []
+    for n_mbox in middlebox_counts:
+        rows.append(measure_ttfb(bed, Mode.MCTLS, n_contexts=n_contexts, n_middleboxes=n_mbox))
+        rows.append(
+            measure_ttfb(
+                bed, Mode.MCTLS, n_contexts=n_contexts, n_middleboxes=n_mbox, nagle=False
+            )
+        )
+        for mode in (Mode.SPLIT_TLS, Mode.E2E_TLS, Mode.NO_ENCRYPT):
+            rows.append(measure_ttfb(bed, mode, n_contexts=n_contexts, n_middleboxes=n_mbox))
+    return rows

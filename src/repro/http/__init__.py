@@ -1,0 +1,28 @@
+"""A small HTTP/1.1 substrate.
+
+Provides the message codecs, an incremental parser, context-assignment
+strategies for running HTTP over mcTLS (§4.1: 1-Context, 4-Context,
+Context-per-Header), and client/server session adapters that work over
+any of the session types (mcTLS, TLS, plain).
+"""
+
+from repro.http.messages import HttpParser, HttpRequest, HttpResponse
+from repro.http.strategies import (
+    ContextStrategy,
+    FOUR_CONTEXT,
+    ONE_CONTEXT,
+    context_per_header,
+)
+from repro.http.session import HttpClientSession, HttpServerSession
+
+__all__ = [
+    "ContextStrategy",
+    "FOUR_CONTEXT",
+    "HttpClientSession",
+    "HttpParser",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServerSession",
+    "ONE_CONTEXT",
+    "context_per_header",
+]

@@ -1,0 +1,158 @@
+"""HTTP/1.1 message codecs and an incremental parser.
+
+Deliberately small: request line / status line, headers, and
+Content-Length-delimited bodies (the experiments always set
+Content-Length).  Header order is preserved — the Context-per-Header
+strategy depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+CRLF = b"\r\n"
+HEADER_END = b"\r\n\r\n"
+
+
+class HttpError(Exception):
+    """Raised on malformed HTTP messages."""
+
+
+@dataclass
+class HttpRequest:
+    method: str = "GET"
+    target: str = "/"
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def __post_init__(self) -> None:
+        if self.body and not self.get_header("Content-Length"):
+            self.headers.append(("Content-Length", str(len(self.body))))
+
+    def get_header(self, name: str) -> Optional[str]:
+        for key, value in self.headers:
+            if key.lower() == name.lower():
+                return value
+        return None
+
+    def header_block(self) -> bytes:
+        lines = [f"{self.method} {self.target} {self.version}".encode("ascii")]
+        lines += [f"{k}: {v}".encode("ascii") for k, v in self.headers]
+        return CRLF.join(lines) + HEADER_END
+
+    def encode(self) -> bytes:
+        return self.header_block() + self.body
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    reason: str = "OK"
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def __post_init__(self) -> None:
+        if self.get_header("Content-Length") is None:
+            self.headers.append(("Content-Length", str(len(self.body))))
+
+    def get_header(self, name: str) -> Optional[str]:
+        for key, value in self.headers:
+            if key.lower() == name.lower():
+                return value
+        return None
+
+    def header_block(self) -> bytes:
+        lines = [f"{self.version} {self.status} {self.reason}".encode("ascii")]
+        lines += [f"{k}: {v}".encode("ascii") for k, v in self.headers]
+        return CRLF.join(lines) + HEADER_END
+
+    def encode(self) -> bytes:
+        return self.header_block() + self.body
+
+
+def _parse_headers(block: bytes) -> List[Tuple[str, str]]:
+    headers = []
+    for line in block.split(CRLF):
+        if not line:
+            continue
+        if b":" not in line:
+            raise HttpError(f"malformed header line: {line!r}")
+        name, _, value = line.partition(b":")
+        headers.append((name.decode("ascii").strip(), value.decode("ascii").strip()))
+    return headers
+
+
+class HttpParser:
+    """Incremental parser; feed bytes, harvest complete messages.
+
+    ``kind`` selects request or response parsing.
+    """
+
+    def __init__(self, kind: str):
+        if kind not in ("request", "response"):
+            raise ValueError("kind must be 'request' or 'response'")
+        self.kind = kind
+        self._buf = bytearray()
+        self._messages: List[object] = []
+        self._pending = None  # headers parsed, awaiting body
+        self._body_needed = 0
+
+    def feed(self, data: bytes) -> List[object]:
+        """Feed bytes; returns any messages completed by them."""
+        self._buf += data
+        while self._advance():
+            pass
+        messages, self._messages = self._messages, []
+        return messages
+
+    def _advance(self) -> bool:
+        if self._pending is not None:
+            if len(self._buf) < self._body_needed:
+                return False
+            body = bytes(self._buf[: self._body_needed])
+            del self._buf[: self._body_needed]
+            message = self._pending
+            message.body = body
+            self._pending = None
+            self._messages.append(message)
+            return True
+
+        end = self._buf.find(HEADER_END)
+        if end < 0:
+            return False
+        head = bytes(self._buf[:end])
+        del self._buf[: end + len(HEADER_END)]
+        message = self._parse_head(head)
+        length = message.get_header("Content-Length")
+        self._body_needed = int(length) if length else 0
+        if self._body_needed:
+            self._pending = message
+        else:
+            self._messages.append(message)
+        return True
+
+    def _parse_head(self, head: bytes):
+        first_line, _, header_block = head.partition(CRLF)
+        if self.kind == "request":
+            parts = first_line.split(b" ", 2)
+            if len(parts) != 3:
+                raise HttpError(f"malformed request line: {first_line!r}")
+            request = HttpRequest(
+                method=parts[0].decode("ascii"),
+                target=parts[1].decode("ascii"),
+                version=parts[2].decode("ascii"),
+                headers=_parse_headers(header_block),
+            )
+            return request
+        parts = first_line.split(b" ", 2)
+        if len(parts) < 2:
+            raise HttpError(f"malformed status line: {first_line!r}")
+        return HttpResponse(
+            version=parts[0].decode("ascii"),
+            status=int(parts[1]),
+            reason=parts[2].decode("ascii") if len(parts) > 2 else "",
+            headers=_parse_headers(header_block),
+        )

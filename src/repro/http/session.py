@@ -1,0 +1,100 @@
+"""HTTP client/server sessions over any sans-I/O connection.
+
+The sessions speak to a connection object through two touchpoints only:
+``send_application_data(data, context_id=...)`` for output, and the
+application-data events the harness feeds back in via ``on_data``.  They
+therefore run unchanged over mcTLS, TLS, and plain TCP — which is exactly
+how the experiments swap protocols.
+
+With a :class:`~repro.http.strategies.ContextStrategy`, outgoing messages
+are sliced across encryption contexts; without one, messages go out whole
+(correct for TLS/plain, and equivalent to 1-Context for mcTLS).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.http.messages import HttpParser, HttpRequest, HttpResponse
+from repro.http.strategies import ContextStrategy
+
+ResponseCallback = Callable[[HttpResponse], None]
+RequestHandler = Callable[[HttpRequest], HttpResponse]
+
+
+class HttpClientSession:
+    """Issues pipelined HTTP requests; responses dispatch FIFO."""
+
+    def __init__(self, connection, strategy: Optional[ContextStrategy] = None):
+        self.connection = connection
+        self.strategy = strategy
+        self._parser = HttpParser("response")
+        self._waiting: Deque[ResponseCallback] = deque()
+        self.requests_sent = 0
+        self.responses_received = 0
+
+    def request(self, request: HttpRequest, on_response: ResponseCallback) -> None:
+        """Send ``request``; ``on_response`` fires when its response lands."""
+        self._waiting.append(on_response)
+        self.requests_sent += 1
+        if self.strategy is None:
+            self.connection.send_application_data(request.encode())
+        else:
+            for context_id, piece in self.strategy.split_request(request):
+                self.connection.send_application_data(piece, context_id=context_id)
+
+    def on_data(self, data: bytes) -> None:
+        """Feed response bytes (from application-data events)."""
+        for message in self._parser.feed(data):
+            if not self._waiting:
+                raise RuntimeError("response received with no request outstanding")
+            self.responses_received += 1
+            callback = self._waiting.popleft()
+            callback(self._decode_body(message))
+
+    @staticmethod
+    def _decode_body(response: HttpResponse) -> HttpResponse:
+        """Transparently inflate deflate-encoded bodies (as produced by
+        the compression-proxy middlebox)."""
+        if response.get_header("Content-Encoding") == "deflate":
+            import zlib
+
+            response.body = zlib.decompress(response.body)
+            response.headers = [
+                (k, v)
+                for k, v in response.headers
+                if k.lower() not in ("content-encoding", "content-length")
+            ]
+            response.headers.append(("Content-Length", str(len(response.body))))
+        return response
+
+    @property
+    def idle(self) -> bool:
+        return not self._waiting
+
+
+class HttpServerSession:
+    """Parses requests and answers them through ``handler``."""
+
+    def __init__(
+        self,
+        connection,
+        handler: RequestHandler,
+        strategy: Optional[ContextStrategy] = None,
+    ):
+        self.connection = connection
+        self.handler = handler
+        self.strategy = strategy
+        self._parser = HttpParser("request")
+        self.requests_served = 0
+
+    def on_data(self, data: bytes) -> None:
+        for request in self._parser.feed(data):
+            response = self.handler(request)
+            self.requests_served += 1
+            if self.strategy is None:
+                self.connection.send_application_data(response.encode())
+            else:
+                for context_id, piece in self.strategy.split_response(response):
+                    self.connection.send_application_data(piece, context_id=context_id)

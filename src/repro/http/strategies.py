@@ -1,0 +1,238 @@
+"""Context-assignment strategies for HTTP over mcTLS (§4.1).
+
+A strategy decides how an HTTP message is sliced across encryption
+contexts.  Pieces are sent in document order, and mcTLS's global record
+ordering guarantees the receiver can reassemble the message by
+concatenating payloads in arrival order — so strategies are purely about
+*who can see which bytes*.
+
+Built-in strategies (the three compared in Figure 4):
+
+* ``ONE_CONTEXT`` — everything in one context;
+* ``FOUR_CONTEXT`` — request headers / request body / response headers /
+  response body ("we imagine it will be the most common", §5.1);
+* ``context_per_header(...)`` — one context per HTTP header name, plus
+  one for each request/status line and body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.http.messages import CRLF, HttpRequest, HttpResponse
+from repro.mctls.contexts import ContextDefinition, Permission
+
+# Canonical context ids for the 4-context strategy.
+CTX_REQUEST_HEADERS = 1
+CTX_REQUEST_BODY = 2
+CTX_RESPONSE_HEADERS = 3
+CTX_RESPONSE_BODY = 4
+
+Piece = Tuple[int, bytes]  # (context_id, payload)
+
+
+@dataclass(frozen=True)
+class ContextStrategy:
+    """Maps HTTP messages to (context, bytes) pieces.
+
+    ``context_purposes`` maps context id → purpose string; permission
+    assignment happens at session setup (the strategy describes structure,
+    the application describes trust).
+    """
+
+    name: str
+    context_purposes: Dict[int, str]
+    split_request: Callable[[HttpRequest], List[Piece]]
+    split_response: Callable[[HttpResponse], List[Piece]]
+
+    @property
+    def context_ids(self) -> List[int]:
+        return sorted(self.context_purposes)
+
+    def contexts(
+        self, permissions: Optional[Dict[int, Dict[int, Permission]]] = None
+    ) -> List[ContextDefinition]:
+        """Build context definitions, with per-context middlebox permissions
+        (``permissions[ctx_id][mbox_id]``)."""
+        permissions = permissions or {}
+        return [
+            ContextDefinition(
+                context_id=ctx_id,
+                purpose=purpose,
+                permissions=permissions.get(ctx_id, {}),
+            )
+            for ctx_id, purpose in sorted(self.context_purposes.items())
+        ]
+
+    def uniform_permissions(
+        self, mbox_ids: Sequence[int], permission: Permission
+    ) -> List[ContextDefinition]:
+        """Grant every middlebox the same permission on every context —
+        the paper's worst case for mcTLS performance (§5 setup)."""
+        grant = {mbox_id: permission for mbox_id in mbox_ids}
+        return [
+            ContextDefinition(context_id=ctx_id, purpose=purpose, permissions=dict(grant))
+            for ctx_id, purpose in sorted(self.context_purposes.items())
+        ]
+
+
+# -- 1-context -----------------------------------------------------------
+
+
+def _one_ctx_request(request: HttpRequest) -> List[Piece]:
+    return [(1, request.encode())]
+
+
+def _one_ctx_response(response: HttpResponse) -> List[Piece]:
+    return [(1, response.encode())]
+
+
+ONE_CONTEXT = ContextStrategy(
+    name="1-Context",
+    context_purposes={1: "all data"},
+    split_request=_one_ctx_request,
+    split_response=_one_ctx_response,
+)
+
+
+# -- 4-context -----------------------------------------------------------
+
+
+def _four_ctx_request(request: HttpRequest) -> List[Piece]:
+    pieces = [(CTX_REQUEST_HEADERS, request.header_block())]
+    if request.body:
+        pieces.append((CTX_REQUEST_BODY, request.body))
+    return pieces
+
+
+def _four_ctx_response(response: HttpResponse) -> List[Piece]:
+    pieces = [(CTX_RESPONSE_HEADERS, response.header_block())]
+    if response.body:
+        pieces.append((CTX_RESPONSE_BODY, response.body))
+    return pieces
+
+
+FOUR_CONTEXT = ContextStrategy(
+    name="4-Context",
+    context_purposes={
+        CTX_REQUEST_HEADERS: "request headers",
+        CTX_REQUEST_BODY: "request body",
+        CTX_RESPONSE_HEADERS: "response headers",
+        CTX_RESPONSE_BODY: "response body",
+    },
+    split_request=_four_ctx_request,
+    split_response=_four_ctx_response,
+)
+
+
+# -- context-per-header -----------------------------------------------------
+
+
+def context_per_header(header_names: Sequence[str]) -> ContextStrategy:
+    """One context per (known) header name, plus line/body/overflow contexts.
+
+    Layout: ctx 1 = request line + terminator pieces, ctx 2 = request
+    body, ctx 3 = status line, ctx 4 = response body, ctx 5.. = one per
+    header name (shared by request and response), last ctx = headers not
+    in ``header_names``.
+    """
+    purposes = {
+        1: "request line",
+        2: "request body",
+        3: "status line",
+        4: "response body",
+    }
+    header_ctx: Dict[str, int] = {}
+    next_ctx = 5
+    for name in header_names:
+        key = name.lower()
+        if key not in header_ctx:
+            header_ctx[key] = next_ctx
+            purposes[next_ctx] = f"header: {name}"
+            next_ctx += 1
+    other_ctx = next_ctx
+    purposes[other_ctx] = "other headers"
+
+    def split_request(request: HttpRequest) -> List[Piece]:
+        pieces = [
+            (1, f"{request.method} {request.target} {request.version}".encode() + CRLF)
+        ]
+        for name, value in request.headers:
+            ctx = header_ctx.get(name.lower(), other_ctx)
+            pieces.append((ctx, f"{name}: {value}".encode("ascii") + CRLF))
+        pieces.append((1, CRLF))
+        if request.body:
+            pieces.append((2, request.body))
+        return pieces
+
+    def split_response(response: HttpResponse) -> List[Piece]:
+        pieces = [
+            (3, f"{response.version} {response.status} {response.reason}".encode() + CRLF)
+        ]
+        for name, value in response.headers:
+            ctx = header_ctx.get(name.lower(), other_ctx)
+            pieces.append((ctx, f"{name}: {value}".encode("ascii") + CRLF))
+        pieces.append((3, CRLF))
+        if response.body:
+            pieces.append((4, response.body))
+        return pieces
+
+    return ContextStrategy(
+        name="Context-per-Header",
+        context_purposes=purposes,
+        split_request=split_request,
+        split_response=split_response,
+    )
+
+
+# The header set our synthetic workloads use; yields the strategy the
+# paper calls "CtxPerHdr".
+DEFAULT_HEADERS = (
+    "Host",
+    "User-Agent",
+    "Accept",
+    "Cookie",
+    "Content-Length",
+    "Content-Type",
+    "Cache-Control",
+)
+
+CONTEXT_PER_HEADER = context_per_header(DEFAULT_HEADERS)
+
+
+# -- media-split strategy (§4.2 compression-proxy refinement) -------------
+
+CTX_RESPONSE_MEDIA = 5
+
+
+def _media_ctx_response(response: HttpResponse) -> List[Piece]:
+    """Route image/video bodies to a separate context.
+
+    The paper's compression-proxy use case: "the browser and web server
+    could coordinate to use two contexts for responses: one for images,
+    which the proxy can access, and the other for HTML, CSS, and
+    scripts, which the proxy cannot."  The server picks the body context
+    from the Content-Type it is about to send.
+    """
+    content_type = (response.get_header("Content-Type") or "").lower()
+    is_media = content_type.startswith(("image/", "video/", "audio/"))
+    body_ctx = CTX_RESPONSE_MEDIA if is_media else CTX_RESPONSE_BODY
+    pieces = [(CTX_RESPONSE_HEADERS, response.header_block())]
+    if response.body:
+        pieces.append((body_ctx, response.body))
+    return pieces
+
+
+MEDIA_SPLIT = ContextStrategy(
+    name="Media-Split",
+    context_purposes={
+        CTX_REQUEST_HEADERS: "request headers",
+        CTX_REQUEST_BODY: "request body",
+        CTX_RESPONSE_HEADERS: "response headers",
+        CTX_RESPONSE_BODY: "response body (documents)",
+        CTX_RESPONSE_MEDIA: "response body (media)",
+    },
+    split_request=_four_ctx_request,
+    split_response=_media_ctx_response,
+)

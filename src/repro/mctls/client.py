@@ -1,0 +1,486 @@
+"""The mcTLS client state machine (§3.5, Figure 1).
+
+The client drives the handshake: it declares the middlebox list and the
+encryption contexts in its ClientHello, authenticates the server and every
+middlebox, performs a Diffie-Hellman exchange with each of them using a
+single ephemeral key pair, generates its half of every context key (or the
+full keys in client-key-distribution mode) and distributes the material in
+``MiddleboxKeyMaterial`` messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.certs import Certificate, verify_chain
+from repro.crypto.dh import DHGroup, DHKeyPair
+from repro.mctls import keys as mk
+from repro.mctls import messages as mm
+from repro.mctls import session as ms
+from repro.mctls.contexts import ENDPOINT_TARGET, SessionTopology
+from repro.tls import keyschedule as ks
+from repro.tls import messages as tls_msgs
+from repro.tls.ciphersuites import CipherError
+from repro.tls.connection import (
+    ALERT_BAD_CERTIFICATE,
+    ALERT_DECRYPT_ERROR,
+    ALERT_UNEXPECTED_MESSAGE,
+    TLSConfig,
+    TLSError,
+)
+
+
+class _State(Enum):
+    START = auto()
+    WAIT_SERVER_HELLO = auto()
+    WAIT_CERTIFICATE = auto()
+    WAIT_SERVER_KEY_EXCHANGE = auto()
+    WAIT_HELLO_DONE = auto()  # middlebox flights arrive here too
+    WAIT_SERVER_FLIGHT = auto()  # server MKMs + CCS + Finished
+    CONNECTED = auto()
+
+
+@dataclass
+class _MiddleboxState:
+    """Everything the client learns about one middlebox."""
+
+    mbox_id: int
+    name: str
+    random: Optional[bytes] = None
+    chain: Sequence[Certificate] = ()
+    ke_to_client: Optional[mm.MiddleboxKeyExchange] = None
+    ke_to_server: Optional[mm.MiddleboxKeyExchange] = None
+    pairwise: Optional[mk.PairwiseKeys] = None
+
+
+class McTLSClient(ms.McTLSConnectionBase):
+    """A sans-I/O mcTLS client.
+
+    ``topology`` declares the middleboxes and contexts for this session;
+    ``verify_middleboxes`` controls whether middlebox certificates are
+    checked (the paper's R1 lets clients choose).
+    """
+
+    def __init__(
+        self,
+        config: TLSConfig,
+        topology: SessionTopology,
+        verify_middleboxes: bool = True,
+        key_transport: ms.KeyTransport = None,
+    ):
+        super().__init__(config, is_client=True)
+        self.topology = topology
+        self.verify_middleboxes = verify_middleboxes
+        self.key_transport = (
+            key_transport if key_transport is not None else ms.KeyTransport.DHE
+        )
+        self.mode: ms.HandshakeMode = ms.HandshakeMode.DEFAULT
+        self._state = _State.START
+        self._client_random = ms.make_random()
+        self._client_secret = ms.make_secret()  # S_C
+        self._server_random: Optional[bytes] = None
+        self._server_dh_public: Optional[int] = None
+        self._group: Optional[DHGroup] = None
+        self._dh: Optional[DHKeyPair] = None
+        self._endpoint_secret: Optional[bytes] = None  # S_C-S
+        self._endpoint_keys: Optional[mk.EndpointKeys] = None
+        self._mboxes: Dict[int, _MiddleboxState] = {
+            m.mbox_id: _MiddleboxState(mbox_id=m.mbox_id, name=m.name)
+            for m in topology.middleboxes
+        }
+        # Own partial keys per context (default mode).
+        self._reader_halves: Dict[int, bytes] = {}
+        self._writer_halves: Dict[int, bytes] = {}
+        # Server halves, decrypted from the server's key material.
+        self._server_reader_halves: Dict[int, bytes] = {}
+        self._server_writer_halves: Dict[int, bytes] = {}
+
+    # -- driving ------------------------------------------------------------
+
+    def start_handshake(self) -> None:
+        if self._state is not _State.START:
+            raise TLSError("handshake already started")
+        hello = tls_msgs.ClientHello(
+            random=self._client_random,
+            cipher_suites=self.config.suite_ids(),
+            extensions=[
+                (tls_msgs.EXT_MIDDLEBOX_LIST, self.topology.encode()),
+                (mm.EXT_MCTLS_KEY_TRANSPORT, bytes([int(self.key_transport)])),
+            ],
+        )
+        self._send_handshake(hello, tag=ms.TAG_CLIENT_HELLO)
+        self._state = _State.WAIT_SERVER_HELLO
+
+    # -- message handling -----------------------------------------------------
+
+    def _handle_handshake_message(self, msg_type: int, body: bytes, raw: bytes) -> None:
+        if msg_type == tls_msgs.SERVER_HELLO and self._state is _State.WAIT_SERVER_HELLO:
+            self.transcript.add(ms.TAG_SERVER_HELLO, raw)
+            self._on_server_hello(tls_msgs.ServerHello.decode(body))
+        elif msg_type == tls_msgs.CERTIFICATE and self._state is _State.WAIT_CERTIFICATE:
+            self.transcript.add(ms.TAG_SERVER_CERT, raw)
+            self._on_server_certificate(tls_msgs.CertificateMessage.decode(body))
+        elif (
+            msg_type == tls_msgs.SERVER_KEY_EXCHANGE
+            and self._state is _State.WAIT_SERVER_KEY_EXCHANGE
+        ):
+            self.transcript.add(ms.TAG_SERVER_KE, raw)
+            self._on_server_key_exchange(tls_msgs.ServerKeyExchange.decode(body))
+        elif msg_type == tls_msgs.MIDDLEBOX_HELLO and self._state is _State.WAIT_HELLO_DONE:
+            hello = mm.MiddleboxHello.decode(body)
+            self.transcript.add(ms.tag_mbox_hello(hello.mbox_id), raw)
+            self._mbox(hello.mbox_id).random = hello.random
+        elif (
+            msg_type == tls_msgs.MIDDLEBOX_CERTIFICATE
+            and self._state is _State.WAIT_HELLO_DONE
+        ):
+            cert_msg = mm.MiddleboxCertificateMessage.decode(body)
+            self.transcript.add(ms.tag_mbox_cert(cert_msg.mbox_id), raw)
+            self._on_middlebox_certificate(cert_msg)
+        elif (
+            msg_type == tls_msgs.MIDDLEBOX_KEY_EXCHANGE
+            and self._state is _State.WAIT_HELLO_DONE
+        ):
+            if self.key_transport is ms.KeyTransport.RSA:
+                raise TLSError("unexpected middlebox key exchange in RSA transport")
+            ke = mm.MiddleboxKeyExchange.decode(body)
+            self.transcript.add(ms.tag_mbox_ke(ke.mbox_id, ke.direction), raw)
+            self._on_middlebox_key_exchange(ke)
+        elif (
+            msg_type == tls_msgs.SERVER_HELLO_DONE and self._state is _State.WAIT_HELLO_DONE
+        ):
+            tls_msgs.ServerHelloDone.decode(body)
+            self.transcript.add(ms.TAG_SERVER_HELLO_DONE, raw)
+            self._on_server_hello_done()
+        elif (
+            msg_type == tls_msgs.MIDDLEBOX_KEY_MATERIAL
+            and self._state is _State.WAIT_SERVER_FLIGHT
+        ):
+            self._on_server_key_material(mm.MiddleboxKeyMaterial.decode(body), raw)
+        elif msg_type == tls_msgs.FINISHED and self._state is _State.WAIT_SERVER_FLIGHT:
+            self._on_server_finished(tls_msgs.Finished.decode(body))
+        else:
+            raise TLSError(
+                f"unexpected handshake message {msg_type} in state {self._state.name}",
+                ALERT_UNEXPECTED_MESSAGE,
+            )
+
+    def _mbox(self, mbox_id: int) -> _MiddleboxState:
+        try:
+            return self._mboxes[mbox_id]
+        except KeyError:
+            raise TLSError(f"message from undeclared middlebox {mbox_id}") from None
+
+    # -- server flight 1 --------------------------------------------------------
+
+    def _on_server_hello(self, hello: tls_msgs.ServerHello) -> None:
+        suite = self.config.suite_for_id(hello.cipher_suite)
+        if suite is None:
+            raise TLSError("server selected a cipher suite we did not offer")
+        self.negotiated_suite = suite
+        self.records.set_suite(suite)
+        self._server_random = hello.random
+        mode_ext = hello.find_extension(mm.EXT_MCTLS_MODE)
+        if mode_ext is None or len(mode_ext) != 1:
+            raise TLSError("server did not negotiate an mcTLS mode")
+        try:
+            self.mode = ms.HandshakeMode(mode_ext[0])
+        except ValueError:
+            raise TLSError(f"unknown mcTLS mode {mode_ext[0]}") from None
+        self._state = _State.WAIT_CERTIFICATE
+
+    def _on_server_certificate(self, message: tls_msgs.CertificateMessage) -> None:
+        if not message.chain:
+            raise TLSError("server sent an empty certificate chain", ALERT_BAD_CERTIFICATE)
+        if self.config.verify_certificates:
+            try:
+                verify_chain(
+                    message.chain,
+                    self.config.trusted_roots,
+                    expected_subject=self.config.server_name,
+                )
+            except Exception as exc:
+                raise TLSError(
+                    f"server certificate verification failed: {exc}",
+                    ALERT_BAD_CERTIFICATE,
+                ) from exc
+        self.peer_certificate = message.chain[0]
+        self._state = _State.WAIT_SERVER_KEY_EXCHANGE
+
+    def _on_server_key_exchange(self, kx: tls_msgs.ServerKeyExchange) -> None:
+        signed = self._client_random + self._server_random + kx.params_bytes()
+        if self.config.verify_certificates:
+            if not self.peer_certificate.public_key.verify(signed, kx.signature):
+                raise TLSError("ServerKeyExchange signature invalid", ALERT_DECRYPT_ERROR)
+        self._group = DHGroup(name="negotiated", p=kx.dh_p, g=kx.dh_g)
+        self._server_dh_public = self._group.public_from_bytes(kx.dh_public)
+        self._state = _State.WAIT_HELLO_DONE
+
+    def _on_middlebox_certificate(self, message: mm.MiddleboxCertificateMessage) -> None:
+        state = self._mbox(message.mbox_id)
+        if not message.chain:
+            raise TLSError("middlebox sent an empty certificate chain", ALERT_BAD_CERTIFICATE)
+        if self.verify_middleboxes and self.config.verify_certificates:
+            try:
+                verify_chain(
+                    message.chain,
+                    self.config.trusted_roots,
+                    expected_subject=state.name,
+                )
+            except Exception as exc:
+                raise TLSError(
+                    f"middlebox {state.name!r} certificate verification failed: {exc}",
+                    ALERT_BAD_CERTIFICATE,
+                ) from exc
+        state.chain = message.chain
+
+    def _on_middlebox_key_exchange(self, ke: mm.MiddleboxKeyExchange) -> None:
+        state = self._mbox(ke.mbox_id)
+        if state.random is None or not state.chain:
+            raise TLSError("middlebox key exchange before its hello/certificate")
+        if ke.direction == mm.TOWARD_CLIENT:
+            endpoint_random = self._client_random
+        else:
+            endpoint_random = self._server_random
+        if self.verify_middleboxes and self.config.verify_certificates:
+            signed = ke.signed_bytes(state.random, endpoint_random)
+            if not state.chain[0].public_key.verify(signed, ke.signature):
+                raise TLSError(
+                    f"middlebox {state.name!r} key exchange signature invalid",
+                    ALERT_DECRYPT_ERROR,
+                )
+        if ke.direction == mm.TOWARD_CLIENT:
+            state.ke_to_client = ke
+        else:
+            state.ke_to_server = ke
+
+    # -- client flight ------------------------------------------------------------
+
+    def _on_server_hello_done(self) -> None:
+        self._check_middlebox_flights_complete()
+
+        self._dh = self._group.generate_keypair()
+        self._send_handshake(
+            tls_msgs.ClientKeyExchange(dh_public=self._dh.public_bytes),
+            tag=ms.TAG_CLIENT_KE,
+        )
+
+        # Endpoint shared secret and keys.
+        premaster = self._dh.combine(self._server_dh_public)
+        pairwise_es = mk.derive_pairwise(premaster, self._client_random, self._server_random)
+        self._endpoint_secret = pairwise_es.secret
+        self._endpoint_keys = mk.derive_endpoint_keys(
+            self._endpoint_secret, self._client_random, self._server_random
+        )
+        self.records.set_endpoint_keys(self._endpoint_keys)
+
+        # Pairwise keys with each middlebox (single client DH key pair).
+        # RSA transport needs none: material is sealed to the middlebox's
+        # certificate key instead.
+        if self.key_transport is ms.KeyTransport.DHE:
+            for state in self._mboxes.values():
+                peer_public = self._group.public_from_bytes(state.ke_to_client.dh_public)
+                ps = self._dh.combine(peer_public)
+                state.pairwise = mk.derive_pairwise(ps, self._client_random, state.random)
+
+        self._generate_key_material()
+        self._send_key_material()
+
+        self._send_change_cipher_spec()
+        self.records.activate_write()
+        verify = ks.finished_verify_data(
+            self._endpoint_secret,
+            ks.LABEL_CLIENT_FINISHED,
+            self.transcript.hash_over(
+                ms.canonical_order_t1(self.topology, self.mode, self.key_transport)
+            ),
+        )
+        raw = self._send_handshake(tls_msgs.Finished(verify_data=verify))
+        self.transcript.add(ms.TAG_CLIENT_FINISHED, raw)
+
+        if self.mode is ms.HandshakeMode.CLIENT_KEY_DIST:
+            self._install_ckd_context_keys()
+        self._state = _State.WAIT_SERVER_FLIGHT
+
+    def _check_middlebox_flights_complete(self) -> None:
+        for state in self._mboxes.values():
+            if state.random is None or not state.chain:
+                raise TLSError(f"incomplete handshake flight from middlebox {state.mbox_id}")
+            if self.key_transport is ms.KeyTransport.RSA:
+                continue  # no key exchanges in RSA transport
+            if state.ke_to_client is None:
+                raise TLSError(f"incomplete handshake flight from middlebox {state.mbox_id}")
+            if self.mode is ms.HandshakeMode.DEFAULT and state.ke_to_server is None:
+                raise TLSError(
+                    f"middlebox {state.mbox_id} sent no server-directed key exchange"
+                )
+
+    def _generate_key_material(self) -> None:
+        if self.mode is ms.HandshakeMode.DEFAULT:
+            for ctx_id in self.topology.context_ids:
+                self._reader_halves[ctx_id] = mk.partial_reader_key(
+                    self._client_secret, self._client_random, ctx_id
+                )
+                self._writer_halves[ctx_id] = mk.partial_writer_key(
+                    self._client_secret, self._client_random, ctx_id
+                )
+        else:
+            # Full keys straight from the endpoint secret; nothing partial.
+            self._ckd_keys = {
+                ctx_id: mk.ckd_context_keys(
+                    self._endpoint_secret,
+                    self._client_random,
+                    self._server_random,
+                    ctx_id,
+                )
+                for ctx_id in self.topology.context_ids
+            }
+
+    def _shares_for_middlebox(self, mbox_id: int) -> List[mm.ContextKeyShare]:
+        shares = []
+        for ctx in self.topology.contexts:
+            permission = ctx.permission_for(mbox_id)
+            if not permission.can_read:
+                continue
+            if self.mode is ms.HandshakeMode.DEFAULT:
+                reader = self._reader_halves[ctx.context_id]
+                writer = (
+                    self._writer_halves[ctx.context_id] if permission.can_write else b""
+                )
+            else:
+                keys = self._ckd_keys[ctx.context_id]
+                reader = mk.reader_block_bytes(keys.readers)
+                writer = (
+                    mk.writer_block_bytes(keys.writers) if permission.can_write else b""
+                )
+            shares.append(
+                mm.ContextKeyShare(
+                    context_id=ctx.context_id,
+                    reader_material=reader,
+                    writer_material=writer,
+                )
+            )
+        return shares
+
+    def _all_shares(self) -> List[mm.ContextKeyShare]:
+        """Every context's material, for the opposite endpoint."""
+        shares = []
+        for ctx_id in self.topology.context_ids:
+            if self.mode is ms.HandshakeMode.DEFAULT:
+                reader = self._reader_halves[ctx_id]
+                writer = self._writer_halves[ctx_id]
+            else:
+                keys = self._ckd_keys[ctx_id]
+                reader = mk.reader_block_bytes(keys.readers)
+                writer = mk.writer_block_bytes(keys.writers)
+            shares.append(
+                mm.ContextKeyShare(
+                    context_id=ctx_id, reader_material=reader, writer_material=writer
+                )
+            )
+        return shares
+
+    def _send_key_material(self) -> None:
+        suite = self.negotiated_suite
+        for mbox in self.topology.middleboxes:
+            state = self._mboxes[mbox.mbox_id]
+            shares = mm.encode_key_shares(self._shares_for_middlebox(mbox.mbox_id))
+            if self.key_transport is ms.KeyTransport.RSA:
+                sealed = mk.rsa_hybrid_seal(suite, state.chain[0].public_key, shares)
+            else:
+                sealed = mk.authenc_seal(
+                    suite, state.pairwise.enc, state.pairwise.mac, shares
+                )
+            self._send_handshake(
+                mm.MiddleboxKeyMaterial(
+                    sender=mm.SENDER_CLIENT, target=mbox.mbox_id, sealed=sealed
+                ),
+                tag=ms.tag_client_mkm(mbox.mbox_id),
+            )
+        endpoint_dir = self._endpoint_keys.c2s
+        sealed = mk.authenc_seal(
+            suite,
+            endpoint_dir.enc,
+            endpoint_dir.mac,
+            mm.encode_key_shares(self._all_shares()),
+        )
+        self._send_handshake(
+            mm.MiddleboxKeyMaterial(
+                sender=mm.SENDER_CLIENT, target=ENDPOINT_TARGET, sealed=sealed
+            ),
+            tag=ms.tag_client_mkm(ENDPOINT_TARGET),
+        )
+
+    # -- server flight 2 -------------------------------------------------------------
+
+    def _on_server_key_material(self, mkm: mm.MiddleboxKeyMaterial, raw: bytes) -> None:
+        if mkm.sender != mm.SENDER_SERVER:
+            raise TLSError("client received its own key material back")
+        if self.mode is ms.HandshakeMode.CLIENT_KEY_DIST:
+            raise TLSError("server sent key material in client-key-distribution mode")
+        self.transcript.add(ms.tag_server_mkm(mkm.target), raw)
+        if mkm.target != ENDPOINT_TARGET:
+            return  # middlebox-addressed; transcript only
+        endpoint_dir = self._endpoint_keys.s2c
+        try:
+            plaintext = mk.authenc_open(
+                self.negotiated_suite, endpoint_dir.enc, endpoint_dir.mac, mkm.sealed
+            )
+        except CipherError as exc:
+            raise TLSError(f"server key material failed to open: {exc}") from exc
+        for share in mm.decode_key_shares(plaintext):
+            self._server_reader_halves[share.context_id] = share.reader_material
+            self._server_writer_halves[share.context_id] = share.writer_material
+
+    def _handle_change_cipher_spec(self) -> None:
+        if self._state is not _State.WAIT_SERVER_FLIGHT:
+            raise TLSError("unexpected ChangeCipherSpec", ALERT_UNEXPECTED_MESSAGE)
+        self.records.activate_read()
+
+    def _on_server_finished(self, finished: tls_msgs.Finished) -> None:
+        expected = ks.finished_verify_data(
+            self._endpoint_secret,
+            ks.LABEL_SERVER_FINISHED,
+            self.transcript.hash_over(
+                ms.canonical_order_t2(self.topology, self.mode, self.key_transport)
+            ),
+        )
+        if finished.verify_data != expected:
+            raise TLSError("server Finished verification failed", ALERT_DECRYPT_ERROR)
+        if self.mode is ms.HandshakeMode.DEFAULT:
+            self._install_combined_context_keys()
+        self._state = _State.CONNECTED
+        self.handshake_complete = True
+        self._emit(
+            ms.McTLSHandshakeComplete(
+                cipher_suite=self.negotiated_suite.name,
+                mode=self.mode,
+                topology=self.topology,
+                peer_certificate=self.peer_certificate,
+            )
+        )
+
+    # -- context key installation ------------------------------------------------------
+
+    def _install_combined_context_keys(self) -> None:
+        for ctx_id in self.topology.context_ids:
+            if (
+                ctx_id not in self._server_reader_halves
+                or not self._server_reader_halves[ctx_id]
+            ):
+                raise TLSError(f"server sent no key material for context {ctx_id}")
+            keys = mk.combine_context_keys(
+                self._reader_halves[ctx_id],
+                self._server_reader_halves[ctx_id],
+                self._writer_halves[ctx_id],
+                self._server_writer_halves[ctx_id],
+                self._client_random,
+                self._server_random,
+            )
+            self.records.install_context_keys(ctx_id, keys)
+
+    def _install_ckd_context_keys(self) -> None:
+        for ctx_id, keys in self._ckd_keys.items():
+            self.records.install_context_keys(ctx_id, keys)

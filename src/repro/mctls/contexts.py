@@ -1,0 +1,227 @@
+"""Encryption contexts, middlebox descriptors and session topology.
+
+An *encryption context* is a set of symmetric keys controlling who can
+read and write the data sent in it (§3.3 of the paper).  The client
+declares the contexts and each middlebox's permission for each context in
+the ``MiddleboxListExtension`` of its ClientHello; the server sees the
+full topology and consents (or not) by choosing which half-keys to
+distribute.
+
+Context ID 0 is reserved for the endpoint-only control context that
+protects post-handshake handshake records (Finished, alerts); application
+contexts are numbered 1..255.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional, Sequence
+
+from repro.wire import DecodeError, Reader, Writer
+
+ENDPOINT_CONTEXT_ID = 0
+MAX_CONTEXTS = 255
+MAX_MIDDLEBOXES = 254
+ENDPOINT_TARGET = 0xFF  # "target" value addressing the opposite endpoint
+
+
+class Permission(IntEnum):
+    """A middlebox's access level for one context (§3.4)."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+
+    @property
+    def can_read(self) -> bool:
+        return self is not Permission.NONE
+
+    @property
+    def can_write(self) -> bool:
+        return self is Permission.WRITE
+
+
+@dataclass(frozen=True)
+class MiddleboxInfo:
+    """A middlebox entry in the session's middlebox list.
+
+    ``mbox_id`` encodes path order (1 is nearest the client); ``name`` is
+    the certified identity the endpoints authenticate; ``address`` is an
+    opaque locator (the protocol never interprets it).
+    """
+
+    mbox_id: int
+    name: str
+    address: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.mbox_id <= MAX_MIDDLEBOXES:
+            raise ValueError("middlebox id must be in 1..254")
+
+
+@dataclass(frozen=True)
+class ContextDefinition:
+    """One encryption context: id, application-meaningful purpose, and the
+    permission granted to each middlebox (missing entries mean NONE)."""
+
+    context_id: int
+    purpose: str
+    permissions: Dict[int, Permission] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.context_id <= MAX_CONTEXTS:
+            raise ValueError("context id must be in 1..255")
+
+    def permission_for(self, mbox_id: int) -> Permission:
+        return self.permissions.get(mbox_id, Permission.NONE)
+
+
+@dataclass(frozen=True)
+class SessionTopology:
+    """The complete middlebox/context declaration for one session."""
+
+    middleboxes: Sequence[MiddleboxInfo] = ()
+    contexts: Sequence[ContextDefinition] = (
+        ContextDefinition(context_id=1, purpose="default"),
+    )
+
+    def __post_init__(self) -> None:
+        mbox_ids = [m.mbox_id for m in self.middleboxes]
+        if len(set(mbox_ids)) != len(mbox_ids):
+            raise ValueError("duplicate middlebox ids")
+        ctx_ids = [c.context_id for c in self.contexts]
+        if len(set(ctx_ids)) != len(ctx_ids):
+            raise ValueError("duplicate context ids")
+        if not self.contexts:
+            raise ValueError("at least one context is required")
+        known = set(mbox_ids)
+        for ctx in self.contexts:
+            unknown = set(ctx.permissions) - known
+            if unknown:
+                raise ValueError(f"permissions reference unknown middleboxes {unknown}")
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def context_ids(self) -> List[int]:
+        return [c.context_id for c in self.contexts]
+
+    @property
+    def middlebox_ids(self) -> List[int]:
+        return [m.mbox_id for m in self.middleboxes]
+
+    def context(self, context_id: int) -> ContextDefinition:
+        for ctx in self.contexts:
+            if ctx.context_id == context_id:
+                return ctx
+        raise KeyError(f"unknown context {context_id}")
+
+    def middlebox(self, mbox_id: int) -> MiddleboxInfo:
+        for mbox in self.middleboxes:
+            if mbox.mbox_id == mbox_id:
+                return mbox
+        raise KeyError(f"unknown middlebox {mbox_id}")
+
+    def middlebox_by_name(self, name: str) -> Optional[MiddleboxInfo]:
+        for mbox in self.middleboxes:
+            if mbox.name == name:
+                return mbox
+        return None
+
+    def permissions_of(self, mbox_id: int) -> Dict[int, Permission]:
+        """Map context id → permission for one middlebox."""
+        return {c.context_id: c.permission_for(mbox_id) for c in self.contexts}
+
+    def readable_contexts(self, mbox_id: int) -> List[int]:
+        return [
+            c.context_id
+            for c in self.contexts
+            if c.permission_for(mbox_id).can_read
+        ]
+
+    def writable_contexts(self, mbox_id: int) -> List[int]:
+        return [
+            c.context_id
+            for c in self.contexts
+            if c.permission_for(mbox_id).can_write
+        ]
+
+    # -- wire format -------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Encode as the body of the MiddleboxListExtension."""
+        w = Writer()
+        w.u8(len(self.middleboxes))
+        for mbox in self.middleboxes:
+            w.u8(mbox.mbox_id)
+            w.string8(mbox.name)
+            w.string8(mbox.address)
+        w.u8(len(self.contexts))
+        for ctx in self.contexts:
+            w.u8(ctx.context_id)
+            w.string8(ctx.purpose)
+            for mbox in self.middleboxes:
+                w.u8(int(ctx.permission_for(mbox.mbox_id)))
+        return w.bytes()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SessionTopology":
+        r = Reader(data)
+        n_mboxes = r.u8()
+        middleboxes = []
+        for _ in range(n_mboxes):
+            mbox_id = r.u8()
+            name = r.string8()
+            address = r.string8()
+            middleboxes.append(MiddleboxInfo(mbox_id=mbox_id, name=name, address=address))
+        n_contexts = r.u8()
+        contexts = []
+        for _ in range(n_contexts):
+            ctx_id = r.u8()
+            purpose = r.string8()
+            permissions = {}
+            for mbox in middleboxes:
+                value = r.u8()
+                try:
+                    permission = Permission(value)
+                except ValueError:
+                    raise DecodeError(f"invalid permission value {value}") from None
+                if permission is not Permission.NONE:
+                    permissions[mbox.mbox_id] = permission
+            contexts.append(
+                ContextDefinition(
+                    context_id=ctx_id, purpose=purpose, permissions=permissions
+                )
+            )
+        r.expect_end()
+        return cls(middleboxes=tuple(middleboxes), contexts=tuple(contexts))
+
+
+def restrict_topology(
+    topology: SessionTopology, grants: Dict[int, Dict[int, Permission]]
+) -> SessionTopology:
+    """Apply a server-side policy: ``grants[mbox_id][ctx_id]`` caps the
+    client-proposed permission (missing entries keep the proposal).
+
+    Used by servers that want to say "no" (e.g. the online-banking use
+    case, §4.2): the returned topology drives which half-keys the server
+    distributes, so an un-granted permission never materialises even if the
+    client granted its own half.
+    """
+    contexts = []
+    for ctx in topology.contexts:
+        permissions = {}
+        for mbox_id, permission in ctx.permissions.items():
+            cap = grants.get(mbox_id, {}).get(ctx.context_id, permission)
+            effective = min(permission, cap)
+            if effective is not Permission.NONE:
+                permissions[mbox_id] = Permission(effective)
+        contexts.append(
+            ContextDefinition(
+                context_id=ctx.context_id,
+                purpose=ctx.purpose,
+                permissions=permissions,
+            )
+        )
+    return SessionTopology(middleboxes=topology.middleboxes, contexts=tuple(contexts))

@@ -1,0 +1,155 @@
+"""Middlebox discovery (§6.1).
+
+mcTLS assumes the client holds the middlebox list before the handshake;
+building that list is orthogonal to the protocol.  The paper sketches
+three sources, all implemented here as composable providers:
+
+* **user/administrator configuration** — the user points the client at a
+  proxy (:class:`StaticProvider`), or asks for "a nearby <service>"
+  resolved from a local service registry, standing in for mDNS/DNS-SD
+  (:class:`ServiceRegistry`);
+* **content-provider policy** — a DNS-TXT-like lookup mapping server
+  names to middleboxes any connection to them should include
+  (:class:`ContentProviderPolicy`);
+* **network-operator requirements** — DHCP/PDP-style attachment
+  configuration mandating middleboxes for everyone on the network
+  (:class:`NetworkPolicy`).
+
+:func:`discover` merges all sources in path order (operator boxes sit
+nearest the client, then user choices, then content-provider boxes
+nearest the server — the conventional deployment layout) and assigns
+middlebox ids, producing the list a client feeds into a
+:class:`~repro.mctls.contexts.SessionTopology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.mctls.contexts import MiddleboxInfo
+
+
+@dataclass(frozen=True)
+class DiscoveredMiddlebox:
+    """A middlebox candidate before id assignment."""
+
+    name: str
+    address: str = ""
+    service: str = ""  # e.g. "compression", "ids", "filter"
+    source: str = ""  # which provider contributed it
+
+
+class StaticProvider:
+    """Explicit user/administrator configuration (a fixed list)."""
+
+    def __init__(self, middleboxes: Sequence[DiscoveredMiddlebox]):
+        self._middleboxes = list(middleboxes)
+
+    def lookup(self, server_name: str) -> List[DiscoveredMiddlebox]:
+        return list(self._middleboxes)
+
+
+class ServiceRegistry:
+    """A local-network service registry (stands in for mDNS / DNS-SD).
+
+    Services register themselves; clients ask for a service type and get
+    the advertised instances (e.g. "a nearby data compression proxy").
+    """
+
+    def __init__(self) -> None:
+        self._services: Dict[str, List[DiscoveredMiddlebox]] = {}
+
+    def advertise(self, service: str, name: str, address: str = "") -> None:
+        self._services.setdefault(service, []).append(
+            DiscoveredMiddlebox(
+                name=name, address=address, service=service, source="registry"
+            )
+        )
+
+    def withdraw(self, service: str, name: str) -> None:
+        self._services[service] = [
+            m for m in self._services.get(service, []) if m.name != name
+        ]
+
+    def find(self, service: str) -> List[DiscoveredMiddlebox]:
+        return list(self._services.get(service, []))
+
+
+class ContentProviderPolicy:
+    """Server-side middlebox requirements published alongside the server
+    name (the paper suggests DNS as the channel)."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, List[DiscoveredMiddlebox]] = {}
+
+    def publish(self, server_name: str, middleboxes: Sequence[DiscoveredMiddlebox]) -> None:
+        self._records[server_name] = [
+            DiscoveredMiddlebox(
+                name=m.name, address=m.address, service=m.service, source="content-provider"
+            )
+            for m in middleboxes
+        ]
+
+    def lookup(self, server_name: str) -> List[DiscoveredMiddlebox]:
+        # Exact name, then wildcard suffix records (like DNS).
+        if server_name in self._records:
+            return list(self._records[server_name])
+        parts = server_name.split(".")
+        for i in range(1, len(parts)):
+            wildcard = "*." + ".".join(parts[i:])
+            if wildcard in self._records:
+                return list(self._records[wildcard])
+        return []
+
+
+class NetworkPolicy:
+    """Operator-mandated middleboxes delivered at network attachment
+    (DHCP option / PDP context in the paper's terms)."""
+
+    def __init__(self, required: Sequence[DiscoveredMiddlebox] = ()):
+        self._required = [
+            DiscoveredMiddlebox(
+                name=m.name, address=m.address, service=m.service, source="operator"
+            )
+            for m in required
+        ]
+
+    def attachment_configuration(self) -> List[DiscoveredMiddlebox]:
+        return list(self._required)
+
+
+def discover(
+    server_name: str,
+    network: Optional[NetworkPolicy] = None,
+    user: Optional[Iterable[DiscoveredMiddlebox]] = None,
+    content_provider: Optional[ContentProviderPolicy] = None,
+) -> List[MiddleboxInfo]:
+    """Assemble the session middlebox list in path order.
+
+    Operator-required boxes first (nearest the client), then user
+    selections, then content-provider boxes (nearest the server).
+    Duplicate names are collapsed, keeping the first occurrence.
+    """
+    candidates: List[DiscoveredMiddlebox] = []
+    if network is not None:
+        candidates.extend(network.attachment_configuration())
+    if user is not None:
+        candidates.extend(user)
+    if content_provider is not None:
+        candidates.extend(content_provider.lookup(server_name))
+
+    seen = set()
+    middleboxes: List[MiddleboxInfo] = []
+    for candidate in candidates:
+        if candidate.name in seen:
+            continue
+        seen.add(candidate.name)
+        middleboxes.append(
+            MiddleboxInfo(
+                mbox_id=len(middleboxes) + 1,
+                name=candidate.name,
+                address=candidate.address,
+            )
+        )
+    return middleboxes

@@ -1,0 +1,219 @@
+"""mcTLS-specific handshake messages.
+
+These extend the TLS message set (they use private-range handshake type
+numbers and flow inside ordinary handshake records):
+
+* ``MiddleboxHello`` — a middlebox's random value;
+* ``MiddleboxCertificateMessage`` — its certificate chain;
+* ``MiddleboxKeyExchange`` — a signed ephemeral DH public key, one
+  towards each endpoint (two separate key pairs prevent small-subgroup
+  attacks, §3.5 step 3);
+* ``MiddleboxKeyMaterial`` — (partial) context keys AuthEnc'd under the
+  pairwise endpoint↔middlebox key, or under ``K_endpoints`` when
+  addressed to the opposite endpoint.
+
+A middlebox's hello/certificate/key-exchange flight is propagated to
+*both* endpoints so both can authenticate every middlebox and include the
+same messages in their transcript hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.crypto.certs import Certificate
+from repro.tls import messages as tls_msgs
+from repro.wire import DecodeError, Reader, Writer
+
+# Senders / targets for key material.
+SENDER_CLIENT = 1
+SENDER_SERVER = 2
+
+# Direction tags for middlebox key exchanges.
+TOWARD_CLIENT = 1
+TOWARD_SERVER = 2
+
+# Handshake-mode values (negotiated via ServerHello extension).
+EXT_MCTLS_MODE = 0xFF02
+MODE_DEFAULT = 0
+MODE_CLIENT_KEY_DIST = 1
+
+# Key-transport selection for MiddleboxKeyMaterial (ClientHello extension).
+# DHE is the paper's design (Figure 1); RSA is the shortcut its evaluated
+# prototype used (§5, at the cost of forward secrecy).
+EXT_MCTLS_KEY_TRANSPORT = 0xFF03
+KT_DHE = 0
+KT_RSA = 1
+
+
+@dataclass
+class MiddleboxHello:
+    mbox_id: int
+    random: bytes
+
+    msg_type = tls_msgs.MIDDLEBOX_HELLO
+
+    def encode(self) -> bytes:
+        return Writer().u8(self.mbox_id).raw(self.random).bytes()
+
+    @classmethod
+    def decode(cls, body: bytes) -> "MiddleboxHello":
+        r = Reader(body)
+        mbox_id = r.u8()
+        random = r.raw(tls_msgs.RANDOM_LEN)
+        r.expect_end()
+        return cls(mbox_id=mbox_id, random=random)
+
+
+@dataclass
+class MiddleboxCertificateMessage:
+    mbox_id: int
+    chain: Sequence[Certificate]
+
+    msg_type = tls_msgs.MIDDLEBOX_CERTIFICATE
+
+    def encode(self) -> bytes:
+        inner = Writer()
+        for cert in self.chain:
+            inner.vec24(cert.to_bytes())
+        return Writer().u8(self.mbox_id).vec24(inner.bytes()).bytes()
+
+    @classmethod
+    def decode(cls, body: bytes) -> "MiddleboxCertificateMessage":
+        r = Reader(body)
+        mbox_id = r.u8()
+        inner = Reader(r.vec24())
+        r.expect_end()
+        chain = []
+        while not inner.exhausted:
+            chain.append(Certificate.from_bytes(inner.vec24()))
+        return cls(mbox_id=mbox_id, chain=tuple(chain))
+
+
+@dataclass
+class MiddleboxKeyExchange:
+    """``Sign_{PK_M}(DH_M+)`` towards one endpoint."""
+
+    mbox_id: int
+    direction: int  # TOWARD_CLIENT or TOWARD_SERVER
+    dh_public: bytes
+    signature: bytes
+
+    msg_type = tls_msgs.MIDDLEBOX_KEY_EXCHANGE
+
+    def signed_bytes(self, mbox_random: bytes, endpoint_random: bytes) -> bytes:
+        """What the middlebox signs: both randoms bind the key to this
+        session; the direction byte binds it to one endpoint."""
+        return (
+            endpoint_random
+            + mbox_random
+            + bytes([self.direction])
+            + self.dh_public
+        )
+
+    def encode(self) -> bytes:
+        return (
+            Writer()
+            .u8(self.mbox_id)
+            .u8(self.direction)
+            .vec16(self.dh_public)
+            .vec16(self.signature)
+            .bytes()
+        )
+
+    @classmethod
+    def decode(cls, body: bytes) -> "MiddleboxKeyExchange":
+        r = Reader(body)
+        mbox_id = r.u8()
+        direction = r.u8()
+        if direction not in (TOWARD_CLIENT, TOWARD_SERVER):
+            raise DecodeError(f"invalid key exchange direction {direction}")
+        dh_public = r.vec16()
+        signature = r.vec16()
+        r.expect_end()
+        return cls(
+            mbox_id=mbox_id,
+            direction=direction,
+            dh_public=dh_public,
+            signature=signature,
+        )
+
+
+# -- key material ----------------------------------------------------------
+
+
+@dataclass
+class ContextKeyShare:
+    """(Partial or full) key material for one context.
+
+    ``reader_material`` is present when the target may read the context;
+    ``writer_material`` additionally when it may write.
+    """
+
+    context_id: int
+    reader_material: bytes = b""
+    writer_material: bytes = b""
+
+    def encode(self) -> bytes:
+        return (
+            Writer()
+            .u8(self.context_id)
+            .vec8(self.reader_material)
+            .vec8(self.writer_material)
+            .bytes()
+        )
+
+    @classmethod
+    def decode_from(cls, r: Reader) -> "ContextKeyShare":
+        return cls(
+            context_id=r.u8(),
+            reader_material=r.vec8(),
+            writer_material=r.vec8(),
+        )
+
+
+def encode_key_shares(shares: Sequence[ContextKeyShare]) -> bytes:
+    w = Writer()
+    w.u8(len(shares))
+    for share in shares:
+        w.raw(share.encode())
+    return w.bytes()
+
+
+def decode_key_shares(data: bytes) -> List[ContextKeyShare]:
+    r = Reader(data)
+    count = r.u8()
+    shares = [ContextKeyShare.decode_from(r) for _ in range(count)]
+    r.expect_end()
+    return shares
+
+
+@dataclass
+class MiddleboxKeyMaterial:
+    """AuthEnc'd context key shares from one endpoint to one target.
+
+    ``target`` is a middlebox id, or ``0xFF`` for the opposite endpoint
+    (whose copy exists so it can verify what was distributed and include
+    it in the transcript).
+    """
+
+    sender: int  # SENDER_CLIENT or SENDER_SERVER
+    target: int  # mbox_id or contexts.ENDPOINT_TARGET
+    sealed: bytes
+
+    msg_type = tls_msgs.MIDDLEBOX_KEY_MATERIAL
+
+    def encode(self) -> bytes:
+        return Writer().u8(self.sender).u8(self.target).vec16(self.sealed).bytes()
+
+    @classmethod
+    def decode(cls, body: bytes) -> "MiddleboxKeyMaterial":
+        r = Reader(body)
+        sender = r.u8()
+        if sender not in (SENDER_CLIENT, SENDER_SERVER):
+            raise DecodeError(f"invalid key material sender {sender}")
+        target = r.u8()
+        sealed = r.vec16()
+        r.expect_end()
+        return cls(sender=sender, target=target, sealed=sealed)

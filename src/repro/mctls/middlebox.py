@@ -1,0 +1,516 @@
+"""The mcTLS middlebox (§3.4–§3.5).
+
+A middlebox relays two TCP byte streams (client side and server side) and
+participates in the mcTLS handshake flowing through it:
+
+1. It reads the ClientHello to find its own entry in the middlebox list
+   and learn the proposed contexts/permissions, then forwards it.
+2. When the server's flight passes back through, it snoops the
+   ServerHello (cipher suite, mode) and ServerKeyExchange (DH group and
+   the server's ephemeral public key), generates its *two* ephemeral DH
+   key pairs in that group, and injects its own flight — MiddleboxHello,
+   certificate and signed key exchange(s) — before ServerHelloDone.
+3. It injects the same flight toward the server right after forwarding
+   the ClientKeyExchange (the paper's piggybacking on that flight), from
+   which it also snoops the client's DH public key.
+4. It decrypts the two ``MiddleboxKeyMaterial`` messages addressed to it
+   (forwarding every key material message so the endpoints can include
+   them in their transcripts), combines the halves, and installs context
+   keys for exactly the contexts both endpoints granted.
+5. After ChangeCipherSpec it processes application records per context:
+   read-only contexts are verified and surfaced; writable contexts may be
+   transformed (re-MACed with the writer/reader keys, original endpoint
+   MAC forwarded); inaccessible records pass through untouched — but
+   still consume a sequence number, since sequence numbers are global.
+
+The middlebox cannot verify Finished messages (it never holds
+``K_endpoints``) — exactly the paper's design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Callable, Dict, List, Optional
+
+from repro.crypto.certs import verify_chain
+from repro.crypto.dh import DHGroup, DHKeyPair
+from repro.mctls import keys as mk
+from repro.mctls import messages as mm
+from repro.mctls import record as mrec
+from repro.mctls import session as ms
+from repro.mctls.contexts import (
+    ENDPOINT_CONTEXT_ID,
+    Permission,
+    SessionTopology,
+)
+from repro.tls import messages as tls_msgs
+from repro.tls import record as rec
+from repro.tls.ciphersuites import CipherError, CipherSuite
+from repro.tls.connection import Event, TLSConfig, TLSError
+from repro.wire import DecodeError
+
+# A transformer takes (direction, context_id, payload) and returns the
+# payload to forward (possibly modified) — only consulted for contexts
+# the middlebox can write.
+Transformer = Callable[[str, int, bytes], bytes]
+
+# An observer is notified of readable payloads it cannot modify.
+Observer = Callable[[str, int, bytes], None]
+
+
+@dataclass
+class MiddleboxHandshakeComplete(Event):
+    topology: SessionTopology
+    permissions: Dict[int, Permission]
+    mode: ms.HandshakeMode
+
+
+@dataclass
+class ContextData(Event):
+    """Application data observed (and possibly rewritten) at the middlebox."""
+
+    direction: str
+    context_id: int
+    data: bytes
+    permission: Permission
+    modified: bool = False
+
+
+class _Side(Enum):
+    CLIENT = auto()
+    SERVER = auto()
+
+
+class McTLSMiddlebox:
+    """A sans-I/O mcTLS middlebox relay.
+
+    ``transformer`` is invoked for every record in a writable context and
+    returns the payload to forward; ``observer`` is invoked for readable
+    records.  Both default to pass-through.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: TLSConfig,
+        transformer: Optional[Transformer] = None,
+        observer: Optional[Observer] = None,
+        verify_server: bool = False,
+    ):
+        if config.identity is None:
+            raise TLSError("middlebox requires an identity (certificate + key)")
+        self.name = name
+        self.config = config
+        self.transformer = transformer
+        self.observer = observer
+        self.verify_server = verify_server
+
+        self._to_client = bytearray()
+        self._to_server = bytearray()
+        self._from_client = bytearray()
+        self._from_server = bytearray()
+        self._hs_client = tls_msgs.HandshakeBuffer()
+        self._hs_server = tls_msgs.HandshakeBuffer()
+        self._events: List[Event] = []
+
+        self.mbox_id: Optional[int] = None
+        self.topology: Optional[SessionTopology] = None
+        self.suite: Optional[CipherSuite] = None
+        self.mode: ms.HandshakeMode = ms.HandshakeMode.DEFAULT
+        self.key_transport: ms.KeyTransport = ms.KeyTransport.DHE
+        self.handshake_complete = False
+        self.closed = False
+
+        self._random = ms.make_random()
+        self._client_random: Optional[bytes] = None
+        self._server_random: Optional[bytes] = None
+        self._group: Optional[DHGroup] = None
+        self._dh_to_client: Optional[DHKeyPair] = None
+        self._dh_to_server: Optional[DHKeyPair] = None
+        self._pairwise_client: Optional[mk.PairwiseKeys] = None
+        self._pairwise_server: Optional[mk.PairwiseKeys] = None
+        self._client_shares: Optional[Dict[int, mm.ContextKeyShare]] = None
+        self._server_shares: Optional[Dict[int, mm.ContextKeyShare]] = None
+        self._keys_installed = False
+        self.permissions: Dict[int, Permission] = {}
+
+        self._flight: Optional[List[bytes]] = None  # framed own messages
+        self._c2s_protected = False
+        self._s2c_protected = False
+        self._proc_c2s: Optional[mrec.MiddleboxRecordProcessor] = None
+        self._proc_s2c: Optional[mrec.MiddleboxRecordProcessor] = None
+
+    # -- relay interface -----------------------------------------------------
+
+    def receive_from_client(self, data: bytes) -> List[Event]:
+        return self._receive(_Side.CLIENT, data)
+
+    def receive_from_server(self, data: bytes) -> List[Event]:
+        return self._receive(_Side.SERVER, data)
+
+    def data_to_client(self) -> bytes:
+        out = bytes(self._to_client)
+        self._to_client.clear()
+        return out
+
+    def data_to_server(self) -> bytes:
+        out = bytes(self._to_server)
+        self._to_server.clear()
+        return out
+
+    # -- record plumbing --------------------------------------------------------
+
+    def _receive(self, side: _Side, data: bytes) -> List[Event]:
+        if self.closed:
+            return []
+        buf = self._from_client if side is _Side.CLIENT else self._from_server
+        buf += data
+        try:
+            for content_type, context_id, fragment, raw in mrec.split_records(buf):
+                self._handle_record(side, content_type, context_id, fragment, raw)
+        except (mrec.McTLSRecordError, DecodeError, CipherError) as exc:
+            self.closed = True
+            raise TLSError(f"middlebox relay failure: {exc}") from exc
+        events, self._events = self._events, []
+        return events
+
+    def _out_for(self, side: _Side) -> bytearray:
+        """The buffer carrying bytes *onward* from ``side``."""
+        return self._to_server if side is _Side.CLIENT else self._to_client
+
+    def _protected(self, side: _Side) -> bool:
+        return self._c2s_protected if side is _Side.CLIENT else self._s2c_protected
+
+    def _handle_record(
+        self, side: _Side, content_type: int, context_id: int, fragment: bytes, raw: bytes
+    ) -> None:
+        if self._protected(side):
+            self._handle_protected_record(side, content_type, context_id, fragment, raw)
+            return
+
+        if content_type == rec.HANDSHAKE:
+            hs = self._hs_client if side is _Side.CLIENT else self._hs_server
+            hs.feed(fragment)
+            while True:
+                message = hs.next_message()
+                if message is None:
+                    break
+                msg_type, body, msg_raw = message
+                self._handle_handshake_message(side, msg_type, body, msg_raw)
+        elif content_type == rec.CHANGE_CIPHER_SPEC:
+            self._on_change_cipher_spec(side)
+            self._out_for(side).extend(raw)
+        elif content_type == rec.ALERT:
+            self._out_for(side).extend(raw)
+        else:
+            raise mrec.McTLSRecordError(
+                "application data before ChangeCipherSpec at middlebox"
+            )
+
+    def _handle_protected_record(
+        self, side: _Side, content_type: int, context_id: int, fragment: bytes, raw: bytes
+    ) -> None:
+        processor = self._proc_c2s if side is _Side.CLIENT else self._proc_s2c
+        direction = mk.C2S if side is _Side.CLIENT else mk.S2C
+        opened = processor.open_record(content_type, context_id, fragment)
+        if opened.payload is None or content_type != rec.APPLICATION_DATA:
+            self._out_for(side).extend(raw)
+            return
+
+        payload = opened.payload
+        if opened.permission.can_write and self.transformer is not None:
+            new_payload = self.transformer(direction, context_id, payload)
+            if new_payload is None:
+                new_payload = payload
+        else:
+            new_payload = payload
+        if self.observer is not None:
+            self.observer(direction, context_id, new_payload)
+
+        modified = new_payload != payload
+        self._emit(
+            ContextData(
+                direction=direction,
+                context_id=context_id,
+                data=new_payload,
+                permission=opened.permission,
+                modified=modified,
+            )
+        )
+        if modified:
+            self._out_for(side).extend(processor.rebuild_record(opened, new_payload))
+        else:
+            self._out_for(side).extend(raw)
+
+    def _emit(self, event: Event) -> None:
+        self._events.append(event)
+
+    # -- handshake handling ---------------------------------------------------------
+
+    def _forward_message(self, side: _Side, msg_raw: bytes) -> None:
+        header = mrec.encode_header(rec.HANDSHAKE, ENDPOINT_CONTEXT_ID, len(msg_raw))
+        self._out_for(side).extend(header + msg_raw)
+
+    def _handle_handshake_message(
+        self, side: _Side, msg_type: int, body: bytes, msg_raw: bytes
+    ) -> None:
+        if side is _Side.CLIENT:
+            self._handle_from_client(msg_type, body, msg_raw)
+        else:
+            self._handle_from_server(msg_type, body, msg_raw)
+
+    # ---- client-side messages
+
+    def _handle_from_client(self, msg_type: int, body: bytes, msg_raw: bytes) -> None:
+        if msg_type == tls_msgs.CLIENT_HELLO:
+            self._on_client_hello(tls_msgs.ClientHello.decode(body))
+            self._forward_message(_Side.CLIENT, msg_raw)
+        elif msg_type == tls_msgs.CLIENT_KEY_EXCHANGE:
+            self._forward_message(_Side.CLIENT, msg_raw)
+            self._on_client_key_exchange(tls_msgs.ClientKeyExchange.decode(body))
+        elif msg_type == tls_msgs.MIDDLEBOX_KEY_MATERIAL:
+            mkm = mm.MiddleboxKeyMaterial.decode(body)
+            self._forward_message(_Side.CLIENT, msg_raw)
+            if mkm.sender == mm.SENDER_CLIENT and mkm.target == self.mbox_id:
+                self._on_own_key_material(_Side.CLIENT, mkm)
+        else:
+            # Other middleboxes' flights and anything we don't interpret.
+            self._forward_message(_Side.CLIENT, msg_raw)
+
+    def _on_client_hello(self, hello: tls_msgs.ClientHello) -> None:
+        ext = hello.find_extension(tls_msgs.EXT_MIDDLEBOX_LIST)
+        if ext is None:
+            raise TLSError("ClientHello lacks the MiddleboxListExtension")
+        kt_ext = hello.find_extension(mm.EXT_MCTLS_KEY_TRANSPORT)
+        if kt_ext is not None and len(kt_ext) == 1:
+            self.key_transport = ms.KeyTransport(kt_ext[0])
+        self.topology = SessionTopology.decode(ext)
+        entry = self.topology.middlebox_by_name(self.name)
+        if entry is None:
+            raise TLSError(
+                f"middlebox {self.name!r} is not in the session's middlebox list"
+            )
+        self.mbox_id = entry.mbox_id
+        self._client_random = hello.random
+
+    def _on_client_key_exchange(self, kx: tls_msgs.ClientKeyExchange) -> None:
+        if self._group is None:
+            raise TLSError("ClientKeyExchange before the server's parameters")
+        if self.key_transport is ms.KeyTransport.DHE:
+            client_public = self._group.public_from_bytes(kx.dh_public)
+            ps = self._dh_to_client.combine(client_public)
+            self._pairwise_client = mk.derive_pairwise(
+                ps, self._client_random, self._random
+            )
+        # Piggyback our flight toward the server on this flight (Figure 1).
+        self._inject_flight(_Side.CLIENT)
+
+    # ---- server-side messages
+
+    def _handle_from_server(self, msg_type: int, body: bytes, msg_raw: bytes) -> None:
+        if msg_type == tls_msgs.SERVER_HELLO:
+            self._on_server_hello(tls_msgs.ServerHello.decode(body))
+            self._forward_message(_Side.SERVER, msg_raw)
+        elif msg_type == tls_msgs.CERTIFICATE:
+            self._on_server_certificate(tls_msgs.CertificateMessage.decode(body))
+            self._forward_message(_Side.SERVER, msg_raw)
+        elif msg_type == tls_msgs.SERVER_KEY_EXCHANGE:
+            self._on_server_key_exchange(tls_msgs.ServerKeyExchange.decode(body))
+            self._forward_message(_Side.SERVER, msg_raw)
+        elif msg_type == tls_msgs.SERVER_HELLO_DONE:
+            # Inject our client-directed flight before ServerHelloDone.
+            self._inject_flight(_Side.SERVER)
+            self._forward_message(_Side.SERVER, msg_raw)
+        elif msg_type == tls_msgs.MIDDLEBOX_KEY_MATERIAL:
+            mkm = mm.MiddleboxKeyMaterial.decode(body)
+            self._forward_message(_Side.SERVER, msg_raw)
+            if mkm.sender == mm.SENDER_SERVER and mkm.target == self.mbox_id:
+                self._on_own_key_material(_Side.SERVER, mkm)
+        else:
+            self._forward_message(_Side.SERVER, msg_raw)
+
+    def _on_server_hello(self, hello: tls_msgs.ServerHello) -> None:
+        from repro.tls.ciphersuites import suite_by_id
+
+        self.suite = suite_by_id(hello.cipher_suite)
+        self._server_random = hello.random
+        mode_ext = hello.find_extension(mm.EXT_MCTLS_MODE)
+        if mode_ext is None or len(mode_ext) != 1:
+            raise TLSError("server did not negotiate an mcTLS mode")
+        self.mode = ms.HandshakeMode(mode_ext[0])
+        self._proc_c2s = mrec.MiddleboxRecordProcessor(self.suite, mk.C2S)
+        self._proc_s2c = mrec.MiddleboxRecordProcessor(self.suite, mk.S2C)
+
+    def _on_server_certificate(self, message: tls_msgs.CertificateMessage) -> None:
+        if self.verify_server and self.config.trusted_roots:
+            try:
+                verify_chain(message.chain, self.config.trusted_roots)
+            except Exception as exc:
+                raise TLSError(f"server certificate rejected by middlebox: {exc}") from exc
+
+    def _on_server_key_exchange(self, kx: tls_msgs.ServerKeyExchange) -> None:
+        self._group = DHGroup(name="negotiated", p=kx.dh_p, g=kx.dh_g)
+        server_public = self._group.public_from_bytes(kx.dh_public)
+        if self.key_transport is ms.KeyTransport.DHE:
+            # Two distinct ephemeral key pairs, one per endpoint (§3.5).
+            self._dh_to_client = self._group.generate_keypair()
+            if self.mode is ms.HandshakeMode.DEFAULT:
+                self._dh_to_server = self._group.generate_keypair()
+                ps = self._dh_to_server.combine(server_public)
+                self._pairwise_server = mk.derive_pairwise(
+                    ps, self._server_random, self._random
+                )
+        self._build_flight()
+
+    # ---- own flight
+
+    def _build_flight(self) -> None:
+        """Frame our hello/certificate/key-exchange messages once; the same
+        bytes go to both endpoints so their transcripts agree."""
+        key = self.config.identity.key
+        messages = [
+            mm.MiddleboxHello(mbox_id=self.mbox_id, random=self._random),
+            mm.MiddleboxCertificateMessage(
+                mbox_id=self.mbox_id, chain=self.config.identity.chain
+            ),
+        ]
+        if self.key_transport is ms.KeyTransport.RSA:
+            # No key exchanges: endpoints seal material to our certificate.
+            self._flight = [tls_msgs.frame(m.msg_type, m.encode()) for m in messages]
+            return
+        ke_client = mm.MiddleboxKeyExchange(
+            mbox_id=self.mbox_id,
+            direction=mm.TOWARD_CLIENT,
+            dh_public=self._dh_to_client.public_bytes,
+            signature=b"",
+        )
+        ke_client.signature = key.sign(
+            ke_client.signed_bytes(self._random, self._client_random)
+        )
+        messages.append(ke_client)
+        if self.mode is ms.HandshakeMode.DEFAULT:
+            ke_server = mm.MiddleboxKeyExchange(
+                mbox_id=self.mbox_id,
+                direction=mm.TOWARD_SERVER,
+                dh_public=self._dh_to_server.public_bytes,
+                signature=b"",
+            )
+            ke_server.signature = key.sign(
+                ke_server.signed_bytes(self._random, self._server_random)
+            )
+            messages.append(ke_server)
+        self._flight = [tls_msgs.frame(m.msg_type, m.encode()) for m in messages]
+
+    def _inject_flight(self, side: _Side) -> None:
+        if self._flight is None:
+            raise TLSError("middlebox flight not ready (no ServerKeyExchange seen)")
+        for msg_raw in self._flight:
+            self._forward_message(side, msg_raw)
+
+    # ---- key material
+
+    def _on_own_key_material(self, side: _Side, mkm: mm.MiddleboxKeyMaterial) -> None:
+        if self.key_transport is ms.KeyTransport.RSA:
+            plaintext = mk.rsa_hybrid_open(
+                self.suite, self.config.identity.key, mkm.sealed
+            )
+        else:
+            pairwise = (
+                self._pairwise_client if side is _Side.CLIENT else self._pairwise_server
+            )
+            if pairwise is None:
+                raise TLSError("key material before pairwise key establishment")
+            plaintext = mk.authenc_open(self.suite, pairwise.enc, pairwise.mac, mkm.sealed)
+        shares = {s.context_id: s for s in mm.decode_key_shares(plaintext)}
+        if side is _Side.CLIENT:
+            self._client_shares = shares
+        else:
+            self._server_shares = shares
+        self._maybe_install_keys()
+
+    def _maybe_install_keys(self) -> None:
+        if self._keys_installed:
+            return
+        if self.mode is ms.HandshakeMode.DEFAULT:
+            if self._client_shares is None or self._server_shares is None:
+                return
+            self._install_combined_keys()
+        else:
+            if self._client_shares is None:
+                return
+            self._install_full_keys()
+        self._keys_installed = True
+        self.handshake_complete = True
+        self._emit(
+            MiddleboxHandshakeComplete(
+                topology=self.topology, permissions=dict(self.permissions), mode=self.mode
+            )
+        )
+
+    def _install_combined_keys(self) -> None:
+        """Combine client and server halves; access materialises only for
+        contexts where *both* endpoints provided material (R4)."""
+        for ctx in self.topology.contexts:
+            ctx_id = ctx.context_id
+            c_share = self._client_shares.get(ctx_id)
+            s_share = self._server_shares.get(ctx_id)
+            if (
+                c_share is None
+                or s_share is None
+                or not c_share.reader_material
+                or not s_share.reader_material
+            ):
+                self.permissions[ctx_id] = Permission.NONE
+                continue
+            can_write = bool(c_share.writer_material and s_share.writer_material)
+            keys = mk.combine_context_keys(
+                c_share.reader_material,
+                s_share.reader_material,
+                # Writer halves may be absent for read-only grants; the
+                # writer keys derived from empty halves are never valid
+                # against the endpoints' (who always use real halves).
+                c_share.writer_material,
+                s_share.writer_material,
+                self._client_random,
+                self._server_random,
+            )
+            permission = Permission.WRITE if can_write else Permission.READ
+            self.permissions[ctx_id] = permission
+            if not can_write:
+                # Do not retain derived-from-nothing writer keys.
+                keys = mk.ContextKeys(
+                    readers=keys.readers,
+                    writers=mk.WriterKeys(mac_c2s=b"", mac_s2c=b""),
+                )
+            self._proc_c2s.install(ctx_id, permission, keys)
+            self._proc_s2c.install(ctx_id, permission, keys)
+
+    def _install_full_keys(self) -> None:
+        for ctx in self.topology.contexts:
+            ctx_id = ctx.context_id
+            share = self._client_shares.get(ctx_id)
+            if share is None or not share.reader_material:
+                self.permissions[ctx_id] = Permission.NONE
+                continue
+            readers = mk.reader_keys_from_block(share.reader_material)
+            if share.writer_material:
+                writers = mk.writer_keys_from_block(share.writer_material)
+                permission = Permission.WRITE
+            else:
+                writers = mk.WriterKeys(mac_c2s=b"", mac_s2c=b"")
+                permission = Permission.READ
+            self.permissions[ctx_id] = permission
+            keys = mk.ContextKeys(readers=readers, writers=writers)
+            self._proc_c2s.install(ctx_id, permission, keys)
+            self._proc_s2c.install(ctx_id, permission, keys)
+
+    # ---- change cipher spec
+
+    def _on_change_cipher_spec(self, side: _Side) -> None:
+        if side is _Side.CLIENT:
+            self._c2s_protected = True
+            self._proc_c2s.activate()
+        else:
+            self._s2c_protected = True
+            self._proc_s2c.activate()

@@ -1,0 +1,444 @@
+"""The mcTLS record protocol (§3.4).
+
+An mcTLS record is a TLS record with a one-byte context ID in the header::
+
+    type(1) || version(2) || context_id(1) || length(2) || fragment
+
+Context 0 is the endpoint control context: after ChangeCipherSpec its
+records (Finished, alerts) are protected with ``K_endpoints`` and a single
+MAC, exactly like TLS.  Application contexts (1..255) use the
+**endpoint-writer-reader** scheme: the fragment decrypts (under the
+context's reader encryption key) to::
+
+    payload || MAC_endpoints || MAC_writers || MAC_readers
+
+Each MAC covers ``seq(8) || type(1) || version(2) || context_id(1) ||
+payload_length(2) || payload`` under the corresponding key.  Sequence
+numbers are global across contexts per direction, so record deletion by a
+third party is detectable.
+
+Verification rules (paper §3.4):
+
+* an **endpoint** checks ``MAC_writers`` (raising on illegal
+  modification) and compares ``MAC_endpoints`` to learn whether a *legal*
+  modification occurred;
+* a **writer** checks ``MAC_writers``;
+* a **reader** checks ``MAC_readers`` (it cannot police other readers —
+  the documented limitation; see :mod:`repro.mctls.strict_readers` for
+  the paper's optional fixes).
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.mctls import keys as mk
+from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, Permission
+from repro.tls.ciphersuites import CipherError, CipherSuite
+from repro.tls.record import (
+    ALERT,
+    APPLICATION_DATA,
+    CHANGE_CIPHER_SPEC,
+    CONTENT_TYPES,
+    HANDSHAKE,
+    MAX_PLAINTEXT,
+    TLS_VERSION,
+)
+
+MCTLS_HEADER_LEN = 6
+# mcTLS records carry their own version so cross-protocol confusion with
+# plain TLS fails immediately instead of stalling on a misparsed length.
+MCTLS_VERSION = 0xFC03
+MAC_LEN = 32
+MAX_FRAGMENT = MAX_PLAINTEXT + 2048
+
+
+class McTLSRecordError(Exception):
+    """Raised on malformed records or failed MAC verification."""
+
+
+def mac_input(seq: int, content_type: int, context_id: int, payload: bytes) -> bytes:
+    """The bytes every mcTLS record MAC covers."""
+    return (
+        seq.to_bytes(8, "big")
+        + bytes([content_type])
+        + MCTLS_VERSION.to_bytes(2, "big")
+        + bytes([context_id])
+        + len(payload).to_bytes(2, "big")
+        + payload
+    )
+
+
+def encode_header(content_type: int, context_id: int, fragment_len: int) -> bytes:
+    return (
+        bytes([content_type])
+        + MCTLS_VERSION.to_bytes(2, "big")
+        + bytes([context_id])
+        + fragment_len.to_bytes(2, "big")
+    )
+
+
+def split_records(buf: bytearray) -> Iterator[Tuple[int, int, bytes, bytes]]:
+    """Consume complete records from ``buf``.
+
+    Yields ``(content_type, context_id, fragment, raw_record_bytes)`` and
+    deletes consumed bytes — used by middleboxes, which forward records
+    they cannot (or need not) open verbatim.
+    """
+    while True:
+        if len(buf) < MCTLS_HEADER_LEN:
+            return
+        content_type = buf[0]
+        version = int.from_bytes(buf[1:3], "big")
+        context_id = buf[3]
+        length = int.from_bytes(buf[4:6], "big")
+        if content_type not in CONTENT_TYPES:
+            raise McTLSRecordError(f"invalid content type {content_type}")
+        if version != MCTLS_VERSION:
+            raise McTLSRecordError(f"unsupported record version 0x{version:04x}")
+        if length > MAX_FRAGMENT:
+            raise McTLSRecordError("record fragment too long")
+        if len(buf) < MCTLS_HEADER_LEN + length:
+            return
+        raw = bytes(buf[: MCTLS_HEADER_LEN + length])
+        fragment = raw[MCTLS_HEADER_LEN:]
+        del buf[: MCTLS_HEADER_LEN + length]
+        yield content_type, context_id, fragment, raw
+
+
+@dataclass
+class UnprotectedRecord:
+    """A record opened by an endpoint record layer."""
+
+    content_type: int
+    context_id: int
+    payload: bytes
+    legally_modified: bool = False
+
+
+def _hmac_sha256(key: bytes, data: bytes) -> bytes:
+    import hashlib
+
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+class McTLSRecordLayer:
+    """Record framing + protection for an mcTLS *endpoint*.
+
+    Unprotected until :meth:`activate_write` / :meth:`activate_read` are
+    called at the ChangeCipherSpec boundary.  The write direction for a
+    client is ``c2s``; for a server ``s2c``.
+    """
+
+    def __init__(self, is_client: bool):
+        self.is_client = is_client
+        self.suite: Optional[CipherSuite] = None
+        self.endpoint_keys: Optional[mk.EndpointKeys] = None
+        self.context_keys: Dict[int, mk.ContextKeys] = {}
+        self._write_protected = False
+        self._read_protected = False
+        self._write_seq = 0
+        self._read_seq = 0
+        self._inbuf = bytearray()
+
+    # -- direction helpers ----------------------------------------------
+
+    @property
+    def _write_dir(self) -> str:
+        return mk.C2S if self.is_client else mk.S2C
+
+    @property
+    def _read_dir(self) -> str:
+        return mk.S2C if self.is_client else mk.C2S
+
+    # -- activation -------------------------------------------------------
+
+    def set_suite(self, suite: CipherSuite) -> None:
+        self.suite = suite
+
+    def set_endpoint_keys(self, keys: mk.EndpointKeys) -> None:
+        self.endpoint_keys = keys
+
+    def install_context_keys(self, context_id: int, keys: mk.ContextKeys) -> None:
+        self.context_keys[context_id] = keys
+
+    def activate_write(self) -> None:
+        if self.endpoint_keys is None or self.suite is None:
+            raise McTLSRecordError("cannot activate protection before keys exist")
+        self._write_protected = True
+        self._write_seq = 0
+
+    def activate_read(self) -> None:
+        if self.endpoint_keys is None or self.suite is None:
+            raise McTLSRecordError("cannot activate protection before keys exist")
+        self._read_protected = True
+        self._read_seq = 0
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, content_type: int, payload: bytes, context_id: int = 0) -> bytes:
+        """Frame (and fragment / protect) an outgoing payload."""
+        out = bytearray()
+        offset = 0
+        while True:
+            chunk = payload[offset : offset + MAX_PLAINTEXT]
+            out += self._encode_one(content_type, context_id, chunk)
+            offset += MAX_PLAINTEXT
+            if offset >= len(payload):
+                break
+        return bytes(out)
+
+    def _encode_one(self, content_type: int, context_id: int, payload: bytes) -> bytes:
+        if content_type == CHANGE_CIPHER_SPEC or not self._write_protected:
+            fragment = payload
+        elif context_id == ENDPOINT_CONTEXT_ID:
+            fragment = self._protect_endpoint(content_type, payload)
+        else:
+            fragment = self._protect_context(content_type, context_id, payload)
+        return encode_header(content_type, context_id, len(fragment)) + fragment
+
+    def _protect_endpoint(self, content_type: int, payload: bytes) -> bytes:
+        keys = self.endpoint_keys.for_direction(self._write_dir)
+        seq = self._next_write_seq()
+        mac = _hmac_sha256(
+            keys.mac, mac_input(seq, content_type, ENDPOINT_CONTEXT_ID, payload)
+        )
+        return self.suite.new_cipher(keys.enc).encrypt(payload + mac)
+
+    def _protect_context(self, content_type: int, context_id: int, payload: bytes) -> bytes:
+        try:
+            keys = self.context_keys[context_id]
+        except KeyError:
+            raise McTLSRecordError(f"no keys for context {context_id}") from None
+        direction = self._write_dir
+        seq = self._next_write_seq()
+        covered = mac_input(seq, content_type, context_id, payload)
+        endpoint_mac = _hmac_sha256(
+            self.endpoint_keys.for_direction(direction).mac, covered
+        )
+        writer_mac = _hmac_sha256(keys.writers.mac_for_direction(direction), covered)
+        reader_mac = _hmac_sha256(keys.readers.for_direction(direction).mac, covered)
+        plaintext = payload + endpoint_mac + writer_mac + reader_mac
+        return self.suite.new_cipher(keys.readers.for_direction(direction).enc).encrypt(
+            plaintext
+        )
+
+    def _next_write_seq(self) -> int:
+        seq = self._write_seq
+        self._write_seq += 1
+        return seq
+
+    # -- decoding ---------------------------------------------------------
+
+    def feed(self, data: bytes) -> None:
+        self._inbuf += data
+
+    def read_record(self) -> Optional[UnprotectedRecord]:
+        for content_type, context_id, fragment, _raw in split_records(self._inbuf):
+            return self._unprotect(content_type, context_id, fragment)
+        return None
+
+    def read_all(self) -> Iterator[UnprotectedRecord]:
+        while True:
+            record = self.read_record()
+            if record is None:
+                return
+            yield record
+
+    def _unprotect(
+        self, content_type: int, context_id: int, fragment: bytes
+    ) -> UnprotectedRecord:
+        if content_type == CHANGE_CIPHER_SPEC or not self._read_protected:
+            return UnprotectedRecord(content_type, context_id, fragment)
+        if context_id == ENDPOINT_CONTEXT_ID:
+            return self._unprotect_endpoint(content_type, fragment)
+        return self._unprotect_context(content_type, context_id, fragment)
+
+    def _unprotect_endpoint(self, content_type: int, fragment: bytes) -> UnprotectedRecord:
+        keys = self.endpoint_keys.for_direction(self._read_dir)
+        try:
+            plaintext = self.suite.new_cipher(keys.enc).decrypt(fragment)
+        except CipherError as exc:
+            raise McTLSRecordError(f"decryption failed: {exc}") from exc
+        if len(plaintext) < MAC_LEN:
+            raise McTLSRecordError("record shorter than its MAC")
+        payload, mac = plaintext[:-MAC_LEN], plaintext[-MAC_LEN:]
+        seq = self._next_read_seq()
+        expected = _hmac_sha256(
+            keys.mac, mac_input(seq, content_type, ENDPOINT_CONTEXT_ID, payload)
+        )
+        if not _hmac.compare_digest(mac, expected):
+            raise McTLSRecordError("endpoint MAC verification failed")
+        return UnprotectedRecord(content_type, ENDPOINT_CONTEXT_ID, payload)
+
+    def _unprotect_context(
+        self, content_type: int, context_id: int, fragment: bytes
+    ) -> UnprotectedRecord:
+        try:
+            keys = self.context_keys[context_id]
+        except KeyError:
+            raise McTLSRecordError(f"no keys for context {context_id}") from None
+        direction = self._read_dir
+        try:
+            plaintext = self.suite.new_cipher(
+                keys.readers.for_direction(direction).enc
+            ).decrypt(fragment)
+        except CipherError as exc:
+            raise McTLSRecordError(f"decryption failed: {exc}") from exc
+        if len(plaintext) < 3 * MAC_LEN:
+            raise McTLSRecordError("record shorter than its three MACs")
+        payload = plaintext[: -3 * MAC_LEN]
+        endpoint_mac = plaintext[-3 * MAC_LEN : -2 * MAC_LEN]
+        writer_mac = plaintext[-2 * MAC_LEN : -MAC_LEN]
+        seq = self._next_read_seq()
+        covered = mac_input(seq, content_type, context_id, payload)
+
+        expected_writer = _hmac_sha256(
+            keys.writers.mac_for_direction(direction), covered
+        )
+        if not _hmac.compare_digest(writer_mac, expected_writer):
+            raise McTLSRecordError(
+                f"writer MAC verification failed on context {context_id} "
+                "(illegal modification)"
+            )
+        expected_endpoint = _hmac_sha256(
+            self.endpoint_keys.for_direction(direction).mac, covered
+        )
+        legally_modified = not _hmac.compare_digest(endpoint_mac, expected_endpoint)
+        return UnprotectedRecord(
+            content_type, context_id, payload, legally_modified=legally_modified
+        )
+
+    def _next_read_seq(self) -> int:
+        seq = self._read_seq
+        self._read_seq += 1
+        return seq
+
+
+# -- middlebox-side record processing --------------------------------------
+
+
+@dataclass
+class OpenedRecord:
+    """A record opened (or passed through) by a middlebox."""
+
+    content_type: int
+    context_id: int
+    payload: Optional[bytes]  # None when the middlebox cannot read it
+    permission: Permission
+    endpoint_mac: bytes = b""  # carried through writer rebuilds
+    seq: int = 0
+
+
+class MiddleboxRecordProcessor:
+    """Per-context record access for a middlebox.
+
+    The middlebox holds keys only for contexts it can read; for writable
+    contexts it can rebuild records (recomputing writer+reader MACs and
+    forwarding the original endpoint MAC, §3.4 "Generating MACs").
+
+    One processor instance handles one *direction* of the session; the
+    middlebox keeps two (client→server and server→client).
+    """
+
+    def __init__(self, suite: CipherSuite, direction: str):
+        self.suite = suite
+        self.direction = direction
+        self.permissions: Dict[int, Permission] = {}
+        self.context_keys: Dict[int, mk.ContextKeys] = {}
+        self.seq = 0
+        self.active = False
+
+    def install(self, context_id: int, permission: Permission, keys: Optional[mk.ContextKeys]) -> None:
+        self.permissions[context_id] = permission
+        if keys is not None:
+            self.context_keys[context_id] = keys
+
+    def activate(self) -> None:
+        """Start counting sequence numbers (at the CCS boundary)."""
+        self.active = True
+        self.seq = 0
+
+    def open_record(self, content_type: int, context_id: int, fragment: bytes) -> OpenedRecord:
+        """Open (or account for) one protected record flowing through.
+
+        Every record consumes a sequence number whether or not the
+        middlebox can read it — sequence numbers are global.
+        """
+        if not self.active:
+            raise McTLSRecordError("record processor not yet activated")
+        seq = self.seq
+        self.seq += 1
+        permission = self.permissions.get(context_id, Permission.NONE)
+        if (
+            context_id == ENDPOINT_CONTEXT_ID
+            or not permission.can_read
+            or context_id not in self.context_keys
+        ):
+            return OpenedRecord(
+                content_type=content_type,
+                context_id=context_id,
+                payload=None,
+                permission=Permission.NONE,
+                seq=seq,
+            )
+
+        keys = self.context_keys[context_id]
+        reader_keys = keys.readers.for_direction(self.direction)
+        try:
+            plaintext = self.suite.new_cipher(reader_keys.enc).decrypt(fragment)
+        except CipherError as exc:
+            raise McTLSRecordError(f"middlebox decryption failed: {exc}") from exc
+        if len(plaintext) < 3 * MAC_LEN:
+            raise McTLSRecordError("record shorter than its three MACs")
+        payload = plaintext[: -3 * MAC_LEN]
+        endpoint_mac = plaintext[-3 * MAC_LEN : -2 * MAC_LEN]
+        writer_mac = plaintext[-2 * MAC_LEN : -MAC_LEN]
+        reader_mac = plaintext[-MAC_LEN:]
+        covered = mac_input(seq, content_type, context_id, payload)
+
+        if permission.can_write:
+            expected = _hmac_sha256(keys.writers.mac_for_direction(self.direction), covered)
+            if not _hmac.compare_digest(writer_mac, expected):
+                raise McTLSRecordError(
+                    "writer MAC verification failed at middlebox (illegal modification)"
+                )
+        else:
+            expected = _hmac_sha256(reader_keys.mac, covered)
+            if not _hmac.compare_digest(reader_mac, expected):
+                raise McTLSRecordError(
+                    "reader MAC verification failed at middlebox "
+                    "(third-party modification)"
+                )
+        return OpenedRecord(
+            content_type=content_type,
+            context_id=context_id,
+            payload=payload,
+            permission=permission,
+            endpoint_mac=endpoint_mac,
+            seq=seq,
+        )
+
+    def rebuild_record(self, opened: OpenedRecord, new_payload: bytes) -> bytes:
+        """Re-protect a (possibly modified) record for forwarding.
+
+        Only legal for contexts this middlebox can write.  The original
+        ``MAC_endpoints`` is forwarded untouched; writer and reader MACs
+        are regenerated over the new payload.
+        """
+        permission = self.permissions.get(opened.context_id, Permission.NONE)
+        if not permission.can_write:
+            raise McTLSRecordError(
+                f"middlebox lacks write permission on context {opened.context_id}"
+            )
+        keys = self.context_keys[opened.context_id]
+        covered = mac_input(opened.seq, opened.content_type, opened.context_id, new_payload)
+        writer_mac = _hmac_sha256(keys.writers.mac_for_direction(self.direction), covered)
+        reader_mac = _hmac_sha256(keys.readers.for_direction(self.direction).mac, covered)
+        plaintext = new_payload + opened.endpoint_mac + writer_mac + reader_mac
+        fragment = self.suite.new_cipher(
+            keys.readers.for_direction(self.direction).enc
+        ).encrypt(plaintext)
+        return encode_header(opened.content_type, opened.context_id, len(fragment)) + fragment

@@ -1,0 +1,58 @@
+"""Application-layer middleboxes (Table 1 of the paper).
+
+Each module implements one of the in-path services the paper motivates,
+as an HTTP-aware application on top of :class:`~repro.mctls.McTLSMiddlebox`
+using the 4-Context strategy, declaring exactly the least-privilege
+permission set Table 1 assigns it:
+
+=================  ============  ===========  =============  =============
+middlebox          req headers   req body     resp headers   resp body
+=================  ============  ===========  =============  =============
+Cache              read          —            read/write     read/write
+Compression        —             —            read/write     read/write
+Load balancer      read          —            —              —
+IDS                read          read         read           read
+Parental filter    read          —            —              —
+Tracker blocker    read/write    —            read/write     —
+Packet pacer       —             —            —              read
+WAN optimizer      read          read         read           read
+=================  ============  ===========  =============  =============
+
+No middlebox needs read/write access to all of the data — the table's
+caption, and the reason contexts exist.
+"""
+
+from repro.middleboxes.base import HttpMiddleboxApp, PermissionSpec
+from repro.middleboxes.cache import CacheProxy
+from repro.middleboxes.compression import CompressionProxy
+from repro.middleboxes.ids import IntrusionDetectionSystem
+from repro.middleboxes.load_balancer import LoadBalancer
+from repro.middleboxes.pacer import PacketPacer
+from repro.middleboxes.parental_filter import ParentalFilter
+from repro.middleboxes.tracker_blocker import TrackerBlocker
+from repro.middleboxes.wan_optimizer import WanOptimizer
+
+ALL_MIDDLEBOX_APPS = (
+    CacheProxy,
+    CompressionProxy,
+    LoadBalancer,
+    IntrusionDetectionSystem,
+    ParentalFilter,
+    TrackerBlocker,
+    PacketPacer,
+    WanOptimizer,
+)
+
+__all__ = [
+    "ALL_MIDDLEBOX_APPS",
+    "CacheProxy",
+    "CompressionProxy",
+    "HttpMiddleboxApp",
+    "IntrusionDetectionSystem",
+    "LoadBalancer",
+    "PacketPacer",
+    "ParentalFilter",
+    "PermissionSpec",
+    "TrackerBlocker",
+    "WanOptimizer",
+]

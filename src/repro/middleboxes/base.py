@@ -1,0 +1,139 @@
+"""Base class for HTTP-aware middlebox applications.
+
+An app subclasses :class:`HttpMiddleboxApp`, declares its Table 1
+permission row as a :class:`PermissionSpec`, and overrides the piece
+hooks it needs (``transform_response_body``, ``observe_request_headers``,
+…).  The base class wires those hooks into an
+:class:`~repro.mctls.McTLSMiddlebox` using the 4-Context strategy's
+context ids, and provides the context definitions a client should put in
+its topology to grant exactly the app's declared permissions.
+
+Transform hooks receive one record payload and return the payload to
+forward; returning ``b""`` withholds bytes (a buffering transform can
+re-emit them later in a subsequent record — record *counts* per context
+are always preserved, as the record protocol requires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.http.strategies import (
+    CTX_REQUEST_BODY,
+    CTX_REQUEST_HEADERS,
+    CTX_RESPONSE_BODY,
+    CTX_RESPONSE_HEADERS,
+    FOUR_CONTEXT,
+)
+from repro.mctls import McTLSMiddlebox
+from repro.mctls.contexts import ContextDefinition, Permission
+from repro.tls.connection import TLSConfig
+
+
+@dataclass(frozen=True)
+class PermissionSpec:
+    """One row of Table 1."""
+
+    request_headers: Permission = Permission.NONE
+    request_body: Permission = Permission.NONE
+    response_headers: Permission = Permission.NONE
+    response_body: Permission = Permission.NONE
+
+    def as_context_map(self) -> Dict[int, Permission]:
+        return {
+            CTX_REQUEST_HEADERS: self.request_headers,
+            CTX_REQUEST_BODY: self.request_body,
+            CTX_RESPONSE_HEADERS: self.response_headers,
+            CTX_RESPONSE_BODY: self.response_body,
+        }
+
+    def row(self) -> Dict[str, Permission]:
+        return {
+            "request_headers": self.request_headers,
+            "request_body": self.request_body,
+            "response_headers": self.response_headers,
+            "response_body": self.response_body,
+        }
+
+
+class HttpMiddleboxApp:
+    """An HTTP middlebox application over the 4-Context strategy."""
+
+    #: Table 1 row; subclasses must override.
+    PERMISSIONS = PermissionSpec()
+    #: Human-readable name matching Table 1.
+    DISPLAY_NAME = "generic"
+
+    def __init__(self, name: str, config: TLSConfig):
+        self.name = name
+        self.middlebox = McTLSMiddlebox(
+            name,
+            config,
+            transformer=self._dispatch_transform,
+            observer=self._dispatch_observe,
+        )
+
+    # -- topology helpers ----------------------------------------------------
+
+    @classmethod
+    def context_definitions(cls, mbox_id: int) -> List[ContextDefinition]:
+        """The 4-Context definitions granting this app its Table 1 row."""
+        permission_map = cls.PERMISSIONS.as_context_map()
+        contexts = []
+        for ctx_id, purpose in sorted(FOUR_CONTEXT.context_purposes.items()):
+            permission = permission_map.get(ctx_id, Permission.NONE)
+            grants = {mbox_id: permission} if permission is not Permission.NONE else {}
+            contexts.append(
+                ContextDefinition(context_id=ctx_id, purpose=purpose, permissions=grants)
+            )
+        return contexts
+
+    # -- hook dispatch -----------------------------------------------------------
+
+    def _dispatch_transform(self, direction: str, context_id: int, payload: bytes) -> bytes:
+        if context_id == CTX_REQUEST_HEADERS:
+            return self.transform_request_headers(payload)
+        if context_id == CTX_REQUEST_BODY:
+            return self.transform_request_body(payload)
+        if context_id == CTX_RESPONSE_HEADERS:
+            return self.transform_response_headers(payload)
+        if context_id == CTX_RESPONSE_BODY:
+            return self.transform_response_body(payload)
+        return payload
+
+    def _dispatch_observe(self, direction: str, context_id: int, payload: bytes) -> None:
+        if context_id == CTX_REQUEST_HEADERS:
+            self.observe_request_headers(payload)
+        elif context_id == CTX_REQUEST_BODY:
+            self.observe_request_body(payload)
+        elif context_id == CTX_RESPONSE_HEADERS:
+            self.observe_response_headers(payload)
+        elif context_id == CTX_RESPONSE_BODY:
+            self.observe_response_body(payload)
+
+    # -- overridable hooks ----------------------------------------------------------
+
+    def transform_request_headers(self, payload: bytes) -> bytes:
+        return payload
+
+    def transform_request_body(self, payload: bytes) -> bytes:
+        return payload
+
+    def transform_response_headers(self, payload: bytes) -> bytes:
+        return payload
+
+    def transform_response_body(self, payload: bytes) -> bytes:
+        return payload
+
+    def observe_request_headers(self, payload: bytes) -> None:
+        pass
+
+    def observe_request_body(self, payload: bytes) -> None:
+        pass
+
+    def observe_response_headers(self, payload: bytes) -> None:
+        pass
+
+    def observe_response_body(self, payload: bytes) -> None:
+        pass

@@ -1,0 +1,152 @@
+"""A data-compression proxy (Table 1 row: Compression; §4.2 use case).
+
+Permissions: read/write response headers and body — the Chrome Data
+Compression Proxy example from the paper, finally able to operate on
+HTTPS traffic because the endpoints granted it exactly the response
+contexts.
+
+**The record-count constraint.** An mcTLS writer may rewrite records but
+can neither inject nor drop them (sequence numbers are global, and
+records in contexts the middlebox cannot read must be forwarded with
+their original sender-sequenced MACs).  A buffering rewrite therefore
+re-emits everything it withheld inside a *single* later record, which
+caps how much it may buffer at one record's payload.  This proxy checks
+``Content-Length`` up front: small responses are buffered, compressed,
+and re-emitted with rewritten headers; responses too large for one
+record pass through untouched (counted in ``responses_passed_through``).
+Real deployments would negotiate a chunked content-encoding with the
+client instead; the paper does not address the constraint.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.http.messages import CRLF, HEADER_END, HttpResponse, _parse_headers
+from repro.mctls.contexts import Permission
+from repro.middleboxes.base import HttpMiddleboxApp, PermissionSpec
+from repro.tls.record import MAX_PLAINTEXT
+
+MIN_SIZE_TO_COMPRESS = 64  # tiny bodies only grow
+# The rewritten response (headers + compressed body) must fit one record.
+MAX_BUFFERABLE = MAX_PLAINTEXT - 2048
+
+
+class CompressionProxy(HttpMiddleboxApp):
+    DISPLAY_NAME = "Compression"
+    PERMISSIONS = PermissionSpec(
+        response_headers=Permission.WRITE,
+        response_body=Permission.WRITE,
+    )
+
+    def __init__(self, name, config, max_bufferable: int = MAX_BUFFERABLE):
+        super().__init__(name, config)
+        self.max_bufferable = max_bufferable
+        # Per-response state: None (between responses), "buffering", or
+        # "passthrough".
+        self._state = None
+        self._held_headers = b""
+        self._held_body = bytearray()
+        self._body_expected = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.responses_compressed = 0
+        self.responses_passed_through = 0
+
+    # -- response headers --------------------------------------------------
+
+    def transform_response_headers(self, payload: bytes) -> bytes:
+        if self._state is not None:
+            # Headers while mid-response: protocol confusion; pass through.
+            return payload
+        if not payload.endswith(HEADER_END):
+            # Split or oversized header block — don't interfere.
+            self.responses_passed_through += 1
+            return payload
+        content_length = self._content_length(payload)
+        if content_length is None or content_length == 0:
+            return payload  # nothing to compress
+        if (
+            content_length < MIN_SIZE_TO_COMPRESS
+            or content_length > self.max_bufferable
+            or b"content-encoding" in payload.lower()
+        ):
+            self._state = "passthrough"
+            self._body_expected = content_length
+            self.responses_passed_through += 1
+            return payload
+        self._state = "buffering"
+        self._held_headers = payload
+        self._body_expected = content_length
+        self._held_body.clear()
+        return b""
+
+    @staticmethod
+    def _content_length(header_block: bytes):
+        head = header_block[: -len(HEADER_END)]
+        for line in head.split(CRLF)[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    return int(value.strip())
+                except ValueError:
+                    return None
+        return None
+
+    # -- response body ---------------------------------------------------------
+
+    def transform_response_body(self, payload: bytes) -> bytes:
+        if self._state == "passthrough":
+            self._body_expected -= len(payload)
+            if self._body_expected <= 0:
+                self._state = None
+            return payload
+        if self._state != "buffering":
+            return payload  # body without observed headers; don't touch
+        self._held_body += payload
+        if len(self._held_body) < self._body_expected:
+            return b""  # keep holding
+        return self._finish_response()
+
+    def _finish_response(self) -> bytes:
+        body = bytes(self._held_body[: self._body_expected])
+        trailing = bytes(self._held_body[self._body_expected :])
+        self._state = None
+        self._held_body.clear()
+        self.bytes_in += len(body)
+
+        compressed = zlib.compress(body, 6)
+        if len(compressed) < len(body):
+            response = self._parse_held(body)
+            response.body = compressed
+            response.headers = [
+                (k, v) for k, v in response.headers if k.lower() != "content-length"
+            ]
+            response.headers.append(("Content-Length", str(len(compressed))))
+            response.headers.append(("Content-Encoding", "deflate"))
+            self.responses_compressed += 1
+            out = response.encode()
+        else:
+            out = self._held_headers + body
+        self.bytes_out += len(out) - len(self._held_headers)
+        self._held_headers = b""
+        # Trailing bytes belong to a pipelined next response's body piece;
+        # with the 4-context strategy pieces are per-message, so this is
+        # empty in practice — passed through defensively if not.
+        return out + trailing
+
+    def _parse_held(self, body: bytes) -> HttpResponse:
+        head = self._held_headers[: -len(HEADER_END)]
+        status_line, _, header_block = head.partition(CRLF)
+        parts = status_line.split(b" ", 2)
+        return HttpResponse(
+            version=parts[0].decode("ascii"),
+            status=int(parts[1]),
+            reason=parts[2].decode("ascii") if len(parts) > 2 else "",
+            headers=_parse_headers(header_block),
+            body=body,
+        )
+
+    @property
+    def savings_ratio(self) -> float:
+        return 1 - self.bytes_out / self.bytes_in if self.bytes_in else 0.0

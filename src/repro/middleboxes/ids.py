@@ -1,0 +1,92 @@
+"""An intrusion detection system (Table 1 row: IDS; §4.2 corporate firewall).
+
+Permissions: read-only on all four contexts — the IDS can inspect
+everything but modify nothing, and no longer needs to impersonate servers
+with a custom root certificate.
+
+Signature matching is byte-pattern based with a small carry-over window
+so patterns spanning record boundaries are still caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.mctls.contexts import Permission
+from repro.middleboxes.base import HttpMiddleboxApp, PermissionSpec
+
+DEFAULT_SIGNATURES = (
+    b"/etc/passwd",
+    b"<script>alert",
+    b"' OR 1=1",
+    b"cmd.exe",
+    b"DROP TABLE",
+)
+
+
+@dataclass
+class IdsAlert:
+    signature: bytes
+    context_id: int
+    offset: int
+
+
+class IntrusionDetectionSystem(HttpMiddleboxApp):
+    DISPLAY_NAME = "IDS"
+    PERMISSIONS = PermissionSpec(
+        request_headers=Permission.READ,
+        request_body=Permission.READ,
+        response_headers=Permission.READ,
+        response_body=Permission.READ,
+    )
+
+    def __init__(self, name, config, signatures: Sequence[bytes] = DEFAULT_SIGNATURES):
+        super().__init__(name, config)
+        self.signatures = tuple(signatures)
+        self._window = max((len(s) for s in self.signatures), default=1) - 1
+        self._carry = {1: b"", 2: b"", 3: b"", 4: b""}
+        self._scanned = {1: 0, 2: 0, 3: 0, 4: 0}
+        self.alerts: List[IdsAlert] = []
+        self.bytes_scanned = 0
+
+    def _scan(self, context_id: int, payload: bytes) -> None:
+        window = self._carry.get(context_id, b"")
+        haystack = window + payload
+        base = self._scanned.get(context_id, 0) - len(window)
+        for signature in self.signatures:
+            start = 0
+            while True:
+                index = haystack.find(signature, start)
+                if index < 0:
+                    break
+                # Matches entirely inside the carried window were already
+                # reported by the previous scan.
+                if index + len(signature) > len(window):
+                    self.alerts.append(
+                        IdsAlert(
+                            signature=signature,
+                            context_id=context_id,
+                            offset=base + index,
+                        )
+                    )
+                start = index + 1
+        self._carry[context_id] = haystack[-self._window :] if self._window else b""
+        self._scanned[context_id] = self._scanned.get(context_id, 0) + len(payload)
+        self.bytes_scanned += len(payload)
+
+    def observe_request_headers(self, payload: bytes) -> None:
+        self._scan(1, payload)
+
+    def observe_request_body(self, payload: bytes) -> None:
+        self._scan(2, payload)
+
+    def observe_response_headers(self, payload: bytes) -> None:
+        self._scan(3, payload)
+
+    def observe_response_body(self, payload: bytes) -> None:
+        self._scan(4, payload)
+
+    @property
+    def alarmed(self) -> bool:
+        return bool(self.alerts)

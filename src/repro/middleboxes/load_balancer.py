@@ -1,0 +1,47 @@
+"""A content-aware load balancer (Table 1 row: Load Balancer).
+
+Permissions: read request headers only — enough to compute a routing
+decision (host/path affinity hashing) without seeing bodies or responses.
+
+Inside one established mcTLS session the path is fixed, so the decision
+recorded here models the front-end routing step: the balancer reads the
+request headers, picks a backend deterministically, and exposes its
+per-backend distribution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from typing import List, Sequence
+
+from repro.http.messages import HttpParser
+from repro.mctls.contexts import Permission
+from repro.middleboxes.base import HttpMiddleboxApp, PermissionSpec
+
+
+class LoadBalancer(HttpMiddleboxApp):
+    DISPLAY_NAME = "Load Balancer"
+    PERMISSIONS = PermissionSpec(request_headers=Permission.READ)
+
+    def __init__(self, name, config, backends: Sequence[str] = ("backend-a", "backend-b")):
+        super().__init__(name, config)
+        if not backends:
+            raise ValueError("at least one backend is required")
+        self.backends = list(backends)
+        self._parser = HttpParser("request")
+        self.decisions: List[str] = []
+        self.distribution: Counter = Counter()
+
+    def observe_request_headers(self, payload: bytes) -> None:
+        for request in self._parser.feed(payload):
+            backend = self.pick_backend(request.get_header("Host") or "", request.target)
+            self.decisions.append(backend)
+            self.distribution[backend] += 1
+
+    def pick_backend(self, host: str, target: str) -> str:
+        """Deterministic affinity hash of host + first path segment."""
+        segment = target.split("/")[1] if "/" in target[1:] or target.count("/") else ""
+        key = f"{host}/{segment}".encode("utf-8")
+        digest = hashlib.sha256(key).digest()
+        return self.backends[int.from_bytes(digest[:4], "big") % len(self.backends)]

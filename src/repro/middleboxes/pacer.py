@@ -1,0 +1,50 @@
+"""A packet pacer (Table 1 row: Packet Pacer).
+
+Permissions: read-only on the response body — pacing needs to *see* the
+bulk data stream (to measure and schedule it) but never changes a byte.
+The actual pacing action is a transport-layer concern; this app computes
+the pacing schedule (token bucket) and reports how much delay it would
+inject, which the simulation harness can apply to the relay's output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.mctls.contexts import Permission
+from repro.middleboxes.base import HttpMiddleboxApp, PermissionSpec
+
+
+class PacketPacer(HttpMiddleboxApp):
+    DISPLAY_NAME = "Packet Pacer"
+    PERMISSIONS = PermissionSpec(response_body=Permission.READ)
+
+    def __init__(
+        self,
+        name,
+        config,
+        target_rate_bps: float = 2e6,
+        clock: Callable[[], float] = None,
+    ):
+        super().__init__(name, config)
+        if target_rate_bps <= 0:
+            raise ValueError("target rate must be positive")
+        self.target_rate_bps = target_rate_bps
+        self.clock = clock or (lambda: 0.0)
+        self._next_release = 0.0
+        self.bytes_paced = 0
+        #: (observed_time, scheduled_release_time, size) per body record.
+        self.schedule: List[Tuple[float, float, int]] = []
+
+    def observe_response_body(self, payload: bytes) -> None:
+        now = self.clock()
+        release = max(now, self._next_release)
+        transmit_time = len(payload) * 8 / self.target_rate_bps
+        self._next_release = release + transmit_time
+        self.bytes_paced += len(payload)
+        self.schedule.append((now, release, len(payload)))
+
+    @property
+    def total_injected_delay(self) -> float:
+        """Total pacing delay the schedule would add."""
+        return sum(release - seen for seen, release, _ in self.schedule)

@@ -1,0 +1,59 @@
+"""A parental/content filter (Table 1 row: Parental Filter; §4.2 use case).
+
+Permissions: read request headers only.  The paper notes filters need
+full URLs (only 5 % of the IWF blacklist is whole domains), which is
+exactly what read access to the request-header context provides.
+
+The filter cannot silently drop records (it has no write access); per the
+paper, "the filter drops non-compliant connections" — modelled by the
+``on_block`` callback, which the hosting relay uses to tear the transport
+down, plus a ``blocked`` flag the harness can poll.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.http.messages import HttpParser
+from repro.mctls.contexts import Permission
+from repro.middleboxes.base import HttpMiddleboxApp, PermissionSpec
+
+
+class ParentalFilter(HttpMiddleboxApp):
+    DISPLAY_NAME = "Parental Filter"
+    PERMISSIONS = PermissionSpec(request_headers=Permission.READ)
+
+    def __init__(
+        self,
+        name,
+        config,
+        blacklist: Iterable[str] = (),
+        on_block: Optional[Callable[[str], None]] = None,
+    ):
+        super().__init__(name, config)
+        self.blacklist: Set[str] = {entry.lower() for entry in blacklist}
+        self.on_block = on_block
+        self._parser = HttpParser("request")
+        self.blocked = False
+        self.blocked_urls: List[str] = []
+        self.checked = 0
+
+    def observe_request_headers(self, payload: bytes) -> None:
+        for request in self._parser.feed(payload):
+            host = (request.get_header("Host") or "").lower()
+            url = f"{host}{request.target.lower()}"
+            self.checked += 1
+            if self._matches(host, url):
+                self.blocked = True
+                self.blocked_urls.append(url)
+                if self.on_block is not None:
+                    self.on_block(url)
+
+    def _matches(self, host: str, url: str) -> bool:
+        for entry in self.blacklist:
+            if "/" in entry:
+                if url.startswith(entry):  # full-URL entry
+                    return True
+            elif host == entry or host.endswith("." + entry):  # domain entry
+                return True
+        return False

@@ -1,0 +1,56 @@
+"""A tracker blocker (Table 1 row: Tracker Blocker).
+
+Permissions: read/write request headers and response headers — it strips
+tracking state (cookies, tracking headers) in both directions without
+ever seeing a body byte.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.http.messages import CRLF, HEADER_END
+from repro.mctls.contexts import Permission
+from repro.middleboxes.base import HttpMiddleboxApp, PermissionSpec
+
+DEFAULT_BLOCKED_HEADERS = (
+    "cookie",
+    "set-cookie",
+    "x-tracking-id",
+    "x-client-id",
+    "referer",
+)
+
+
+class TrackerBlocker(HttpMiddleboxApp):
+    DISPLAY_NAME = "Tracker Blocker"
+    PERMISSIONS = PermissionSpec(
+        request_headers=Permission.WRITE,
+        response_headers=Permission.WRITE,
+    )
+
+    def __init__(self, name, config, blocked_headers: Sequence[str] = DEFAULT_BLOCKED_HEADERS):
+        super().__init__(name, config)
+        self.blocked_headers = {h.lower() for h in blocked_headers}
+        self.headers_stripped = 0
+
+    def _strip(self, payload: bytes) -> bytes:
+        """Remove blocked header lines from a header block payload."""
+        if HEADER_END not in payload:
+            return payload  # not a complete header block; leave untouched
+        head, _, rest = payload.partition(HEADER_END)
+        lines = head.split(CRLF)
+        kept = [lines[0]]  # request/status line
+        for line in lines[1:]:
+            name = line.split(b":", 1)[0].strip().lower().decode("ascii", "replace")
+            if name in self.blocked_headers:
+                self.headers_stripped += 1
+            else:
+                kept.append(line)
+        return CRLF.join(kept) + HEADER_END + rest
+
+    def transform_request_headers(self, payload: bytes) -> bytes:
+        return self._strip(payload)
+
+    def transform_response_headers(self, payload: bytes) -> bytes:
+        return self._strip(payload)

@@ -1,0 +1,74 @@
+"""A WAN optimizer (Table 1 row: WAN Optimizer).
+
+Permissions: read-only on all four contexts.  Classic WAN optimizers
+deduplicate redundant content between site pairs; the read-only variant
+modelled here performs the *detection* half — content-defined chunking
+(rolling-hash boundaries) and a chunk fingerprint store — and reports the
+redundancy it would eliminate.  This matches the paper's Table 1, which
+grants the WAN optimizer observation rights, not modification rights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Set
+
+from repro.mctls.contexts import Permission
+from repro.middleboxes.base import HttpMiddleboxApp, PermissionSpec
+
+# Content-defined chunking parameters.
+_WINDOW = 16
+_BOUNDARY_MASK = 0x3F  # expected chunk size ≈ 64 bytes + minimum
+_MIN_CHUNK = 32
+_MAX_CHUNK = 1024
+
+
+def chunk_boundaries(data: bytes):
+    """Yield chunk end offsets using a additive rolling hash."""
+    rolling = 0
+    start = 0
+    for i, byte in enumerate(data):
+        rolling = (rolling * 31 + byte) & 0xFFFFFFFF
+        length = i - start + 1
+        if (length >= _MIN_CHUNK and (rolling & _BOUNDARY_MASK) == 0) or length >= _MAX_CHUNK:
+            yield i + 1
+            start = i + 1
+    if start < len(data):
+        yield len(data)
+
+
+class WanOptimizer(HttpMiddleboxApp):
+    DISPLAY_NAME = "WAN Optimizer"
+    PERMISSIONS = PermissionSpec(
+        request_headers=Permission.READ,
+        request_body=Permission.READ,
+        response_headers=Permission.READ,
+        response_body=Permission.READ,
+    )
+
+    def __init__(self, name, config):
+        super().__init__(name, config)
+        self.fingerprints: Set[bytes] = set()
+        self.total_bytes = 0
+        self.redundant_bytes = 0
+
+    def _ingest(self, payload: bytes) -> None:
+        self.total_bytes += len(payload)
+        start = 0
+        for end in chunk_boundaries(payload):
+            chunk = payload[start:end]
+            fingerprint = hashlib.sha256(chunk).digest()[:8]
+            if fingerprint in self.fingerprints:
+                self.redundant_bytes += len(chunk)
+            else:
+                self.fingerprints.add(fingerprint)
+            start = end
+
+    observe_request_headers = _ingest
+    observe_request_body = _ingest
+    observe_response_headers = _ingest
+    observe_response_body = _ingest
+
+    @property
+    def redundancy_ratio(self) -> float:
+        return self.redundant_bytes / self.total_bytes if self.total_bytes else 0.0

@@ -1,0 +1,26 @@
+"""A deterministic discrete-event network simulator.
+
+Stands in for the paper's testbed (tc-shaped links, EC2 wide-area paths):
+point-to-point links with bandwidth and propagation delay, and a TCP model
+with a 3-way handshake, MSS segmentation, **Nagle's algorithm** (the
+protagonist of the paper's §5.1 timing anomalies), optional delayed ACKs,
+and IW10 slow start.
+
+The sans-I/O protocol stacks (:mod:`repro.tls`, :mod:`repro.mctls`) run
+unmodified on simulated sockets, so simulated timings reflect the real
+byte streams the protocols produce.
+"""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.tcp import TCPSocket, connect_tcp
+from repro.netsim.profiles import LinkProfile, PROFILES
+
+__all__ = [
+    "Link",
+    "LinkProfile",
+    "PROFILES",
+    "Simulator",
+    "TCPSocket",
+    "connect_tcp",
+]

@@ -1,0 +1,66 @@
+"""An O(1)-amortised FIFO byte buffer.
+
+``bytearray`` deletion from the front is O(n); multi-megabyte simulated
+transfers need better.  :class:`ByteQueue` keeps appended chunks intact
+and tracks a head offset, so ``peek``/``advance`` never copy more than
+they return.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class ByteQueue:
+    """FIFO queue of bytes with cheap front consumption."""
+
+    def __init__(self) -> None:
+        self._chunks: deque = deque()
+        self._head_offset = 0
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def append(self, data: bytes) -> None:
+        if data:
+            self._chunks.append(bytes(data))
+            self._length += len(data)
+
+    def peek(self, n: int) -> bytes:
+        """Return up to ``n`` bytes from the front without consuming."""
+        if n <= 0 or not self._length:
+            return b""
+        n = min(n, self._length)
+        parts = []
+        taken = 0
+        offset = self._head_offset
+        for chunk in self._chunks:
+            piece = chunk[offset : offset + (n - taken)]
+            parts.append(piece)
+            taken += len(piece)
+            offset = 0
+            if taken == n:
+                break
+        return b"".join(parts)
+
+    def advance(self, n: int) -> None:
+        """Discard ``n`` bytes from the front."""
+        if n < 0 or n > self._length:
+            raise ValueError("cannot advance past the end of the queue")
+        self._length -= n
+        while n:
+            head = self._chunks[0]
+            available = len(head) - self._head_offset
+            if n < available:
+                self._head_offset += n
+                return
+            n -= available
+            self._chunks.popleft()
+            self._head_offset = 0
+
+    def take(self, n: int) -> bytes:
+        """Consume and return up to ``n`` bytes."""
+        data = self.peek(n)
+        self.advance(len(data))
+        return data

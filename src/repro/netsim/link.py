@@ -1,0 +1,70 @@
+"""Point-to-point simulated links.
+
+A link is unidirectional with a serialization rate (bandwidth) and a
+propagation delay — the same two knobs the paper turns with ``tc``.
+Packets serialize FIFO (the link is busy until the last bit is on the
+wire) and arrive ``delay`` seconds after serialization finishes.  A
+``None`` bandwidth means infinitely fast serialization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.engine import Simulator
+
+
+class Link:
+    """One direction of a network link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: Optional[float],
+        delay_s: float,
+        name: str = "",
+    ):
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive (or None for infinite)")
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.name = name
+        self._busy_until = 0.0
+        self.bytes_carried = 0
+        self.packets_carried = 0
+
+    def transit_time(self, size_bytes: int) -> float:
+        """Serialization time for a packet of ``size_bytes``."""
+        if self.bandwidth_bps is None:
+            return 0.0
+        return size_bytes * 8 / self.bandwidth_bps
+
+    def send(self, size_bytes: int, deliver: Callable[[], None]) -> float:
+        """Carry a packet; ``deliver`` fires on arrival.
+
+        Returns the (absolute) delivery time.
+        """
+        start = max(self.sim.now, self._busy_until)
+        done_serializing = start + self.transit_time(size_bytes)
+        self._busy_until = done_serializing
+        arrival = done_serializing + self.delay_s
+        self.bytes_carried += size_bytes
+        self.packets_carried += 1
+        self.sim.schedule(arrival - self.sim.now, deliver)
+        return arrival
+
+
+def duplex(
+    sim: Simulator,
+    bandwidth_bps: Optional[float],
+    delay_s: float,
+    name: str = "",
+) -> tuple:
+    """Create a symmetric link pair (forward, reverse)."""
+    return (
+        Link(sim, bandwidth_bps, delay_s, name=f"{name}:fwd"),
+        Link(sim, bandwidth_bps, delay_s, name=f"{name}:rev"),
+    )

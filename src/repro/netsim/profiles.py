@@ -1,0 +1,80 @@
+"""Link profiles matching the paper's experimental environments.
+
+*Controlled* (§5, "Experimental Setup"): per-hop links shaped to a chosen
+bandwidth with 20 ms one-way delay, as in "each link has a 20 ms delay
+(80 ms total RTT)" for the client–middlebox–server topology.
+
+*Wide area*: client in Spain, middlebox in Ireland, server in California,
+reached over fiber or 3G access.  We model the access link (fiber: high
+bandwidth, low extra delay; 3G: ~4 Mbps down, ~50 ms extra one-way delay)
+plus representative inter-region propagation delays (Spain–Ireland
+~15 ms, Ireland–California ~70 ms one-way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Per-hop bandwidth/delay settings for a client→mbox→server path.
+
+    ``hop_delays_s`` lists one-way delays per hop; ``hop_bandwidths_bps``
+    the matching serialization rates (None = unconstrained).
+    """
+
+    name: str
+    hop_delays_s: Sequence[float]
+    hop_bandwidths_bps: Sequence[Optional[float]]
+
+    def __post_init__(self) -> None:
+        if len(self.hop_delays_s) != len(self.hop_bandwidths_bps):
+            raise ValueError("per-hop delay and bandwidth lists must align")
+
+    @property
+    def hops(self) -> int:
+        return len(self.hop_delays_s)
+
+    @property
+    def total_rtt_s(self) -> float:
+        return 2 * sum(self.hop_delays_s)
+
+
+def controlled(
+    hops: int = 2,
+    bandwidth_mbps: float = 10.0,
+    hop_delay_ms: float = 20.0,
+) -> LinkProfile:
+    """The paper's controlled environment: every hop identical."""
+    return LinkProfile(
+        name=f"controlled-{bandwidth_mbps}mbps-{hops}hops",
+        hop_delays_s=tuple([hop_delay_ms / 1000.0] * hops),
+        hop_bandwidths_bps=tuple([bandwidth_mbps * 1e6] * hops),
+    )
+
+
+def wide_area_fiber() -> LinkProfile:
+    """Client (Spain, fiber) → middlebox (Ireland) → server (California)."""
+    return LinkProfile(
+        name="wide-area-fiber",
+        hop_delays_s=(0.018, 0.070),
+        hop_bandwidths_bps=(100e6, 1e9),
+    )
+
+
+def wide_area_3g() -> LinkProfile:
+    """Client (Spain, 3G) → middlebox (Ireland) → server (California)."""
+    return LinkProfile(
+        name="wide-area-3g",
+        hop_delays_s=(0.065, 0.070),
+        hop_bandwidths_bps=(4e6, 1e9),
+    )
+
+
+PROFILES: Dict[str, LinkProfile] = {
+    "controlled": controlled(),
+    "fiber": wide_area_fiber(),
+    "3g": wide_area_3g(),
+}

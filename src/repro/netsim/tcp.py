@@ -1,0 +1,255 @@
+"""A TCP model sufficient for the paper's timing phenomena.
+
+Modelled: the 3-way handshake (SYN / SYN-ACK / ACK), MSS segmentation
+with 40-byte headers, **Nagle's algorithm** (RFC 896: a sub-MSS segment
+may only be transmitted when no unacknowledged data is outstanding),
+optional delayed ACKs (ack every second segment or after a timeout),
+IW10 slow start with per-ACK exponential growth, a receive-window cap,
+and FIN-initiated close.
+
+Not modelled: loss, reordering, retransmission, congestion response —
+the paper's testbed experiments are loss-free, and every reported effect
+(RTT counting, Nagle stalls, bandwidth-limited transfers, slow-start
+ramps) is reproduced by the mechanics above.
+
+The paper's §5.1 anomaly lives here: with Nagle on, a handshake flight
+larger than one MSS sends its first MSS immediately but holds the tail
+until the first segment is ACKed — one extra RTT per stall.  Disabling
+Nagle (``nagle=False``, i.e. TCP_NODELAY) removes the stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.bytequeue import ByteQueue
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+
+MSS = 1448  # bytes of payload per full segment (1500 MTU - 40 - 12 options)
+HEADER = 40  # IP + TCP header bytes
+INITIAL_CWND_SEGMENTS = 10  # IW10 (RFC 6928)
+DEFAULT_RWND = 1 << 20  # 1 MiB receive window
+DELACK_TIMEOUT = 0.040  # 40 ms delayed-ACK timer
+
+
+class TCPError(Exception):
+    pass
+
+
+class TCPSocket:
+    """One endpoint of a simulated TCP connection.
+
+    Build pairs with :func:`connect_tcp`; do not instantiate directly
+    unless wiring custom topologies.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        out_link: Link,
+        in_link: Link,
+        nagle: bool = True,
+        delayed_ack: bool = False,
+        rwnd: int = DEFAULT_RWND,
+        mss: int = MSS,
+        name: str = "",
+    ):
+        self.sim = sim
+        self.out_link = out_link
+        self.in_link = in_link
+        self.nagle = nagle
+        self.delayed_ack = delayed_ack
+        self.rwnd = rwnd
+        self.mss = mss
+        self.name = name
+
+        self.peer: Optional["TCPSocket"] = None
+        self.established = False
+        self.closed = False
+        self._fin_sent = False
+        self._fin_received = False
+
+        # Sender state.
+        self._buf = ByteQueue()
+        self._inflight = 0
+        self._cwnd = INITIAL_CWND_SEGMENTS * mss
+
+        # Receiver state (delayed ACK bookkeeping).
+        self._segments_unacked = 0
+        self._bytes_unacked = 0
+        self._delack_event = None
+
+        # Application callbacks.
+        self.on_connected: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_peer_closed: Optional[Callable[[], None]] = None
+
+        # Statistics.
+        self.bytes_sent = 0
+        self.segments_sent = 0
+
+    # -- connection establishment -------------------------------------------
+
+    def connect(self) -> None:
+        """Client side: start the 3-way handshake."""
+        if self.peer is None:
+            raise TCPError("socket is not wired to a peer")
+        self.out_link.send(HEADER, self.peer._on_syn)
+
+    def _on_syn(self) -> None:
+        # Server side: respond SYN-ACK.
+        self.out_link.send(HEADER, self.peer._on_syn_ack)
+
+    def _on_syn_ack(self) -> None:
+        # Client side: established; final ACK travels to the server.
+        self.established = True
+        self.out_link.send(HEADER, self.peer._on_handshake_ack)
+        if self.on_connected is not None:
+            self.on_connected()
+        self._try_send()
+
+    def _on_handshake_ack(self) -> None:
+        self.established = True
+        if self.on_connected is not None:
+            self.on_connected()
+        self._try_send()
+
+    # -- sending ------------------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Queue application data for transmission."""
+        if self.closed or self._fin_sent:
+            raise TCPError("cannot send on a closed socket")
+        self._buf.append(data)
+        if self.established:
+            self._try_send()
+
+    def close(self) -> None:
+        """Half-close: flush buffered data, then send FIN."""
+        if self.closed:
+            return
+        self.closed = True
+        if self.established:
+            self._try_send()
+
+    def _try_send(self) -> None:
+        while len(self._buf):
+            window = min(self._cwnd, self.peer.rwnd) - self._inflight
+            if window < 1:
+                return
+            chunk_len = min(len(self._buf), self.mss, int(window))
+            if chunk_len < self.mss and len(self._buf) >= self.mss:
+                # Window-limited partial segment: wait for more window.
+                return
+            if (
+                self.nagle
+                and chunk_len < self.mss
+                and self._inflight > 0
+            ):
+                # Nagle: hold the small tail until everything is ACKed.
+                return
+            chunk = self._buf.take(chunk_len)
+            self._transmit(chunk)
+        if self.closed and not self._fin_sent and not len(self._buf):
+            self._fin_sent = True
+            self.out_link.send(HEADER, self.peer._on_fin)
+
+    def _transmit(self, chunk: bytes) -> None:
+        self._inflight += len(chunk)
+        self.bytes_sent += len(chunk)
+        self.segments_sent += 1
+        self.out_link.send(HEADER + len(chunk), lambda: self.peer._on_segment(chunk))
+
+    # -- receiving -----------------------------------------------------------------
+
+    def _on_segment(self, payload: bytes) -> None:
+        self._schedule_ack(len(payload))
+        if self.on_data is not None:
+            self.on_data(payload)
+
+    def _schedule_ack(self, payload_len: int) -> None:
+        self._bytes_unacked += payload_len
+        self._segments_unacked += 1
+        if not self.delayed_ack or self._segments_unacked >= 2:
+            self._send_ack()
+        elif self._delack_event is None:
+            self._delack_event = self.sim.schedule(DELACK_TIMEOUT, self._send_ack)
+
+    def _send_ack(self) -> None:
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+        if self._bytes_unacked == 0:
+            return
+        acked = self._bytes_unacked
+        self._bytes_unacked = 0
+        self._segments_unacked = 0
+        self.out_link.send(HEADER, lambda: self.peer._on_ack(acked))
+
+    def _on_ack(self, acked: int) -> None:
+        self._inflight -= acked
+        if self._inflight < 0:  # pragma: no cover - defensive
+            self._inflight = 0
+        # Slow start: exponential growth, one MSS per MSS acknowledged.
+        self._cwnd += min(acked, self.mss)
+        self._try_send()
+
+    def _on_fin(self) -> None:
+        self._fin_received = True
+        if self.on_peer_closed is not None:
+            self.on_peer_closed()
+
+
+def make_tcp_pair(
+    sim: Simulator,
+    fwd_link: Link,
+    rev_link: Link,
+    nagle: bool = True,
+    server_nagle: Optional[bool] = None,
+    delayed_ack: bool = False,
+    rwnd: int = DEFAULT_RWND,
+    name: str = "",
+) -> tuple:
+    """Create a wired (client, server) socket pair WITHOUT connecting.
+
+    Call ``client.connect()`` when the connection should actually start
+    (e.g. a relay opens its upstream hop only once its downstream side is
+    accepted).
+    """
+    if server_nagle is None:
+        server_nagle = nagle
+    client = TCPSocket(
+        sim, fwd_link, rev_link, nagle=nagle, delayed_ack=delayed_ack,
+        rwnd=rwnd, name=f"{name}:client",
+    )
+    server = TCPSocket(
+        sim, rev_link, fwd_link, nagle=server_nagle, delayed_ack=delayed_ack,
+        rwnd=rwnd, name=f"{name}:server",
+    )
+    client.peer = server
+    server.peer = client
+    return client, server
+
+
+def connect_tcp(
+    sim: Simulator,
+    fwd_link: Link,
+    rev_link: Link,
+    nagle: bool = True,
+    server_nagle: Optional[bool] = None,
+    delayed_ack: bool = False,
+    rwnd: int = DEFAULT_RWND,
+    name: str = "",
+) -> tuple:
+    """Create a wired (client, server) socket pair and start connecting.
+
+    The client's SYN is sent immediately; attach callbacks right after
+    this call returns — no simulated time passes until ``sim.run()``.
+    """
+    client, server = make_tcp_pair(
+        sim, fwd_link, rev_link, nagle=nagle, server_nagle=server_nagle,
+        delayed_ack=delayed_ack, rwnd=rwnd, name=name,
+    )
+    client.connect()
+    return client, server

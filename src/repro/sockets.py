@@ -1,0 +1,232 @@
+"""Real-socket transports for the sans-I/O protocol stacks.
+
+The paper's §5.4 deployability argument is that mcTLS slots into
+applications with minimal effort.  This module provides the blocking
+socket glue: run any endpoint connection over a TCP socket, and any
+two-sided relay (mcTLS middlebox, SplitTLS proxy, blind relay) between a
+listening socket and an upstream connection.
+
+Everything is synchronous and thread-per-connection — deliberately
+simple, since the protocol logic lives in the sans-I/O cores and this is
+just plumbing (and what `examples/` uses for live demos).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, List, Optional, Tuple
+
+RECV_SIZE = 65536
+
+
+class SocketConnection:
+    """Drives a sans-I/O endpoint connection over a blocking socket."""
+
+    def __init__(self, connection, sock: socket.socket):
+        self.connection = connection
+        self.sock = sock
+        self.events: List[object] = []
+
+    def flush(self) -> None:
+        data = self.connection.data_to_send()
+        if data:
+            self.sock.sendall(data)
+
+    def pump_until(self, predicate: Callable[[], bool], timeout: float = 30.0) -> None:
+        """Receive and process until ``predicate()`` holds."""
+        self.sock.settimeout(timeout)
+        self.flush()
+        while not predicate():
+            data = self.sock.recv(RECV_SIZE)
+            if not data:
+                raise ConnectionError("peer closed the connection")
+            self.events.extend(self.connection.receive_bytes(data))
+            self.flush()
+
+    def handshake(self, timeout: float = 30.0) -> None:
+        if hasattr(self.connection, "start_handshake"):
+            if not self.connection.handshake_complete:
+                try:
+                    self.connection.start_handshake()
+                except Exception:
+                    pass  # server side: passive
+        self.pump_until(lambda: self.connection.handshake_complete, timeout)
+
+    def send(self, data: bytes, context_id: Optional[int] = None) -> None:
+        if context_id is None:
+            self.connection.send_application_data(data)
+        else:
+            self.connection.send_application_data(data, context_id=context_id)
+        self.flush()
+
+    def recv_app_data(self, timeout: float = 30.0):
+        """Block until the next application-data event arrives."""
+
+        def have_data():
+            return any(hasattr(e, "data") for e in self.events)
+
+        self.pump_until(have_data, timeout)
+        for i, event in enumerate(self.events):
+            if hasattr(event, "data"):
+                return self.events.pop(i)
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        try:
+            self.connection.close()
+            self.flush()
+        finally:
+            self.sock.close()
+
+
+class RelayServer:
+    """Accepts downstream connections and relays them upstream through a
+    two-sided relay object (one relay instance per connection)."""
+
+    def __init__(
+        self,
+        listen_addr: Tuple[str, int],
+        upstream_addr: Tuple[str, int],
+        relay_factory: Callable[[], object],
+    ):
+        self.listen_addr = listen_addr
+        self.upstream_addr = upstream_addr
+        self.relay_factory = relay_factory
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    def start(self) -> "RelayServer":
+        self._listener = socket.create_server(self.listen_addr)
+        self._listener.settimeout(0.2)
+        thread = threading.Thread(target=self._accept_loop, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                downstream, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._handle, args=(downstream,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _handle(self, downstream: socket.socket) -> None:
+        relay = self.relay_factory()
+        try:
+            upstream = socket.create_connection(self.upstream_addr, timeout=10)
+        except OSError:
+            downstream.close()
+            return
+        for sock in (downstream, upstream):
+            sock.settimeout(0.1)
+
+        def flush() -> None:
+            to_server = relay.data_to_server()
+            if to_server:
+                upstream.sendall(to_server)
+            to_client = relay.data_to_client()
+            if to_client:
+                downstream.sendall(to_client)
+
+        try:
+            open_ends = 2
+            while not self._stopping.is_set() and open_ends:
+                moved = False
+                for sock, feed in (
+                    (downstream, relay.receive_from_client),
+                    (upstream, relay.receive_from_server),
+                ):
+                    try:
+                        data = sock.recv(RECV_SIZE)
+                    except socket.timeout:
+                        continue
+                    except OSError:
+                        return
+                    if not data:
+                        open_ends -= 1
+                        continue
+                    moved = True
+                    feed(data)
+                    flush()
+                if not moved:
+                    flush()
+        finally:
+            downstream.close()
+            upstream.close()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            self._listener.close()
+
+
+class EndpointServer:
+    """Accepts connections and runs a fresh sans-I/O server connection
+    plus a user handler for each."""
+
+    def __init__(
+        self,
+        listen_addr: Tuple[str, int],
+        connection_factory: Callable[[], object],
+        handler: Callable[[SocketConnection], None],
+    ):
+        self.listen_addr = listen_addr
+        self.connection_factory = connection_factory
+        self.handler = handler
+        self._listener: Optional[socket.socket] = None
+        self._stopping = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    def start(self) -> "EndpointServer":
+        self._listener = socket.create_server(self.listen_addr)
+        self._listener.settimeout(0.2)
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(sock,), daemon=True
+            ).start()
+
+    def _handle(self, sock: socket.socket) -> None:
+        wrapper = SocketConnection(self.connection_factory(), sock)
+        try:
+            self.handler(wrapper)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            sock.close()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            self._listener.close()
+
+
+def connect(addr: Tuple[str, int], connection, timeout: float = 10.0) -> SocketConnection:
+    """Dial ``addr`` and wrap ``connection`` over the socket."""
+    sock = socket.create_connection(addr, timeout=timeout)
+    return SocketConnection(connection, sock)

@@ -1,0 +1,47 @@
+"""A from-scratch, sans-I/O TLS 1.2 subset.
+
+This package implements enough of TLS 1.2 (RFC 5246) to act as the
+substrate the mcTLS extension builds on, and as the protocol for the
+SplitTLS / E2E-TLS baselines the paper compares against:
+
+* the record protocol with MAC-then-encrypt CBC protection,
+* the DHE-RSA handshake (ClientHello → ServerHello/Certificate/
+  ServerKeyExchange/ServerHelloDone → ClientKeyExchange/CCS/Finished →
+  CCS/Finished),
+* alerts and transcript (Finished) verification.
+
+All protocol objects are sans-I/O state machines: feed received bytes with
+``receive_bytes()``, drain output with ``data_to_send()``, observe progress
+through returned events.  The same code runs over in-memory pipes, real
+sockets and the discrete-event network simulator.
+"""
+
+from repro.tls.ciphersuites import (
+    CipherSuite,
+    SUITE_DHE_RSA_AES128_CBC_SHA256,
+    SUITE_DHE_RSA_SHACTR_SHA256,
+)
+from repro.tls.client import TLSClient
+from repro.tls.connection import (
+    AlertReceived,
+    ApplicationData,
+    ConnectionClosed,
+    HandshakeComplete,
+    TLSConfig,
+    TLSError,
+)
+from repro.tls.server import TLSServer
+
+__all__ = [
+    "AlertReceived",
+    "ApplicationData",
+    "CipherSuite",
+    "ConnectionClosed",
+    "HandshakeComplete",
+    "SUITE_DHE_RSA_AES128_CBC_SHA256",
+    "SUITE_DHE_RSA_SHACTR_SHA256",
+    "TLSClient",
+    "TLSConfig",
+    "TLSError",
+    "TLSServer",
+]

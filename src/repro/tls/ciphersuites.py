@@ -1,0 +1,150 @@
+"""Cipher suite definitions.
+
+The paper evaluates with ``DHE-RSA-AES128-SHA256``; we implement that suite
+faithfully (pure-Python AES-128-CBC, HMAC-SHA256, MAC-then-encrypt per
+RFC 5246 §6.2.3.2) plus a fast drop-in variant that replaces the AES-CBC
+bulk cipher with the SHA-CTR keystream cipher while preserving the record
+geometry (an explicit per-record 16-byte IV/nonce and 32-byte MAC).  The
+fast suite keeps multi-megabyte simulated transfers tractable in pure
+Python; benchmarks state which suite they use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.crypto.aes import AES
+from repro.crypto.fastcipher import ShaCtrCipher
+from repro.crypto.modes import (
+    PaddingError,
+    cbc_decrypt,
+    cbc_encrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.crypto.opcount import count_op
+
+
+class CipherError(Exception):
+    """Raised when record decryption or MAC verification fails."""
+
+
+class BulkCipher:
+    """Interface for the per-direction bulk encryption of records."""
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        raise NotImplementedError
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        raise NotImplementedError
+
+    def ciphertext_length(self, plaintext_length: int) -> int:
+        """Predict ciphertext size without encrypting (for size accounting)."""
+        raise NotImplementedError
+
+
+class AesCbcCipher(BulkCipher):
+    """AES-CBC with an explicit per-record IV and PKCS#7 padding."""
+
+    def __init__(self, key: bytes):
+        self._aes = AES(key)
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        count_op("sym_encrypt")
+        iv = os.urandom(16)
+        return iv + cbc_encrypt(self._aes, iv, pkcs7_pad(plaintext))
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        count_op("sym_decrypt")
+        if len(ciphertext) < 32:
+            raise CipherError("ciphertext shorter than IV + one block")
+        iv, body = ciphertext[:16], ciphertext[16:]
+        try:
+            return pkcs7_unpad(cbc_decrypt(self._aes, iv, body))
+        except (PaddingError, ValueError) as exc:
+            raise CipherError(str(exc)) from exc
+
+    def ciphertext_length(self, plaintext_length: int) -> int:
+        padded = (plaintext_length // 16 + 1) * 16
+        return 16 + padded
+
+
+class ShaCtrRecordCipher(BulkCipher):
+    """SHA-CTR keystream cipher with an explicit 16-byte nonce.
+
+    Same wire geometry as :class:`AesCbcCipher` minus padding: records are
+    ``nonce || ciphertext``.
+    """
+
+    def __init__(self, key: bytes):
+        self._cipher = ShaCtrCipher(key)
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        count_op("sym_encrypt")
+        nonce = os.urandom(16)
+        return nonce + self._cipher.xor(nonce, plaintext)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        count_op("sym_decrypt")
+        if len(ciphertext) < 16:
+            raise CipherError("ciphertext shorter than nonce")
+        nonce, body = ciphertext[:16], ciphertext[16:]
+        return self._cipher.xor(nonce, body)
+
+    def ciphertext_length(self, plaintext_length: int) -> int:
+        return 16 + plaintext_length
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    """A negotiated algorithm bundle (key exchange is always DHE-RSA)."""
+
+    suite_id: int
+    name: str
+    key_length: int
+    mac_key_length: int
+    mac_length: int
+    cipher_factory: Callable[[bytes], BulkCipher]
+
+    def new_cipher(self, key: bytes) -> BulkCipher:
+        if len(key) != self.key_length:
+            raise ValueError("bulk key has wrong length for suite")
+        return self.cipher_factory(key)
+
+    def mac(self, key: bytes, data: bytes) -> bytes:
+        return hmac.new(key, data, hashlib.sha256).digest()
+
+
+SUITE_DHE_RSA_AES128_CBC_SHA256 = CipherSuite(
+    suite_id=0x0067,  # TLS_DHE_RSA_WITH_AES_128_CBC_SHA256
+    name="DHE-RSA-AES128-CBC-SHA256",
+    key_length=16,
+    mac_key_length=32,
+    mac_length=32,
+    cipher_factory=AesCbcCipher,
+)
+
+SUITE_DHE_RSA_SHACTR_SHA256 = CipherSuite(
+    suite_id=0xFF67,  # private-use id for the fast simulation suite
+    name="DHE-RSA-SHACTR-SHA256",
+    key_length=16,
+    mac_key_length=32,
+    mac_length=32,
+    cipher_factory=ShaCtrRecordCipher,
+)
+
+SUITES: Dict[int, CipherSuite] = {
+    s.suite_id: s
+    for s in (SUITE_DHE_RSA_AES128_CBC_SHA256, SUITE_DHE_RSA_SHACTR_SHA256)
+}
+
+
+def suite_by_id(suite_id: int) -> CipherSuite:
+    try:
+        return SUITES[suite_id]
+    except KeyError:
+        raise CipherError(f"unknown cipher suite 0x{suite_id:04x}") from None

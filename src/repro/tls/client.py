@@ -1,0 +1,207 @@
+"""The TLS 1.2 client state machine (DHE-RSA)."""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Optional
+
+from repro.crypto.certs import verify_chain
+from repro.crypto.dh import DHGroup, DHKeyPair
+from repro.crypto.numtheory import bytes_to_int
+from repro.tls import keyschedule as ks
+from repro.tls import messages as msgs
+from repro.tls.connection import (
+    ALERT_BAD_CERTIFICATE,
+    ALERT_DECRYPT_ERROR,
+    ALERT_UNEXPECTED_MESSAGE,
+    HandshakeComplete,
+    TLSConfig,
+    TLSConnectionBase,
+    TLSError,
+    make_random,
+)
+
+
+class _State(Enum):
+    START = auto()
+    WAIT_SERVER_HELLO = auto()
+    WAIT_CERTIFICATE = auto()
+    WAIT_SERVER_KEY_EXCHANGE = auto()
+    WAIT_SERVER_HELLO_DONE = auto()
+    WAIT_CCS = auto()
+    WAIT_FINISHED = auto()
+    CONNECTED = auto()
+
+
+class TLSClient(TLSConnectionBase):
+    """A sans-I/O TLS 1.2 client.
+
+    Usage::
+
+        client = TLSClient(TLSConfig(trusted_roots=[...], server_name="s"))
+        client.start_handshake()
+        transport.write(client.data_to_send())
+        events = client.receive_bytes(transport.read())
+    """
+
+    def __init__(self, config: TLSConfig):
+        super().__init__(config)
+        self._state = _State.START
+        self._client_random = make_random()
+        self._server_random: Optional[bytes] = None
+        self._dh_keypair: Optional[DHKeyPair] = None
+        self._server_dh_public: Optional[int] = None
+        self._server_kx_group: Optional[DHGroup] = None
+        self._master_secret: Optional[bytes] = None
+
+    # -- driving the handshake -------------------------------------------
+
+    def start_handshake(self) -> None:
+        if self._state is not _State.START:
+            raise TLSError("handshake already started")
+        hello = msgs.ClientHello(
+            random=self._client_random,
+            cipher_suites=self.config.suite_ids(),
+            extensions=self._hello_extensions(),
+        )
+        self._send_handshake(hello)
+        self._state = _State.WAIT_SERVER_HELLO
+
+    def _hello_extensions(self):
+        """Hook: subclasses (mcTLS) add extensions to the ClientHello."""
+        return []
+
+    # -- message handling ---------------------------------------------------
+
+    def _handle_handshake_message(self, msg_type: int, body: bytes, raw: bytes) -> None:
+        self._transcript.append(raw)
+        if msg_type == msgs.SERVER_HELLO and self._state is _State.WAIT_SERVER_HELLO:
+            self._on_server_hello(msgs.ServerHello.decode(body))
+        elif msg_type == msgs.CERTIFICATE and self._state is _State.WAIT_CERTIFICATE:
+            self._on_certificate(msgs.CertificateMessage.decode(body))
+        elif (
+            msg_type == msgs.SERVER_KEY_EXCHANGE
+            and self._state is _State.WAIT_SERVER_KEY_EXCHANGE
+        ):
+            self._on_server_key_exchange(msgs.ServerKeyExchange.decode(body), body)
+        elif (
+            msg_type == msgs.SERVER_HELLO_DONE
+            and self._state is _State.WAIT_SERVER_HELLO_DONE
+        ):
+            msgs.ServerHelloDone.decode(body)
+            self._on_server_hello_done()
+        elif msg_type == msgs.FINISHED and self._state is _State.WAIT_FINISHED:
+            self._on_finished(msgs.Finished.decode(body), raw)
+        else:
+            raise TLSError(
+                f"unexpected handshake message {msg_type} in state {self._state.name}",
+                ALERT_UNEXPECTED_MESSAGE,
+            )
+
+    def _on_server_hello(self, hello: msgs.ServerHello) -> None:
+        suite = self.config.suite_for_id(hello.cipher_suite)
+        if suite is None:
+            raise TLSError("server selected a cipher suite we did not offer")
+        self.negotiated_suite = suite
+        self._server_random = hello.random
+        self._state = _State.WAIT_CERTIFICATE
+
+    def _on_certificate(self, message: msgs.CertificateMessage) -> None:
+        if not message.chain:
+            raise TLSError("server sent an empty certificate chain", ALERT_BAD_CERTIFICATE)
+        if self.config.verify_certificates:
+            try:
+                verify_chain(
+                    message.chain,
+                    self.config.trusted_roots,
+                    expected_subject=self.config.server_name,
+                )
+            except Exception as exc:
+                raise TLSError(
+                    f"certificate verification failed: {exc}", ALERT_BAD_CERTIFICATE
+                ) from exc
+        self.peer_certificate = message.chain[0]
+        self._state = _State.WAIT_SERVER_KEY_EXCHANGE
+
+    def _on_server_key_exchange(self, kx: msgs.ServerKeyExchange, body: bytes) -> None:
+        assert self.peer_certificate is not None and self._server_random is not None
+        signed = self._client_random + self._server_random + kx.params_bytes()
+        if self.config.verify_certificates:
+            if not self.peer_certificate.public_key.verify(signed, kx.signature):
+                raise TLSError("ServerKeyExchange signature invalid", ALERT_DECRYPT_ERROR)
+        group = DHGroup(name="negotiated", p=kx.dh_p, g=kx.dh_g)
+        self._server_kx_group = group
+        self._server_dh_public = group.public_from_bytes(kx.dh_public)
+        self._state = _State.WAIT_SERVER_HELLO_DONE
+
+    def _on_server_hello_done(self) -> None:
+        assert self._server_kx_group is not None and self._server_dh_public is not None
+        self._dh_keypair = self._server_kx_group.generate_keypair()
+        self._send_handshake(msgs.ClientKeyExchange(dh_public=self._dh_keypair.public_bytes))
+
+        premaster = self._dh_keypair.combine(self._server_dh_public)
+        self._master_secret = ks.master_secret(
+            premaster, self._client_random, self._server_random
+        )
+        self._after_key_exchange()
+
+        self._activate_write_protection()
+        self._send_finished()
+        self._state = _State.WAIT_CCS
+
+    def _after_key_exchange(self) -> None:
+        """Hook: mcTLS distributes middlebox key material here."""
+
+    def _activate_write_protection(self) -> None:
+        suite = self.negotiated_suite
+        block = ks.derive_key_block(
+            self._master_secret,
+            self._client_random,
+            self._server_random,
+            suite.mac_key_length,
+            suite.key_length,
+        )
+        self._key_block = block
+        self._send_change_cipher_spec()
+        self.records.write_state.activate(
+            suite, suite.new_cipher(block.client_enc_key), block.client_mac_key
+        )
+
+    def _send_finished(self) -> None:
+        verify = ks.finished_verify_data(
+            self._master_secret, ks.LABEL_CLIENT_FINISHED, self._transcript_hash()
+        )
+        self._send_handshake(msgs.Finished(verify_data=verify))
+
+    def _handle_change_cipher_spec(self) -> None:
+        if self._state is not _State.WAIT_CCS:
+            raise TLSError("unexpected ChangeCipherSpec", ALERT_UNEXPECTED_MESSAGE)
+        suite = self.negotiated_suite
+        block = self._key_block
+        self.records.read_state.activate(
+            suite, suite.new_cipher(block.server_enc_key), block.server_mac_key
+        )
+        self._state = _State.WAIT_FINISHED
+
+    def _on_finished(self, finished: msgs.Finished, raw: bytes) -> None:
+        # The transcript for the server's Finished includes everything up to
+        # but not including that Finished; it was appended by the generic
+        # handler, so hash without the final entry.
+        transcript = self._transcript[:-1]
+        import hashlib
+
+        expected = ks.finished_verify_data(
+            self._master_secret,
+            ks.LABEL_SERVER_FINISHED,
+            hashlib.sha256(b"".join(transcript)).digest(),
+        )
+        if finished.verify_data != expected:
+            raise TLSError("server Finished verification failed", ALERT_DECRYPT_ERROR)
+        self._state = _State.CONNECTED
+        self.handshake_complete = True
+        self._emit(
+            HandshakeComplete(
+                cipher_suite=self.negotiated_suite.name,
+                peer_certificate=self.peer_certificate,
+            )
+        )

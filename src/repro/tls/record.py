@@ -1,0 +1,169 @@
+"""The TLS 1.2 record protocol (RFC 5246 §6).
+
+Records are ``type(1) || version(2) || length(2) || fragment``.  Once a
+direction is protected, fragments are MAC-then-encrypt: the MAC is computed
+over ``seq(8) || type(1) || version(2) || plaintext_length(2) || plaintext``
+and appended to the plaintext before encryption.
+
+:class:`RecordLayer` holds both directions of one connection endpoint:
+``encode()`` frames and protects outgoing payloads, ``feed()`` +
+``read_record()`` de-frame and unprotect incoming bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.tls.ciphersuites import BulkCipher, CipherError, CipherSuite
+
+# Record content types (RFC 5246).
+CHANGE_CIPHER_SPEC = 20
+ALERT = 21
+HANDSHAKE = 22
+APPLICATION_DATA = 23
+
+CONTENT_TYPES = (CHANGE_CIPHER_SPEC, ALERT, HANDSHAKE, APPLICATION_DATA)
+
+TLS_VERSION = 0x0303  # TLS 1.2
+RECORD_HEADER_LEN = 5
+MAX_PLAINTEXT = 1 << 14
+# Protected fragments may exceed MAX_PLAINTEXT by MAC + padding + IV.
+MAX_FRAGMENT = MAX_PLAINTEXT + 2048
+
+
+class RecordError(Exception):
+    """Raised on malformed records or failed record protection."""
+
+
+class DirectionState:
+    """Protection state for one direction (null until ChangeCipherSpec)."""
+
+    def __init__(self) -> None:
+        self.cipher: Optional[BulkCipher] = None
+        self.mac_key: bytes = b""
+        self.suite: Optional[CipherSuite] = None
+        self.seq: int = 0
+
+    @property
+    def protected(self) -> bool:
+        return self.cipher is not None
+
+    def activate(self, suite: CipherSuite, cipher: BulkCipher, mac_key: bytes) -> None:
+        self.suite = suite
+        self.cipher = cipher
+        self.mac_key = mac_key
+        self.seq = 0
+
+    def next_seq(self) -> int:
+        seq = self.seq
+        self.seq += 1
+        return seq
+
+
+def mac_input(seq: int, content_type: int, plaintext: bytes) -> bytes:
+    """The bytes a TLS record MAC covers."""
+    return (
+        seq.to_bytes(8, "big")
+        + bytes([content_type])
+        + TLS_VERSION.to_bytes(2, "big")
+        + len(plaintext).to_bytes(2, "big")
+        + plaintext
+    )
+
+
+class RecordLayer:
+    """Sans-I/O record framing and protection for one connection end."""
+
+    def __init__(self) -> None:
+        self.read_state = DirectionState()
+        self.write_state = DirectionState()
+        self._inbuf = bytearray()
+
+    # -- outgoing ------------------------------------------------------
+
+    def encode(self, content_type: int, payload: bytes) -> bytes:
+        """Frame (and fragment / protect) an outgoing payload."""
+        if content_type not in CONTENT_TYPES:
+            raise RecordError(f"invalid content type {content_type}")
+        out = bytearray()
+        offset = 0
+        while True:
+            fragment = payload[offset : offset + MAX_PLAINTEXT]
+            out += self._encode_one(content_type, fragment)
+            offset += MAX_PLAINTEXT
+            if offset >= len(payload):
+                break
+        return bytes(out)
+
+    def _encode_one(self, content_type: int, plaintext: bytes) -> bytes:
+        state = self.write_state
+        if state.protected:
+            seq = state.next_seq()
+            mac = state.suite.mac(state.mac_key, mac_input(seq, content_type, plaintext))
+            fragment = state.cipher.encrypt(plaintext + mac)
+        else:
+            fragment = plaintext
+        if len(fragment) > MAX_FRAGMENT:
+            raise RecordError("record fragment too long")
+        header = (
+            bytes([content_type])
+            + TLS_VERSION.to_bytes(2, "big")
+            + len(fragment).to_bytes(2, "big")
+        )
+        return header + fragment
+
+    # -- incoming ------------------------------------------------------
+
+    def feed(self, data: bytes) -> None:
+        self._inbuf += data
+
+    def read_record(self) -> Optional[Tuple[int, bytes]]:
+        """Return the next (content_type, plaintext) or None if incomplete."""
+        if len(self._inbuf) < RECORD_HEADER_LEN:
+            return None
+        content_type = self._inbuf[0]
+        version = int.from_bytes(self._inbuf[1:3], "big")
+        length = int.from_bytes(self._inbuf[3:5], "big")
+        if content_type not in CONTENT_TYPES:
+            raise RecordError(f"invalid content type {content_type}")
+        if version != TLS_VERSION:
+            raise RecordError(f"unsupported record version 0x{version:04x}")
+        if length > MAX_FRAGMENT:
+            raise RecordError("record fragment too long")
+        if len(self._inbuf) < RECORD_HEADER_LEN + length:
+            return None
+        fragment = bytes(self._inbuf[RECORD_HEADER_LEN : RECORD_HEADER_LEN + length])
+        del self._inbuf[: RECORD_HEADER_LEN + length]
+        return content_type, self._unprotect(content_type, fragment)
+
+    def read_all(self) -> Iterator[Tuple[int, bytes]]:
+        while True:
+            record = self.read_record()
+            if record is None:
+                return
+            yield record
+
+    def _unprotect(self, content_type: int, fragment: bytes) -> bytes:
+        state = self.read_state
+        if not state.protected:
+            return fragment
+        try:
+            plaintext_and_mac = state.cipher.decrypt(fragment)
+        except CipherError as exc:
+            raise RecordError(f"record decryption failed: {exc}") from exc
+        mac_len = state.suite.mac_length
+        if len(plaintext_and_mac) < mac_len:
+            raise RecordError("decrypted record shorter than MAC")
+        plaintext = plaintext_and_mac[:-mac_len]
+        mac = plaintext_and_mac[-mac_len:]
+        seq = state.next_seq()
+        expected = state.suite.mac(state.mac_key, mac_input(seq, content_type, plaintext))
+        if not _constant_time_eq(mac, expected):
+            raise RecordError("record MAC verification failed")
+        return plaintext
+
+
+def _constant_time_eq(a: bytes, b: bytes) -> bool:
+    import hmac as _hmac
+
+    return _hmac.compare_digest(a, b)

@@ -1,0 +1,175 @@
+"""The TLS 1.2 server state machine (DHE-RSA)."""
+
+from __future__ import annotations
+
+import hashlib
+from enum import Enum, auto
+from typing import Optional
+
+from repro.crypto.dh import DHKeyPair
+from repro.tls import keyschedule as ks
+from repro.tls import messages as msgs
+from repro.tls.connection import (
+    ALERT_DECRYPT_ERROR,
+    ALERT_UNEXPECTED_MESSAGE,
+    HandshakeComplete,
+    TLSConfig,
+    TLSConnectionBase,
+    TLSError,
+    make_random,
+)
+
+
+class _State(Enum):
+    WAIT_CLIENT_HELLO = auto()
+    WAIT_CLIENT_KEY_EXCHANGE = auto()
+    WAIT_CCS = auto()
+    WAIT_FINISHED = auto()
+    CONNECTED = auto()
+
+
+class TLSServer(TLSConnectionBase):
+    """A sans-I/O TLS 1.2 server.
+
+    Requires ``config.identity`` (certificate chain + RSA key).  The server
+    waits passively: feed it bytes, drain ``data_to_send()``.
+    """
+
+    def __init__(self, config: TLSConfig):
+        if config.identity is None:
+            raise TLSError("server requires an identity (certificate + key)")
+        super().__init__(config)
+        self._state = _State.WAIT_CLIENT_HELLO
+        self._server_random = make_random()
+        self._client_random: Optional[bytes] = None
+        self._dh_keypair: Optional[DHKeyPair] = None
+        self._master_secret: Optional[bytes] = None
+        self._client_hello: Optional[msgs.ClientHello] = None
+
+    # -- message handling ---------------------------------------------------
+
+    def _handle_handshake_message(self, msg_type: int, body: bytes, raw: bytes) -> None:
+        self._transcript.append(raw)
+        if msg_type == msgs.CLIENT_HELLO and self._state is _State.WAIT_CLIENT_HELLO:
+            self._on_client_hello(msgs.ClientHello.decode(body))
+        elif (
+            msg_type == msgs.CLIENT_KEY_EXCHANGE
+            and self._state is _State.WAIT_CLIENT_KEY_EXCHANGE
+        ):
+            self._on_client_key_exchange(msgs.ClientKeyExchange.decode(body))
+        elif msg_type == msgs.FINISHED and self._state is _State.WAIT_FINISHED:
+            self._on_finished(msgs.Finished.decode(body))
+        else:
+            raise TLSError(
+                f"unexpected handshake message {msg_type} in state {self._state.name}",
+                ALERT_UNEXPECTED_MESSAGE,
+            )
+
+    def _on_client_hello(self, hello: msgs.ClientHello) -> None:
+        self._client_hello = hello
+        self._client_random = hello.random
+        suite = next(
+            (
+                self.config.suite_for_id(sid)
+                for sid in hello.cipher_suites
+                if self.config.suite_for_id(sid) is not None
+            ),
+            None,
+        )
+        if suite is None:
+            raise TLSError("no mutually supported cipher suite")
+        self.negotiated_suite = suite
+
+        self._send_handshake(
+            msgs.ServerHello(
+                random=self._server_random,
+                cipher_suite=suite.suite_id,
+                extensions=self._hello_extensions(hello),
+            )
+        )
+        self._send_handshake(msgs.CertificateMessage(chain=self.config.identity.chain))
+        self._send_server_key_exchange()
+        self._before_hello_done(hello)
+        self._send_handshake(msgs.ServerHelloDone())
+        self._state = _State.WAIT_CLIENT_KEY_EXCHANGE
+
+    def _hello_extensions(self, hello: msgs.ClientHello):
+        """Hook: mcTLS echoes its negotiated mode here."""
+        return []
+
+    def _before_hello_done(self, hello: msgs.ClientHello) -> None:
+        """Hook: mcTLS middlebox-related processing."""
+
+    def _send_server_key_exchange(self) -> None:
+        group = self.config.dh_group
+        self._dh_keypair = group.generate_keypair()
+        params = msgs.ServerKeyExchange(
+            dh_p=group.p,
+            dh_g=group.g,
+            dh_public=self._dh_keypair.public_bytes,
+            signature=b"",
+        )
+        signed = self._client_random + self._server_random + params.params_bytes()
+        params.signature = self.config.identity.key.sign(signed)
+        self._send_handshake(params)
+
+    def _on_client_key_exchange(self, kx: msgs.ClientKeyExchange) -> None:
+        group = self.config.dh_group
+        client_public = group.public_from_bytes(kx.dh_public)
+        premaster = self._dh_keypair.combine(client_public)
+        self._master_secret = ks.master_secret(
+            premaster, self._client_random, self._server_random
+        )
+        suite = self.negotiated_suite
+        self._key_block = ks.derive_key_block(
+            self._master_secret,
+            self._client_random,
+            self._server_random,
+            suite.mac_key_length,
+            suite.key_length,
+        )
+        self._after_key_exchange()
+        self._state = _State.WAIT_CCS
+
+    def _after_key_exchange(self) -> None:
+        """Hook: mcTLS waits for the client's key material messages here."""
+
+    def _handle_change_cipher_spec(self) -> None:
+        if self._state is not _State.WAIT_CCS:
+            raise TLSError("unexpected ChangeCipherSpec", ALERT_UNEXPECTED_MESSAGE)
+        suite = self.negotiated_suite
+        self.records.read_state.activate(
+            suite,
+            suite.new_cipher(self._key_block.client_enc_key),
+            self._key_block.client_mac_key,
+        )
+        self._state = _State.WAIT_FINISHED
+
+    def _on_finished(self, finished: msgs.Finished) -> None:
+        transcript = self._transcript[:-1]
+        expected = ks.finished_verify_data(
+            self._master_secret,
+            ks.LABEL_CLIENT_FINISHED,
+            hashlib.sha256(b"".join(transcript)).digest(),
+        )
+        if finished.verify_data != expected:
+            raise TLSError("client Finished verification failed", ALERT_DECRYPT_ERROR)
+
+        self._before_server_finished()
+        suite = self.negotiated_suite
+        self._send_change_cipher_spec()
+        self.records.write_state.activate(
+            suite,
+            suite.new_cipher(self._key_block.server_enc_key),
+            self._key_block.server_mac_key,
+        )
+        verify = ks.finished_verify_data(
+            self._master_secret, ks.LABEL_SERVER_FINISHED, self._transcript_hash()
+        )
+        self._send_handshake(msgs.Finished(verify_data=verify))
+        self._state = _State.CONNECTED
+        self.handshake_complete = True
+        self._emit(HandshakeComplete(cipher_suite=suite.name))
+
+    def _before_server_finished(self) -> None:
+        """Hook: mcTLS sends its key material messages here."""

@@ -1,0 +1,1 @@
+"""Command-line tools mirroring the paper's tooling (§5.4)."""

@@ -1,0 +1,109 @@
+"""``s_time`` — handshake throughput measurement, mcTLS-style.
+
+The paper's authors "modified the OpenSSL s_time benchmarking tool to
+support mcTLS... less than 30 new lines of C code" (§5.4).  This is the
+equivalent for our stack: run handshakes back to back for a wall-clock
+budget and report connections/sec, for any protocol mode.
+
+Usage::
+
+    python -m repro.tools.s_time --mode mctls --contexts 4 --middleboxes 1
+    python -m repro.tools.s_time --mode split --seconds 5 --key-bits 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments.harness import Mode, TestBed
+from repro.mctls.session import KeyTransport
+from repro.transport import Chain
+
+MODE_NAMES = {
+    "mctls": Mode.MCTLS,
+    "mctls-ckd": Mode.MCTLS_CKD,
+    "split": Mode.SPLIT_TLS,
+    "e2e": Mode.E2E_TLS,
+    "plain": Mode.NO_ENCRYPT,
+}
+
+
+def run_s_time(
+    mode: Mode,
+    seconds: float = 3.0,
+    n_contexts: int = 1,
+    n_middleboxes: int = 1,
+    key_bits: int = 1024,
+    key_transport: str = "rsa",
+) -> dict:
+    """Run handshakes for ~``seconds``; returns measurement statistics."""
+    bed = TestBed(
+        key_bits=key_bits,
+        key_transport=(
+            KeyTransport.RSA if key_transport == "rsa" else KeyTransport.DHE
+        ),
+    )
+    topology = (
+        bed.topology(n_middleboxes, n_contexts=n_contexts)
+        if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+        else None
+    )
+    count = 0
+    start = time.perf_counter()
+    deadline = start + seconds
+    while time.perf_counter() < deadline:
+        client, server = bed.make_endpoints(mode, topology=topology)
+        relays = bed.make_relays(mode, n_middleboxes)
+        chain = Chain(client, relays, server)
+        client.start_handshake()
+        chain.pump()
+        if not client.handshake_complete:
+            raise RuntimeError("handshake failed")
+        count += 1
+    elapsed = time.perf_counter() - start
+    return {
+        "mode": mode.value,
+        "contexts": n_contexts,
+        "middleboxes": n_middleboxes,
+        "key_bits": key_bits,
+        "connections": count,
+        "seconds": elapsed,
+        "connections_per_second": count / elapsed,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="s_time", description="Measure full-chain handshakes per second."
+    )
+    parser.add_argument("--mode", choices=sorted(MODE_NAMES), default="mctls")
+    parser.add_argument("--seconds", type=float, default=3.0)
+    parser.add_argument("--contexts", type=int, default=1)
+    parser.add_argument("--middleboxes", type=int, default=1)
+    parser.add_argument("--key-bits", type=int, default=1024)
+    parser.add_argument(
+        "--key-transport", choices=["rsa", "dhe"], default="rsa",
+        help="MiddleboxKeyMaterial protection (rsa = the paper's prototype)",
+    )
+    args = parser.parse_args(argv)
+
+    stats = run_s_time(
+        MODE_NAMES[args.mode],
+        seconds=args.seconds,
+        n_contexts=args.contexts,
+        n_middleboxes=args.middleboxes,
+        key_bits=args.key_bits,
+        key_transport=args.key_transport,
+    )
+    print(
+        f"{stats['connections']} connections in {stats['seconds']:.2f}s; "
+        f"{stats['connections_per_second']:.1f} connections/sec "
+        f"({stats['mode']}, {stats['contexts']} ctx, "
+        f"{stats['middleboxes']} mbox, {stats['key_bits']}-bit keys)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

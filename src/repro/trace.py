@@ -1,0 +1,146 @@
+"""Human-readable wire traces for TLS and mcTLS byte streams.
+
+A released protocol library needs a way to answer "what is actually on
+the wire?".  :func:`describe_stream` decodes record headers and (for
+plaintext records) handshake message structure into one line per item —
+the output the tests snapshot and the examples print when run with
+``MCTLS_TRACE=1``.
+
+Encrypted fragments are summarised by length only; this is a passive
+observer with no keys, exactly what an on-path third party sees.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mctls import messages as mm
+from repro.mctls import record as mrec
+from repro.tls import messages as tls_msgs
+from repro.tls import record as rec
+from repro.wire import DecodeError
+
+_CONTENT_NAMES = {
+    rec.CHANGE_CIPHER_SPEC: "ChangeCipherSpec",
+    rec.ALERT: "Alert",
+    rec.HANDSHAKE: "Handshake",
+    rec.APPLICATION_DATA: "ApplicationData",
+}
+
+_HANDSHAKE_NAMES = {
+    tls_msgs.CLIENT_HELLO: "ClientHello",
+    tls_msgs.SERVER_HELLO: "ServerHello",
+    tls_msgs.CERTIFICATE: "Certificate",
+    tls_msgs.SERVER_KEY_EXCHANGE: "ServerKeyExchange",
+    tls_msgs.SERVER_HELLO_DONE: "ServerHelloDone",
+    tls_msgs.CLIENT_KEY_EXCHANGE: "ClientKeyExchange",
+    tls_msgs.FINISHED: "Finished",
+    tls_msgs.MIDDLEBOX_HELLO: "MiddleboxHello",
+    tls_msgs.MIDDLEBOX_CERTIFICATE: "MiddleboxCertificate",
+    tls_msgs.MIDDLEBOX_KEY_EXCHANGE: "MiddleboxKeyExchange",
+    tls_msgs.MIDDLEBOX_KEY_MATERIAL: "MiddleboxKeyMaterial",
+}
+
+
+def _describe_handshake_message(msg_type: int, body: bytes) -> str:
+    name = _HANDSHAKE_NAMES.get(msg_type, f"handshake[{msg_type}]")
+    detail = ""
+    try:
+        if msg_type == tls_msgs.CLIENT_HELLO:
+            hello = tls_msgs.ClientHello.decode(body)
+            detail = f" suites={len(hello.cipher_suites)}"
+            ext = hello.find_extension(tls_msgs.EXT_MIDDLEBOX_LIST)
+            if ext is not None:
+                from repro.mctls.contexts import SessionTopology
+
+                topo = SessionTopology.decode(ext)
+                detail += (
+                    f" middleboxes={len(topo.middleboxes)}"
+                    f" contexts={len(topo.contexts)}"
+                )
+        elif msg_type == tls_msgs.SERVER_HELLO:
+            hello = tls_msgs.ServerHello.decode(body)
+            detail = f" suite=0x{hello.cipher_suite:04x}"
+            mode = hello.find_extension(mm.EXT_MCTLS_MODE)
+            if mode is not None:
+                detail += f" mode={mode[0]}"
+        elif msg_type == tls_msgs.CERTIFICATE:
+            message = tls_msgs.CertificateMessage.decode(body)
+            detail = " chain=[" + ", ".join(c.subject for c in message.chain) + "]"
+        elif msg_type == tls_msgs.MIDDLEBOX_HELLO:
+            hello = mm.MiddleboxHello.decode(body)
+            detail = f" mbox={hello.mbox_id}"
+        elif msg_type == tls_msgs.MIDDLEBOX_CERTIFICATE:
+            message = mm.MiddleboxCertificateMessage.decode(body)
+            detail = f" mbox={message.mbox_id} chain=[" + ", ".join(
+                c.subject for c in message.chain
+            ) + "]"
+        elif msg_type == tls_msgs.MIDDLEBOX_KEY_EXCHANGE:
+            ke = mm.MiddleboxKeyExchange.decode(body)
+            towards = "client" if ke.direction == mm.TOWARD_CLIENT else "server"
+            detail = f" mbox={ke.mbox_id} toward={towards}"
+        elif msg_type == tls_msgs.MIDDLEBOX_KEY_MATERIAL:
+            mkm = mm.MiddleboxKeyMaterial.decode(body)
+            sender = "client" if mkm.sender == mm.SENDER_CLIENT else "server"
+            target = "endpoint" if mkm.target == 0xFF else f"mbox {mkm.target}"
+            detail = f" from={sender} to={target} sealed={len(mkm.sealed)}B"
+    except DecodeError:
+        detail = " (body undecodable)"
+    return f"{name} ({len(body)}B){detail}"
+
+
+def describe_stream(data: bytes, mctls: bool = True, encrypted: bool = False) -> List[str]:
+    """One description line per record in ``data``.
+
+    ``encrypted`` marks the stream as post-CCS (fragments summarised,
+    not parsed).  Incomplete trailing bytes are reported as such.
+    """
+    lines: List[str] = []
+    buf = bytearray(data)
+    try:
+        if mctls:
+            records = [
+                (ct, ctx, frag) for ct, ctx, frag, _ in mrec.split_records(buf)
+            ]
+        else:
+            layer = rec.RecordLayer()
+            layer.feed(bytes(buf))
+            buf.clear()
+            records = [(ct, None, frag) for ct, frag in layer.read_all()]
+    except (mrec.McTLSRecordError, rec.RecordError) as exc:
+        lines.append(f"!! malformed record stream: {exc}")
+        return lines
+
+    for content_type, context_id, fragment in records:
+        prefix = _CONTENT_NAMES.get(content_type, f"type[{content_type}]")
+        ctx_part = f" ctx={context_id}" if context_id is not None else ""
+        if encrypted or (content_type == rec.APPLICATION_DATA):
+            lines.append(f"{prefix}{ctx_part} <{len(fragment)}B protected>")
+            continue
+        if content_type == rec.HANDSHAKE:
+            hs = tls_msgs.HandshakeBuffer()
+            hs.feed(fragment)
+            while True:
+                message = hs.next_message()
+                if message is None:
+                    break
+                msg_type, body, _ = message
+                lines.append(
+                    f"{prefix}{ctx_part} :: "
+                    + _describe_handshake_message(msg_type, body)
+                )
+            if hs.has_partial:
+                lines.append(f"{prefix}{ctx_part} :: (partial message)")
+        elif content_type == rec.ALERT and len(fragment) == 2:
+            level = "fatal" if fragment[0] == 2 else "warning"
+            lines.append(f"{prefix}{ctx_part} {level} code={fragment[1]}")
+        else:
+            lines.append(f"{prefix}{ctx_part} {len(fragment)}B")
+    if buf:
+        lines.append(f"... {len(buf)}B incomplete trailing record")
+    return lines
+
+
+def trace_handshake(chain_or_events, label: str = "") -> str:  # pragma: no cover
+    """Convenience: join described lines (for interactive debugging)."""
+    return "\n".join(describe_stream(chain_or_events))

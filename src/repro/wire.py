@@ -1,0 +1,143 @@
+"""Byte-level encoding helpers shared by the TLS and mcTLS codecs.
+
+TLS encodes everything as big-endian integers and length-prefixed opaque
+vectors with 1-, 2- or 3-byte length fields.  :class:`Writer` and
+:class:`Reader` provide exactly those operations plus strict bounds
+checking, so message codecs stay declarative.
+"""
+
+from __future__ import annotations
+
+
+class DecodeError(Exception):
+    """Raised when incoming bytes cannot be parsed as the expected shape."""
+
+
+class Writer:
+    """Accumulates a wire-format message."""
+
+    def __init__(self) -> None:
+        self._chunks = []
+
+    def u8(self, value: int) -> "Writer":
+        return self._uint(value, 1)
+
+    def u16(self, value: int) -> "Writer":
+        return self._uint(value, 2)
+
+    def u24(self, value: int) -> "Writer":
+        return self._uint(value, 3)
+
+    def u32(self, value: int) -> "Writer":
+        return self._uint(value, 4)
+
+    def u64(self, value: int) -> "Writer":
+        return self._uint(value, 8)
+
+    def _uint(self, value: int, size: int) -> "Writer":
+        if value < 0 or value >= 1 << (8 * size):
+            raise ValueError(f"{value} does not fit in {size} bytes")
+        self._chunks.append(value.to_bytes(size, "big"))
+        return self
+
+    def raw(self, data: bytes) -> "Writer":
+        self._chunks.append(bytes(data))
+        return self
+
+    def vec8(self, data: bytes) -> "Writer":
+        return self._vec(data, 1)
+
+    def vec16(self, data: bytes) -> "Writer":
+        return self._vec(data, 2)
+
+    def vec24(self, data: bytes) -> "Writer":
+        return self._vec(data, 3)
+
+    def _vec(self, data: bytes, length_size: int) -> "Writer":
+        if len(data) >= 1 << (8 * length_size):
+            raise ValueError("vector too long for its length prefix")
+        self._chunks.append(len(data).to_bytes(length_size, "big"))
+        self._chunks.append(bytes(data))
+        return self
+
+    def string8(self, text: str) -> "Writer":
+        return self.vec8(text.encode("utf-8"))
+
+    def string16(self, text: str) -> "Writer":
+        return self.vec16(text.encode("utf-8"))
+
+    def bytes(self) -> bytes:
+        return b"".join(self._chunks)
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._chunks)
+
+
+class Reader:
+    """Consumes a wire-format message with strict bounds checking."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._offset = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining == 0
+
+    def expect_end(self) -> None:
+        if not self.exhausted:
+            raise DecodeError(f"{self.remaining} unexpected trailing bytes")
+
+    def u8(self) -> int:
+        return self._uint(1)
+
+    def u16(self) -> int:
+        return self._uint(2)
+
+    def u24(self) -> int:
+        return self._uint(3)
+
+    def u32(self) -> int:
+        return self._uint(4)
+
+    def u64(self) -> int:
+        return self._uint(8)
+
+    def _uint(self, size: int) -> int:
+        return int.from_bytes(self.raw(size), "big")
+
+    def raw(self, n: int) -> bytes:
+        if n < 0 or self._offset + n > len(self._data):
+            raise DecodeError("message truncated")
+        chunk = self._data[self._offset : self._offset + n]
+        self._offset += n
+        return chunk
+
+    def rest(self) -> bytes:
+        return self.raw(self.remaining)
+
+    def vec8(self) -> bytes:
+        return self.raw(self.u8())
+
+    def vec16(self) -> bytes:
+        return self.raw(self.u16())
+
+    def vec24(self) -> bytes:
+        return self.raw(self.u24())
+
+    def string8(self) -> str:
+        return self._decode_utf8(self.vec8())
+
+    def string16(self) -> str:
+        return self._decode_utf8(self.vec16())
+
+    @staticmethod
+    def _decode_utf8(data: bytes) -> str:
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError("invalid UTF-8 in string field") from exc

@@ -1,0 +1,26 @@
+"""Synthetic workloads standing in for the paper's recorded page loads.
+
+The paper replays the Alexa top-500 pages recorded in Chrome (object
+sizes, connection reuse) and reports the object-size percentiles it uses
+for file-transfer tests: 10th = 0.5 kB, 50th = 4.9 kB, 99th = 185.6 kB.
+We generate a seeded corpus whose object-size distribution interpolates
+exactly those anchors, with page structure (objects per page, connections
+per page, random object→connection assignment) following the paper's
+replay methodology.
+"""
+
+from repro.workloads.alexa import (
+    PageCorpus,
+    SyntheticPage,
+    generate_corpus,
+    object_size_quantile,
+)
+from repro.workloads.filesizes import PAPER_FILE_SIZES
+
+__all__ = [
+    "PAPER_FILE_SIZES",
+    "PageCorpus",
+    "SyntheticPage",
+    "generate_corpus",
+    "object_size_quantile",
+]

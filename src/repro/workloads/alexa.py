@@ -1,0 +1,150 @@
+"""Synthetic Alexa-like page corpus.
+
+Object sizes are drawn from an empirical quantile function interpolating
+the percentiles the paper publishes (§5.1: 0.5 kB / 4.9 kB / 185.6 kB at
+P10/P50/P99), log-linearly between anchors.  Pages hold a log-normal
+number of objects; objects are assigned to a page's connections uniformly
+at random — exactly the paper's replay rule ("we assign the object to an
+existing [connection] chosen at random"), with the paper's dependency
+model (each object depends only on the previous object loaded in the
+same connection).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+# Quantile anchors for object sizes, in bytes.  P10/P50/P99 come from the
+# paper; the tails are representative web-object extremes.
+_SIZE_ANCHORS = (
+    (0.00, 120),
+    (0.10, 500),
+    (0.50, 4_900),
+    (0.99, 185_600),
+    (1.00, 2_000_000),
+)
+
+
+def object_size_quantile(q: float) -> int:
+    """The object size at quantile ``q`` (log-linear between anchors)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    for (q_low, s_low), (q_high, s_high) in zip(_SIZE_ANCHORS, _SIZE_ANCHORS[1:]):
+        if q <= q_high:
+            if q_high == q_low:
+                return s_low
+            fraction = (q - q_low) / (q_high - q_low)
+            log_size = math.log(s_low) + fraction * (math.log(s_high) - math.log(s_low))
+            return max(1, round(math.exp(log_size)))
+    return _SIZE_ANCHORS[-1][1]
+
+
+@dataclass(frozen=True)
+class SyntheticPage:
+    """One page: per-connection ordered object size lists.
+
+    ``connections[i]`` is the ordered list of object sizes fetched on
+    connection ``i``; each object waits for the previous one on the same
+    connection (the paper's dependency assumption).
+    """
+
+    url: str
+    connections: Sequence[Sequence[int]]
+
+    @property
+    def object_count(self) -> int:
+        return sum(len(c) for c in self.connections)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(sum(c) for c in self.connections)
+
+
+@dataclass(frozen=True)
+class PageCorpus:
+    pages: Sequence[SyntheticPage]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __iter__(self):
+        return iter(self.pages)
+
+    # -- persistence (reproducible experiment inputs) -------------------
+
+    def to_json(self) -> str:
+        """Serialize for exact replay across machines/runs."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "pages": [
+                    {"url": p.url, "connections": [list(c) for c in p.connections]}
+                    for p in self.pages
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, data: str) -> "PageCorpus":
+        raw = json.loads(data)
+        pages = tuple(
+            SyntheticPage(
+                url=entry["url"],
+                connections=tuple(tuple(c) for c in entry["connections"]),
+            )
+            for entry in raw["pages"]
+        )
+        return cls(pages=pages, seed=raw["seed"])
+
+    def size_percentile(self, q: float) -> int:
+        sizes = sorted(s for page in self.pages for c in page.connections for s in c)
+        if not sizes:
+            raise ValueError("empty corpus")
+        index = min(len(sizes) - 1, int(q * len(sizes)))
+        return sizes[index]
+
+
+def _page_object_count(rng: random.Random) -> int:
+    """Objects per page: log-normal, median ≈ 40, clamped to [1, 300]."""
+    count = round(rng.lognormvariate(math.log(40), 0.7))
+    return max(1, min(300, count))
+
+
+def _page_connection_count(rng: random.Random, n_objects: int) -> int:
+    """Connections per page: roughly one per 3 objects, at least 2 (when
+    the page has ≥ 2 objects), at most 32 — matching browser behaviour of
+    ~6 connections per host across several hosts."""
+    if n_objects == 1:
+        return 1
+    estimate = round(n_objects / 3)
+    return max(2, min(32, estimate, n_objects))
+
+
+def generate_corpus(n_pages: int = 500, seed: int = 2015) -> PageCorpus:
+    """Generate a deterministic corpus of ``n_pages`` synthetic pages."""
+    rng = random.Random(seed)
+    pages: List[SyntheticPage] = []
+    for page_index in range(n_pages):
+        n_objects = _page_object_count(rng)
+        n_connections = _page_connection_count(rng, n_objects)
+        connections: List[List[int]] = [[] for _ in range(n_connections)]
+        # First object (the HTML) goes on connection 0; the rest land on a
+        # random connection, as in the paper's replay.
+        for object_index in range(n_objects):
+            size = object_size_quantile(rng.random())
+            if object_index == 0:
+                connections[0].append(size)
+            else:
+                connections[rng.randrange(n_connections)].append(size)
+        pages.append(
+            SyntheticPage(
+                url=f"page{page_index:03d}.example",
+                connections=tuple(tuple(c) for c in connections if c),
+            )
+        )
+    return PageCorpus(pages=tuple(pages), seed=seed)

@@ -1,0 +1,15 @@
+"""The fixed file sizes used in the paper's transfer experiments (§5.1).
+
+"To choose realistic file sizes, we loaded the top 500 Alexa pages and
+picked the 10th, 50th, and 99th percentile object sizes (0.5 kB, 4.9 kB,
+and 185 kB...). We also consider large (10MB) downloads."
+"""
+
+from __future__ import annotations
+
+PAPER_FILE_SIZES = {
+    "p10": 500,  # 0.5 kB — 10th percentile object
+    "p50": 4_900,  # 4.9 kB — median object
+    "p99": 185_600,  # 185.6 kB — 99th percentile object
+    "large": 10 * 1024 * 1024,  # 10 MB — zip files / video chunks
+}

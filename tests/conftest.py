@@ -1,0 +1,73 @@
+"""Shared fixtures: a test CA and pre-generated identities.
+
+RSA key generation is the slowest primitive, so identities are created
+once per session with small (512-bit) keys — the protocol logic under
+test is key-size independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.certs import CertificateAuthority, Identity
+from repro.crypto.dh import GROUP_TEST_512
+from repro.tls.connection import TLSConfig
+
+TEST_KEY_BITS = 512
+
+
+@pytest.fixture(scope="session")
+def ca() -> CertificateAuthority:
+    return CertificateAuthority.create_root("Test Root CA", key_bits=TEST_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def server_identity(ca) -> Identity:
+    return Identity.issued_by(ca, "server.example", key_bits=TEST_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def mbox_identity(ca) -> Identity:
+    return Identity.issued_by(ca, "mbox1.example", key_bits=TEST_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def mbox2_identity(ca) -> Identity:
+    return Identity.issued_by(ca, "mbox2.example", key_bits=TEST_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def mbox_identities(ca, mbox_identity, mbox2_identity):
+    """Identities for up to four middleboxes, index 0 = nearest client."""
+    extra = [
+        Identity.issued_by(ca, f"mbox{i}.example", key_bits=TEST_KEY_BITS)
+        for i in (3, 4)
+    ]
+    return [mbox_identity, mbox2_identity] + extra
+
+
+@pytest.fixture()
+def client_config(ca) -> TLSConfig:
+    return TLSConfig(
+        trusted_roots=[ca.certificate],
+        server_name="server.example",
+        dh_group=GROUP_TEST_512,
+    )
+
+
+@pytest.fixture()
+def server_config(ca, server_identity) -> TLSConfig:
+    return TLSConfig(
+        identity=server_identity,
+        trusted_roots=[ca.certificate],
+        dh_group=GROUP_TEST_512,
+    )
+
+
+@pytest.fixture()
+def mbox_config(ca, mbox_identity) -> TLSConfig:
+    return TLSConfig(
+        identity=mbox_identity,
+        trusted_roots=[ca.certificate],
+        dh_group=GROUP_TEST_512,
+    )

@@ -1,0 +1,71 @@
+"""Helpers for building wired mcTLS sessions in tests."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.crypto.dh import GROUP_TEST_512
+from repro.mctls import (
+    ContextDefinition,
+    McTLSClient,
+    McTLSMiddlebox,
+    McTLSServer,
+    MiddleboxInfo,
+    SessionTopology,
+)
+from repro.mctls.session import HandshakeMode
+from repro.tls.connection import TLSConfig
+from repro.transport import Chain
+
+
+def build_session(
+    ca,
+    server_identity,
+    mbox_identities: Sequence,
+    contexts: Sequence[ContextDefinition],
+    mode: HandshakeMode = HandshakeMode.DEFAULT,
+    topology_policy=None,
+    transformer=None,
+    observer=None,
+):
+    """Wire a client ⇄ N middleboxes ⇄ server session; returns
+    (client, middleboxes, server, chain) with the handshake already pumped."""
+    middleboxes = [
+        MiddleboxInfo(i + 1, identity.name) for i, identity in enumerate(mbox_identities)
+    ]
+    topology = SessionTopology(middleboxes=middleboxes, contexts=contexts)
+
+    client = McTLSClient(
+        TLSConfig(
+            trusted_roots=[ca.certificate],
+            server_name=server_identity.name,
+            dh_group=GROUP_TEST_512,
+        ),
+        topology=topology,
+    )
+    server = McTLSServer(
+        TLSConfig(
+            identity=server_identity,
+            trusted_roots=[ca.certificate],
+            dh_group=GROUP_TEST_512,
+        ),
+        mode=mode,
+        topology_policy=topology_policy,
+    )
+    mboxes = [
+        McTLSMiddlebox(
+            identity.name,
+            TLSConfig(
+                identity=identity,
+                trusted_roots=[ca.certificate],
+                dh_group=GROUP_TEST_512,
+            ),
+            transformer=transformer,
+            observer=observer,
+        )
+        for identity in mbox_identities
+    ]
+    chain = Chain(client, mboxes, server)
+    client.start_handshake()
+    chain.pump()
+    return client, mboxes, server, chain

@@ -1,0 +1,89 @@
+"""Tests for the high-level SessionBuilder (§5.4 deployability)."""
+
+import pytest
+
+from repro.builder import SessionBuilder
+from repro.crypto.dh import GROUP_TEST_512
+from repro.mctls import Permission
+from repro.mctls.contexts import restrict_topology
+from repro.mctls.session import HandshakeMode, KeyTransport, McTLSApplicationData
+
+
+def fast_builder(**kwargs):
+    return SessionBuilder(key_bits=512, dh_group=GROUP_TEST_512, **kwargs)
+
+
+def app_data(events):
+    return [(e.context_id, e.data) for e in events if isinstance(e, McTLSApplicationData)]
+
+
+class TestBuilder:
+    def test_seventeen_line_client(self):
+        """The whole point: a complete session in a handful of lines."""
+        seen = []
+        session = (
+            fast_builder(server_name="shop.example")
+            .middlebox("proxy.isp", observer=lambda d, c, data: seen.append(data))
+            .context("headers", middleboxes={"proxy.isp": "read"})
+            .context("payload")
+            .build()
+        )
+        assert session.client.handshake_complete
+        session.client.send_application_data(b"GET /", context_id=session.ctx("headers"))
+        session.client.send_application_data(b"pin=1234", context_id=session.ctx("payload"))
+        events = session.pump()
+        assert app_data(events) == [
+            (session.ctx("headers"), b"GET /"),
+            (session.ctx("payload"), b"pin=1234"),
+        ]
+        assert seen == [b"GET /"]
+
+    def test_no_contexts_gets_default(self):
+        session = fast_builder().build()
+        assert session.ctx("default") == 1
+        session.server.send_application_data(b"hi", context_id=1)
+        events = session.pump()
+        assert app_data(events) == [(1, b"hi")]
+
+    def test_writer_middlebox(self):
+        session = (
+            fast_builder()
+            .middlebox("rewriter", transformer=lambda d, c, data: data.upper())
+            .context("text", middleboxes={"rewriter": "write"})
+            .build()
+        )
+        session.client.send_application_data(b"shout", context_id=1)
+        events = session.pump()
+        assert app_data(events) == [(1, b"SHOUT")]
+
+    def test_modes_and_transports(self):
+        for mode in HandshakeMode:
+            for transport in KeyTransport:
+                session = (
+                    fast_builder(mode=mode, key_transport=transport)
+                    .middlebox("m")
+                    .context("c", middleboxes={"m": "read"})
+                    .build()
+                )
+                assert session.client.handshake_complete
+                assert session.middleboxes[0].permissions[1] is Permission.READ
+
+    def test_server_policy_hook(self):
+        session = (
+            fast_builder()
+            .middlebox("nosy")
+            .context("private", middleboxes={"nosy": "read"})
+            .server_policy(lambda t: restrict_topology(t, {1: {1: Permission.NONE}}))
+            .build()
+        )
+        assert session.middleboxes[0].permissions[1] is Permission.NONE
+
+    def test_declaration_errors(self):
+        with pytest.raises(ValueError, match="twice"):
+            fast_builder().middlebox("m").middlebox("m")
+        with pytest.raises(ValueError, match="twice"):
+            fast_builder().context("c").context("c")
+        with pytest.raises(ValueError, match="undeclared"):
+            fast_builder().context("c", middleboxes={"ghost": "read"}).build()
+        with pytest.raises(ValueError, match="permission"):
+            fast_builder().middlebox("m").context("c", middleboxes={"m": "admin"}).build()

@@ -1,0 +1,86 @@
+"""The documented trade-off of client-key-distribution mode (§3.6).
+
+"This reduces the server load, but it has the disadvantage that
+agreement about middlebox permissions is not enforced."
+
+In default mode the server's topology policy is binding (it withholds
+its key halves).  In CKD mode the client alone distributes full keys, so
+the same policy is toothless — these tests pin down both sides of that
+contrast, since the whole point of the mode is that the server *chose*
+to give up the control.
+"""
+
+import pytest
+
+from repro.mctls import ContextDefinition, Permission
+from repro.mctls.contexts import restrict_topology
+from repro.mctls.session import HandshakeMode, McTLSApplicationData
+
+from tests.mctls_helpers import build_session
+
+
+def deny_all_policy(topology):
+    grants = {
+        mbox.mbox_id: {ctx.context_id: Permission.NONE for ctx in topology.contexts}
+        for mbox in topology.middleboxes
+    }
+    return restrict_topology(topology, grants)
+
+
+CONTEXTS = [ContextDefinition(1, "sensitive", {1: Permission.READ})]
+
+
+class TestPolicyEnforcement:
+    def test_default_mode_policy_binds(self, ca, server_identity, mbox_identity):
+        seen = []
+        client, mboxes, server, chain = build_session(
+            ca,
+            server_identity,
+            [mbox_identity],
+            CONTEXTS,
+            mode=HandshakeMode.DEFAULT,
+            topology_policy=deny_all_policy,
+            observer=lambda d, c, data: seen.append(data),
+        )
+        client.send_application_data(b"secret", context_id=1)
+        chain.pump()
+        assert mboxes[0].permissions[1] is Permission.NONE
+        assert seen == []
+
+    def test_ckd_mode_policy_is_toothless(self, ca, server_identity, mbox_identity):
+        """The same deny-all policy cannot stop a client grant in CKD
+        mode: the middlebox reads the context anyway."""
+        seen = []
+        client, mboxes, server, chain = build_session(
+            ca,
+            server_identity,
+            [mbox_identity],
+            CONTEXTS,
+            mode=HandshakeMode.CLIENT_KEY_DIST,
+            topology_policy=deny_all_policy,
+            observer=lambda d, c, data: seen.append(data),
+        )
+        client.send_application_data(b"secret", context_id=1)
+        chain.pump()
+        assert mboxes[0].permissions[1] is Permission.READ
+        assert seen == [b"secret"]  # the §3.6 disadvantage, demonstrated
+
+    def test_servers_needing_control_use_default_mode(
+        self, ca, server_identity, mbox_identity
+    ):
+        """The banking server's mitigation: simply don't offer CKD."""
+        seen = []
+        client, mboxes, server, chain = build_session(
+            ca,
+            server_identity,
+            [mbox_identity],
+            CONTEXTS,
+            mode=HandshakeMode.DEFAULT,  # the bank's choice
+            topology_policy=deny_all_policy,
+            observer=lambda d, c, data: seen.append(data),
+        )
+        server.send_application_data(b"balance: 42", context_id=1)
+        events = chain.pump()
+        delivered = [e.data for e in events if isinstance(e, McTLSApplicationData)]
+        assert delivered == [b"balance: 42"]  # client still gets the data
+        assert seen == []  # the middlebox does not

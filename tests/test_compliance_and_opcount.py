@@ -1,0 +1,129 @@
+"""Tests for the Table 4 compliance data and the op-counter substrate."""
+
+import threading
+
+import pytest
+
+from repro.crypto.opcount import (
+    CATEGORIES,
+    OpCounter,
+    count_op,
+    counting,
+    current_counter,
+)
+from repro.mctls.compliance import (
+    TABLE4,
+    Compliance,
+    compliance_matrix,
+    mctls_meets_all_requirements,
+)
+
+
+class TestCompliance:
+    def test_mctls_full_compliance(self):
+        assert mctls_meets_all_requirements()
+
+    def test_six_proposals(self):
+        names = [row.name for row in TABLE4]
+        assert names == [
+            "mcTLS",
+            "Custom Certificate",
+            "Proxy Certificate Flag",
+            "Session Key Out-of-Band",
+            "Custom Browser",
+            "Proxy Server Extension",
+        ]
+
+    def test_no_competitor_fully_compliant(self):
+        for row in TABLE4[1:]:
+            assert any(c is not Compliance.FULL for c in row.cells()), row.name
+
+    def test_custom_certificate_fails_everything(self):
+        row = next(r for r in TABLE4 if r.name == "Custom Certificate")
+        assert all(c is Compliance.NONE for c in row.cells())
+
+    def test_session_key_oob_matches_paper(self):
+        """Paper: (3) satisfies R1 and R2 fully, R3 partially."""
+        row = next(r for r in TABLE4 if r.name == "Session Key Out-of-Band")
+        assert row.r1 is Compliance.FULL
+        assert row.r2 is Compliance.FULL
+        assert row.r3 is Compliance.PARTIAL
+        assert row.r4 is Compliance.NONE
+
+    def test_matrix_rendering(self):
+        matrix = compliance_matrix()
+        assert matrix["mcTLS"] == ["●"] * 5
+        assert len(matrix) == 6
+
+    def test_rationales_present(self):
+        assert all(row.rationale for row in TABLE4)
+
+
+class TestOpCounter:
+    def test_counting_context(self):
+        with counting() as counter:
+            count_op("hash")
+            count_op("key_gen", 3)
+        assert counter.get("hash") == 1
+        assert counter.get("key_gen") == 3
+
+    def test_no_active_counter_is_noop(self):
+        assert current_counter() is None
+        count_op("hash")  # must not raise
+
+    def test_nested_counters(self):
+        with counting() as outer:
+            count_op("hash")
+            with counting() as inner:
+                count_op("hash")
+            count_op("hash")
+        assert outer.get("hash") == 2
+        assert inner.get("hash") == 1
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounter().add("nonsense")
+
+    def test_subtraction(self):
+        a, b = OpCounter(), OpCounter()
+        a.add("hash", 5)
+        b.add("hash", 2)
+        assert (a - b).get("hash") == 3
+
+    def test_reset_and_snapshot(self):
+        counter = OpCounter()
+        counter.add("sym_encrypt", 2)
+        snap = counter.snapshot()
+        counter.reset()
+        assert snap["sym_encrypt"] == 2
+        assert counter.get("sym_encrypt") == 0
+
+    def test_thread_isolation(self):
+        """Counters are thread-local: a worker thread's ops don't leak."""
+        results = {}
+
+        def worker():
+            with counting() as counter:
+                count_op("hash", 7)
+                results["worker"] = counter.get("hash")
+
+        with counting() as main_counter:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            count_op("hash")
+        assert results["worker"] == 7
+        assert main_counter.get("hash") == 1
+
+    def test_primitives_report(self):
+        """The crypto layer actually reports into the active counter."""
+        from repro.crypto.dh import GROUP_TEST_512
+        from repro.crypto.prf import prf
+
+        keypair = GROUP_TEST_512.generate_keypair()
+        peer = GROUP_TEST_512.generate_keypair()
+        with counting() as counter:
+            keypair.combine(peer.public)
+            prf(b"s", b"l", b"seed", 32)
+        assert counter.get("secret_comp") == 1
+        assert counter.get("hash") == 1

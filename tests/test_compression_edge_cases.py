@@ -1,0 +1,110 @@
+"""Edge cases for the compression proxy's buffer-and-reemit rewrite.
+
+The core constraint (module docstring of repro.middleboxes.compression):
+a writer cannot change the record count, so a buffered rewrite must fit
+one record.  These tests pin the guard and the multi-record paths.
+"""
+
+import os
+import zlib
+
+import pytest
+
+from repro.http import FOUR_CONTEXT, HttpClientSession, HttpRequest, HttpResponse, HttpServerSession
+from repro.middleboxes import CompressionProxy
+from repro.mctls.session import McTLSApplicationData
+from repro.tls.connection import TLSConfig
+from repro.transport import Chain
+
+from tests.test_middlebox_apps import run_app_session
+
+
+class TestSizeGuard:
+    def test_large_response_passes_through_uncompressed(
+        self, ca, server_identity, mbox_identity
+    ):
+        """A 100 kB body exceeds the one-record rewrite budget: the proxy
+        must not intercept it (and the transfer must still succeed)."""
+        body = b"compressible words " * 6000  # ~114 kB, multi-record
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, CompressionProxy,
+            lambda req: HttpResponse(body=body),
+        )
+        response = issue(HttpRequest(target="/huge"))
+        assert response.body == body
+        assert response.get_header("Content-Encoding") is None
+        assert app.responses_compressed == 0
+        assert app.responses_passed_through == 1
+
+    def test_borderline_response_compressed(self, ca, server_identity, mbox_identity):
+        """Just under the budget: buffered across records and compressed."""
+        body = b"repetitive content block " * 500  # 12.5 kB < MAX_BUFFERABLE
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, CompressionProxy,
+            lambda req: HttpResponse(body=body),
+        )
+        response = issue(HttpRequest(target="/mid"))
+        assert response.body == body
+        assert app.responses_compressed == 1
+
+    def test_custom_budget(self, ca, server_identity, mbox_identity):
+        body = b"x" * 3000
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, CompressionProxy,
+            lambda req: HttpResponse(body=body),
+            max_bufferable=1000,
+        )
+        response = issue(HttpRequest(target="/limited"))
+        assert response.body == body
+        assert app.responses_passed_through == 1
+
+
+class TestStreams:
+    def test_pipelined_responses(self, ca, server_identity, mbox_identity):
+        """Alternating compressible / incompressible / large responses on
+        one connection keep per-response state straight."""
+        compressible = b"text block " * 300
+        incompressible = os.urandom(2000)
+        huge = b"huge block " * 5000
+
+        def handler(req):
+            if req.target == "/text":
+                return HttpResponse(body=compressible)
+            if req.target == "/noise":
+                return HttpResponse(body=incompressible)
+            return HttpResponse(body=huge)
+
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, CompressionProxy, handler
+        )
+        assert issue(HttpRequest(target="/text")).body == compressible
+        assert issue(HttpRequest(target="/huge")).body == huge
+        assert issue(HttpRequest(target="/noise")).body == incompressible
+        assert issue(HttpRequest(target="/text")).body == compressible
+        assert app.responses_compressed == 2
+        assert app.responses_passed_through == 1  # the huge one
+        # The incompressible one was buffered but re-emitted unchanged.
+
+    def test_zero_length_body(self, ca, server_identity, mbox_identity):
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, CompressionProxy,
+            lambda req: HttpResponse(body=b""),
+        )
+        response = issue(HttpRequest(target="/empty"))
+        assert response.body == b""
+        assert app.responses_compressed == 0
+
+    def test_already_encoded_response_untouched(
+        self, ca, server_identity, mbox_identity
+    ):
+        body = zlib.compress(b"pre-compressed " * 100)
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, CompressionProxy,
+            lambda req: HttpResponse(
+                headers=[("Content-Encoding", "deflate")], body=body
+            ),
+        )
+        response = issue(HttpRequest(target="/pre"))
+        # The client session inflates it (Content-Encoding survives).
+        assert response.body == b"pre-compressed " * 100
+        assert app.responses_compressed == 0

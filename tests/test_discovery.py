@@ -1,0 +1,102 @@
+"""Tests for middlebox discovery (§6.1)."""
+
+import pytest
+
+from repro.mctls.discovery import (
+    ContentProviderPolicy,
+    DiscoveredMiddlebox,
+    NetworkPolicy,
+    ServiceRegistry,
+    StaticProvider,
+    discover,
+)
+
+
+def mbox(name, service="", address=""):
+    return DiscoveredMiddlebox(name=name, service=service, address=address)
+
+
+class TestServiceRegistry:
+    def test_advertise_and_find(self):
+        registry = ServiceRegistry()
+        registry.advertise("compression", "proxy1.isp.net", "10.0.0.1:443")
+        registry.advertise("compression", "proxy2.isp.net")
+        registry.advertise("ids", "ids.isp.net")
+        found = registry.find("compression")
+        assert [m.name for m in found] == ["proxy1.isp.net", "proxy2.isp.net"]
+        assert found[0].address == "10.0.0.1:443"
+        assert registry.find("nonexistent") == []
+
+    def test_withdraw(self):
+        registry = ServiceRegistry()
+        registry.advertise("filter", "f1")
+        registry.advertise("filter", "f2")
+        registry.withdraw("filter", "f1")
+        assert [m.name for m in registry.find("filter")] == ["f2"]
+
+
+class TestContentProviderPolicy:
+    def test_exact_lookup(self):
+        policy = ContentProviderPolicy()
+        policy.publish("video.example", [mbox("cdn-opt.example")])
+        assert [m.name for m in policy.lookup("video.example")] == ["cdn-opt.example"]
+        assert policy.lookup("other.example") == []
+
+    def test_wildcard_lookup(self):
+        policy = ContentProviderPolicy()
+        policy.publish("*.example.com", [mbox("edge.example.com")])
+        assert [m.name for m in policy.lookup("www.example.com")] == ["edge.example.com"]
+        assert [m.name for m in policy.lookup("a.b.example.com")] == ["edge.example.com"]
+        assert policy.lookup("example.org") == []
+
+    def test_exact_beats_wildcard(self):
+        policy = ContentProviderPolicy()
+        policy.publish("*.example.com", [mbox("generic")])
+        policy.publish("www.example.com", [mbox("specific")])
+        assert [m.name for m in policy.lookup("www.example.com")] == ["specific"]
+
+
+class TestDiscover:
+    def test_path_order(self):
+        """Operator boxes first, then user, then content provider."""
+        network = NetworkPolicy(required=[mbox("virus-scan.corp")])
+        user = [mbox("compress.isp.net")]
+        policy = ContentProviderPolicy()
+        policy.publish("shop.example", [mbox("waf.shop.example")])
+        result = discover(
+            "shop.example", network=network, user=user, content_provider=policy
+        )
+        assert [m.name for m in result] == [
+            "virus-scan.corp",
+            "compress.isp.net",
+            "waf.shop.example",
+        ]
+        assert [m.mbox_id for m in result] == [1, 2, 3]
+
+    def test_duplicates_collapsed(self):
+        network = NetworkPolicy(required=[mbox("shared.example")])
+        result = discover(
+            "s.example", network=network, user=[mbox("shared.example")]
+        )
+        assert len(result) == 1
+
+    def test_empty_sources(self):
+        assert discover("s.example") == []
+
+    def test_static_provider(self):
+        provider = StaticProvider([mbox("a"), mbox("b")])
+        assert [m.name for m in provider.lookup("anything")] == ["a", "b"]
+
+    def test_discovered_list_builds_valid_topology(self):
+        from repro.mctls.contexts import ContextDefinition, Permission, SessionTopology
+
+        middleboxes = discover(
+            "s.example", user=[mbox("m1.example"), mbox("m2.example")]
+        )
+        topology = SessionTopology(
+            middleboxes=middleboxes,
+            contexts=[
+                ContextDefinition(1, "ctx", {m.mbox_id: Permission.READ for m in middleboxes})
+            ],
+        )
+        assert topology.middlebox_ids == [1, 2]

@@ -1,0 +1,16 @@
+"""Every example script must run to completion (they self-assert)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "OK" in out

@@ -1,0 +1,182 @@
+"""Smoke and shape tests for the experiment harness and every experiment.
+
+These run scaled-down versions of the paper's experiments and assert the
+*qualitative* results the paper reports — the benchmarks print the full
+tables; these tests guard the shapes in CI.
+"""
+
+import pytest
+
+from repro.crypto.dh import GROUP_TEST_512
+from repro.experiments.handshake_size import figure8, measure_handshake_size
+from repro.experiments.handshake_time import measure_ttfb
+from repro.experiments.harness import Mode, TestBed, build_links, build_path
+from repro.experiments.opcounts import measure_opcounts
+from repro.experiments.overhead import record_overhead
+from repro.experiments.page_load import load_page
+from repro.experiments.throughput import measure_handshake_throughput
+from repro.experiments.transfer import measure_transfer
+from repro.netsim.profiles import controlled
+from repro.workloads import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return TestBed(key_bits=512, dh_group=GROUP_TEST_512)
+
+
+class TestTTFB:
+    def test_noencrypt_two_rtts(self, bed):
+        result = measure_ttfb(bed, Mode.NO_ENCRYPT)
+        assert result.rtts == pytest.approx(2.0, abs=0.15)
+
+    def test_encrypted_protocols_four_rtts(self, bed):
+        for mode in (Mode.E2E_TLS, Mode.SPLIT_TLS, Mode.MCTLS):
+            result = measure_ttfb(bed, mode, n_contexts=1)
+            assert result.rtts == pytest.approx(4.0, abs=0.35), mode
+
+    def test_nagle_cliff_appears_and_nodelay_removes_it(self, bed):
+        """At high context counts, Nagle adds at least one hop-RTT."""
+        on = measure_ttfb(bed, Mode.MCTLS, n_contexts=12)
+        off = measure_ttfb(bed, Mode.MCTLS, n_contexts=12, nagle=False)
+        assert on.ttfb_s - off.ttfb_s > 0.035  # ≥ one 40 ms hop-RTT
+        assert off.rtts < 4.3
+
+    def test_middleboxes_add_linear_delay(self, bed):
+        one = measure_ttfb(bed, Mode.E2E_TLS, n_middleboxes=1)
+        three = measure_ttfb(bed, Mode.E2E_TLS, n_middleboxes=3)
+        # Two more 20 ms hops → 4 RTT over an extra 80 ms ≈ +320 ms.
+        assert three.ttfb_s - one.ttfb_s == pytest.approx(0.32, abs=0.05)
+
+    def test_mctls_ckd_mode_works_in_sim(self, bed):
+        result = measure_ttfb(bed, Mode.MCTLS_CKD, n_contexts=2)
+        assert result.rtts == pytest.approx(4.0, abs=0.4)
+
+
+class TestTransfer:
+    def test_small_file_handshake_dominated(self, bed):
+        profile = controlled(2, 1.0)
+        plain = measure_transfer(bed, Mode.NO_ENCRYPT, 500, profile)
+        mctls = measure_transfer(bed, Mode.MCTLS, 500, profile)
+        # Encrypted handshake costs ~2 extra total-RTTs (~160 ms).
+        assert 0.1 < mctls.download_time_s - plain.download_time_s < 0.35
+
+    def test_large_file_bandwidth_bound(self, bed):
+        profile = controlled(2, 1.0)
+        size = 1_000_000
+        plain = measure_transfer(bed, Mode.NO_ENCRYPT, size, profile)
+        mctls = measure_transfer(bed, Mode.MCTLS, size, profile)
+        # Protocol overhead is a small fraction for MB-scale transfers.
+        assert mctls.download_time_s / plain.download_time_s < 1.10
+        # And the transfer time is roughly size/bandwidth.
+        assert plain.download_time_s == pytest.approx(size * 8 / 1e6, rel=0.25)
+
+    def test_all_modes_complete(self, bed):
+        profile = controlled(2, 10.0)
+        for mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.SPLIT_TLS, Mode.E2E_TLS, Mode.NO_ENCRYPT):
+            result = measure_transfer(bed, mode, 10_000, profile)
+            assert result.download_time_s > 0
+
+
+class TestHandshakeSize:
+    def test_mctls_larger_than_tls(self, bed):
+        mctls = measure_handshake_size(bed, Mode.MCTLS, 1, 0)
+        e2e = measure_handshake_size(bed, Mode.E2E_TLS, 1, 0)
+        assert mctls.bytes_total > e2e.bytes_total
+
+    def test_grows_with_contexts(self, bed):
+        sizes = [
+            measure_handshake_size(bed, Mode.MCTLS, n, 0).bytes_total
+            for n in (1, 4, 8)
+        ]
+        assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+
+    def test_grows_with_middleboxes(self, bed):
+        zero = measure_handshake_size(bed, Mode.MCTLS, 4, 0).bytes_total
+        one = measure_handshake_size(bed, Mode.MCTLS, 4, 1).bytes_total
+        two = measure_handshake_size(bed, Mode.MCTLS, 4, 2).bytes_total
+        assert zero < one < two
+
+    def test_baselines_flat(self, bed):
+        for mode in (Mode.SPLIT_TLS, Mode.E2E_TLS):
+            a = measure_handshake_size(bed, mode, 1, 0).bytes_total
+            b = measure_handshake_size(bed, mode, 8, 0).bytes_total
+            assert a == b
+
+
+class TestThroughput:
+    def test_e2e_middlebox_nearly_free(self, bed):
+        e2e = measure_handshake_throughput(bed, Mode.E2E_TLS, 1, 1, repetitions=2)
+        split = measure_handshake_throughput(bed, Mode.SPLIT_TLS, 1, 1, repetitions=2)
+        assert e2e.middlebox_cps > 10 * split.middlebox_cps
+
+    def test_mctls_middlebox_beats_split(self, bed):
+        mctls = measure_handshake_throughput(bed, Mode.MCTLS, 1, 1, repetitions=3)
+        split = measure_handshake_throughput(bed, Mode.SPLIT_TLS, 1, 1, repetitions=3)
+        assert mctls.middlebox_cps > split.middlebox_cps
+
+    def test_server_cost_grows_with_contexts(self, bed):
+        few = measure_handshake_throughput(bed, Mode.MCTLS, 1, 1, repetitions=3)
+        many = measure_handshake_throughput(bed, Mode.MCTLS, 16, 1, repetitions=3)
+        assert many.server_cps < few.server_cps
+
+
+class TestOpCounts:
+    def test_mctls_key_gen_formula(self, bed):
+        """Client key_gen = 4K + N + 1 — an exact match by construction."""
+        result = measure_opcounts(bed, Mode.MCTLS, n_contexts=4, n_middleboxes=1)
+        assert result.counts["client"]["key_gen"] == 4 * 4 + 1 + 1
+        assert result.counts["server"]["key_gen"] == 4 * 4 + 1 + 1
+
+    def test_ckd_halves_client_key_gen(self, bed):
+        default = measure_opcounts(bed, Mode.MCTLS, 4, 1)
+        ckd = measure_opcounts(bed, Mode.MCTLS_CKD, 4, 1)
+        assert ckd.counts["client"]["key_gen"] == 2 * 4 + 1 + 1
+        assert ckd.counts["client"]["key_gen"] < default.counts["client"]["key_gen"]
+
+    def test_ckd_server_skips_verification(self, bed):
+        ckd = measure_opcounts(bed, Mode.MCTLS_CKD, 4, 1)
+        assert ckd.counts["server"]["asym_verify"] == 0
+
+    def test_sym_ops_match_paper(self, bed):
+        result = measure_opcounts(bed, Mode.MCTLS, 4, 1)
+        # N+2 encrypts (N MKMs + endpoint MKM + Finished), 2 decrypts.
+        assert result.counts["client"]["sym_encrypt"] == 3
+        assert result.counts["client"]["sym_decrypt"] == 2
+        assert result.counts["middlebox"]["sym_decrypt"] == 2
+
+    def test_split_tls_middlebox_double_work(self, bed):
+        result = measure_opcounts(bed, Mode.SPLIT_TLS, 1, 1)
+        mbox = result.counts["middlebox"]
+        client = result.counts["client"]
+        assert mbox["secret_comp"] == 2 * client["secret_comp"]
+        assert mbox["sym_encrypt"] == 2 * client["sym_encrypt"]
+
+
+class TestOverhead:
+    def test_mctls_roughly_triples_tls_overhead(self):
+        corpus = generate_corpus(n_pages=30, seed=5)
+        results = record_overhead(corpus, max_pages=30)
+        split = results["SplitTLS"].median_overhead_pct
+        mctls = results["mcTLS"].median_overhead_pct
+        assert 0.3 < split < 1.2  # paper: 0.6%
+        assert 2.0 < mctls / split < 4.0  # paper: 3x
+
+
+class TestPageLoad:
+    @pytest.fixture(scope="class")
+    def page(self):
+        return generate_corpus(n_pages=3, seed=9).pages[1]
+
+    def test_all_modes_load(self, bed, page):
+        results = {}
+        for mode in (Mode.NO_ENCRYPT, Mode.E2E_TLS, Mode.MCTLS):
+            results[mode] = load_page(bed, mode, page, nagle=False).plt_s
+        assert results[Mode.NO_ENCRYPT] < results[Mode.E2E_TLS]
+        # mcTLS without Nagle tracks E2E-TLS closely.
+        assert results[Mode.MCTLS] / results[Mode.E2E_TLS] < 1.2
+
+    def test_nagle_hurts_mctls(self, bed, page):
+        on = load_page(bed, Mode.MCTLS, page, nagle=True).plt_s
+        off = load_page(bed, Mode.MCTLS, page, nagle=False).plt_s
+        assert on >= off

@@ -1,0 +1,200 @@
+"""Tests for HTTP messages, the parser, context strategies and sessions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.http import (
+    FOUR_CONTEXT,
+    HttpClientSession,
+    HttpParser,
+    HttpRequest,
+    HttpResponse,
+    HttpServerSession,
+    ONE_CONTEXT,
+    context_per_header,
+)
+from repro.http.messages import HttpError
+from repro.http.strategies import (
+    CTX_REQUEST_BODY,
+    CTX_REQUEST_HEADERS,
+    CTX_RESPONSE_BODY,
+    CTX_RESPONSE_HEADERS,
+)
+from repro.mctls.contexts import Permission
+
+
+class TestMessages:
+    def test_request_encode(self):
+        request = HttpRequest(target="/x", headers=[("Host", "h")])
+        wire = request.encode()
+        assert wire.startswith(b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n")
+
+    def test_request_with_body_gets_content_length(self):
+        request = HttpRequest(method="POST", body=b"12345")
+        assert request.get_header("Content-Length") == "5"
+
+    def test_response_always_has_content_length(self):
+        assert HttpResponse().get_header("Content-Length") == "0"
+
+    def test_header_lookup_case_insensitive(self):
+        request = HttpRequest(headers=[("HOST", "h")])
+        assert request.get_header("host") == "h"
+
+
+class TestParser:
+    def test_request_roundtrip(self):
+        original = HttpRequest(
+            method="POST",
+            target="/submit",
+            headers=[("Host", "example.com"), ("X-Thing", "1")],
+            body=b"payload",
+        )
+        parsed = HttpParser("request").feed(original.encode())
+        assert len(parsed) == 1
+        assert parsed[0].method == "POST"
+        assert parsed[0].body == b"payload"
+        assert parsed[0].get_header("X-Thing") == "1"
+
+    def test_response_roundtrip(self):
+        original = HttpResponse(status=404, reason="Not Found", body=b"missing")
+        parsed = HttpParser("response").feed(original.encode())
+        assert parsed[0].status == 404
+        assert parsed[0].body == b"missing"
+
+    def test_incremental_feeding(self):
+        wire = HttpRequest(body=b"abc").encode()
+        parser = HttpParser("request")
+        messages = []
+        for i in range(len(wire)):
+            messages += parser.feed(wire[i : i + 1])
+        assert len(messages) == 1 and messages[0].body == b"abc"
+
+    def test_pipelined_messages(self):
+        wire = HttpRequest(target="/1").encode() + HttpRequest(target="/2").encode()
+        parsed = HttpParser("request").feed(wire)
+        assert [m.target for m in parsed] == ["/1", "/2"]
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError):
+            HttpParser("request").feed(b"garbage\r\n\r\n")
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            HttpParser("nonsense")
+
+    @given(st.binary(max_size=300), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30)
+    def test_fragmented_body_roundtrip(self, body, chunk):
+        wire = HttpResponse(body=body).encode()
+        parser = HttpParser("response")
+        messages = []
+        for i in range(0, len(wire), chunk):
+            messages += parser.feed(wire[i : i + chunk])
+        assert len(messages) == 1 and messages[0].body == body
+
+
+class TestStrategies:
+    def test_one_context(self):
+        request = HttpRequest(body=b"b")
+        pieces = ONE_CONTEXT.split_request(request)
+        assert len(pieces) == 1 and pieces[0][0] == 1
+        assert pieces[0][1] == request.encode()
+
+    def test_four_context_request(self):
+        request = HttpRequest(method="POST", body=b"body!")
+        pieces = FOUR_CONTEXT.split_request(request)
+        assert [ctx for ctx, _ in pieces] == [CTX_REQUEST_HEADERS, CTX_REQUEST_BODY]
+        assert b"".join(p for _, p in pieces) == request.encode()
+
+    def test_four_context_response(self):
+        response = HttpResponse(body=b"content")
+        pieces = FOUR_CONTEXT.split_response(response)
+        assert [ctx for ctx, _ in pieces] == [CTX_RESPONSE_HEADERS, CTX_RESPONSE_BODY]
+        assert b"".join(p for _, p in pieces) == response.encode()
+
+    def test_concatenation_reconstructs_message(self):
+        """The crucial invariant: pieces in order == original bytes."""
+        strategy = context_per_header(["Host", "Cookie"])
+        request = HttpRequest(
+            method="POST",
+            headers=[("Host", "h"), ("Cookie", "c=1"), ("X-Other", "o")],
+            body=b"data",
+        )
+        pieces = strategy.split_request(request)
+        assert b"".join(p for _, p in pieces) == request.encode()
+        response = HttpResponse(headers=[("Cookie", "c")], body=b"r")
+        pieces = strategy.split_response(response)
+        assert b"".join(p for _, p in pieces) == response.encode()
+
+    def test_per_header_context_assignment(self):
+        strategy = context_per_header(["Host", "Cookie"])
+        request = HttpRequest(headers=[("Host", "h"), ("Cookie", "c"), ("New", "n")])
+        pieces = strategy.split_request(request)
+        host_ctx = [c for c, p in pieces if p.startswith(b"Host:")][0]
+        cookie_ctx = [c for c, p in pieces if p.startswith(b"Cookie:")][0]
+        other_ctx = [c for c, p in pieces if p.startswith(b"New:")][0]
+        assert len({host_ctx, cookie_ctx, other_ctx}) == 3
+
+    def test_contexts_and_permissions(self):
+        contexts = FOUR_CONTEXT.uniform_permissions([1, 2], Permission.READ)
+        assert len(contexts) == 4
+        assert all(c.permission_for(1) is Permission.READ for c in contexts)
+
+    def test_context_definitions_with_custom_permissions(self):
+        contexts = FOUR_CONTEXT.contexts(
+            {CTX_REQUEST_HEADERS: {1: Permission.WRITE}}
+        )
+        by_id = {c.context_id: c for c in contexts}
+        assert by_id[CTX_REQUEST_HEADERS].permission_for(1) is Permission.WRITE
+        assert by_id[CTX_RESPONSE_BODY].permission_for(1) is Permission.NONE
+
+
+class _LoopbackConnection:
+    """Send/receive loop for exercising sessions without a real stack."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send_application_data(self, data, context_id=1):
+        self.sent.append((context_id, data))
+
+
+class TestSessions:
+    def test_client_session_splits_by_strategy(self):
+        conn = _LoopbackConnection()
+        session = HttpClientSession(conn, FOUR_CONTEXT)
+        session.request(HttpRequest(method="POST", body=b"b"), lambda r: None)
+        assert [ctx for ctx, _ in conn.sent] == [CTX_REQUEST_HEADERS, CTX_REQUEST_BODY]
+
+    def test_client_session_without_strategy_sends_whole(self):
+        conn = _LoopbackConnection()
+        session = HttpClientSession(conn)
+        request = HttpRequest()
+        session.request(request, lambda r: None)
+        assert conn.sent == [(1, request.encode())]
+
+    def test_response_dispatch_fifo(self):
+        conn = _LoopbackConnection()
+        session = HttpClientSession(conn)
+        got = []
+        session.request(HttpRequest(target="/1"), lambda r: got.append(("1", r.status)))
+        session.request(HttpRequest(target="/2"), lambda r: got.append(("2", r.status)))
+        session.on_data(HttpResponse(status=200).encode())
+        session.on_data(HttpResponse(status=404).encode())
+        assert got == [("1", 200), ("2", 404)]
+        assert session.idle
+
+    def test_unexpected_response_raises(self):
+        session = HttpClientSession(_LoopbackConnection())
+        with pytest.raises(RuntimeError):
+            session.on_data(HttpResponse().encode())
+
+    def test_server_session_serves(self):
+        conn = _LoopbackConnection()
+        session = HttpServerSession(
+            conn, lambda req: HttpResponse(body=req.target.encode()), FOUR_CONTEXT
+        )
+        session.on_data(HttpRequest(target="/hello").encode())
+        assert session.requests_served == 1
+        body_pieces = [p for ctx, p in conn.sent if ctx == CTX_RESPONSE_BODY]
+        assert body_pieces == [b"/hello"]

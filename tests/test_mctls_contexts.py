@@ -1,0 +1,125 @@
+"""Tests for encryption contexts, topology and the permission model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mctls.contexts import (
+    ContextDefinition,
+    MiddleboxInfo,
+    Permission,
+    SessionTopology,
+    restrict_topology,
+)
+
+
+def simple_topology():
+    return SessionTopology(
+        middleboxes=[MiddleboxInfo(1, "m1"), MiddleboxInfo(2, "m2")],
+        contexts=[
+            ContextDefinition(1, "headers", {1: Permission.READ, 2: Permission.WRITE}),
+            ContextDefinition(2, "body", {2: Permission.READ}),
+        ],
+    )
+
+
+class TestPermission:
+    def test_ordering(self):
+        assert Permission.NONE < Permission.READ < Permission.WRITE
+
+    def test_capabilities(self):
+        assert not Permission.NONE.can_read and not Permission.NONE.can_write
+        assert Permission.READ.can_read and not Permission.READ.can_write
+        assert Permission.WRITE.can_read and Permission.WRITE.can_write
+
+
+class TestTopology:
+    def test_lookups(self):
+        topo = simple_topology()
+        assert topo.context_ids == [1, 2]
+        assert topo.middlebox_ids == [1, 2]
+        assert topo.middlebox_by_name("m2").mbox_id == 2
+        assert topo.middlebox_by_name("nope") is None
+        assert topo.context(1).purpose == "headers"
+
+    def test_permissions_of(self):
+        topo = simple_topology()
+        assert topo.permissions_of(1) == {1: Permission.READ, 2: Permission.NONE}
+        assert topo.readable_contexts(2) == [1, 2]
+        assert topo.writable_contexts(2) == [1]
+
+    def test_duplicate_middlebox_ids_rejected(self):
+        with pytest.raises(ValueError):
+            SessionTopology(middleboxes=[MiddleboxInfo(1, "a"), MiddleboxInfo(1, "b")])
+
+    def test_duplicate_context_ids_rejected(self):
+        with pytest.raises(ValueError):
+            SessionTopology(
+                contexts=[ContextDefinition(1, "a"), ContextDefinition(1, "b")]
+            )
+
+    def test_unknown_middlebox_permission_rejected(self):
+        with pytest.raises(ValueError):
+            SessionTopology(
+                contexts=[ContextDefinition(1, "a", {9: Permission.READ})]
+            )
+
+    def test_context_zero_reserved(self):
+        with pytest.raises(ValueError):
+            ContextDefinition(0, "reserved")
+
+    def test_encode_decode_roundtrip(self):
+        topo = simple_topology()
+        decoded = SessionTopology.decode(topo.encode())
+        assert decoded.context_ids == topo.context_ids
+        assert decoded.middlebox_ids == topo.middlebox_ids
+        for mbox_id in topo.middlebox_ids:
+            assert decoded.permissions_of(mbox_id) == topo.permissions_of(mbox_id)
+
+
+class TestPolicyRestriction:
+    def test_cap_lowers_permission(self):
+        topo = simple_topology()
+        restricted = restrict_topology(topo, {2: {1: Permission.READ}})
+        assert restricted.context(1).permission_for(2) == Permission.READ
+        # Unaffected grants stay.
+        assert restricted.context(1).permission_for(1) == Permission.READ
+
+    def test_deny_all(self):
+        topo = simple_topology()
+        restricted = restrict_topology(
+            topo, {1: {1: Permission.NONE}, 2: {1: Permission.NONE, 2: Permission.NONE}}
+        )
+        assert restricted.context(1).permission_for(1) == Permission.NONE
+        assert restricted.context(1).permission_for(2) == Permission.NONE
+        assert restricted.context(2).permission_for(2) == Permission.NONE
+
+    def test_cap_cannot_raise_permission(self):
+        topo = simple_topology()
+        raised = restrict_topology(topo, {1: {2: Permission.WRITE}})
+        # Client proposed NONE for mbox 1 on ctx 2; server cap can't raise it.
+        assert raised.context(2).permission_for(1) == Permission.NONE
+
+
+@st.composite
+def topologies(draw):
+    n_mbox = draw(st.integers(min_value=0, max_value=4))
+    middleboxes = [MiddleboxInfo(i + 1, f"m{i + 1}") for i in range(n_mbox)]
+    n_ctx = draw(st.integers(min_value=1, max_value=6))
+    contexts = []
+    for c in range(n_ctx):
+        perms = {}
+        for m in middleboxes:
+            perm = draw(st.sampled_from(list(Permission)))
+            if perm is not Permission.NONE:
+                perms[m.mbox_id] = perm
+        contexts.append(ContextDefinition(c + 1, f"ctx{c + 1}", perms))
+    return SessionTopology(middleboxes=middleboxes, contexts=contexts)
+
+
+@given(topologies())
+@settings(max_examples=50)
+def test_topology_roundtrip_property(topo):
+    decoded = SessionTopology.decode(topo.encode())
+    assert decoded.encode() == topo.encode()
+    for mbox_id in topo.middlebox_ids:
+        assert decoded.permissions_of(mbox_id) == topo.permissions_of(mbox_id)

@@ -1,0 +1,117 @@
+"""Tests for the mcTLS key schedule: contributory keys, AuthEnc, carving."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mctls import keys as mk
+from repro.tls.ciphersuites import SUITE_DHE_RSA_SHACTR_SHA256, CipherError
+
+SUITE = SUITE_DHE_RSA_SHACTR_SHA256
+RC, RS = b"c" * 32, b"s" * 32
+
+
+class TestPairwise:
+    def test_deterministic(self):
+        a = mk.derive_pairwise(b"premaster", RC, RS)
+        b = mk.derive_pairwise(b"premaster", RC, RS)
+        assert a == b
+
+    def test_random_separation(self):
+        a = mk.derive_pairwise(b"pm", RC, RS)
+        b = mk.derive_pairwise(b"pm", RS, RC)
+        assert a.secret != b.secret
+
+    def test_key_lengths(self):
+        keys = mk.derive_pairwise(b"pm", RC, RS)
+        assert len(keys.secret) == 48
+        assert len(keys.enc) == 16
+        assert len(keys.mac) == 32
+
+
+class TestContributoryKeys:
+    def test_both_halves_required(self):
+        """Different halves from either side give different final keys —
+        the contributory property (R4)."""
+        base = mk.combine_context_keys(b"c1" * 16, b"s1" * 16, b"cw" * 16, b"sw" * 16, RC, RS)
+        diff_client = mk.combine_context_keys(b"XX" * 16, b"s1" * 16, b"cw" * 16, b"sw" * 16, RC, RS)
+        diff_server = mk.combine_context_keys(b"c1" * 16, b"XX" * 16, b"cw" * 16, b"sw" * 16, RC, RS)
+        assert base != diff_client
+        assert base != diff_server
+
+    def test_directional_keys_distinct(self):
+        keys = mk.combine_context_keys(b"a" * 32, b"b" * 32, b"c" * 32, b"d" * 32, RC, RS)
+        assert keys.readers.c2s.enc != keys.readers.s2c.enc
+        assert keys.readers.c2s.mac != keys.readers.s2c.mac
+        assert keys.writers.mac_c2s != keys.writers.mac_s2c
+
+    def test_reader_and_writer_keys_independent(self):
+        keys = mk.combine_context_keys(b"a" * 32, b"b" * 32, b"c" * 32, b"d" * 32, RC, RS)
+        assert keys.readers.c2s.mac != keys.writers.mac_c2s
+
+    def test_partial_keys_context_separated(self):
+        secret = b"S" * 48
+        assert mk.partial_reader_key(secret, RC, 1) != mk.partial_reader_key(secret, RC, 2)
+        assert mk.partial_reader_key(secret, RC, 1) != mk.partial_writer_key(secret, RC, 1)
+
+
+class TestCKDKeys:
+    def test_deterministic_from_endpoint_secret(self):
+        a = mk.ckd_context_keys(b"ms" * 24, RC, RS, 1)
+        b = mk.ckd_context_keys(b"ms" * 24, RC, RS, 1)
+        assert a == b
+
+    def test_context_separation(self):
+        a = mk.ckd_context_keys(b"ms" * 24, RC, RS, 1)
+        b = mk.ckd_context_keys(b"ms" * 24, RC, RS, 2)
+        assert a != b
+
+    def test_block_serialization_roundtrip(self):
+        keys = mk.ckd_context_keys(b"ms" * 24, RC, RS, 3)
+        reader_block = mk.reader_block_bytes(keys.readers)
+        writer_block = mk.writer_block_bytes(keys.writers)
+        assert mk.reader_keys_from_block(reader_block) == keys.readers
+        assert mk.writer_keys_from_block(writer_block) == keys.writers
+
+    def test_bad_block_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            mk.reader_keys_from_block(b"short")
+        with pytest.raises(ValueError):
+            mk.writer_keys_from_block(b"short")
+
+
+class TestEndpointKeys:
+    def test_directions_distinct(self):
+        keys = mk.derive_endpoint_keys(b"S" * 48, RC, RS)
+        assert keys.c2s != keys.s2c
+        assert keys.for_direction(mk.C2S) is keys.c2s
+        assert keys.for_direction(mk.S2C) is keys.s2c
+
+
+class TestAuthEnc:
+    def test_roundtrip(self):
+        enc, mac = b"e" * 16, b"m" * 32
+        sealed = mk.authenc_seal(SUITE, enc, mac, b"key material")
+        assert mk.authenc_open(SUITE, enc, mac, sealed) == b"key material"
+
+    def test_tamper_detected(self):
+        enc, mac = b"e" * 16, b"m" * 32
+        sealed = bytearray(mk.authenc_seal(SUITE, enc, mac, b"key material"))
+        sealed[0] ^= 1
+        with pytest.raises(CipherError):
+            mk.authenc_open(SUITE, enc, mac, bytes(sealed))
+
+    def test_wrong_mac_key_detected(self):
+        enc = b"e" * 16
+        sealed = mk.authenc_seal(SUITE, enc, b"m" * 32, b"data")
+        with pytest.raises(CipherError):
+            mk.authenc_open(SUITE, enc, b"x" * 32, sealed)
+
+    def test_short_input_rejected(self):
+        with pytest.raises(CipherError):
+            mk.authenc_open(SUITE, b"e" * 16, b"m" * 32, b"tiny")
+
+    @given(st.binary(max_size=500))
+    @settings(max_examples=25)
+    def test_roundtrip_random(self, payload):
+        enc, mac = b"e" * 16, b"m" * 32
+        assert mk.authenc_open(SUITE, enc, mac, mk.authenc_seal(SUITE, enc, mac, payload)) == payload

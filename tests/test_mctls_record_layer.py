@@ -1,0 +1,226 @@
+"""Unit tests for the mcTLS record layer and middlebox record processor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mctls import keys as mk
+from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, Permission
+from repro.mctls.record import (
+    MCTLS_HEADER_LEN,
+    McTLSRecordError,
+    McTLSRecordLayer,
+    MiddleboxRecordProcessor,
+    encode_header,
+    split_records,
+)
+from repro.tls.ciphersuites import SUITE_DHE_RSA_SHACTR_SHA256 as SUITE
+from repro.tls.record import ALERT, APPLICATION_DATA, HANDSHAKE, MAX_PLAINTEXT
+
+RC, RS = b"c" * 32, b"s" * 32
+ENDPOINT_SECRET = b"S" * 48
+
+
+def make_context_keys(ctx_id=1):
+    return mk.ckd_context_keys(ENDPOINT_SECRET, RC, RS, ctx_id)
+
+
+def make_layer(is_client, context_ids=(1,), activate=True):
+    layer = McTLSRecordLayer(is_client=is_client)
+    layer.set_suite(SUITE)
+    layer.set_endpoint_keys(mk.derive_endpoint_keys(ENDPOINT_SECRET, RC, RS))
+    for ctx_id in context_ids:
+        layer.install_context_keys(ctx_id, make_context_keys(ctx_id))
+    if activate:
+        layer.activate_write()
+        layer.activate_read()
+    return layer
+
+
+def make_pair(context_ids=(1,)):
+    return make_layer(True, context_ids), make_layer(False, context_ids)
+
+
+class TestEndpointRecords:
+    def test_context_roundtrip(self):
+        client, server = make_pair()
+        server.feed(client.encode(APPLICATION_DATA, b"hello", 1))
+        record = server.read_record()
+        assert (record.context_id, record.payload) == (1, b"hello")
+        assert record.legally_modified is False
+
+    def test_control_context_roundtrip(self):
+        client, server = make_pair()
+        server.feed(client.encode(HANDSHAKE, b"finished-ish", ENDPOINT_CONTEXT_ID))
+        record = server.read_record()
+        assert record.context_id == ENDPOINT_CONTEXT_ID
+        assert record.payload == b"finished-ish"
+
+    def test_directional_separation(self):
+        """A client record cannot be decoded as a server record (keys are
+        directional)."""
+        client, _ = make_pair()
+        other_client = make_layer(True)
+        other_client.feed(client.encode(APPLICATION_DATA, b"x", 1))
+        with pytest.raises(McTLSRecordError):
+            other_client.read_record()
+
+    def test_unknown_context_rejected_on_send(self):
+        client, _ = make_pair()
+        with pytest.raises(McTLSRecordError, match="no keys"):
+            client.encode(APPLICATION_DATA, b"x", 99)
+
+    def test_unknown_context_rejected_on_receive(self):
+        client, server = make_pair(context_ids=(1, 2))
+        limited = make_layer(False, context_ids=(1,))
+        limited.feed(client.encode(APPLICATION_DATA, b"x", 2))
+        with pytest.raises(McTLSRecordError, match="no keys"):
+            limited.read_record()
+
+    def test_activation_requires_keys(self):
+        layer = McTLSRecordLayer(is_client=True)
+        with pytest.raises(McTLSRecordError):
+            layer.activate_write()
+
+    def test_fragmentation_and_reassembly(self):
+        client, server = make_pair()
+        payload = bytes(range(256)) * 200  # > MAX_PLAINTEXT
+        server.feed(client.encode(APPLICATION_DATA, payload, 1))
+        chunks = [r.payload for r in server.read_all()]
+        assert len(chunks) >= 2
+        assert b"".join(chunks) == payload
+
+    def test_sequence_numbers_global_across_contexts(self):
+        """Records in different contexts share one sequence space."""
+        client, server = make_pair(context_ids=(1, 2))
+        r1 = client.encode(APPLICATION_DATA, b"a", 1)
+        r2 = client.encode(APPLICATION_DATA, b"b", 2)
+        # Delivering ctx-2's record first desynchronises the sequence.
+        server.feed(r2)
+        with pytest.raises(McTLSRecordError):
+            server.read_record()
+        del r1
+
+    def test_cross_context_splice_rejected(self):
+        """A record cut from context 1 cannot be replayed as context 2."""
+        client, server = make_pair(context_ids=(1, 2))
+        wire = bytearray(client.encode(APPLICATION_DATA, b"spliced", 1))
+        wire[3] = 2  # rewrite the context id in the header
+        server.feed(bytes(wire))
+        with pytest.raises(McTLSRecordError):
+            server.read_record()
+
+    def test_content_type_confusion_rejected(self):
+        client, server = make_pair()
+        wire = bytearray(client.encode(APPLICATION_DATA, b"x", 1))
+        wire[0] = ALERT
+        server.feed(bytes(wire))
+        with pytest.raises(McTLSRecordError):
+            server.read_record()
+
+    @given(st.binary(max_size=1000), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, payload, ctx_id):
+        client, server = make_pair(context_ids=(1, 2, 3))
+        server.feed(client.encode(APPLICATION_DATA, payload, ctx_id))
+        received = b"".join(r.payload for r in server.read_all())
+        assert received == payload
+
+
+class TestSplitRecords:
+    def test_yields_complete_records_only(self):
+        client, _ = make_pair()
+        wire = client.encode(APPLICATION_DATA, b"abc", 1)
+        buf = bytearray(wire[:-1])
+        assert list(split_records(buf)) == []
+        buf += wire[-1:]
+        records = list(split_records(buf))
+        assert len(records) == 1
+        assert records[0][3] == wire  # raw bytes preserved
+        assert not buf
+
+    def test_header_fields(self):
+        header = encode_header(APPLICATION_DATA, 7, 100)
+        assert len(header) == MCTLS_HEADER_LEN
+        assert header[0] == APPLICATION_DATA
+        assert header[3] == 7
+
+    def test_oversized_record_rejected(self):
+        buf = bytearray(encode_header(APPLICATION_DATA, 1, 0xFFFF))
+        with pytest.raises(McTLSRecordError):
+            list(split_records(buf))
+
+
+class TestMiddleboxProcessor:
+    def _wire(self, client, payload=b"data", ctx=1):
+        wire = client.encode(APPLICATION_DATA, payload, ctx)
+        _, ctx_id, fragment, _ = next(split_records(bytearray(wire)))
+        return ctx_id, fragment
+
+    def test_reader_opens_record(self):
+        client, _ = make_pair()
+        proc = MiddleboxRecordProcessor(SUITE, mk.C2S)
+        proc.install(1, Permission.READ, make_context_keys())
+        proc.activate()
+        ctx_id, fragment = self._wire(client)
+        opened = proc.open_record(APPLICATION_DATA, ctx_id, fragment)
+        assert opened.payload == b"data"
+        assert opened.permission is Permission.READ
+
+    def test_no_permission_returns_opaque(self):
+        client, _ = make_pair()
+        proc = MiddleboxRecordProcessor(SUITE, mk.C2S)
+        proc.activate()
+        ctx_id, fragment = self._wire(client)
+        opened = proc.open_record(APPLICATION_DATA, ctx_id, fragment)
+        assert opened.payload is None
+
+    def test_opaque_records_consume_sequence_numbers(self):
+        """A no-access record still advances the global sequence, so a
+        later readable record verifies correctly."""
+        client, _ = make_pair(context_ids=(1, 2))
+        proc = MiddleboxRecordProcessor(SUITE, mk.C2S)
+        proc.install(2, Permission.READ, make_context_keys(2))
+        proc.activate()
+        ctx1, frag1 = self._wire(client, b"opaque", 1)
+        assert proc.open_record(APPLICATION_DATA, ctx1, frag1).payload is None
+        ctx2, frag2 = self._wire(client, b"readable", 2)
+        assert proc.open_record(APPLICATION_DATA, ctx2, frag2).payload == b"readable"
+
+    def test_writer_rebuild_roundtrip(self):
+        client, server = make_pair()
+        proc = MiddleboxRecordProcessor(SUITE, mk.C2S)
+        proc.install(1, Permission.WRITE, make_context_keys())
+        proc.activate()
+        ctx_id, fragment = self._wire(client, b"original")
+        opened = proc.open_record(APPLICATION_DATA, ctx_id, fragment)
+        rebuilt = proc.rebuild_record(opened, b"rewritten, longer payload")
+        server.feed(rebuilt)
+        record = server.read_record()
+        assert record.payload == b"rewritten, longer payload"
+        assert record.legally_modified is True
+
+    def test_reader_cannot_rebuild(self):
+        client, _ = make_pair()
+        proc = MiddleboxRecordProcessor(SUITE, mk.C2S)
+        proc.install(1, Permission.READ, make_context_keys())
+        proc.activate()
+        ctx_id, fragment = self._wire(client)
+        opened = proc.open_record(APPLICATION_DATA, ctx_id, fragment)
+        with pytest.raises(McTLSRecordError, match="write permission"):
+            proc.rebuild_record(opened, b"nope")
+
+    def test_tamper_detected_by_reader(self):
+        client, _ = make_pair()
+        proc = MiddleboxRecordProcessor(SUITE, mk.C2S)
+        proc.install(1, Permission.READ, make_context_keys())
+        proc.activate()
+        ctx_id, fragment = self._wire(client)
+        bad = bytearray(fragment)
+        bad[-1] ^= 1
+        with pytest.raises(McTLSRecordError):
+            proc.open_record(APPLICATION_DATA, ctx_id, bytes(bad))
+
+    def test_inactive_processor_rejects(self):
+        proc = MiddleboxRecordProcessor(SUITE, mk.C2S)
+        with pytest.raises(McTLSRecordError, match="not yet activated"):
+            proc.open_record(APPLICATION_DATA, 1, b"x" * 100)

@@ -1,0 +1,116 @@
+"""Tests for the media-split strategy: the §4.2 image-compression refinement."""
+
+import pytest
+
+from repro.crypto.dh import GROUP_TEST_512
+from repro.http import HttpClientSession, HttpRequest, HttpResponse, HttpServerSession
+from repro.http.strategies import (
+    CTX_RESPONSE_BODY,
+    CTX_RESPONSE_HEADERS,
+    CTX_RESPONSE_MEDIA,
+    MEDIA_SPLIT,
+)
+from repro.mctls import (
+    McTLSClient,
+    McTLSServer,
+    MiddleboxInfo,
+    Permission,
+    SessionTopology,
+)
+from repro.mctls.contexts import ContextDefinition
+from repro.mctls.session import McTLSApplicationData
+from repro.tls.connection import TLSConfig
+from repro.transport import Chain
+
+
+class TestSplitting:
+    def test_image_body_routed_to_media_context(self):
+        response = HttpResponse(
+            headers=[("Content-Type", "image/jpeg")], body=b"jpegdata"
+        )
+        pieces = MEDIA_SPLIT.split_response(response)
+        assert [ctx for ctx, _ in pieces] == [CTX_RESPONSE_HEADERS, CTX_RESPONSE_MEDIA]
+
+    def test_html_body_stays_in_document_context(self):
+        response = HttpResponse(
+            headers=[("Content-Type", "text/html")], body=b"<html/>"
+        )
+        pieces = MEDIA_SPLIT.split_response(response)
+        assert [ctx for ctx, _ in pieces] == [CTX_RESPONSE_HEADERS, CTX_RESPONSE_BODY]
+
+    def test_concatenation_invariant_holds(self):
+        for content_type in ("image/png", "text/css", "video/mp4"):
+            response = HttpResponse(
+                headers=[("Content-Type", content_type)], body=b"body"
+            )
+            pieces = MEDIA_SPLIT.split_response(response)
+            assert b"".join(p for _, p in pieces) == response.encode()
+
+
+class TestMediaProxySession:
+    def test_proxy_sees_images_not_documents(self, ca, server_identity, mbox_identity):
+        """Grant the proxy the media context only; HTML stays private."""
+        permissions = {CTX_RESPONSE_MEDIA: {1: Permission.READ}}
+        contexts = MEDIA_SPLIT.contexts(permissions)
+        topology = SessionTopology(
+            middleboxes=[MiddleboxInfo(1, mbox_identity.name)], contexts=contexts
+        )
+        seen = []
+
+        from repro.mctls import McTLSMiddlebox
+
+        client = McTLSClient(
+            TLSConfig(
+                trusted_roots=[ca.certificate],
+                server_name=server_identity.name,
+                dh_group=GROUP_TEST_512,
+            ),
+            topology=topology,
+        )
+        server = McTLSServer(
+            TLSConfig(
+                identity=server_identity,
+                trusted_roots=[ca.certificate],
+                dh_group=GROUP_TEST_512,
+            ),
+        )
+        proxy = McTLSMiddlebox(
+            mbox_identity.name,
+            TLSConfig(
+                identity=mbox_identity,
+                trusted_roots=[ca.certificate],
+                dh_group=GROUP_TEST_512,
+            ),
+            observer=lambda d, ctx, data: seen.append((ctx, data)),
+        )
+
+        def handler(request):
+            if request.target.endswith(".jpg"):
+                return HttpResponse(
+                    headers=[("Content-Type", "image/jpeg")], body=b"IMAGE"
+                )
+            return HttpResponse(headers=[("Content-Type", "text/html")], body=b"HTML")
+
+        client_session = HttpClientSession(client, MEDIA_SPLIT)
+        server_session = HttpServerSession(server, handler, MEDIA_SPLIT)
+        chain = Chain(client, [proxy], server)
+        chain.on_client_event = (
+            lambda e: client_session.on_data(e.data)
+            if isinstance(e, McTLSApplicationData) else None
+        )
+        chain.on_server_event = (
+            lambda e: server_session.on_data(e.data)
+            if isinstance(e, McTLSApplicationData) else None
+        )
+        client.start_handshake()
+        chain.pump()
+
+        got = []
+        client_session.request(HttpRequest(target="/photo.jpg"), got.append)
+        chain.pump()
+        client_session.request(HttpRequest(target="/index.html"), got.append)
+        chain.pump()
+
+        assert [r.body for r in got] == [b"IMAGE", b"HTML"]
+        # The proxy observed the image bytes and nothing else.
+        assert seen == [(CTX_RESPONSE_MEDIA, b"IMAGE")]

@@ -1,0 +1,307 @@
+"""Tests for the Table 1 middlebox applications, run through real
+mcTLS sessions with the 4-Context strategy."""
+
+import zlib
+
+import pytest
+
+from repro.crypto.dh import GROUP_TEST_512
+from repro.http import FOUR_CONTEXT, HttpClientSession, HttpRequest, HttpResponse, HttpServerSession
+from repro.mctls import McTLSClient, McTLSServer, MiddleboxInfo, Permission, SessionTopology
+from repro.mctls.session import McTLSApplicationData
+from repro.middleboxes import (
+    ALL_MIDDLEBOX_APPS,
+    CacheProxy,
+    CompressionProxy,
+    IntrusionDetectionSystem,
+    LoadBalancer,
+    PacketPacer,
+    ParentalFilter,
+    TrackerBlocker,
+    WanOptimizer,
+)
+from repro.middleboxes.base import PermissionSpec
+from repro.tls.connection import TLSConfig
+from repro.transport import Chain
+
+
+def run_app_session(ca, server_identity, mbox_identity, app_class, handler, **app_kwargs):
+    """Build an mcTLS session with one app middlebox; returns
+    (app, client_session, chain, issue) where issue(request) returns the
+    response."""
+    app = app_class(
+        mbox_identity.name,
+        TLSConfig(
+            identity=mbox_identity,
+            trusted_roots=[ca.certificate],
+            dh_group=GROUP_TEST_512,
+        ),
+        **app_kwargs,
+    )
+    topology = SessionTopology(
+        middleboxes=[MiddleboxInfo(1, mbox_identity.name)],
+        contexts=app_class.context_definitions(1),
+    )
+    client = McTLSClient(
+        TLSConfig(
+            trusted_roots=[ca.certificate],
+            server_name=server_identity.name,
+            dh_group=GROUP_TEST_512,
+        ),
+        topology=topology,
+    )
+    server = McTLSServer(
+        TLSConfig(
+            identity=server_identity,
+            trusted_roots=[ca.certificate],
+            dh_group=GROUP_TEST_512,
+        ),
+    )
+    client_session = HttpClientSession(client, FOUR_CONTEXT)
+    server_session = HttpServerSession(server, handler, FOUR_CONTEXT)
+    chain = Chain(client, [app.middlebox], server)
+    chain.on_client_event = (
+        lambda e: client_session.on_data(e.data) if isinstance(e, McTLSApplicationData) else None
+    )
+    chain.on_server_event = (
+        lambda e: server_session.on_data(e.data) if isinstance(e, McTLSApplicationData) else None
+    )
+    client.start_handshake()
+    chain.pump()
+
+    def issue(request):
+        responses = []
+        client_session.request(request, responses.append)
+        chain.pump()
+        assert responses, "no response received"
+        return responses[0]
+
+    return app, client_session, chain, issue
+
+
+class TestPermissionMatrix:
+    def test_table1_rows(self):
+        """The permission matrix matches Table 1 of the paper."""
+        rows = {app.DISPLAY_NAME: app.PERMISSIONS for app in ALL_MIDDLEBOX_APPS}
+        N, R, W = Permission.NONE, Permission.READ, Permission.WRITE
+        assert rows["Cache"] == PermissionSpec(R, N, W, W)
+        assert rows["Compression"] == PermissionSpec(N, N, W, W)
+        assert rows["Load Balancer"] == PermissionSpec(R, N, N, N)
+        assert rows["IDS"] == PermissionSpec(R, R, R, R)
+        assert rows["Parental Filter"] == PermissionSpec(R, N, N, N)
+        assert rows["Tracker Blocker"] == PermissionSpec(W, N, W, N)
+        assert rows["Packet Pacer"] == PermissionSpec(N, N, N, R)
+        assert rows["WAN Optimizer"] == PermissionSpec(R, R, R, R)
+
+    def test_no_app_needs_full_write(self):
+        """The caption: no middlebox needs read/write access to everything."""
+        for app in ALL_MIDDLEBOX_APPS:
+            spec = app.PERMISSIONS.row()
+            assert not all(p is Permission.WRITE for p in spec.values())
+
+    def test_context_definitions_match_spec(self):
+        contexts = IntrusionDetectionSystem.context_definitions(7)
+        assert [c.permission_for(7) for c in contexts] == [Permission.READ] * 4
+
+
+class TestCache:
+    def test_hit_miss_annotation(self, ca, server_identity, mbox_identity):
+        app, session, chain, issue = run_app_session(
+            ca,
+            server_identity,
+            mbox_identity,
+            CacheProxy,
+            lambda req: HttpResponse(body=b"page-content"),
+        )
+        first = issue(HttpRequest(target="/page", headers=[("Host", "h")]))
+        assert first.get_header("X-Cache") == "MISS"
+        second = issue(HttpRequest(target="/page", headers=[("Host", "h")]))
+        assert second.get_header("X-Cache") == "HIT"
+        assert app.hits == 1 and app.misses == 1
+        app.flush()
+        assert app.store["h/page"] == b"page-content"
+
+    def test_distinct_urls_both_miss(self, ca, server_identity, mbox_identity):
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, CacheProxy,
+            lambda req: HttpResponse(body=req.target.encode()),
+        )
+        issue(HttpRequest(target="/a", headers=[("Host", "h")]))
+        issue(HttpRequest(target="/b", headers=[("Host", "h")]))
+        assert app.misses == 2 and app.hits == 0
+
+
+class TestCompression:
+    def test_compresses_and_client_inflates(self, ca, server_identity, mbox_identity):
+        body = b"compressible " * 500
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, CompressionProxy,
+            lambda req: HttpResponse(body=body),
+        )
+        response = issue(HttpRequest(target="/big"))
+        assert response.body == body  # transparently inflated
+        assert app.responses_compressed == 1
+        assert app.bytes_out < app.bytes_in
+        assert app.savings_ratio > 0.5
+
+    def test_skips_incompressible(self, ca, server_identity, mbox_identity):
+        import os
+
+        body = os.urandom(2000)
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, CompressionProxy,
+            lambda req: HttpResponse(body=body),
+        )
+        response = issue(HttpRequest(target="/noise"))
+        assert response.body == body
+        assert app.responses_compressed == 0
+
+    def test_small_bodies_untouched(self, ca, server_identity, mbox_identity):
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, CompressionProxy,
+            lambda req: HttpResponse(body=b"tiny"),
+        )
+        assert issue(HttpRequest(target="/t")).body == b"tiny"
+
+
+class TestIDS:
+    def test_detects_signatures_in_requests_and_responses(
+        self, ca, server_identity, mbox_identity
+    ):
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, IntrusionDetectionSystem,
+            lambda req: HttpResponse(body=b"<script>alert(1)</script>"),
+        )
+        issue(
+            HttpRequest(
+                method="POST", target="/login", body=b"user=' OR 1=1 --"
+            )
+        )
+        signatures = {a.signature for a in app.alerts}
+        assert b"' OR 1=1" in signatures
+        assert b"<script>alert" in signatures
+        assert app.bytes_scanned > 0
+
+    def test_clean_traffic_no_alerts(self, ca, server_identity, mbox_identity):
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, IntrusionDetectionSystem,
+            lambda req: HttpResponse(body=b"hello world"),
+        )
+        issue(HttpRequest(target="/safe"))
+        assert not app.alarmed
+
+    def test_cross_record_signature(self):
+        """A signature split across two records is still found."""
+        from repro.crypto.certs import CertificateAuthority, Identity
+
+        ca = CertificateAuthority.create_root("t", key_bits=512)
+        identity = Identity.issued_by(ca, "ids", key_bits=512)
+        app = IntrusionDetectionSystem("ids", TLSConfig(identity=identity))
+        app._scan(4, b"...../etc/pa")
+        app._scan(4, b"sswd.....")
+        assert any(a.signature == b"/etc/passwd" for a in app.alerts)
+
+
+class TestLoadBalancer:
+    def test_deterministic_affinity(self, ca, server_identity, mbox_identity):
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, LoadBalancer,
+            lambda req: HttpResponse(),
+        )
+        issue(HttpRequest(target="/app/x", headers=[("Host", "h")]))
+        issue(HttpRequest(target="/app/y", headers=[("Host", "h")]))
+        assert len(app.decisions) == 2
+        assert app.decisions[0] == app.decisions[1]  # same first segment
+
+    def test_requires_backends(self, mbox_config):
+        with pytest.raises(ValueError):
+            LoadBalancer("lb", mbox_config, backends=())
+
+
+class TestParentalFilter:
+    def test_blocks_blacklisted_domain(self, ca, server_identity, mbox_identity):
+        blocked = []
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, ParentalFilter,
+            lambda req: HttpResponse(),
+            blacklist=["bad.example"],
+            on_block=blocked.append,
+        )
+        issue(HttpRequest(target="/", headers=[("Host", "good.example")]))
+        assert not app.blocked
+        issue(HttpRequest(target="/page", headers=[("Host", "bad.example")]))
+        assert app.blocked
+        assert blocked == ["bad.example/page"]
+
+    def test_full_url_entries(self, ca, server_identity, mbox_identity):
+        """Only 5% of blacklists are whole domains — URL entries must work."""
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, ParentalFilter,
+            lambda req: HttpResponse(),
+            blacklist=["site.example/adult"],
+        )
+        issue(HttpRequest(target="/family", headers=[("Host", "site.example")]))
+        assert not app.blocked
+        issue(HttpRequest(target="/adult/x", headers=[("Host", "site.example")]))
+        assert app.blocked
+
+    def test_subdomain_match(self, ca, server_identity, mbox_identity):
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, ParentalFilter,
+            lambda req: HttpResponse(),
+            blacklist=["bad.example"],
+        )
+        issue(HttpRequest(target="/", headers=[("Host", "www.bad.example")]))
+        assert app.blocked
+
+
+class TestTrackerBlocker:
+    def test_strips_cookies_both_directions(self, ca, server_identity, mbox_identity):
+        seen_by_server = []
+
+        def handler(req):
+            seen_by_server.append(req)
+            return HttpResponse(
+                headers=[("Set-Cookie", "track=1"), ("X-Fine", "yes")], body=b"ok"
+            )
+
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, TrackerBlocker, handler
+        )
+        response = issue(
+            HttpRequest(target="/", headers=[("Host", "h"), ("Cookie", "id=123")])
+        )
+        assert seen_by_server[0].get_header("Cookie") is None
+        assert seen_by_server[0].get_header("Host") == "h"
+        assert response.get_header("Set-Cookie") is None
+        assert response.get_header("X-Fine") == "yes"
+        assert app.headers_stripped == 2
+
+
+class TestPacketPacer:
+    def test_schedule_computation(self, mbox_config):
+        clock = iter([0.0, 0.0, 0.0]).__next__
+        app = PacketPacer("pacer", mbox_config, target_rate_bps=8000, clock=clock)
+        app.observe_response_body(b"x" * 1000)  # 1 s at 8 kbps
+        app.observe_response_body(b"x" * 1000)
+        assert app.bytes_paced == 2000
+        # Second record is scheduled 1 s after the first.
+        assert app.schedule[1][1] == pytest.approx(1.0)
+        assert app.total_injected_delay == pytest.approx(1.0)
+
+    def test_invalid_rate(self, mbox_config):
+        with pytest.raises(ValueError):
+            PacketPacer("pacer", mbox_config, target_rate_bps=0)
+
+
+class TestWanOptimizer:
+    def test_detects_redundancy(self, ca, server_identity, mbox_identity):
+        body = b"The same block of content repeated. " * 50
+        app, session, chain, issue = run_app_session(
+            ca, server_identity, mbox_identity, WanOptimizer,
+            lambda req: HttpResponse(body=body),
+        )
+        issue(HttpRequest(target="/1"))
+        issue(HttpRequest(target="/2"))  # identical body ⇒ all redundant
+        assert app.redundancy_ratio > 0.3
+        assert app.total_bytes > 2 * len(body)

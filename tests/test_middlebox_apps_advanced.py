@@ -1,0 +1,210 @@
+"""Advanced middlebox-application scenarios: composition, pacing with a
+simulated clock, chunking properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.dh import GROUP_TEST_512
+from repro.http import FOUR_CONTEXT, HttpClientSession, HttpRequest, HttpResponse, HttpServerSession
+from repro.mctls import McTLSClient, McTLSServer, MiddleboxInfo, Permission, SessionTopology
+from repro.mctls.contexts import ContextDefinition
+from repro.mctls.session import McTLSApplicationData
+from repro.middleboxes import CompressionProxy, IntrusionDetectionSystem, PacketPacer, TrackerBlocker
+from repro.middleboxes.wan_optimizer import chunk_boundaries
+from repro.netsim import Simulator
+from repro.tls.connection import TLSConfig
+from repro.transport import Chain
+
+
+def merge_context_definitions(*app_classes_with_ids):
+    """Union of several apps' permission needs over the 4 contexts."""
+    merged = {}
+    for app_class, mbox_id in app_classes_with_ids:
+        for ctx in app_class.context_definitions(mbox_id):
+            if ctx.context_id not in merged:
+                merged[ctx.context_id] = dict(ctx.permissions)
+            else:
+                merged[ctx.context_id].update(ctx.permissions)
+    base = {c.context_id: c for app, _ in app_classes_with_ids for c in app.context_definitions(1)}
+    return [
+        ContextDefinition(ctx_id, base[ctx_id].purpose, perms)
+        for ctx_id, perms in sorted(merged.items())
+    ]
+
+
+class TestAppComposition:
+    def test_ids_then_compression_chain(self, ca, server_identity, mbox_identities):
+        """An IDS (read-only) in front of a compression proxy (response
+        writer): the IDS scans what the *client sent*, the proxy rewrites
+        what the *server responds*, all in one session."""
+        ids_identity, comp_identity = mbox_identities[:2]
+        ids = IntrusionDetectionSystem(
+            ids_identity.name,
+            TLSConfig(identity=ids_identity, trusted_roots=[ca.certificate]),
+        )
+        comp = CompressionProxy(
+            comp_identity.name,
+            TLSConfig(identity=comp_identity, trusted_roots=[ca.certificate]),
+        )
+        contexts = merge_context_definitions(
+            (IntrusionDetectionSystem, 1), (CompressionProxy, 2)
+        )
+        topology = SessionTopology(
+            middleboxes=[
+                MiddleboxInfo(1, ids_identity.name),
+                MiddleboxInfo(2, comp_identity.name),
+            ],
+            contexts=contexts,
+        )
+        client = McTLSClient(
+            TLSConfig(
+                trusted_roots=[ca.certificate],
+                server_name=server_identity.name,
+                dh_group=GROUP_TEST_512,
+            ),
+            topology=topology,
+        )
+        server = McTLSServer(
+            TLSConfig(
+                identity=server_identity,
+                trusted_roots=[ca.certificate],
+                dh_group=GROUP_TEST_512,
+            ),
+        )
+        body = b"<html>" + b"repetitive filler " * 400 + b"</html>"
+        client_session = HttpClientSession(client, FOUR_CONTEXT)
+        server_session = HttpServerSession(
+            server, lambda req: HttpResponse(body=body), FOUR_CONTEXT
+        )
+        chain = Chain(client, [ids.middlebox, comp.middlebox], server)
+        chain.on_client_event = (
+            lambda e: client_session.on_data(e.data)
+            if isinstance(e, McTLSApplicationData) else None
+        )
+        chain.on_server_event = (
+            lambda e: server_session.on_data(e.data)
+            if isinstance(e, McTLSApplicationData) else None
+        )
+        client.start_handshake()
+        chain.pump()
+
+        responses = []
+        client_session.request(
+            HttpRequest(target="/page", body=b"q=' OR 1=1", method="POST"),
+            responses.append,
+        )
+        chain.pump()
+
+        assert responses[0].body == body  # inflated transparently
+        assert comp.responses_compressed == 1
+        assert any(a.signature == b"' OR 1=1" for a in ids.alerts)
+        # Least privilege held: the IDS saw the request; the compression
+        # proxy's permissions exclude request contexts entirely.
+        assert comp.middlebox.permissions[1] is Permission.NONE
+        assert ids.middlebox.permissions[4] is Permission.READ
+
+    def test_tracker_blocker_before_ids(self, ca, server_identity, mbox_identities):
+        """Path order matters: the blocker strips cookies *before* the
+        IDS sees the request — the IDS never observes the cookie."""
+        tb_identity, ids_identity = mbox_identities[:2]
+        blocker = TrackerBlocker(
+            tb_identity.name,
+            TLSConfig(identity=tb_identity, trusted_roots=[ca.certificate]),
+        )
+        ids = IntrusionDetectionSystem(
+            ids_identity.name,
+            TLSConfig(identity=ids_identity, trusted_roots=[ca.certificate]),
+            signatures=(b"tracking-cookie",),
+        )
+        contexts = merge_context_definitions((TrackerBlocker, 1), (IntrusionDetectionSystem, 2))
+        topology = SessionTopology(
+            middleboxes=[MiddleboxInfo(1, tb_identity.name), MiddleboxInfo(2, ids_identity.name)],
+            contexts=contexts,
+        )
+        client = McTLSClient(
+            TLSConfig(trusted_roots=[ca.certificate], server_name=server_identity.name,
+                      dh_group=GROUP_TEST_512),
+            topology=topology,
+        )
+        server = McTLSServer(
+            TLSConfig(identity=server_identity, trusted_roots=[ca.certificate],
+                      dh_group=GROUP_TEST_512),
+        )
+        client_session = HttpClientSession(client, FOUR_CONTEXT)
+        server_session = HttpServerSession(server, lambda r: HttpResponse(), FOUR_CONTEXT)
+        chain = Chain(client, [blocker.middlebox, ids.middlebox], server)
+        chain.on_client_event = (
+            lambda e: client_session.on_data(e.data)
+            if isinstance(e, McTLSApplicationData) else None
+        )
+        chain.on_server_event = (
+            lambda e: server_session.on_data(e.data)
+            if isinstance(e, McTLSApplicationData) else None
+        )
+        client.start_handshake()
+        chain.pump()
+        client_session.request(
+            HttpRequest(target="/", headers=[("Host", "h"), ("Cookie", "tracking-cookie")]),
+            lambda r: None,
+        )
+        chain.pump()
+        assert blocker.headers_stripped == 1
+        assert not ids.alarmed  # cookie was gone before the IDS looked
+
+
+class TestPacerWithSimClock:
+    def test_pacing_schedule_follows_sim_time(self, mbox_config):
+        sim = Simulator()
+        pacer = PacketPacer(
+            "pacer", mbox_config, target_rate_bps=80_000, clock=lambda: sim.now
+        )
+        # Two bursts 0.05 s apart in simulated time.
+        sim.schedule(0.0, lambda: pacer.observe_response_body(b"x" * 1000))
+        sim.schedule(0.05, lambda: pacer.observe_response_body(b"x" * 1000))
+        sim.run()
+        (t0, release0, _), (t1, release1, _) = pacer.schedule
+        assert (t0, release0) == (0.0, 0.0)
+        # 1000 B at 80 kbps = 0.1 s; the second burst (arriving at 0.05)
+        # is held until the first finishes.
+        assert t1 == pytest.approx(0.05)
+        assert release1 == pytest.approx(0.1)
+        assert pacer.total_injected_delay == pytest.approx(0.05)
+
+    def test_idle_gap_resets_pacing(self, mbox_config):
+        sim = Simulator()
+        pacer = PacketPacer(
+            "pacer", mbox_config, target_rate_bps=80_000, clock=lambda: sim.now
+        )
+        sim.schedule(0.0, lambda: pacer.observe_response_body(b"x" * 1000))
+        sim.schedule(5.0, lambda: pacer.observe_response_body(b"x" * 1000))
+        sim.run()
+        _, release1, _ = pacer.schedule[1]
+        assert release1 == pytest.approx(5.0)  # no carry-over delay
+
+
+class TestChunking:
+    @given(st.binary(min_size=0, max_size=5000))
+    @settings(max_examples=40)
+    def test_boundaries_partition_data(self, data):
+        boundaries = list(chunk_boundaries(data))
+        if not data:
+            assert boundaries == []
+            return
+        assert boundaries[-1] == len(data)
+        assert boundaries == sorted(set(boundaries))
+
+    @given(st.binary(min_size=100, max_size=2000), st.integers(0, 50))
+    @settings(max_examples=25)
+    def test_content_defined_stability(self, data, shift):
+        """Chunk boundaries after a prefix shift re-align — the property
+        dedup relies on (allowing for the min-chunk constraint)."""
+        prefix = b"P" * shift
+        plain = list(chunk_boundaries(data))
+        shifted = list(chunk_boundaries(prefix + data))
+        # Boundaries well past the shift should re-synchronise for data
+        # with enough entropy; we assert the weaker structural property
+        # that chunk sizes respect the configured bounds.
+        for start, end in zip([0] + plain, plain):
+            assert 1 <= end - start <= 1024
+        for start, end in zip([0] + shifted, shifted):
+            assert 1 <= end - start <= 1024

@@ -1,0 +1,137 @@
+"""Remaining edge paths: transcripts, alerts, persistence, validation."""
+
+import pytest
+
+from repro.crypto.numtheory import generate_prime
+from repro.crypto.rsa import RSAError, generate_rsa_key
+from repro.mctls.session import TranscriptStore
+from repro.tls.connection import (
+    ALERT_LEVEL_FATAL,
+    AlertReceived,
+    ConnectionClosed,
+    TLSError,
+)
+from repro.workloads import generate_corpus
+from repro.workloads.alexa import PageCorpus
+
+
+class TestTranscriptStore:
+    def test_duplicate_tag_rejected(self):
+        store = TranscriptStore()
+        store.add("client_hello", b"x")
+        with pytest.raises(TLSError, match="duplicate"):
+            store.add("client_hello", b"y")
+
+    def test_missing_messages_reported(self):
+        store = TranscriptStore()
+        store.add("a", b"1")
+        with pytest.raises(TLSError, match="missing.*'b'"):
+            store.hash_over(["a", "b"])
+
+    def test_hash_is_order_sensitive(self):
+        store = TranscriptStore()
+        store.add("a", b"1")
+        store.add("b", b"2")
+        assert store.hash_over(["a", "b"]) != store.hash_over(["b", "a"])
+        assert store.has("a") and not store.has("z")
+
+
+class TestAlertHandling:
+    def test_fatal_alert_closes_connection(self, client_config, server_config):
+        from repro.tls import TLSClient, TLSServer
+        from repro.transport import pump
+
+        client = TLSClient(client_config)
+        server = TLSServer(server_config)
+        client.start_handshake()
+        pump(client, server)
+        # Inject a fatal alert record from the server.
+        server._send_alert(ALERT_LEVEL_FATAL, 40)
+        events = client.receive_bytes(server.data_to_send())
+        assert any(isinstance(e, AlertReceived) and e.level == 2 for e in events)
+        assert any(isinstance(e, ConnectionClosed) for e in events)
+        assert client.closed
+
+    def test_double_close_is_idempotent(self, client_config, server_config):
+        from repro.tls import TLSClient, TLSServer
+        from repro.transport import pump
+
+        client = TLSClient(client_config)
+        server = TLSServer(server_config)
+        client.start_handshake()
+        pump(client, server)
+        client.close()
+        first = client.data_to_send()
+        client.close()
+        assert client.data_to_send() == b""  # no second alert
+        assert first
+
+    def test_receive_after_close_ignored(self, client_config, server_config):
+        from repro.tls import TLSClient, TLSServer
+        from repro.transport import pump
+
+        client = TLSClient(client_config)
+        server = TLSServer(server_config)
+        client.start_handshake()
+        pump(client, server)
+        client.close()
+        server.send_application_data(b"late data")
+        assert client.receive_bytes(server.data_to_send()) == []
+
+
+class TestCorpusPersistence:
+    def test_json_roundtrip(self):
+        corpus = generate_corpus(n_pages=10, seed=3)
+        restored = PageCorpus.from_json(corpus.to_json())
+        assert restored.seed == corpus.seed
+        assert len(restored) == len(corpus)
+        for original, copy in zip(corpus, restored):
+            assert original.url == copy.url
+            assert original.connections == copy.connections
+            assert original.total_bytes == copy.total_bytes
+
+    def test_restored_corpus_usable_in_experiments(self):
+        corpus = generate_corpus(n_pages=3, seed=3)
+        restored = PageCorpus.from_json(corpus.to_json())
+        assert restored.size_percentile(0.5) == corpus.size_percentile(0.5)
+
+
+class TestValidationPaths:
+    def test_prime_size_floor(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_rsa_key_size_floor(self):
+        with pytest.raises(ValueError):
+            generate_rsa_key(256)
+
+    def test_rsa_modulus_too_small_to_sign(self):
+        key = generate_rsa_key(512)
+        # 512-bit keys CAN sign SHA-256; build a fake tiny-modulus check
+        # through the encode helper instead.
+        from repro.crypto.rsa import _pkcs1_sign_encode
+
+        with pytest.raises(RSAError):
+            _pkcs1_sign_encode(b"m", 40)  # 40-byte modulus < digest+overhead
+
+    def test_link_validation(self):
+        from repro.netsim import Simulator
+        from repro.netsim.link import Link
+
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, bandwidth_bps=0, delay_s=0.0)
+        with pytest.raises(ValueError):
+            Link(sim, bandwidth_bps=None, delay_s=-1.0)
+
+    def test_event_budget_guard(self):
+        from repro.netsim import Simulator
+
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError, match="budget"):
+            sim.run(max_events=1000)

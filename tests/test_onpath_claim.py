@@ -1,0 +1,40 @@
+"""The paper's on-path claim (§5.1): "if middleboxes lie directly on the
+data path (which often happens), then the only additional overhead is
+processing time."
+
+We compare TTFB with an *off-path* middlebox (adds a 20 ms detour hop,
+the Figure 3 setup) against an *on-path* one (same end-to-end delay
+budget split across the two hops): the on-path session costs only the
+extra TLS-style round trips, not extra propagation.
+"""
+
+import pytest
+
+from repro.crypto.dh import GROUP_TEST_512
+from repro.experiments.handshake_time import measure_ttfb
+from repro.experiments.harness import Mode, TestBed
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return TestBed(key_bits=512, dh_group=GROUP_TEST_512)
+
+
+def test_onpath_middlebox_adds_no_propagation(bed):
+    # Baseline: no middlebox, one 40 ms-RTT path.
+    direct = measure_ttfb(bed, Mode.MCTLS, n_middleboxes=0, hop_delay_ms=20.0)
+    # On-path middlebox: same 40 ms end-to-end RTT, split 10+10 per hop.
+    onpath = measure_ttfb(bed, Mode.MCTLS, n_middleboxes=1, hop_delay_ms=10.0)
+    # Off-path middlebox: the detour doubles the end-to-end RTT.
+    offpath = measure_ttfb(bed, Mode.MCTLS, n_middleboxes=1, hop_delay_ms=20.0)
+
+    # On-path ≈ direct (the claim); off-path ≈ 2× (the detour).
+    assert onpath.ttfb_s == pytest.approx(direct.ttfb_s, rel=0.10)
+    assert offpath.ttfb_s == pytest.approx(2 * direct.ttfb_s, rel=0.10)
+
+
+def test_onpath_holds_for_baselines_too(bed):
+    for mode in (Mode.E2E_TLS, Mode.SPLIT_TLS):
+        direct = measure_ttfb(bed, mode, n_middleboxes=0, hop_delay_ms=20.0)
+        onpath = measure_ttfb(bed, mode, n_middleboxes=1, hop_delay_ms=10.0)
+        assert onpath.ttfb_s == pytest.approx(direct.ttfb_s, rel=0.10), mode

@@ -1,0 +1,161 @@
+"""Tests for server/middlebox configuration options not covered elsewhere."""
+
+import pytest
+
+from repro.crypto.certs import CertificateAuthority, Identity
+from repro.crypto.dh import GROUP_TEST_512
+from repro.mctls import (
+    ContextDefinition,
+    McTLSClient,
+    McTLSMiddlebox,
+    McTLSServer,
+    MiddleboxInfo,
+    Permission,
+    SessionTopology,
+)
+from repro.mctls.session import HandshakeMode
+from repro.tls.connection import TLSConfig, TLSError
+from repro.transport import Chain
+
+
+def build(ca, server_identity, mbox_identity, *, server_kwargs=None,
+          client_kwargs=None, mbox_kwargs=None, mbox_ca=None):
+    topology = SessionTopology(
+        middleboxes=[MiddleboxInfo(1, mbox_identity.name)],
+        contexts=[ContextDefinition(1, "ctx", {1: Permission.READ})],
+    )
+    client = McTLSClient(
+        TLSConfig(
+            trusted_roots=[ca.certificate],
+            server_name=server_identity.name,
+            dh_group=GROUP_TEST_512,
+        ),
+        topology=topology,
+        **(client_kwargs or {}),
+    )
+    server = McTLSServer(
+        TLSConfig(
+            identity=server_identity,
+            trusted_roots=[ca.certificate],
+            dh_group=GROUP_TEST_512,
+        ),
+        **(server_kwargs or {}),
+    )
+    mbox = McTLSMiddlebox(
+        mbox_identity.name,
+        TLSConfig(
+            identity=mbox_identity,
+            trusted_roots=[(mbox_ca or ca).certificate],
+            dh_group=GROUP_TEST_512,
+        ),
+        **(mbox_kwargs or {}),
+    )
+    chain = Chain(client, [mbox], server)
+    client.start_handshake()
+    return client, mbox, server, chain
+
+
+@pytest.fixture(scope="module")
+def rogue():
+    ca = CertificateAuthority.create_root("Rogue CA", key_bits=512)
+    identity = Identity.issued_by(ca, "mbox1.example", key_bits=512)
+    return ca, identity
+
+
+class TestVerificationToggles:
+    def test_server_skips_middlebox_verification(
+        self, ca, server_identity, rogue
+    ):
+        """With verify_middleboxes=False on BOTH endpoints, a middlebox
+        with an untrusted certificate is tolerated (the paper's 'servers
+        may prefer not to' / unauthenticated-client knob)."""
+        rogue_ca, rogue_identity = rogue
+        client, mbox, server, chain = build(
+            ca,
+            server_identity,
+            rogue_identity,
+            server_kwargs={"verify_middleboxes": False},
+            client_kwargs={"verify_middleboxes": False},
+            mbox_ca=rogue_ca,
+        )
+        chain.pump()
+        assert client.handshake_complete and server.handshake_complete
+
+    def test_client_verification_alone_still_rejects(
+        self, ca, server_identity, rogue
+    ):
+        rogue_ca, rogue_identity = rogue
+        client, mbox, server, chain = build(
+            ca,
+            server_identity,
+            rogue_identity,
+            server_kwargs={"verify_middleboxes": False},
+            mbox_ca=rogue_ca,
+        )
+        with pytest.raises(TLSError, match="certificate"):
+            chain.pump()
+
+    def test_middlebox_can_verify_server(self, ca, server_identity, mbox_identity):
+        """The paper's 'n ≤ 1' middlebox verification: opt-in works."""
+        client, mbox, server, chain = build(
+            ca, server_identity, mbox_identity, mbox_kwargs={"verify_server": True}
+        )
+        chain.pump()
+        assert mbox.handshake_complete
+
+    def test_middlebox_server_verification_rejects_rogue(self, ca, mbox_identity):
+        rogue_ca = CertificateAuthority.create_root("Rogue Web", key_bits=512)
+        rogue_server = Identity.issued_by(rogue_ca, "server.example", key_bits=512)
+        topology = SessionTopology(
+            middleboxes=[MiddleboxInfo(1, mbox_identity.name)],
+            contexts=[ContextDefinition(1, "ctx", {1: Permission.READ})],
+        )
+        client = McTLSClient(
+            TLSConfig(
+                trusted_roots=[rogue_ca.certificate],  # fooled client
+                server_name="server.example",
+                dh_group=GROUP_TEST_512,
+            ),
+            topology=topology,
+            verify_middleboxes=False,
+        )
+        server = McTLSServer(
+            TLSConfig(
+                identity=rogue_server,
+                trusted_roots=[rogue_ca.certificate],
+                dh_group=GROUP_TEST_512,
+            ),
+        )
+        watchdog = McTLSMiddlebox(
+            mbox_identity.name,
+            TLSConfig(
+                identity=mbox_identity,
+                trusted_roots=[],  # trusts nothing ⇒ rejects everything
+                dh_group=GROUP_TEST_512,
+            ),
+            verify_server=True,
+        )
+        # An empty trust store disables the middlebox check by design
+        # (it has no roots to verify against) — so install a real root
+        # that does NOT cover the rogue server.
+        real_ca = CertificateAuthority.create_root("Real Web", key_bits=512)
+        watchdog.config = TLSConfig(
+            identity=mbox_identity,
+            trusted_roots=[real_ca.certificate],
+            dh_group=GROUP_TEST_512,
+        )
+        chain = Chain(client, [watchdog], server)
+        client.start_handshake()
+        with pytest.raises(TLSError, match="rejected by middlebox"):
+            chain.pump()
+
+
+class TestModeSelection:
+    def test_server_chooses_mode(self, ca, server_identity, mbox_identity):
+        for mode in (HandshakeMode.DEFAULT, HandshakeMode.CLIENT_KEY_DIST):
+            client, mbox, server, chain = build(
+                ca, server_identity, mbox_identity, server_kwargs={"mode": mode}
+            )
+            chain.pump()
+            assert client.mode is mode
+            assert mbox.mode is mode

@@ -1,0 +1,98 @@
+"""Property tests on context strategies: the reassembly invariant.
+
+Every strategy must satisfy: concatenating its pieces in order
+reproduces the encoded message byte-for-byte — that is what lets the
+receiver parse HTTP by feeding application data in arrival order,
+whatever the context assignment.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.http import HttpRequest, HttpResponse
+from repro.http.strategies import (
+    CONTEXT_PER_HEADER,
+    FOUR_CONTEXT,
+    MEDIA_SPLIT,
+    ONE_CONTEXT,
+    context_per_header,
+)
+
+ALL_STRATEGIES = [ONE_CONTEXT, FOUR_CONTEXT, CONTEXT_PER_HEADER, MEDIA_SPLIT]
+
+header_names = st.sampled_from(
+    ["Host", "User-Agent", "Accept", "Cookie", "Cache-Control", "X-Custom", "Content-Type"]
+)
+header_values = st.text(
+    alphabet=string.ascii_letters + string.digits + "-_./;= ", min_size=1, max_size=30
+).map(str.strip).filter(bool)
+headers = st.lists(st.tuples(header_names, header_values), max_size=6)
+
+
+@st.composite
+def requests(draw):
+    return HttpRequest(
+        method=draw(st.sampled_from(["GET", "POST", "PUT"])),
+        target="/" + draw(st.text(alphabet=string.ascii_lowercase + "/", max_size=20)),
+        headers=draw(headers),
+        body=draw(st.binary(max_size=500)),
+    )
+
+
+@st.composite
+def responses(draw):
+    return HttpResponse(
+        status=draw(st.sampled_from([200, 204, 301, 404, 500])),
+        reason="X",
+        headers=draw(headers),
+        body=draw(st.binary(max_size=500)),
+    )
+
+
+@given(requests())
+@settings(max_examples=40)
+def test_request_pieces_concatenate_to_encoding(request):
+    for strategy in ALL_STRATEGIES:
+        pieces = strategy.split_request(request)
+        assert b"".join(p for _, p in pieces) == request.encode(), strategy.name
+        assert all(ctx in strategy.context_purposes for ctx, _ in pieces), strategy.name
+
+
+@given(responses())
+@settings(max_examples=40)
+def test_response_pieces_concatenate_to_encoding(response):
+    for strategy in ALL_STRATEGIES:
+        pieces = strategy.split_response(response)
+        assert b"".join(p for _, p in pieces) == response.encode(), strategy.name
+        assert all(ctx in strategy.context_purposes for ctx, _ in pieces), strategy.name
+
+
+@given(requests(), responses())
+@settings(max_examples=25)
+def test_roundtrip_through_parser(request, response):
+    """Pieces fed to a parser in order reconstruct the message."""
+    from repro.http.messages import HttpParser
+
+    for strategy in ALL_STRATEGIES:
+        parser = HttpParser("request")
+        messages = []
+        for _, piece in strategy.split_request(request):
+            messages += parser.feed(piece)
+        assert len(messages) == 1
+        assert messages[0].encode() == request.encode()
+
+        parser = HttpParser("response")
+        messages = []
+        for _, piece in strategy.split_response(response):
+            messages += parser.feed(piece)
+        assert len(messages) == 1
+        assert messages[0].encode() == response.encode()
+
+
+@given(st.lists(header_names, min_size=1, max_size=8, unique=True))
+@settings(max_examples=20)
+def test_context_per_header_deduplicates(names):
+    strategy = context_per_header(list(names) + [n.lower() for n in names])
+    # One context per unique (case-insensitive) header name + 5 fixed.
+    assert len(strategy.context_purposes) == len({n.lower() for n in names}) + 5

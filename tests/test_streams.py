@@ -1,0 +1,150 @@
+"""Tests for multiplexed streams over mcTLS contexts (HTTP/2 use case)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.http.streams import (
+    FLAG_END_STREAM,
+    StreamError,
+    StreamEvent,
+    StreamMultiplexer,
+    encode_frame,
+)
+from repro.mctls import ContextDefinition, Permission
+from repro.mctls.session import McTLSApplicationData
+
+from tests.mctls_helpers import build_session
+
+
+class _LoopbackConn:
+    def __init__(self):
+        self.sent = []
+
+    def send_application_data(self, data, context_id=1):
+        self.sent.append((context_id, data))
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        mux = StreamMultiplexer(_LoopbackConn())
+        frame = encode_frame(7, b"payload", end_stream=True)
+        events = mux.on_application_data(1, frame)
+        assert events == [
+            StreamEvent(stream_id=7, context_id=1, data=b"payload", end_stream=True)
+        ]
+
+    def test_partial_frames_buffered(self):
+        mux = StreamMultiplexer(_LoopbackConn())
+        frame = encode_frame(1, b"hello world")
+        assert mux.on_application_data(1, frame[:5]) == []
+        events = mux.on_application_data(1, frame[5:])
+        assert events[0].data == b"hello world"
+
+    def test_multiple_frames_in_one_record(self):
+        mux = StreamMultiplexer(_LoopbackConn())
+        data = encode_frame(1, b"a") + encode_frame(3, b"b")
+        events = mux.on_application_data(1, data)
+        assert [(e.stream_id, e.data) for e in events] == [(1, b"a"), (3, b"b")]
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(StreamError):
+            encode_frame(1, b"x" * (1 << 24))
+
+    @given(st.binary(max_size=200), st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, payload, stream_id):
+        mux = StreamMultiplexer(_LoopbackConn())
+        events = mux.on_application_data(2, encode_frame(stream_id, payload))
+        assert events[0].data == payload
+        assert events[0].stream_id == stream_id
+
+
+class TestMultiplexer:
+    def test_client_odd_server_even_ids(self):
+        client = StreamMultiplexer(_LoopbackConn(), is_client=True)
+        server = StreamMultiplexer(_LoopbackConn(), is_client=False)
+        assert [client.open_stream(1) for _ in range(3)] == [1, 3, 5]
+        assert [server.open_stream(1) for _ in range(3)] == [2, 4, 6]
+
+    def test_send_routes_to_bound_context(self):
+        conn = _LoopbackConn()
+        mux = StreamMultiplexer(conn)
+        api = mux.open_stream(context_id=2)
+        images = mux.open_stream(context_id=3)
+        mux.send(api, b"secret api call")
+        mux.send(images, b"jpeg bytes")
+        assert conn.sent[0][0] == 2
+        assert conn.sent[1][0] == 3
+
+    def test_unknown_stream_rejected(self):
+        mux = StreamMultiplexer(_LoopbackConn())
+        with pytest.raises(StreamError):
+            mux.send(99, b"x")
+
+    def test_duplicate_open_rejected(self):
+        mux = StreamMultiplexer(_LoopbackConn())
+        mux.open_stream(1, stream_id=5)
+        with pytest.raises(StreamError):
+            mux.open_stream(1, stream_id=5)
+
+    def test_end_stream_closes_local_side(self):
+        mux = StreamMultiplexer(_LoopbackConn())
+        sid = mux.open_stream(1)
+        mux.send(sid, b"last", end_stream=True)
+        with pytest.raises(StreamError):
+            mux.send(sid, b"more")
+
+    def test_stream_cannot_change_contexts(self):
+        mux = StreamMultiplexer(_LoopbackConn())
+        mux.on_application_data(1, encode_frame(2, b"a"))
+        with pytest.raises(StreamError):
+            mux.on_application_data(3, encode_frame(2, b"b"))
+
+    def test_data_after_remote_close_rejected(self):
+        mux = StreamMultiplexer(_LoopbackConn())
+        mux.on_application_data(1, encode_frame(2, b"bye", end_stream=True))
+        with pytest.raises(StreamError):
+            mux.on_application_data(1, encode_frame(2, b"zombie"))
+
+
+class TestStreamsOverMcTLS:
+    def test_per_stream_access_control(self, ca, server_identity, mbox_identity):
+        """The §4.2 HTTP/2 scenario: image streams in a middlebox-readable
+        context, API streams in an endpoint-only context, multiplexed over
+        one session."""
+        seen = []
+        contexts = [
+            ContextDefinition(1, "api", {}),
+            ContextDefinition(2, "images", {1: Permission.READ}),
+        ]
+        client, mboxes, server, chain = build_session(
+            ca,
+            server_identity,
+            [mbox_identity],
+            contexts,
+            observer=lambda d, ctx, data: seen.append((ctx, data)),
+        )
+        client_mux = StreamMultiplexer(client, is_client=True)
+        server_mux = StreamMultiplexer(server, is_client=False)
+
+        api_stream = client_mux.open_stream(context_id=1)
+        img_stream = client_mux.open_stream(context_id=2)
+        client_mux.send(api_stream, b"GET /account/balance")
+        client_mux.send(img_stream, b"GET /cat.jpg")
+        events = chain.pump()
+
+        received = []
+        for event in events:
+            if isinstance(event, McTLSApplicationData):
+                received.extend(
+                    server_mux.on_application_data(event.context_id, event.data)
+                )
+        by_stream = {e.stream_id: e.data for e in received}
+        assert by_stream == {
+            api_stream: b"GET /account/balance",
+            img_stream: b"GET /cat.jpg",
+        }
+        # Middlebox saw the image stream's frame only.
+        assert len(seen) == 1 and seen[0][0] == 2
+        assert b"cat.jpg" in seen[0][1]
+        assert not any(b"balance" in data for _, data in seen)

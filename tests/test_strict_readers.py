@@ -1,0 +1,108 @@
+"""Tests for the optional strict-reader modes (§3.4's two fixes)."""
+
+import pytest
+
+from repro.crypto.rsa import generate_rsa_key
+from repro.mctls.record import McTLSRecordError
+from repro.mctls.strict_readers import PairwiseReaderMACs, WriterSignatures
+from repro.tls.record import APPLICATION_DATA
+
+
+@pytest.fixture(scope="module")
+def signing_key():
+    return generate_rsa_key(512)
+
+
+class TestPairwiseReaderMACs:
+    def make(self, n_readers=3):
+        return PairwiseReaderMACs(
+            reader_keys={i: bytes([i]) * 32 for i in range(1, n_readers + 1)}
+        )
+
+    def test_each_reader_verifies_its_own_mac(self):
+        scheme = self.make()
+        protected = scheme.protect(0, APPLICATION_DATA, 1, b"payload")
+        for reader_id in (1, 2, 3):
+            assert scheme.verify(reader_id, 0, APPLICATION_DATA, 1, protected) == b"payload"
+
+    def test_reader_forgery_detected_by_other_readers(self):
+        """The fix in action: reader 1 rewrites the record and can forge
+        only its own MAC — reader 2's verification fails."""
+        scheme = self.make(n_readers=2)
+        original = scheme.protect(0, APPLICATION_DATA, 1, b"original")
+
+        # Reader 1 forges: recompute its own MAC over new payload, keep
+        # reader 2's MAC stale.
+        forger = PairwiseReaderMACs(reader_keys={1: bytes([1]) * 32})
+        partial = forger.protect(0, APPLICATION_DATA, 1, b"FORGED!!")
+        mac1 = partial[-32:]
+        stale_mac2 = original[-32:]
+        forged = b"FORGED!!" + mac1 + stale_mac2
+
+        assert scheme.verify(1, 0, APPLICATION_DATA, 1, forged) == b"FORGED!!"
+        with pytest.raises(McTLSRecordError):
+            scheme.verify(2, 0, APPLICATION_DATA, 1, forged)
+
+    def test_sequence_binding(self):
+        scheme = self.make()
+        protected = scheme.protect(5, APPLICATION_DATA, 1, b"payload")
+        with pytest.raises(McTLSRecordError):
+            scheme.verify(1, 6, APPLICATION_DATA, 1, protected)
+
+    def test_overhead_scales_with_readers(self):
+        assert self.make(2).overhead_bytes() == 64
+        assert self.make(5).overhead_bytes() == 160
+
+    def test_truncated_record_rejected(self):
+        scheme = self.make()
+        with pytest.raises(McTLSRecordError):
+            scheme.verify(1, 0, APPLICATION_DATA, 1, b"short")
+
+
+class TestWriterSignatures:
+    def test_sign_verify_roundtrip(self, signing_key):
+        scheme = WriterSignatures(signing_key=signing_key)
+        protected = scheme.protect(0, APPLICATION_DATA, 1, b"payload")
+        payload = WriterSignatures.verify(
+            [signing_key.public_key], 0, APPLICATION_DATA, 1, protected
+        )
+        assert payload == b"payload"
+
+    def test_reader_cannot_forge(self, signing_key):
+        """A reader holds only public keys; rewriting the payload breaks
+        the signature for every verifier."""
+        scheme = WriterSignatures(signing_key=signing_key)
+        protected = bytearray(scheme.protect(0, APPLICATION_DATA, 1, b"payload"))
+        protected[0] ^= 1  # flip a payload bit
+        with pytest.raises(McTLSRecordError):
+            WriterSignatures.verify(
+                [signing_key.public_key], 0, APPLICATION_DATA, 1, bytes(protected)
+            )
+
+    def test_multiple_authorized_writers(self, signing_key):
+        other = generate_rsa_key(512)
+        scheme = WriterSignatures(signing_key=other)
+        protected = scheme.protect(0, APPLICATION_DATA, 1, b"payload")
+        payload = WriterSignatures.verify(
+            [signing_key.public_key, other.public_key], 0, APPLICATION_DATA, 1, protected
+        )
+        assert payload == b"payload"
+
+    def test_unauthorized_writer_rejected(self, signing_key):
+        rogue = generate_rsa_key(512)
+        scheme = WriterSignatures(signing_key=rogue)
+        protected = scheme.protect(0, APPLICATION_DATA, 1, b"payload")
+        with pytest.raises(McTLSRecordError):
+            WriterSignatures.verify(
+                [signing_key.public_key], 0, APPLICATION_DATA, 1, protected
+            )
+
+    def test_overhead(self, signing_key):
+        scheme = WriterSignatures(signing_key=signing_key)
+        assert scheme.overhead_bytes() == 2 + signing_key.byte_length
+
+    def test_truncated_rejected(self, signing_key):
+        with pytest.raises(McTLSRecordError):
+            WriterSignatures.verify(
+                [signing_key.public_key], 0, APPLICATION_DATA, 1, b"x"
+            )

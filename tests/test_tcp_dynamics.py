@@ -1,0 +1,96 @@
+"""TCP dynamics tests: slow start, receive-window capping, queueing."""
+
+import pytest
+
+from repro.netsim import Simulator, connect_tcp
+from repro.netsim.link import duplex
+from repro.netsim.tcp import INITIAL_CWND_SEGMENTS, MSS
+
+
+def run_transfer(size, bandwidth=100e6, delay=0.025, rwnd=1 << 20):
+    sim = Simulator()
+    fwd, rev = duplex(sim, bandwidth, delay)
+    client, server = connect_tcp(sim, fwd, rev, rwnd=rwnd)
+    done = []
+    got = [0]
+
+    def on_data(data):
+        got[0] += len(data)
+        if got[0] >= size:
+            done.append(sim.now)
+
+    server.on_data = on_data
+    client.on_connected = lambda: client.send(b"x" * size)
+    sim.run()
+    assert done, "transfer did not complete"
+    return done[0]
+
+
+class TestSlowStart:
+    def test_initial_window_is_iw10(self):
+        """The first RTT delivers at most 10 MSS."""
+        sim = Simulator()
+        fwd, rev = duplex(sim, None, 0.05)  # infinite bandwidth, 100 ms RTT
+        client, server = connect_tcp(sim, fwd, rev)
+        arrivals = []
+        server.on_data = lambda data: arrivals.append((sim.now, len(data)))
+        client.on_connected = lambda: client.send(b"x" * (40 * MSS))
+        sim.run()
+        # First burst lands ~0.15 s (handshake RTT + one-way delay).
+        first_burst = [n for t, n in arrivals if t < 0.16]
+        assert sum(first_burst) == INITIAL_CWND_SEGMENTS * MSS
+
+    def test_window_doubles_per_rtt(self):
+        """Second-round delivery is ~2× the first (exponential growth)."""
+        sim = Simulator()
+        fwd, rev = duplex(sim, None, 0.05)
+        client, server = connect_tcp(sim, fwd, rev)
+        arrivals = []
+        server.on_data = lambda data: arrivals.append((sim.now, len(data)))
+        client.on_connected = lambda: client.send(b"x" * (120 * MSS))
+        sim.run()
+        round1 = sum(n for t, n in arrivals if t < 0.16)
+        round2 = sum(n for t, n in arrivals if 0.16 <= t < 0.26)
+        assert round2 == pytest.approx(2 * round1, rel=0.15)
+
+    def test_high_bdp_transfer_slower_than_line_rate(self):
+        """On a long fat pipe, slow start dominates a mid-size transfer:
+        the same bytes take longer at 100 ms RTT than at 2 ms RTT."""
+        fast_rtt = run_transfer(500_000, bandwidth=1e9, delay=0.001)
+        slow_rtt = run_transfer(500_000, bandwidth=1e9, delay=0.05)
+        assert slow_rtt > 3 * fast_rtt
+
+
+class TestReceiveWindow:
+    def test_rwnd_caps_inflight(self):
+        """With a tiny receive window the sender stalls per window."""
+        small = run_transfer(200_000, bandwidth=1e9, delay=0.01, rwnd=20_000)
+        large = run_transfer(200_000, bandwidth=1e9, delay=0.01, rwnd=1 << 20)
+        # 200 kB over 20 kB windows needs ≥ 10 window-RTTs.
+        assert small > large
+        assert small >= 0.01 * 2 * (200_000 // 20_000) * 0.8
+
+
+class TestQueueing:
+    def test_two_flows_share_a_link(self):
+        """Two simultaneous transfers on one link take ~2× one transfer."""
+        sim = Simulator()
+        fwd, rev = duplex(sim, 10e6, 0.005)
+        done = []
+        size = 500_000
+
+        for flow in range(2):
+            client, server = connect_tcp(sim, fwd, rev)
+            got = [0]
+
+            def on_data(data, got=got):
+                got[0] += len(data)
+                if got[0] >= size:
+                    done.append(sim.now)
+
+            server.on_data = on_data
+            client.on_connected = (lambda c=client: c.send(b"x" * size))
+        sim.run()
+        assert len(done) == 2
+        solo = size * 8 / 10e6
+        assert max(done) == pytest.approx(2 * solo, rel=0.2)

@@ -1,0 +1,125 @@
+"""Property-based tests for the TCP model: whatever the write pattern,
+bytes arrive complete, in order, exactly once."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.stats import cdf_points, group_by, median, percentile, percentiles
+from repro.netsim import Simulator, connect_tcp
+from repro.netsim.link import duplex
+
+import pytest
+
+
+@given(
+    writes=st.lists(st.binary(min_size=1, max_size=5000), min_size=1, max_size=12),
+    nagle=st.booleans(),
+    delayed_ack=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_arbitrary_write_patterns_deliver_in_order(writes, nagle, delayed_ack):
+    sim = Simulator()
+    fwd, rev = duplex(sim, 10e6, 0.005)
+    client, server = connect_tcp(sim, fwd, rev, nagle=nagle, delayed_ack=delayed_ack)
+    received = bytearray()
+    server.on_data = received.extend
+
+    def go():
+        for chunk in writes:
+            client.send(chunk)
+
+    client.on_connected = go
+    sim.run()
+    assert bytes(received) == b"".join(writes)
+
+
+@given(
+    a_writes=st.lists(st.binary(min_size=1, max_size=2000), max_size=6),
+    b_writes=st.lists(st.binary(min_size=1, max_size=2000), max_size=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_bidirectional_streams_independent(a_writes, b_writes):
+    sim = Simulator()
+    fwd, rev = duplex(sim, 10e6, 0.002)
+    client, server = connect_tcp(sim, fwd, rev)
+    got_at_server, got_at_client = bytearray(), bytearray()
+    server.on_data = got_at_server.extend
+    client.on_data = got_at_client.extend
+
+    def client_go():
+        for chunk in a_writes:
+            client.send(chunk)
+
+    def server_go():
+        for chunk in b_writes:
+            server.send(chunk)
+
+    client.on_connected = client_go
+    server.on_connected = server_go
+    sim.run()
+    assert bytes(got_at_server) == b"".join(a_writes)
+    assert bytes(got_at_client) == b"".join(b_writes)
+
+
+@given(bandwidth_mbps=st.sampled_from([1.0, 10.0, 100.0]),
+       size_kb=st.sampled_from([10, 100, 500]))
+@settings(max_examples=15, deadline=None)
+def test_throughput_never_exceeds_link_rate(bandwidth_mbps, size_kb):
+    sim = Simulator()
+    fwd, rev = duplex(sim, bandwidth_mbps * 1e6, 0.001)
+    client, server = connect_tcp(sim, fwd, rev)
+    size = size_kb * 1000
+    done = []
+    got = [0]
+
+    def on_data(data):
+        got[0] += len(data)
+        if got[0] >= size:
+            done.append(sim.now)
+
+    server.on_data = on_data
+    client.on_connected = lambda: client.send(b"x" * size)
+    sim.run()
+    floor = size * 8 / (bandwidth_mbps * 1e6)  # pure serialization time
+    assert done[0] >= floor
+
+
+class TestStats:
+    def test_percentile_nearest_rank(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 0.5) == 6
+        assert percentile(values, 1.0) == 10
+
+    def test_percentiles_and_median(self):
+        values = list(range(100))
+        assert median(values) == 50
+        assert percentiles(values, (0.1, 0.9)) == [10, 90]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_cdf_monotone(self):
+        points = cdf_points([5, 1, 3, 2, 4], points=10)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[0] == 0.0 and ys[-1] == 1.0
+
+    def test_group_by(self):
+        class Row:
+            def __init__(self, label, value):
+                self.label = label
+                self.value = value
+
+        rows = [Row("a", 1), Row("b", 2), Row("a", 3)]
+        grouped = group_by(rows, "label")
+        assert sorted(grouped) == ["a", "b"]
+        assert [r.value for r in grouped["a"]] == [1, 3]

@@ -1,0 +1,141 @@
+"""Tests for the TLS record layer: framing, protection, tamper detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tls.ciphersuites import (
+    SUITE_DHE_RSA_AES128_CBC_SHA256,
+    SUITE_DHE_RSA_SHACTR_SHA256,
+    CipherError,
+    suite_by_id,
+)
+from repro.tls.record import (
+    ALERT,
+    APPLICATION_DATA,
+    HANDSHAKE,
+    MAX_PLAINTEXT,
+    RecordError,
+    RecordLayer,
+)
+
+SUITE = SUITE_DHE_RSA_SHACTR_SHA256  # fast suite for bulk record tests
+
+
+def protected_pair(suite=SUITE):
+    """A sender/receiver record-layer pair sharing keys."""
+    enc_key = bytes(suite.key_length)
+    mac_key = b"m" * suite.mac_key_length
+    sender = RecordLayer()
+    receiver = RecordLayer()
+    sender.write_state.activate(suite, suite.new_cipher(enc_key), mac_key)
+    receiver.read_state.activate(suite, suite.new_cipher(enc_key), mac_key)
+    return sender, receiver
+
+
+class TestPlaintextRecords:
+    def test_roundtrip(self):
+        layer = RecordLayer()
+        wire = layer.encode(HANDSHAKE, b"hello")
+        peer = RecordLayer()
+        peer.feed(wire)
+        assert peer.read_record() == (HANDSHAKE, b"hello")
+
+    def test_partial_delivery(self):
+        layer = RecordLayer()
+        wire = layer.encode(ALERT, b"\x01\x00")
+        peer = RecordLayer()
+        peer.feed(wire[:3])
+        assert peer.read_record() is None
+        peer.feed(wire[3:])
+        assert peer.read_record() == (ALERT, b"\x01\x00")
+
+    def test_fragmentation(self):
+        layer = RecordLayer()
+        payload = b"x" * (MAX_PLAINTEXT + 100)
+        wire = layer.encode(APPLICATION_DATA, payload)
+        peer = RecordLayer()
+        peer.feed(wire)
+        records = list(peer.read_all())
+        assert len(records) == 2
+        assert b"".join(p for _, p in records) == payload
+
+    def test_invalid_content_type(self):
+        layer = RecordLayer()
+        layer.feed(b"\x63\x03\x03\x00\x01a")
+        with pytest.raises(RecordError):
+            layer.read_record()
+
+    def test_invalid_version(self):
+        layer = RecordLayer()
+        layer.feed(b"\x16\x02\x00\x00\x01a")
+        with pytest.raises(RecordError):
+            layer.read_record()
+
+
+class TestProtectedRecords:
+    def test_roundtrip(self):
+        sender, receiver = protected_pair()
+        receiver.feed(sender.encode(APPLICATION_DATA, b"secret payload"))
+        assert receiver.read_record() == (APPLICATION_DATA, b"secret payload")
+
+    def test_ciphertext_differs_from_plaintext(self):
+        sender, _ = protected_pair()
+        wire = sender.encode(APPLICATION_DATA, b"secret payload")
+        assert b"secret payload" not in wire
+
+    def test_tampered_ciphertext_rejected(self):
+        sender, receiver = protected_pair()
+        wire = bytearray(sender.encode(APPLICATION_DATA, b"data"))
+        wire[-1] ^= 1
+        receiver.feed(bytes(wire))
+        with pytest.raises(RecordError):
+            receiver.read_record()
+
+    def test_replayed_record_rejected(self):
+        """Sequence numbers make replays fail the MAC."""
+        sender, receiver = protected_pair()
+        wire = sender.encode(APPLICATION_DATA, b"data")
+        receiver.feed(wire)
+        assert receiver.read_record() is not None
+        receiver.feed(wire)
+        with pytest.raises(RecordError):
+            receiver.read_record()
+
+    def test_reordered_records_rejected(self):
+        sender, receiver = protected_pair()
+        first = sender.encode(APPLICATION_DATA, b"one")
+        second = sender.encode(APPLICATION_DATA, b"two")
+        receiver.feed(second)
+        with pytest.raises(RecordError):
+            receiver.read_record()
+        del first
+
+    def test_aes_cbc_suite_roundtrip(self):
+        sender, receiver = protected_pair(SUITE_DHE_RSA_AES128_CBC_SHA256)
+        receiver.feed(sender.encode(APPLICATION_DATA, b"cbc data"))
+        assert receiver.read_record() == (APPLICATION_DATA, b"cbc data")
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_random_payloads(self, payload):
+        sender, receiver = protected_pair()
+        receiver.feed(sender.encode(APPLICATION_DATA, payload))
+        records = list(receiver.read_all())
+        assert b"".join(p for _, p in records) == payload
+
+
+class TestCipherSuites:
+    def test_lookup(self):
+        assert suite_by_id(0x0067) is SUITE_DHE_RSA_AES128_CBC_SHA256
+        with pytest.raises(CipherError):
+            suite_by_id(0x1234)
+
+    def test_ciphertext_length_prediction(self):
+        for suite in (SUITE_DHE_RSA_AES128_CBC_SHA256, SUITE_DHE_RSA_SHACTR_SHA256):
+            cipher = suite.new_cipher(bytes(suite.key_length))
+            for n in (0, 1, 15, 16, 17, 1000):
+                assert len(cipher.encrypt(b"x" * n)) == cipher.ciphertext_length(n)
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            SUITE_DHE_RSA_AES128_CBC_SHA256.new_cipher(b"short")

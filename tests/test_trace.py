@@ -1,0 +1,120 @@
+"""Tests for the wire-trace utility."""
+
+from repro.crypto.dh import GROUP_TEST_512
+from repro.mctls import ContextDefinition, McTLSClient, Permission, SessionTopology
+from repro.mctls.contexts import MiddleboxInfo
+from repro.tls import TLSClient
+from repro.tls.connection import TLSConfig
+from repro.trace import describe_stream
+
+
+class TestTraceTLS:
+    def test_client_hello_line(self, client_config):
+        client = TLSClient(client_config)
+        client.start_handshake()
+        lines = describe_stream(client.data_to_send(), mctls=False)
+        assert len(lines) == 1
+        assert "ClientHello" in lines[0]
+        assert "suites=" in lines[0]
+
+    def test_server_flight(self, client_config, server_config):
+        from repro.tls import TLSServer
+
+        client = TLSClient(client_config)
+        server = TLSServer(server_config)
+        client.start_handshake()
+        server.receive_bytes(client.data_to_send())
+        lines = describe_stream(server.data_to_send(), mctls=False)
+        names = " ".join(lines)
+        assert "ServerHello" in names
+        assert "Certificate" in names and "server.example" in names
+        assert "ServerKeyExchange" in names
+        assert "ServerHelloDone" in names
+
+
+class TestTraceMcTLS:
+    def test_client_hello_shows_topology(self, ca):
+        topology = SessionTopology(
+            middleboxes=[MiddleboxInfo(1, "m1"), MiddleboxInfo(2, "m2")],
+            contexts=[
+                ContextDefinition(1, "a", {1: Permission.READ}),
+                ContextDefinition(2, "b"),
+            ],
+        )
+        client = McTLSClient(
+            TLSConfig(trusted_roots=[ca.certificate], dh_group=GROUP_TEST_512),
+            topology=topology,
+        )
+        client.start_handshake()
+        lines = describe_stream(client.data_to_send())
+        assert "middleboxes=2" in lines[0]
+        assert "contexts=2" in lines[0]
+        assert "ctx=0" in lines[0]
+
+    def test_full_handshake_trace(self, ca, server_identity, mbox_identity):
+        """Capture the server-bound bytes at the middlebox and trace them."""
+        from tests.mctls_helpers import build_session
+
+        captured = []
+
+        # Wrap the middlebox's output by tracing after the handshake.
+        client, mboxes, server, chain = build_session(
+            ca,
+            server_identity,
+            [mbox_identity],
+            [ContextDefinition(1, "ctx", {1: Permission.READ})],
+        )
+        # Re-run a fresh client hello to capture a clean flight.
+        fresh = McTLSClient(
+            TLSConfig(
+                trusted_roots=[ca.certificate],
+                server_name=server_identity.name,
+                dh_group=GROUP_TEST_512,
+            ),
+            topology=client.topology,
+        )
+        fresh.start_handshake()
+        lines = describe_stream(fresh.data_to_send())
+        assert any("ClientHello" in line for line in lines)
+
+    def test_protected_records_summarised(self, ca, server_identity):
+        from tests.mctls_helpers import build_session
+
+        client, _, server, chain = build_session(
+            ca, server_identity, [], [ContextDefinition(1, "ctx")]
+        )
+        client.send_application_data(b"secret", context_id=1)
+        lines = describe_stream(client.data_to_send())
+        assert len(lines) == 1
+        assert lines[0].startswith("ApplicationData ctx=1 <")
+        assert lines[0].endswith("B protected>")
+        assert "secret" not in lines[0]
+
+    def test_malformed_stream_reported(self):
+        lines = describe_stream(b"\x99\x99\x99\x99\x99\x99\x99")
+        assert lines[0].startswith("!! malformed")
+
+    def test_incomplete_record_reported(self, ca):
+        topology = SessionTopology(contexts=[ContextDefinition(1, "x")])
+        client = McTLSClient(
+            TLSConfig(trusted_roots=[ca.certificate], dh_group=GROUP_TEST_512),
+            topology=topology,
+        )
+        client.start_handshake()
+        data = client.data_to_send()
+        lines = describe_stream(data[:-3])
+        assert any("incomplete" in line for line in lines)
+
+    def test_alert_decoding(self, ca, server_identity):
+        from tests.mctls_helpers import build_session
+
+        client, _, server, chain = build_session(
+            ca, server_identity, [], [ContextDefinition(1, "x")]
+        )
+        # Pre-protection alert bytes (craft a plaintext alert record).
+        from repro.mctls.record import encode_header
+        from repro.tls.record import ALERT
+
+        record = encode_header(ALERT, 0, 2) + bytes([1, 0])
+        lines = describe_stream(record)
+        assert lines == ["Alert ctx=0 warning code=0"]

@@ -1,0 +1,98 @@
+"""Tests for the in-memory transports (pump, Chain) and event routing."""
+
+import pytest
+
+from repro.baselines import BlindRelay, PlainConnection, PlainRelay
+from repro.tls.connection import ApplicationData
+from repro.transport import Chain, pump
+
+
+class _Echo:
+    """Minimal sans-I/O object echoing bytes back, for transport tests."""
+
+    def __init__(self, reply_prefix=b""):
+        self._out = bytearray()
+        self.reply_prefix = reply_prefix
+        self.received = []
+
+    def data_to_send(self):
+        out = bytes(self._out)
+        self._out.clear()
+        return out
+
+    def receive_bytes(self, data):
+        self.received.append(bytes(data))
+        if self.reply_prefix:
+            self._out += self.reply_prefix + data
+        return [ApplicationData(data=bytes(data))]
+
+    def send(self, data):
+        self._out += data
+
+
+class TestPump:
+    def test_bidirectional_until_quiet(self):
+        a, b = _Echo(), _Echo(reply_prefix=b"re:")
+        a.send(b"hello")
+        events = pump(a, b)
+        assert b.received == [b"hello"]
+        assert a.received == [b"re:hello"]
+        assert len(events) == 2
+
+    def test_nonconvergent_raises(self):
+        a, b = _Echo(reply_prefix=b"x"), _Echo(reply_prefix=b"y")
+        a.send(b"ping")
+        with pytest.raises(RuntimeError, match="converge"):
+            pump(a, b, max_rounds=5)
+
+
+class TestChain:
+    def test_multi_relay_delivery(self):
+        a, b = PlainConnection(), PlainConnection()
+        a.start_handshake()
+        b.start_handshake()
+        chain = Chain(a, [BlindRelay(), BlindRelay(), BlindRelay()], b)
+        a.send_application_data(b"through three relays")
+        events = chain.pump()
+        assert any(
+            isinstance(e, ApplicationData) and e.data == b"through three relays"
+            for e in events
+        )
+
+    def test_event_sinks(self):
+        a, b = PlainConnection(), PlainConnection()
+        a.start_handshake()
+        b.start_handshake()
+        chain = Chain(a, [PlainRelay()], b)
+        client_events, server_events = [], []
+        chain.on_client_event = client_events.append
+        chain.on_server_event = server_events.append
+        a.send_application_data(b"to-server")
+        chain.pump()
+        b.send_application_data(b"to-client")
+        chain.pump()
+        assert any(getattr(e, "data", None) == b"to-server" for e in server_events)
+        assert any(getattr(e, "data", None) == b"to-client" for e in client_events)
+        # Events are routed to the correct side only.
+        assert not any(getattr(e, "data", None) == b"to-server" for e in client_events)
+
+    def test_zero_relays(self):
+        a, b = PlainConnection(), PlainConnection()
+        a.start_handshake()
+        b.start_handshake()
+        chain = Chain(a, [], b)
+        a.send_application_data(b"direct")
+        events = chain.pump()
+        assert any(getattr(e, "data", None) == b"direct" for e in events)
+
+    def test_events_accumulate(self):
+        a, b = PlainConnection(), PlainConnection()
+        a.start_handshake()
+        b.start_handshake()
+        chain = Chain(a, [], b)
+        a.send_application_data(b"one")
+        chain.pump()
+        b.send_application_data(b"two")
+        chain.pump()
+        datas = [getattr(e, "data", None) for e in chain.events]
+        assert b"one" in datas and b"two" in datas

@@ -1,0 +1,86 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.alexa import (
+    PageCorpus,
+    generate_corpus,
+    object_size_quantile,
+)
+from repro.workloads.filesizes import PAPER_FILE_SIZES
+
+
+class TestQuantileFunction:
+    def test_paper_anchor_percentiles(self):
+        """P10/P50/P99 hit the paper's published values exactly."""
+        assert object_size_quantile(0.10) == 500
+        assert object_size_quantile(0.50) == 4_900
+        assert object_size_quantile(0.99) == 185_600
+
+    def test_monotonic(self):
+        values = [object_size_quantile(q / 100) for q in range(101)]
+        assert values == sorted(values)
+
+    def test_bounds(self):
+        assert object_size_quantile(0.0) >= 1
+        assert object_size_quantile(1.0) == 2_000_000
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            object_size_quantile(-0.1)
+        with pytest.raises(ValueError):
+            object_size_quantile(1.1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100)
+    def test_always_positive_int(self, q):
+        size = object_size_quantile(q)
+        assert isinstance(size, int) and size >= 1
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = generate_corpus(n_pages=20, seed=42)
+        b = generate_corpus(n_pages=20, seed=42)
+        assert [p.connections for p in a] == [p.connections for p in b]
+
+    def test_seed_changes_corpus(self):
+        a = generate_corpus(n_pages=20, seed=1)
+        b = generate_corpus(n_pages=20, seed=2)
+        assert [p.connections for p in a] != [p.connections for p in b]
+
+    def test_page_structure(self):
+        corpus = generate_corpus(n_pages=50, seed=7)
+        assert len(corpus) == 50
+        for page in corpus:
+            assert page.object_count >= 1
+            assert 1 <= len(page.connections) <= 32
+            assert all(all(size >= 1 for size in conn) for conn in page.connections)
+            assert page.total_bytes == sum(sum(c) for c in page.connections)
+
+    def test_size_distribution_matches_anchors(self):
+        """Sampled sizes land near the paper's percentiles."""
+        corpus = generate_corpus(n_pages=300, seed=11)
+        p50 = corpus.size_percentile(0.50)
+        assert 3_000 < p50 < 8_000  # paper: 4.9 kB
+        p10 = corpus.size_percentile(0.10)
+        assert 300 < p10 < 900  # paper: 0.5 kB
+
+    def test_median_objects_per_page(self):
+        corpus = generate_corpus(n_pages=200, seed=3)
+        counts = sorted(p.object_count for p in corpus)
+        median = counts[len(counts) // 2]
+        assert 25 <= median <= 60  # target ≈ 40
+
+    def test_empty_corpus_percentile_raises(self):
+        with pytest.raises(ValueError):
+            PageCorpus(pages=(), seed=0).size_percentile(0.5)
+
+
+class TestFileSizes:
+    def test_paper_values(self):
+        assert PAPER_FILE_SIZES["p10"] == 500
+        assert PAPER_FILE_SIZES["p50"] == 4_900
+        assert PAPER_FILE_SIZES["p99"] == 185_600
+        assert PAPER_FILE_SIZES["large"] == 10 * 1024 * 1024
