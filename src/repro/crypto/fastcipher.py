@@ -18,6 +18,12 @@ from __future__ import annotations
 import hashlib
 
 
+# Keystream is generated and consumed ~64 KiB at a time: big enough to
+# amortise the per-chunk big-integer XOR, small enough that peak memory
+# stays bounded no matter how large the record batch is.
+_CHUNK_BLOCKS = 2048
+
+
 class ShaCtrCipher:
     """Keystream cipher: block i = SHA256(key || nonce || counter)."""
 
@@ -28,16 +34,30 @@ class ShaCtrCipher:
             raise ValueError("ShaCtr key must be 16 or 32 bytes")
         self._key = key
 
+    def _stream_chunk(self, prefix: bytes, first_block: int, length: int) -> bytes:
+        return b"".join(
+            hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
+            for counter in range(first_block, first_block + (length + 31) // 32)
+        )[:length]
+
     def keystream(self, nonce: bytes, length: int) -> bytes:
-        prefix = self._key + nonce
-        blocks = []
-        for counter in range((length + 31) // 32):
-            h = hashlib.sha256(prefix + counter.to_bytes(8, "big"))
-            blocks.append(h.digest())
-        return b"".join(blocks)[:length]
+        return self._stream_chunk(self._key + nonce, 0, length)
 
     def xor(self, nonce: bytes, data: bytes) -> bytes:
-        """Encrypt or decrypt ``data`` (the operation is an involution)."""
-        stream = self.keystream(nonce, len(data))
-        n = int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
-        return n.to_bytes(len(data), "big") if data else b""
+        """Encrypt or decrypt ``data`` (the operation is an involution).
+
+        Works in bounded-size chunks — one chunk of keystream exists at a
+        time instead of a block list plus a full-length stream copy.
+        """
+        if not data:
+            return b""
+        prefix = self._key + nonce
+        out = bytearray(len(data))
+        view = memoryview(data)
+        chunk_len = _CHUNK_BLOCKS * 32
+        for start in range(0, len(data), chunk_len):
+            piece = view[start : start + chunk_len]
+            stream = self._stream_chunk(prefix, start // 32, len(piece))
+            n = int.from_bytes(piece, "big") ^ int.from_bytes(stream, "big")
+            out[start : start + len(piece)] = n.to_bytes(len(piece), "big")
+        return bytes(out)

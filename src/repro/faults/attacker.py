@@ -1,0 +1,279 @@
+"""On-path attackers for the fault-injection harness.
+
+Three adversaries, matching the rows of Table 1 (§3.4):
+
+* :class:`TamperProxy` — a **third party** on the wire.  It holds no
+  keys; all it can do is parse record framing and mutate ciphertext,
+  drop, replay or reorder records, or rewrite cleartext handshake
+  messages.  It implements the two-sided relay interface, so it slots
+  into :class:`repro.transport.Chain` and (via
+  :class:`repro.experiments.harness.RelayNode` / :class:`AttackerNode`)
+  into ``repro.netsim`` simulations.
+* :class:`MaliciousReader` — a **reader** middlebox that abuses its
+  reader keys to forge records (recomputing ``MAC_readers`` only).
+  Downstream readers accept the forgery — the paper's documented
+  limitation — but writers and endpoints catch it via ``MAC_writers``.
+* a malicious **writer** needs no machinery: an honest
+  :class:`~repro.mctls.middlebox.McTLSMiddlebox` with a ``transformer``
+  *is* the legal-modification case the endpoint flags via
+  ``MAC_endpoints``.
+
+Everything the proxy does not touch is forwarded byte-identically, so an
+un-attacked session through a :class:`TamperProxy` behaves exactly like a
+bare wire.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.experiments.harness import RelayNode
+from repro.faults.mutations import (
+    HandshakeMutator,
+    RecordMutator,
+    RecordView,
+    parse_records,
+)
+from repro.mctls import keys as mk
+from repro.mctls import record as mrec
+from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, Permission
+from repro.mctls.middlebox import McTLSMiddlebox, _Side
+from repro.mctls.record import MiddleboxRecordProcessor, OpenedRecord, mac_input
+from repro.tls import messages as tls_msgs
+from repro.tls import record as rec
+
+
+@dataclass
+class TamperPlan:
+    """What a :class:`TamperProxy` should do, and when.
+
+    ``record_index`` counts APPLICATION_DATA records in ``direction``
+    (0-based); the mutator receives ``mutator.window`` consecutive
+    records starting there.  ``handshake_mutator`` applies to cleartext
+    handshake messages in ``direction`` before ChangeCipherSpec.
+    """
+
+    seed: int = 0
+    record_mutator: Optional[RecordMutator] = None
+    record_index: int = 0
+    handshake_mutator: Optional[HandshakeMutator] = None
+    direction: str = mk.C2S
+
+
+class _DirState:
+    """Per-direction parsing/mutation state inside a TamperProxy."""
+
+    def __init__(self) -> None:
+        self.inbuf = bytearray()
+        self.hs_buf = tls_msgs.HandshakeBuffer()
+        self.protected = False  # ChangeCipherSpec seen
+        self.app_index = 0  # APPLICATION_DATA records seen
+        self.pending: List[RecordView] = []  # window under collection
+        self.done = False  # record mutation already applied
+
+
+class TamperProxy:
+    """A key-less on-path attacker with the two-sided relay interface.
+
+    Tampering per :class:`TamperPlan`; every other byte is forwarded
+    verbatim.  ``log`` records ``(direction, action)`` pairs for test
+    introspection.
+    """
+
+    def __init__(self, plan: TamperPlan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.log: List[Tuple[str, str]] = []
+        self._c2s = _DirState()
+        self._s2c = _DirState()
+        self._to_client = bytearray()
+        self._to_server = bytearray()
+
+    # -- relay interface ----------------------------------------------------
+
+    def receive_from_client(self, data: bytes) -> List[object]:
+        self._process(mk.C2S, self._c2s, self._to_server, data)
+        return []
+
+    def receive_from_server(self, data: bytes) -> List[object]:
+        self._process(mk.S2C, self._s2c, self._to_client, data)
+        return []
+
+    def data_to_client(self) -> bytes:
+        out = bytes(self._to_client)
+        self._to_client.clear()
+        return out
+
+    def data_to_server(self) -> bytes:
+        out = bytes(self._to_server)
+        self._to_server.clear()
+        return out
+
+    # -- internals ----------------------------------------------------------
+
+    def _process(
+        self, direction: str, state: _DirState, out: bytearray, data: bytes
+    ) -> None:
+        state.inbuf += data
+        for view in parse_records(state.inbuf):
+            self._handle_record(direction, state, out, view)
+
+    def _handle_record(
+        self, direction: str, state: _DirState, out: bytearray, view: RecordView
+    ) -> None:
+        targeted = direction == self.plan.direction
+
+        if view.content_type == rec.CHANGE_CIPHER_SPEC:
+            state.protected = True
+            out += view.to_bytes()
+            return
+
+        if (
+            targeted
+            and not state.protected
+            and view.content_type == rec.HANDSHAKE
+            and self.plan.handshake_mutator is not None
+        ):
+            self._mutate_handshake(direction, state, out, view)
+            return
+
+        if (
+            targeted
+            and state.protected
+            and view.content_type == rec.APPLICATION_DATA
+            and self.plan.record_mutator is not None
+            and not state.done
+        ):
+            index = state.app_index
+            state.app_index += 1
+            mutator = self.plan.record_mutator
+            start = self.plan.record_index
+            if start <= index < start + mutator.window:
+                state.pending.append(view)
+                if len(state.pending) == mutator.window:
+                    mutated = mutator.mutate(state.pending, self.rng)
+                    state.pending = []
+                    state.done = True
+                    self.log.append((direction, mutator.name))
+                    for m in mutated:
+                        out += m.to_bytes()
+                return  # held for the window, or just emitted
+            out += view.to_bytes()
+            return
+
+        if targeted and state.protected and view.content_type == rec.APPLICATION_DATA:
+            state.app_index += 1
+        out += view.to_bytes()
+
+    def _mutate_handshake(
+        self, direction: str, state: _DirState, out: bytearray, view: RecordView
+    ) -> None:
+        """Re-frame handshake messages one per record, mutating en route."""
+        state.hs_buf.feed(bytes(view.fragment))
+        while True:
+            message = state.hs_buf.next_message()
+            if message is None:
+                return
+            msg_type, body, raw = message
+            replacement = self.plan.handshake_mutator.mutate_message(
+                msg_type, body, self.rng
+            )
+            if replacement is None:
+                framed = [raw]
+            else:
+                self.log.append((direction, self.plan.handshake_mutator.name))
+                framed = [tls_msgs.frame(t, b) for t, b in replacement]
+            for msg_raw in framed:
+                out += (
+                    mrec.encode_header(rec.HANDSHAKE, ENDPOINT_CONTEXT_ID, len(msg_raw))
+                    + msg_raw
+                )
+
+
+class AttackerNode(RelayNode):
+    """A :class:`TamperProxy` bound to simulated TCP sockets.
+
+    Drop-in for a :class:`~repro.experiments.harness.RelayNode` slot in a
+    netsim path — see ``build_path(..., attacker=..., attacker_hop=...)``.
+    """
+
+    def __init__(self, sim, plan_or_proxy, downstream_socket, upstream_socket):
+        proxy = (
+            plan_or_proxy
+            if isinstance(plan_or_proxy, TamperProxy)
+            else TamperProxy(plan_or_proxy)
+        )
+        super().__init__(sim, proxy, downstream_socket, upstream_socket)
+        self.proxy = proxy
+
+
+# -- insider attackers ---------------------------------------------------------
+
+
+def forge_reader_record(
+    processor: MiddleboxRecordProcessor, opened: OpenedRecord, new_payload: bytes
+) -> bytes:
+    """Forge a record the way a malicious *reader* can (§3.4, Table 1).
+
+    A reader holds the context's reader keys only, so it can recompute
+    ``MAC_readers`` over its forged payload but must forward the original
+    ``MAC_endpoints`` and ``MAC_writers`` unchanged.  Downstream readers
+    verify happily; the first writer or endpoint rejects via
+    ``MAC_writers``.
+    """
+    keys = processor.context_keys[opened.context_id]
+    reader_keys = keys.readers.for_direction(processor.direction)
+    covered = mac_input(
+        opened.seq, opened.content_type, opened.context_id, new_payload
+    )
+    reader_mac = mrec._hmac_sha256(reader_keys.mac, covered)
+    plaintext = new_payload + opened.endpoint_mac + opened.writer_mac + reader_mac
+    fragment = processor.suite.new_cipher(reader_keys.enc).encrypt(plaintext)
+    return (
+        mrec.encode_header(opened.content_type, opened.context_id, len(fragment))
+        + fragment
+    )
+
+
+class MaliciousReader(McTLSMiddlebox):
+    """A middlebox that completes the handshake honestly with READ
+    permission, then forges application records in flight."""
+
+    def __init__(
+        self,
+        name,
+        config,
+        target_context: int = 1,
+        rewrite: Callable[[bytes], bytes] = lambda p: b"forged:" + p,
+        **kwargs,
+    ):
+        super().__init__(name, config, **kwargs)
+        self.target_context = target_context
+        self.rewrite = rewrite
+        self.forged: List[Tuple[str, int]] = []
+
+    def _handle_protected_record(self, side, content_type, context_id, fragment, raw):
+        if (
+            content_type != rec.APPLICATION_DATA
+            or context_id != self.target_context
+            or self.permissions.get(context_id) is not Permission.READ
+        ):
+            super()._handle_protected_record(side, content_type, context_id, fragment, raw)
+            return
+        processor = self._proc_c2s if side is _Side.CLIENT else self._proc_s2c
+        direction = mk.C2S if side is _Side.CLIENT else mk.S2C
+        opened = processor.open_record(content_type, context_id, fragment)
+        forged = forge_reader_record(processor, opened, self.rewrite(opened.payload))
+        self.forged.append((direction, opened.seq))
+        self._out_for(side).extend(forged)
+
+
+__all__ = [
+    "AttackerNode",
+    "MaliciousReader",
+    "TamperPlan",
+    "TamperProxy",
+    "forge_reader_record",
+]

@@ -1,0 +1,405 @@
+"""Executable Table 1: the (role × permission × mutation) fault matrix.
+
+Each :class:`CellSpec` is one cell of the paper's §3.4 detection table —
+an attacker role (third party on the wire, a reader middlebox, a writer
+middlebox, or a handshake-time tamperer), a detecting party (the
+receiving endpoint, a reader middlebox, a writer middlebox, or the
+handshake itself), and a mutation.  :func:`run_cell` builds a fresh
+mcTLS session with exactly that topology, injects the mutation
+mid-session through the attacker machinery in
+:mod:`repro.faults.attacker`, and classifies what happened:
+
+* ``ILLEGAL`` — a MAC verification failed; the result records *which*
+  MAC (``endpoints`` / ``writers`` / ``readers``) and *where*
+  (``endpoint`` / ``middlebox``), which is exactly what Table 1
+  specifies per cell;
+* ``LEGAL`` — the record was delivered and the endpoint flagged it as
+  legally modified (``MAC_endpoints`` mismatch, ``MAC_writers`` valid);
+* ``ACCEPTED`` — delivered with no flag (the tampering was invisible to
+  this party — e.g. endpoints never check ``MAC_readers``);
+* ``MALFORMED`` — rejected before any MAC ran (framing/version);
+* ``HANDSHAKE_FAILED`` — the handshake never completed.
+
+The whole matrix is deterministic for a fixed seed: mutation positions
+come from ``random.Random(seed)`` and payload lengths are fixed, so two
+consecutive :func:`run_matrix` calls must produce identical outcomes
+(asserted by ``tests/test_fault_matrix.py``).
+
+Sessions use 512-bit RSA/DH test parameters and the SHA-CTR stream
+suite.  The stream suite matters: it preserves byte positions, so the
+bit-flip mutators can address the payload and each individual MAC slot
+inside the ciphertext.  (CBC would garble whole blocks and every flip
+would collapse into the same padding/decryption failure.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.certs import CertificateAuthority, Identity
+from repro.crypto.dh import GROUP_TEST_512
+from repro.faults.attacker import MaliciousReader, TamperPlan, TamperProxy
+from repro.faults.mutations import (
+    DropHandshakeMessage,
+    EscalatePermission,
+    FlipHandshakeBit,
+    HandshakeMutator,
+    standard_record_mutators,
+)
+from repro.mctls import (
+    ContextDefinition,
+    McTLSClient,
+    McTLSMiddlebox,
+    McTLSServer,
+    MiddleboxInfo,
+    Permission,
+    SessionTopology,
+)
+from repro.mctls import keys as mk
+from repro.mctls import record as mrec
+from repro.mctls.session import McTLSApplicationData
+from repro.tls import messages as tls_msgs
+from repro.tls.ciphersuites import SUITE_DHE_RSA_SHACTR_SHA256
+from repro.tls.connection import TLSConfig, TLSError
+from repro.transport import Chain
+
+SEED = 2015  # any fixed value; tests assert run-to-run stability, not the value
+
+PAYLOAD_1 = b"mcTLS fault harness payload number one"
+PAYLOAD_2 = b"mcTLS fault harness payload number two"
+
+KEY_BITS = 512  # test-sized keys; structure identical to production sizes
+
+
+class Outcome(Enum):
+    ILLEGAL = "illegal"  # a MAC check failed
+    LEGAL = "legal"  # delivered, flagged as legally modified
+    ACCEPTED = "accepted"  # delivered, no flag
+    MALFORMED = "malformed"  # rejected before any MAC ran
+    HANDSHAKE_FAILED = "handshake-failed"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell: who attacks, who should notice, with which mutation."""
+
+    attacker: str  # "third-party" | "reader" | "writer" | "handshake"
+    detector: str  # "endpoint" | "reader-mbox" | "writer-mbox" | "handshake"
+    mutation: str  # mutator name, or "forge" / "transform"
+
+
+@dataclass(frozen=True)
+class CellResult:
+    outcome: Outcome
+    mac: Optional[str] = None  # which MAC detected it, if any
+    detected_by: Optional[str] = None  # "endpoint" | "middlebox"
+    delivered: Tuple[bytes, ...] = ()
+    legally_modified: bool = False
+
+
+@dataclass(frozen=True)
+class Expected:
+    """What Table 1 says should happen in a cell."""
+
+    outcome: Outcome
+    mac: Optional[str] = None
+    detected_by: Optional[str] = None
+
+    def matches(self, result: CellResult) -> bool:
+        if result.outcome is not self.outcome:
+            return False
+        if self.mac is not None and result.mac != self.mac:
+            return False
+        if self.detected_by is not None and result.detected_by != self.detected_by:
+            return False
+        return True
+
+
+def failure_info(exc: BaseException):
+    """Walk the exception cause chain for the detection outcome.
+
+    Prefers a :class:`~repro.mctls.record.MacVerificationError` (which
+    names the MAC and the party); falls back to the first exception that
+    knows ``where``, then to ``exc`` itself.
+    """
+    best = None
+    node: Optional[BaseException] = exc
+    seen = set()
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        if isinstance(node, mrec.MacVerificationError):
+            return node
+        if best is None and getattr(node, "where", None) is not None:
+            best = node
+        node = node.__cause__ or node.__context__
+    return best if best is not None else exc
+
+
+# -- cached crypto material ---------------------------------------------------
+
+_FIXTURE: Dict[str, object] = {}
+
+
+def _fixture():
+    """CA + server + two middlebox identities (key generation is the
+    expensive part; every cell shares one set)."""
+    if not _FIXTURE:
+        ca = CertificateAuthority.create_root("Fault Harness CA", key_bits=KEY_BITS)
+        _FIXTURE["ca"] = ca
+        _FIXTURE["server"] = Identity.issued_by(ca, "server.example", key_bits=KEY_BITS)
+        _FIXTURE["mboxes"] = [
+            Identity.issued_by(ca, f"mbox{i}.example", key_bits=KEY_BITS)
+            for i in (1, 2)
+        ]
+    return _FIXTURE["ca"], _FIXTURE["server"], _FIXTURE["mboxes"]
+
+
+def _config(**kwargs) -> TLSConfig:
+    return TLSConfig(
+        dh_group=GROUP_TEST_512,
+        cipher_suites=(SUITE_DHE_RSA_SHACTR_SHA256,),
+        **kwargs,
+    )
+
+
+def _writer_transform(direction: str, context_id: int, payload: bytes):
+    """The 'malicious' writer: a legal modification the endpoint flags."""
+    if direction == mk.C2S and context_id == 1:
+        return payload + b" [rewritten by writer]"
+    return None
+
+
+# -- per-cell topology --------------------------------------------------------
+
+# Permission grants per (attacker, detector): a list of per-middlebox
+# permissions, applied to BOTH contexts (context 2 exists so the
+# context-swap mutator has a live target).
+_GRANTS: Dict[Tuple[str, str], List[Permission]] = {
+    ("third-party", "endpoint"): [],
+    ("third-party", "reader-mbox"): [Permission.READ],
+    ("third-party", "writer-mbox"): [Permission.WRITE],
+    ("handshake", "handshake"): [Permission.READ],
+    ("reader", "endpoint"): [Permission.READ],
+    ("reader", "reader-mbox"): [Permission.READ, Permission.READ],
+    ("reader", "writer-mbox"): [Permission.READ, Permission.WRITE],
+    ("writer", "endpoint"): [Permission.WRITE],
+    ("writer", "reader-mbox"): [Permission.WRITE, Permission.READ],
+    ("writer", "writer-mbox"): [Permission.WRITE, Permission.WRITE],
+}
+
+
+def _build_session(spec: CellSpec, seed: int):
+    """Fresh client / relays / server wired into a Chain for one cell."""
+    ca, server_identity, mbox_identities = _fixture()
+    grants = _GRANTS[(spec.attacker, spec.detector)]
+    identities = mbox_identities[: len(grants)]
+
+    middleboxes = [
+        MiddleboxInfo(i + 1, identity.name) for i, identity in enumerate(identities)
+    ]
+    permissions = {i + 1: grant for i, grant in enumerate(grants)}
+    contexts = tuple(
+        ContextDefinition(ctx_id, f"context-{ctx_id}", dict(permissions))
+        for ctx_id in (1, 2)
+    )
+    topology = SessionTopology(middleboxes=middleboxes, contexts=contexts)
+
+    client = McTLSClient(
+        _config(trusted_roots=[ca.certificate], server_name=server_identity.name),
+        topology=topology,
+    )
+    server = McTLSServer(
+        _config(identity=server_identity, trusted_roots=[ca.certificate])
+    )
+
+    relays: List[object] = []
+    if spec.attacker in ("third-party", "handshake"):
+        relays.append(TamperProxy(_plan_for(spec, seed)))
+    for i, identity in enumerate(identities):
+        config = _config(identity=identity, trusted_roots=[ca.certificate])
+        if spec.attacker == "reader" and i == 0:
+            relays.append(MaliciousReader(identity.name, config, target_context=1))
+        elif spec.attacker == "writer" and i == 0:
+            relays.append(
+                McTLSMiddlebox(identity.name, config, transformer=_writer_transform)
+            )
+        else:
+            relays.append(McTLSMiddlebox(identity.name, config))
+
+    return client, relays, server, Chain(client, relays, server)
+
+
+def _handshake_mutator(name: str) -> Tuple[HandshakeMutator, str]:
+    """Fresh (mutator, direction) — handshake mutators are stateful."""
+    if name == "hs-drop-client-key-exchange":
+        return DropHandshakeMessage(tls_msgs.CLIENT_KEY_EXCHANGE), mk.C2S
+    if name == "hs-flip-server-key-exchange":
+        return FlipHandshakeBit(tls_msgs.SERVER_KEY_EXCHANGE), mk.S2C
+    if name == "hs-escalate-permission":
+        return EscalatePermission(mbox_id=1, context_id=1), mk.C2S
+    raise KeyError(name)
+
+
+def _plan_for(spec: CellSpec, seed: int) -> TamperPlan:
+    if spec.attacker == "handshake":
+        mutator, direction = _handshake_mutator(spec.mutation)
+        return TamperPlan(seed=seed, handshake_mutator=mutator, direction=direction)
+    record_mutator = standard_record_mutators(swap_to=2)[spec.mutation]
+    return TamperPlan(
+        seed=seed, record_mutator=record_mutator, record_index=0, direction=mk.C2S
+    )
+
+
+# -- running cells -------------------------------------------------------------
+
+
+def _classify_failure(exc: TLSError) -> CellResult:
+    info = failure_info(exc)
+    if isinstance(info, mrec.MacVerificationError):
+        return CellResult(Outcome.ILLEGAL, mac=info.mac, detected_by=info.where)
+    return CellResult(Outcome.MALFORMED, detected_by=getattr(info, "where", None))
+
+
+def run_cell(spec: CellSpec, seed: int = SEED) -> CellResult:
+    """Run one cell of the matrix and classify the detection outcome."""
+    client, relays, server, chain = _build_session(spec, seed)
+    server_events: List[object] = []
+    chain.on_server_event = server_events.append
+
+    client.start_handshake()
+    try:
+        chain.pump()
+    except TLSError:
+        if spec.attacker == "handshake":
+            return CellResult(Outcome.HANDSHAKE_FAILED)
+        raise
+    if spec.attacker == "handshake":
+        if client.handshake_complete and server.handshake_complete:
+            return CellResult(Outcome.ACCEPTED)
+        return CellResult(Outcome.HANDSHAKE_FAILED)
+    if not (client.handshake_complete and server.handshake_complete):
+        raise RuntimeError(f"handshake did not complete for {spec}")
+
+    try:
+        client.send_application_data(PAYLOAD_1, context_id=1)
+        chain.pump()
+        client.send_application_data(PAYLOAD_2, context_id=1)
+        chain.pump()
+    except TLSError as exc:
+        return _classify_failure(exc)
+
+    app = [e for e in server_events if isinstance(e, McTLSApplicationData)]
+    legal = any(e.legally_modified for e in app)
+    return CellResult(
+        Outcome.LEGAL if legal else Outcome.ACCEPTED,
+        delivered=tuple(e.data for e in app),
+        legally_modified=legal,
+    )
+
+
+# -- the full matrix -----------------------------------------------------------
+
+_RECORD_MUTATIONS = (
+    "flip-payload",
+    "flip-mac-endpoints",
+    "flip-mac-writers",
+    "flip-mac-readers",
+    "truncate",
+    "delete",
+    "replay",
+    "reorder",
+    "context-swap",
+    "version-confusion",
+)
+
+_DETECTORS = ("endpoint", "reader-mbox", "writer-mbox")
+
+_HS_MUTATIONS = (
+    "hs-drop-client-key-exchange",
+    "hs-flip-server-key-exchange",
+    "hs-escalate-permission",
+)
+
+
+def _third_party_expected(mutation: str, detector: str) -> Expected:
+    if mutation == "version-confusion":
+        where = "endpoint" if detector == "endpoint" else "middlebox"
+        return Expected(Outcome.MALFORMED, detected_by=where)
+    if mutation == "flip-mac-endpoints":
+        # Indistinguishable from a legal writer modification by design:
+        # only MAC_endpoints mismatches, which is exactly the signal a
+        # legal in-flight rewrite leaves behind.
+        return Expected(Outcome.LEGAL)
+    if mutation == "flip-mac-readers":
+        if detector == "reader-mbox":
+            return Expected(Outcome.ILLEGAL, mac=mrec.MAC_READERS, detected_by="middlebox")
+        # Endpoints and writers never check MAC_readers (Table 1).
+        return Expected(Outcome.ACCEPTED)
+    if mutation == "flip-mac-writers" and detector == "reader-mbox":
+        # A reader cannot check MAC_writers; the endpoint catches it.
+        return Expected(Outcome.ILLEGAL, mac=mrec.MAC_WRITERS, detected_by="endpoint")
+    # Everything else: the first checking party past the attacker.
+    if detector == "endpoint":
+        return Expected(Outcome.ILLEGAL, mac=mrec.MAC_WRITERS, detected_by="endpoint")
+    if detector == "reader-mbox":
+        return Expected(Outcome.ILLEGAL, mac=mrec.MAC_READERS, detected_by="middlebox")
+    return Expected(Outcome.ILLEGAL, mac=mrec.MAC_WRITERS, detected_by="middlebox")
+
+
+def expected_matrix() -> Dict[CellSpec, Expected]:
+    """Table 1 as data: what every cell must produce."""
+    expected: Dict[CellSpec, Expected] = {}
+    for mutation in _RECORD_MUTATIONS:
+        for detector in _DETECTORS:
+            expected[CellSpec("third-party", detector, mutation)] = (
+                _third_party_expected(mutation, detector)
+            )
+    # A malicious reader forges MAC_readers only.  Downstream readers
+    # accept the forgery (the documented limitation — detected_by ==
+    # "endpoint" in the reader-mbox cell proves the middlebox passed
+    # it); the first writer or endpoint rejects via MAC_writers.
+    expected[CellSpec("reader", "endpoint", "forge")] = Expected(
+        Outcome.ILLEGAL, mac=mrec.MAC_WRITERS, detected_by="endpoint"
+    )
+    expected[CellSpec("reader", "reader-mbox", "forge")] = Expected(
+        Outcome.ILLEGAL, mac=mrec.MAC_WRITERS, detected_by="endpoint"
+    )
+    expected[CellSpec("reader", "writer-mbox", "forge")] = Expected(
+        Outcome.ILLEGAL, mac=mrec.MAC_WRITERS, detected_by="middlebox"
+    )
+    # A writer's modification is legal: flagged by the endpoint via
+    # MAC_endpoints, accepted by every downstream party.
+    for detector in _DETECTORS:
+        expected[CellSpec("writer", detector, "transform")] = Expected(Outcome.LEGAL)
+    for mutation in _HS_MUTATIONS:
+        expected[CellSpec("handshake", "handshake", mutation)] = Expected(
+            Outcome.HANDSHAKE_FAILED
+        )
+    return expected
+
+
+def all_cells() -> List[CellSpec]:
+    return list(expected_matrix().keys())
+
+
+def run_matrix(seed: int = SEED) -> Dict[CellSpec, CellResult]:
+    """Run every cell; deterministic for a fixed seed."""
+    return {spec: run_cell(spec, seed) for spec in all_cells()}
+
+
+__all__ = [
+    "CellResult",
+    "CellSpec",
+    "Expected",
+    "Outcome",
+    "PAYLOAD_1",
+    "PAYLOAD_2",
+    "SEED",
+    "all_cells",
+    "expected_matrix",
+    "failure_info",
+    "run_cell",
+    "run_matrix",
+]

@@ -171,6 +171,8 @@ class McTLSMiddlebox:
                 self._handle_record(side, content_type, context_id, fragment, raw)
         except (mrec.McTLSRecordError, DecodeError, CipherError) as exc:
             self.closed = True
+            if getattr(exc, "where", None) is None:
+                exc.where = "middlebox"
             raise TLSError(f"middlebox relay failure: {exc}") from exc
         events, self._events = self._events, []
         return events

@@ -56,7 +56,51 @@ MAX_FRAGMENT = MAX_PLAINTEXT + 2048
 
 
 class McTLSRecordError(Exception):
-    """Raised on malformed records or failed MAC verification."""
+    """Raised on malformed records or failed MAC verification.
+
+    ``where`` reports which kind of party rejected the record
+    (``"endpoint"`` / ``"middlebox"``) once known; framing errors raised
+    by :func:`split_records` leave it ``None`` and the catching layer
+    fills it in.  The fault-injection harness (:mod:`repro.faults`) uses
+    this to attribute every detection to the right party.
+    """
+
+    where: Optional[str] = None
+    mac: Optional[str] = None
+    context_id: Optional[int] = None
+    seq: Optional[int] = None
+
+
+# The three MAC slots of the endpoint-writer-reader scheme (§3.4).
+MAC_ENDPOINTS = "endpoints"
+MAC_WRITERS = "writers"
+MAC_READERS = "readers"
+
+
+class MacVerificationError(McTLSRecordError):
+    """A record MAC check failed — the §3.4 detection outcome.
+
+    Carries *which* MAC caught the tampering (``MAC_ENDPOINTS`` /
+    ``MAC_WRITERS`` / ``MAC_READERS``) and *where* (``"endpoint"`` or
+    ``"middlebox"``), so tests can assert not just that tampering was
+    detected but that the paper's Table 1 attributes the detection to the
+    right key.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        mac: str,
+        where: str,
+        context_id: Optional[int] = None,
+        seq: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.mac = mac
+        self.where = where
+        self.context_id = context_id
+        self.seq = seq
 
 
 def mac_input(seq: int, content_type: int, context_id: int, payload: bytes) -> bytes:
@@ -270,7 +314,13 @@ class McTLSRecordLayer:
             keys.mac, mac_input(seq, content_type, ENDPOINT_CONTEXT_ID, payload)
         )
         if not _hmac.compare_digest(mac, expected):
-            raise McTLSRecordError("endpoint MAC verification failed")
+            raise MacVerificationError(
+                "endpoint MAC verification failed",
+                mac=MAC_ENDPOINTS,
+                where="endpoint",
+                context_id=ENDPOINT_CONTEXT_ID,
+                seq=seq,
+            )
         return UnprotectedRecord(content_type, ENDPOINT_CONTEXT_ID, payload)
 
     def _unprotect_context(
@@ -299,9 +349,13 @@ class McTLSRecordLayer:
             keys.writers.mac_for_direction(direction), covered
         )
         if not _hmac.compare_digest(writer_mac, expected_writer):
-            raise McTLSRecordError(
+            raise MacVerificationError(
                 f"writer MAC verification failed on context {context_id} "
-                "(illegal modification)"
+                "(illegal modification)",
+                mac=MAC_WRITERS,
+                where="endpoint",
+                context_id=context_id,
+                seq=seq,
             )
         expected_endpoint = _hmac_sha256(
             self.endpoint_keys.for_direction(direction).mac, covered
@@ -329,6 +383,8 @@ class OpenedRecord:
     payload: Optional[bytes]  # None when the middlebox cannot read it
     permission: Permission
     endpoint_mac: bytes = b""  # carried through writer rebuilds
+    writer_mac: bytes = b""
+    reader_mac: bytes = b""
     seq: int = 0
 
 
@@ -402,15 +458,23 @@ class MiddleboxRecordProcessor:
         if permission.can_write:
             expected = _hmac_sha256(keys.writers.mac_for_direction(self.direction), covered)
             if not _hmac.compare_digest(writer_mac, expected):
-                raise McTLSRecordError(
-                    "writer MAC verification failed at middlebox (illegal modification)"
+                raise MacVerificationError(
+                    "writer MAC verification failed at middlebox (illegal modification)",
+                    mac=MAC_WRITERS,
+                    where="middlebox",
+                    context_id=context_id,
+                    seq=seq,
                 )
         else:
             expected = _hmac_sha256(reader_keys.mac, covered)
             if not _hmac.compare_digest(reader_mac, expected):
-                raise McTLSRecordError(
+                raise MacVerificationError(
                     "reader MAC verification failed at middlebox "
-                    "(third-party modification)"
+                    "(third-party modification)",
+                    mac=MAC_READERS,
+                    where="middlebox",
+                    context_id=context_id,
+                    seq=seq,
                 )
         return OpenedRecord(
             content_type=content_type,
@@ -418,6 +482,8 @@ class MiddleboxRecordProcessor:
             payload=payload,
             permission=permission,
             endpoint_mac=endpoint_mac,
+            writer_mac=writer_mac,
+            reader_mac=reader_mac,
             seq=seq,
         )
 

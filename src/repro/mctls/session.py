@@ -229,7 +229,11 @@ class McTLSConnectionBase:
             for record in self.records.read_all():
                 self._dispatch_record(record)
         except (mrec.McTLSRecordError, DecodeError) as exc:
-            self._fail(TLSError(str(exc), ALERT_BAD_RECORD_MAC))
+            if getattr(exc, "where", None) is None:
+                exc.where = "endpoint"
+            failure = TLSError(str(exc), ALERT_BAD_RECORD_MAC)
+            failure.__cause__ = exc  # keep the detection outcome reachable
+            self._fail(failure)
         except TLSError as exc:
             self._fail(exc)
         return self._drain_events()

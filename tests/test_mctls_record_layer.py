@@ -6,7 +6,9 @@ from hypothesis import given, settings, strategies as st
 from repro.mctls import keys as mk
 from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, Permission
 from repro.mctls.record import (
+    MAX_FRAGMENT,
     MCTLS_HEADER_LEN,
+    MacVerificationError,
     McTLSRecordError,
     McTLSRecordLayer,
     MiddleboxRecordProcessor,
@@ -148,6 +150,66 @@ class TestSplitRecords:
         buf = bytearray(encode_header(APPLICATION_DATA, 1, 0xFFFF))
         with pytest.raises(McTLSRecordError):
             list(split_records(buf))
+
+
+class TestRecordSizeLimits:
+    def test_fragment_exactly_at_limit_accepted(self):
+        wire = encode_header(APPLICATION_DATA, 1, MAX_FRAGMENT) + b"\x00" * MAX_FRAGMENT
+        records = list(split_records(bytearray(wire)))
+        assert len(records) == 1
+        assert len(records[0][2]) == MAX_FRAGMENT
+
+    def test_fragment_one_over_limit_rejected(self):
+        header = encode_header(APPLICATION_DATA, 1, MAX_FRAGMENT + 1)
+        with pytest.raises(McTLSRecordError, match="too long"):
+            list(split_records(bytearray(header)))
+
+    def test_payload_exactly_max_plaintext_is_one_record(self):
+        """A MAX_PLAINTEXT payload fits one record: its fragment (nonce +
+        payload + three MACs) stays within the MAX_FRAGMENT expansion
+        budget and the receiver round-trips it."""
+        client, server = make_pair()
+        payload = b"x" * MAX_PLAINTEXT
+        wire = client.encode(APPLICATION_DATA, payload, 1)
+        records = list(split_records(bytearray(wire)))
+        assert len(records) == 1
+        assert len(records[0][2]) <= MAX_FRAGMENT
+        server.feed(wire)
+        assert b"".join(r.payload for r in server.read_all()) == payload
+
+    def test_payload_one_over_max_plaintext_fragments(self):
+        client, server = make_pair()
+        payload = b"y" * (MAX_PLAINTEXT + 1)
+        wire = client.encode(APPLICATION_DATA, payload, 1)
+        assert len(list(split_records(bytearray(wire)))) == 2
+        server.feed(wire)
+        chunks = [r.payload for r in server.read_all()]
+        assert [len(c) for c in chunks] == [MAX_PLAINTEXT, 1]
+        assert b"".join(chunks) == payload
+
+
+class TestSequenceNumbers:
+    def test_third_party_deletion_detected_across_contexts(self):
+        """Sequence numbers are global per direction: silently deleting a
+        context-1 record makes the *next* record — in a different
+        context — fail its writer MAC at the endpoint."""
+        client, server = make_pair(context_ids=(1, 2))
+        deleted = client.encode(APPLICATION_DATA, b"deleted by attacker", 1)
+        survivor = client.encode(APPLICATION_DATA, b"survivor", 2)
+        server.feed(survivor)  # the context-1 record never arrives
+        with pytest.raises(MacVerificationError) as excinfo:
+            server.read_record()
+        assert excinfo.value.mac == "writers"
+        assert excinfo.value.where == "endpoint"
+        assert excinfo.value.context_id == 2
+        del deleted
+
+    def test_no_deletion_no_false_positive(self):
+        client, server = make_pair(context_ids=(1, 2))
+        server.feed(client.encode(APPLICATION_DATA, b"first", 1))
+        server.feed(client.encode(APPLICATION_DATA, b"second", 2))
+        received = [(r.context_id, r.payload) for r in server.read_all()]
+        assert received == [(1, b"first"), (2, b"second")]
 
 
 class TestMiddleboxProcessor:
