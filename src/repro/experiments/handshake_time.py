@@ -17,7 +17,7 @@ The paper's observations this experiment must reproduce:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from repro.experiments.harness import (
@@ -31,6 +31,7 @@ from repro.experiments.harness import (
 )
 from repro.netsim import Simulator
 from repro.netsim.profiles import controlled
+from repro.transport import Chain
 
 REQUEST_SIZE = 100
 RESPONSE_SIZE = 100
@@ -116,6 +117,54 @@ def measure_ttfb(
         ttfb_s=result["ttfb"],
         total_rtt_s=profile.total_rtt_s,
     )
+
+
+def measure_resumed_ttfb(
+    bed: TestBed,
+    mode: Mode,
+    n_contexts: int = 1,
+    n_middleboxes: int = 1,
+    nagle: bool = True,
+    bandwidth_mbps: float = 10.0,
+    hop_delay_ms: float = 20.0,
+) -> TTFBResult:
+    """TTFB for an *abbreviated* handshake.
+
+    Primes a fresh session cache with one in-memory full handshake (zero
+    simulated time), then measures TTFB over the simulated network; the
+    network handshake therefore resumes, skipping certificates and key
+    exchange.  Compare against :func:`measure_ttfb` for the same mode to
+    see the RTT savings.  The bed's configured cache is restored on exit.
+    """
+    saved = (bed.session_cache, bed.client_sessions)
+    bed.enable_resumption()
+    try:
+        topology = (
+            bed.topology(n_middleboxes, n_contexts=n_contexts)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+            else None
+        )
+        client, server = bed.make_endpoints(mode, topology=topology)
+        relays = bed.make_relays(mode, n_middleboxes)
+        chain = Chain(client, relays, server)
+        client.start_handshake()
+        chain.pump()
+        if not client.handshake_complete or not server.handshake_complete:
+            raise RuntimeError(f"priming handshake failed for {mode}")
+        result = measure_ttfb(
+            bed,
+            mode,
+            n_contexts=n_contexts,
+            n_middleboxes=n_middleboxes,
+            nagle=nagle,
+            bandwidth_mbps=bandwidth_mbps,
+            hop_delay_ms=hop_delay_ms,
+        )
+        if bed.session_cache.stats.hits < 1:
+            raise RuntimeError(f"simulated handshake did not resume for {mode}")
+    finally:
+        bed.session_cache, bed.client_sessions = saved
+    return replace(result, mode=f"{result.mode} (resumed)")
 
 
 def figure3_left(

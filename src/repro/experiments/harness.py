@@ -44,6 +44,7 @@ from repro.tls.ciphersuites import (
 from repro.tls.client import TLSClient
 from repro.tls.connection import TLSConfig
 from repro.tls.server import TLSServer
+from repro.tls.sessioncache import ClientSessionStore, SessionCache
 
 
 class Mode(str, Enum):
@@ -81,6 +82,11 @@ class TestBed:
     key_transport: KeyTransport = KeyTransport.RSA
 
     def __post_init__(self) -> None:
+        # Resumption is opt-in: call enable_resumption() and endpoints built
+        # afterwards share a server-side SessionCache / client-side store,
+        # so a second make_endpoints() + handshake resumes the first.
+        self.session_cache: Optional[SessionCache] = None
+        self.client_sessions: Optional[ClientSessionStore] = None
         self.ca = CertificateAuthority.create_root("Web Root CA", key_bits=self.key_bits)
         self.corp_ca = CertificateAuthority.create_root(
             "Interception Root", key_bits=self.key_bits
@@ -93,6 +99,19 @@ class TestBed:
         cert = self.corp_ca.issue(self.server_name, key.public_key)
         self.forged_identity = Identity(name=self.server_name, key=key, chain=(cert,))
         self._mbox_identities: List[Identity] = []
+
+    # -- session resumption --------------------------------------------------
+
+    def enable_resumption(self, capacity: int = 64, ttl: float = 3600.0) -> None:
+        """Create the shared session cache/store used by make_endpoints().
+
+        One cache serves both plain-TLS and mcTLS endpoints: server entries
+        are keyed by random 32-byte session ids and the client store
+        namespaces mcTLS sessions, so the protocols cannot collide.
+        SplitTLS relays terminate TLS themselves and do not resume.
+        """
+        self.session_cache = SessionCache(capacity=capacity, ttl=ttl)
+        self.client_sessions = ClientSessionStore(capacity=capacity, ttl=ttl)
 
     # -- identities ----------------------------------------------------------
 
@@ -181,6 +200,7 @@ class TestBed:
                 self.client_tls_config(),
                 topology=topology,
                 key_transport=self.key_transport,
+                session_store=self.client_sessions,
             )
             server = McTLSServer(
                 self.server_tls_config(),
@@ -189,15 +209,22 @@ class TestBed:
                     if mode is Mode.MCTLS_CKD
                     else HandshakeMode.DEFAULT
                 ),
+                session_cache=self.session_cache,
             )
             return client, server
         if mode is Mode.SPLIT_TLS:
+            # The client's TLS session terminates at the proxy, which does
+            # not keep a cache — SplitTLS always performs full handshakes.
             client = TLSClient(self.client_tls_config(trust_corp=True))
             server = TLSServer(self.server_tls_config())
             return client, server
         if mode is Mode.E2E_TLS:
-            client = TLSClient(self.client_tls_config())
-            server = TLSServer(self.server_tls_config())
+            client = TLSClient(
+                self.client_tls_config(), session_store=self.client_sessions
+            )
+            server = TLSServer(
+                self.server_tls_config(), session_cache=self.session_cache
+            )
             return client, server
         return PlainConnection(), PlainConnection()
 

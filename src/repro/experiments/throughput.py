@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.crypto.opcount import OpCounter, counting
 from repro.experiments.harness import Mode, TestBed
 from repro.transport import Chain
 
@@ -43,6 +44,38 @@ class TimedNode:
             finally:
                 self.cpu_seconds += time.process_time() - start
         return timed
+
+
+class ProfiledNode(TimedNode):
+    """TimedNode that also attributes crypto operations to the node.
+
+    Every call into the wrapped connection runs under this node's
+    :class:`OpCounter`, so after a handshake ``node.ops`` holds exactly
+    the Table-3-style operation mix that node performed.  Bytes the node
+    emitted (via any ``data_to_*`` call) accumulate in ``bytes_sent``.
+    """
+
+    def __init__(self, inner):
+        super().__init__(inner)
+        self.ops = OpCounter()
+        self.bytes_sent = 0
+
+    def __getattr__(self, name):
+        attr = getattr(self._inner, name)
+        if not callable(attr):
+            return attr
+        emits = name.startswith("data_to_")
+        def profiled(*args, **kwargs):
+            start = time.process_time()
+            with counting(self.ops):
+                try:
+                    result = attr(*args, **kwargs)
+                finally:
+                    self.cpu_seconds += time.process_time() - start
+            if emits and isinstance(result, bytes):
+                self.bytes_sent += len(result)
+            return result
+        return profiled
 
 
 @dataclass
@@ -135,3 +168,111 @@ def figure5(
             measure_handshake_throughput(bed, Mode.MCTLS, n_ctx, 4, repetitions)
         )
     return rows
+
+
+# -- session resumption: full vs abbreviated handshake ------------------------
+
+PUBKEY_CATEGORIES = ("secret_comp", "asym_sign", "asym_verify")
+
+RESUMABLE_MODES = (Mode.MCTLS, Mode.MCTLS_CKD, Mode.E2E_TLS)
+
+
+@dataclass
+class FullVsResumedResult:
+    """Per-node operation counts and CPU time for a full handshake and
+    the abbreviated handshake that resumed it."""
+
+    mode: str
+    n_contexts: int
+    n_middleboxes: int
+    full_ops: Dict[str, Dict[str, int]]      # node name -> category -> count
+    resumed_ops: Dict[str, Dict[str, int]]
+    full_cpu: Dict[str, float]               # node name -> seconds
+    resumed_cpu: Dict[str, float]
+    full_bytes: Dict[str, int]               # node name -> handshake bytes sent
+    resumed_bytes: Dict[str, int]
+
+    def pubkey_ops(self, phase: str, node: str) -> int:
+        """Public-key operations (DH/RSA secret computations, signatures,
+        verifications) performed by ``node`` during ``phase``."""
+        ops = self.full_ops if phase == "full" else self.resumed_ops
+        return sum(ops[node].get(c, 0) for c in PUBKEY_CATEGORIES)
+
+
+def _run_profiled_handshake(bed: TestBed, mode: Mode, topology, n_middleboxes: int):
+    client, server = bed.make_endpoints(mode, topology=topology)
+    relays = bed.make_relays(mode, n_middleboxes)
+    profiled_client = ProfiledNode(client)
+    profiled_server = ProfiledNode(server)
+    profiled_relays = [ProfiledNode(r) for r in relays]
+    chain = Chain(profiled_client, profiled_relays, profiled_server)
+    profiled_client.start_handshake()
+    chain.pump()
+    if not client.handshake_complete or not server.handshake_complete:
+        raise RuntimeError(f"handshake failed for {mode}")
+    nodes = {"client": profiled_client, "server": profiled_server}
+    for i, relay in enumerate(profiled_relays):
+        nodes[f"middlebox{i + 1}"] = relay
+    ops = {name: node.ops.snapshot() for name, node in nodes.items()}
+    cpu = {name: node.cpu_seconds for name, node in nodes.items()}
+    sent = {name: node.bytes_sent for name, node in nodes.items()}
+    return client, server, ops, cpu, sent
+
+
+def measure_full_vs_resumed(
+    bed: TestBed,
+    mode: Mode,
+    n_contexts: int = 1,
+    n_middleboxes: int = 1,
+) -> FullVsResumedResult:
+    """Run one full handshake, then resume it, profiling both.
+
+    Uses a fresh session cache (the bed's configured cache is restored on
+    exit), so the first handshake is guaranteed full and the second is
+    guaranteed abbreviated — a failure to resume raises.
+    """
+    if mode not in RESUMABLE_MODES:
+        raise ValueError(f"{mode} does not support session resumption")
+    saved = (bed.session_cache, bed.client_sessions)
+    bed.enable_resumption()
+    try:
+        topology = (
+            bed.topology(n_middleboxes, n_contexts=n_contexts)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+            else None
+        )
+        client, server, full_ops, full_cpu, full_bytes = _run_profiled_handshake(
+            bed, mode, topology, n_middleboxes
+        )
+        if getattr(server, "resumed", False):
+            raise RuntimeError("first handshake unexpectedly resumed")
+        client, server, resumed_ops, resumed_cpu, resumed_bytes = _run_profiled_handshake(
+            bed, mode, topology, n_middleboxes
+        )
+        if not (getattr(client, "resumed", False) and getattr(server, "resumed", False)):
+            raise RuntimeError(f"second handshake did not resume for {mode}")
+    finally:
+        bed.session_cache, bed.client_sessions = saved
+    return FullVsResumedResult(
+        mode=mode.value,
+        n_contexts=n_contexts,
+        n_middleboxes=n_middleboxes,
+        full_ops=full_ops,
+        resumed_ops=resumed_ops,
+        full_cpu=full_cpu,
+        resumed_cpu=resumed_cpu,
+        full_bytes=full_bytes,
+        resumed_bytes=resumed_bytes,
+    )
+
+
+def table_full_vs_resumed(
+    bed: TestBed,
+    n_contexts: int = 1,
+    n_middleboxes: int = 1,
+) -> List[FullVsResumedResult]:
+    """Full-vs-resumed comparison across every resumable mode."""
+    return [
+        measure_full_vs_resumed(bed, mode, n_contexts, n_middleboxes)
+        for mode in RESUMABLE_MODES
+    ]

@@ -34,6 +34,7 @@ from repro.mctls.session import (
     KeyTransport,
     McTLSApplicationData,
     McTLSHandshakeComplete,
+    McTLSSessionState,
 )
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "McTLSHandshakeComplete",
     "McTLSMiddlebox",
     "McTLSServer",
+    "McTLSSessionState",
     "MiddleboxInfo",
     "Permission",
     "SessionTopology",

@@ -30,6 +30,7 @@ from repro.tls.connection import (
     TLSConfig,
     TLSError,
 )
+from repro.tls.sessioncache import ClientSessionStore
 
 
 class _State(Enum):
@@ -69,6 +70,7 @@ class McTLSClient(ms.McTLSConnectionBase):
         topology: SessionTopology,
         verify_middleboxes: bool = True,
         key_transport: ms.KeyTransport = None,
+        session_store: Optional[ClientSessionStore] = None,
     ):
         super().__init__(config, is_client=True)
         self.topology = topology
@@ -77,6 +79,10 @@ class McTLSClient(ms.McTLSConnectionBase):
             key_transport if key_transport is not None else ms.KeyTransport.DHE
         )
         self.mode: ms.HandshakeMode = ms.HandshakeMode.DEFAULT
+        self._session_store = session_store
+        self._offered_session: Optional[ms.McTLSSessionState] = None
+        self._pending_session_id = b""
+        self.resumed = False
         self._state = _State.START
         self._client_random = ms.make_random()
         self._client_secret = ms.make_secret()  # S_C
@@ -104,6 +110,7 @@ class McTLSClient(ms.McTLSConnectionBase):
             raise TLSError("handshake already started")
         hello = tls_msgs.ClientHello(
             random=self._client_random,
+            session_id=self._resumable_session_id(),
             cipher_suites=self.config.suite_ids(),
             extensions=[
                 (tls_msgs.EXT_MIDDLEBOX_LIST, self.topology.encode()),
@@ -112,6 +119,29 @@ class McTLSClient(ms.McTLSConnectionBase):
         )
         self._send_handshake(hello, tag=ms.TAG_CLIENT_HELLO)
         self._state = _State.WAIT_SERVER_HELLO
+
+    def _session_store_key(self):
+        # Namespaced so a store shared with a plain TLS client can never
+        # hand us (or receive) the wrong protocol's session state.
+        return ("mctls", self.config.server_name or "")
+
+    def _resumable_session_id(self) -> bytes:
+        """Offer a cached session, but only if this session's parameters
+        still match it exactly — otherwise a full handshake is the only
+        way to renegotiate topology, mode or transport."""
+        if self._session_store is None:
+            return b""
+        cached = self._session_store.get(self._session_store_key())
+        if not isinstance(cached, ms.McTLSSessionState):
+            return b""
+        if cached.cipher_suite_id not in self.config.suite_ids():
+            return b""
+        if cached.topology_bytes != self.topology.encode():
+            return b""
+        if cached.key_transport != int(self.key_transport):
+            return b""
+        self._offered_session = cached
+        return cached.session_id
 
     # -- message handling -----------------------------------------------------
 
@@ -160,7 +190,7 @@ class McTLSClient(ms.McTLSConnectionBase):
         ):
             self._on_server_key_material(mm.MiddleboxKeyMaterial.decode(body), raw)
         elif msg_type == tls_msgs.FINISHED and self._state is _State.WAIT_SERVER_FLIGHT:
-            self._on_server_finished(tls_msgs.Finished.decode(body))
+            self._on_server_finished(tls_msgs.Finished.decode(body), raw)
         else:
             raise TLSError(
                 f"unexpected handshake message {msg_type} in state {self._state.name}",
@@ -189,7 +219,44 @@ class McTLSClient(ms.McTLSConnectionBase):
             self.mode = ms.HandshakeMode(mode_ext[0])
         except ValueError:
             raise TLSError(f"unknown mcTLS mode {mode_ext[0]}") from None
+        if (
+            self._offered_session is not None
+            and hello.session_id == self._offered_session.session_id
+        ):
+            self._begin_resumption(hello, suite)
+            return
+        self._pending_session_id = hello.session_id
         self._state = _State.WAIT_CERTIFICATE
+
+    def _begin_resumption(self, hello: tls_msgs.ServerHello, suite) -> None:
+        """Server echoed our cached session id: abbreviated handshake."""
+        cached = self._offered_session
+        if hello.cipher_suite != cached.cipher_suite_id:
+            raise TLSError("resumed session must keep its original cipher suite")
+        if int(self.mode) != cached.mode:
+            raise TLSError("resumed session must keep its original mcTLS mode")
+        self.resumed = True
+        self._endpoint_secret = cached.endpoint_secret
+        self._endpoint_keys = mk.derive_endpoint_keys(
+            self._endpoint_secret, self._client_random, self._server_random
+        )
+        self.records.set_endpoint_keys(self._endpoint_keys)
+        # Fresh context keys from the cached secret + fresh randoms; the
+        # server derives the same ones independently, and we re-distribute
+        # them to the middleboxes after verifying the server's Finished.
+        self._ckd_keys = {
+            ctx_id: mk.resumption_context_keys(
+                self._endpoint_secret,
+                self._client_random,
+                self._server_random,
+                ctx_id,
+            )
+            for ctx_id in self.topology.context_ids
+        }
+        for ctx_id, keys in self._ckd_keys.items():
+            self.records.install_context_keys(ctx_id, keys)
+        # Server CCS + Finished arrive next.
+        self._state = _State.WAIT_SERVER_FLIGHT
 
     def _on_server_certificate(self, message: tls_msgs.CertificateMessage) -> None:
         if not message.chain:
@@ -344,12 +411,13 @@ class McTLSClient(ms.McTLSConnectionBase):
             permission = ctx.permission_for(mbox_id)
             if not permission.can_read:
                 continue
-            if self.mode is ms.HandshakeMode.DEFAULT:
+            if self.mode is ms.HandshakeMode.DEFAULT and not self.resumed:
                 reader = self._reader_halves[ctx.context_id]
                 writer = (
                     self._writer_halves[ctx.context_id] if permission.can_write else b""
                 )
             else:
+                # CKD mode and resumed sessions ship full key blocks.
                 keys = self._ckd_keys[ctx.context_id]
                 reader = mk.reader_block_bytes(keys.readers)
                 writer = (
@@ -418,6 +486,8 @@ class McTLSClient(ms.McTLSConnectionBase):
     def _on_server_key_material(self, mkm: mm.MiddleboxKeyMaterial, raw: bytes) -> None:
         if mkm.sender != mm.SENDER_SERVER:
             raise TLSError("client received its own key material back")
+        if self.resumed:
+            raise TLSError("server sent key material in a resumed handshake")
         if self.mode is ms.HandshakeMode.CLIENT_KEY_DIST:
             raise TLSError("server sent key material in client-key-distribution mode")
         self.transcript.add(ms.tag_server_mkm(mkm.target), raw)
@@ -439,7 +509,10 @@ class McTLSClient(ms.McTLSConnectionBase):
             raise TLSError("unexpected ChangeCipherSpec", ALERT_UNEXPECTED_MESSAGE)
         self.records.activate_read()
 
-    def _on_server_finished(self, finished: tls_msgs.Finished) -> None:
+    def _on_server_finished(self, finished: tls_msgs.Finished, raw: bytes) -> None:
+        if self.resumed:
+            self._on_resumed_server_finished(finished, raw)
+            return
         expected = ks.finished_verify_data(
             self._endpoint_secret,
             ks.LABEL_SERVER_FINISHED,
@@ -453,6 +526,7 @@ class McTLSClient(ms.McTLSConnectionBase):
             self._install_combined_context_keys()
         self._state = _State.CONNECTED
         self.handshake_complete = True
+        self._store_session()
         self._emit(
             ms.McTLSHandshakeComplete(
                 cipher_suite=self.negotiated_suite.name,
@@ -460,6 +534,87 @@ class McTLSClient(ms.McTLSConnectionBase):
                 topology=self.topology,
                 peer_certificate=self.peer_certificate,
             )
+        )
+
+    def _on_resumed_server_finished(self, finished: tls_msgs.Finished, raw: bytes) -> None:
+        """Verify the server's (first) Finished, then send our abbreviated
+        flight: fresh middlebox key material + CCS + Finished."""
+        expected = ks.finished_verify_data(
+            self._endpoint_secret,
+            ks.LABEL_SERVER_FINISHED,
+            self.transcript.hash_over(ms.resumed_order_server_finished()),
+        )
+        if finished.verify_data != expected:
+            raise TLSError("server Finished verification failed", ALERT_DECRYPT_ERROR)
+        self.transcript.add(ms.TAG_SERVER_FINISHED, raw)
+
+        self._redistribute_context_keys()
+
+        self._send_change_cipher_spec()
+        self.records.activate_write()
+        verify = ks.finished_verify_data(
+            self._endpoint_secret,
+            ks.LABEL_CLIENT_FINISHED,
+            self.transcript.hash_over(
+                ms.resumed_order_client_finished(self.topology)
+            ),
+        )
+        self._send_handshake(tls_msgs.Finished(verify_data=verify))
+        self._state = _State.CONNECTED
+        self.handshake_complete = True
+        self._emit(
+            ms.McTLSHandshakeComplete(
+                cipher_suite=self.negotiated_suite.name,
+                mode=self.mode,
+                topology=self.topology,
+                resumed=True,
+            )
+        )
+
+    def _redistribute_context_keys(self) -> None:
+        """Send each middlebox its fresh context keys for this session.
+
+        There is no DH exchange (and hence no pairwise key) in the
+        abbreviated flow, so the material is sealed to the middlebox's
+        certificate key remembered from the original session — the same
+        hybrid construction the RSA key transport uses.
+        """
+        suite = self.negotiated_suite
+        for mbox in self.topology.middleboxes:
+            cert = self._offered_session.middlebox_certs.get(mbox.mbox_id)
+            if cert is None:
+                raise TLSError(
+                    f"no cached certificate for middlebox {mbox.mbox_id}; "
+                    "cannot re-key a resumed session"
+                )
+            shares = mm.encode_key_shares(self._shares_for_middlebox(mbox.mbox_id))
+            sealed = mk.rsa_hybrid_seal(suite, cert.public_key, shares)
+            self._send_handshake(
+                mm.MiddleboxKeyMaterial(
+                    sender=mm.SENDER_CLIENT, target=mbox.mbox_id, sealed=sealed
+                ),
+                tag=ms.tag_client_mkm(mbox.mbox_id),
+            )
+
+    def _store_session(self) -> None:
+        """Remember a completed full handshake for later resumption."""
+        if self._session_store is None or not self._pending_session_id:
+            return
+        self._session_store.put(
+            self._session_store_key(),
+            ms.McTLSSessionState(
+                session_id=self._pending_session_id,
+                endpoint_secret=self._endpoint_secret,
+                cipher_suite_id=self.negotiated_suite.suite_id,
+                mode=int(self.mode),
+                key_transport=int(self.key_transport),
+                topology_bytes=self.topology.encode(),
+                middlebox_certs={
+                    mbox_id: state.chain[0]
+                    for mbox_id, state in self._mboxes.items()
+                    if state.chain
+                },
+            ),
         )
 
     # -- context key installation ------------------------------------------------------

@@ -47,6 +47,8 @@ LABEL_READER_KEYS = b"reader keys"
 LABEL_WRITER_KEYS = b"writer keys"
 LABEL_CKD_READER = b"ckd reader keys"
 LABEL_CKD_WRITER = b"ckd writer keys"
+LABEL_RES_READER = b"res reader keys"
+LABEL_RES_WRITER = b"res writer keys"
 
 # Directions, named from the endpoints' perspective.
 C2S = "c2s"
@@ -206,6 +208,28 @@ def ckd_context_keys(
     seed = rand_c + rand_s + bytes([context_id])
     reader_block = p_sha256(endpoint_secret, LABEL_CKD_READER + seed, 96)
     writer_block = p_sha256(endpoint_secret, LABEL_CKD_WRITER + seed, 64)
+    return ContextKeys(
+        readers=_carve_reader_block(reader_block),
+        writers=WriterKeys(mac_c2s=writer_block[:32], mac_s2c=writer_block[32:]),
+    )
+
+
+def resumption_context_keys(
+    endpoint_secret: bytes, rand_c: bytes, rand_s: bytes, context_id: int
+) -> ContextKeys:
+    """Fresh context keys for an abbreviated (resumed) handshake.
+
+    Both endpoints derive these independently from the cached endpoint
+    secret and the *fresh* session randoms; the client then re-distributes
+    them to the middleboxes (sealed to their certificate keys), exactly as
+    in client-key-distribution mode.  The labels are distinct from the
+    CKD labels so resumed keys can never collide with the original
+    session's keys even under identical randoms.
+    """
+    count_op("key_gen", 2)
+    seed = rand_c + rand_s + bytes([context_id])
+    reader_block = p_sha256(endpoint_secret, LABEL_RES_READER + seed, 96)
+    writer_block = p_sha256(endpoint_secret, LABEL_RES_WRITER + seed, 64)
     return ContextKeys(
         readers=_carve_reader_block(reader_block),
         writers=WriterKeys(mac_c2s=writer_block[:32], mac_s2c=writer_block[32:]),

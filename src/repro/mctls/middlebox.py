@@ -119,6 +119,8 @@ class McTLSMiddlebox:
         self.suite: Optional[CipherSuite] = None
         self.mode: ms.HandshakeMode = ms.HandshakeMode.DEFAULT
         self.key_transport: ms.KeyTransport = ms.KeyTransport.DHE
+        self.resumed = False
+        self._proposed_session_id = b""
         self.handshake_complete = False
         self.closed = False
 
@@ -295,6 +297,7 @@ class McTLSMiddlebox:
             )
         self.mbox_id = entry.mbox_id
         self._client_random = hello.random
+        self._proposed_session_id = hello.session_id
 
     def _on_client_key_exchange(self, kx: tls_msgs.ClientKeyExchange) -> None:
         if self._group is None:
@@ -341,6 +344,12 @@ class McTLSMiddlebox:
         if mode_ext is None or len(mode_ext) != 1:
             raise TLSError("server did not negotiate an mcTLS mode")
         self.mode = ms.HandshakeMode(mode_ext[0])
+        # A ServerHello echoing the client's proposed session id means the
+        # abbreviated flow: no certs/key exchanges pass through; our fresh
+        # context keys arrive sealed to our certificate key instead.
+        self.resumed = bool(self._proposed_session_id) and (
+            hello.session_id == self._proposed_session_id
+        )
         self._proc_c2s = mrec.MiddleboxRecordProcessor(self.suite, mk.C2S)
         self._proc_s2c = mrec.MiddleboxRecordProcessor(self.suite, mk.S2C)
 
@@ -413,7 +422,7 @@ class McTLSMiddlebox:
     # ---- key material
 
     def _on_own_key_material(self, side: _Side, mkm: mm.MiddleboxKeyMaterial) -> None:
-        if self.key_transport is ms.KeyTransport.RSA:
+        if self.key_transport is ms.KeyTransport.RSA or self.resumed:
             plaintext = mk.rsa_hybrid_open(
                 self.suite, self.config.identity.key, mkm.sealed
             )
@@ -434,11 +443,13 @@ class McTLSMiddlebox:
     def _maybe_install_keys(self) -> None:
         if self._keys_installed:
             return
-        if self.mode is ms.HandshakeMode.DEFAULT:
+        if self.mode is ms.HandshakeMode.DEFAULT and not self.resumed:
             if self._client_shares is None or self._server_shares is None:
                 return
             self._install_combined_keys()
         else:
+            # CKD mode and resumed sessions: the client alone distributes
+            # full key blocks.
             if self._client_shares is None:
                 return
             self._install_full_keys()

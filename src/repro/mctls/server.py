@@ -35,6 +35,7 @@ from repro.tls.connection import (
     TLSConfig,
     TLSError,
 )
+from repro.tls.sessioncache import SessionCache, new_session_id
 
 
 class _State(Enum):
@@ -69,6 +70,7 @@ class McTLSServer(ms.McTLSConnectionBase):
         mode: ms.HandshakeMode = ms.HandshakeMode.DEFAULT,
         topology_policy: Optional[Callable[[SessionTopology], SessionTopology]] = None,
         verify_middleboxes: bool = True,
+        session_cache: Optional[SessionCache] = None,
     ):
         if config.identity is None:
             raise TLSError("mcTLS server requires an identity (certificate + key)")
@@ -76,6 +78,9 @@ class McTLSServer(ms.McTLSConnectionBase):
         self.mode = mode
         self.topology_policy = topology_policy
         self.verify_middleboxes = verify_middleboxes
+        self._session_cache = session_cache
+        self._session_id = b""
+        self.resumed = False
         self.key_transport: ms.KeyTransport = ms.KeyTransport.DHE
         self._state = _State.WAIT_CLIENT_HELLO
         self._server_random = ms.make_random()
@@ -107,6 +112,17 @@ class McTLSServer(ms.McTLSConnectionBase):
             )
 
     def _on_client_flight_message(self, msg_type: int, body: bytes, raw: bytes) -> None:
+        if self.resumed and msg_type not in (
+            tls_msgs.MIDDLEBOX_KEY_MATERIAL,
+            tls_msgs.FINISHED,
+        ):
+            # The abbreviated client flight is key re-distribution +
+            # Finished only; certs/key exchanges here mean confusion or
+            # mischief.
+            raise TLSError(
+                f"unexpected handshake message {msg_type} in resumed client flight",
+                ALERT_UNEXPECTED_MESSAGE,
+            )
         if msg_type == tls_msgs.MIDDLEBOX_HELLO:
             hello = mm.MiddleboxHello.decode(body)
             self.transcript.add(ms.tag_mbox_hello(hello.mbox_id), raw)
@@ -178,9 +194,20 @@ class McTLSServer(ms.McTLSConnectionBase):
         self.negotiated_suite = suite
         self.records.set_suite(suite)
 
+        cached = self._lookup_resumable_session(hello)
+        if cached is not None:
+            self._resume_session(cached)
+            return
+
+        # Full handshake: never echo the client-proposed id; issue a fresh
+        # one iff this session will be cacheable.
+        if self._session_cache is not None and self._session_cacheable():
+            self._session_id = new_session_id()
+
         self._send_handshake(
             tls_msgs.ServerHello(
                 random=self._server_random,
+                session_id=self._session_id,
                 cipher_suite=suite.suite_id,
                 extensions=[(mm.EXT_MCTLS_MODE, bytes([int(self.mode)]))],
             ),
@@ -192,6 +219,88 @@ class McTLSServer(ms.McTLSConnectionBase):
         )
         self._send_server_key_exchange()
         self._send_handshake(tls_msgs.ServerHelloDone(), tag=ms.TAG_SERVER_HELLO_DONE)
+        self._state = _State.WAIT_CLIENT_FLIGHT
+
+    # -- resumption --------------------------------------------------------------
+
+    def _session_cacheable(self) -> bool:
+        """A session is resumable only if the server granted the client's
+        topology verbatim.
+
+        On resumption the client alone re-distributes (full) context keys,
+        so a session where the policy withheld some grant must go through
+        the full contributory handshake every time — otherwise resumption
+        would widen middlebox access beyond what the server approved.
+        """
+        return self.approved_topology.encode() == self.topology.encode()
+
+    def _lookup_resumable_session(
+        self, hello: tls_msgs.ClientHello
+    ) -> Optional[ms.McTLSSessionState]:
+        """Cached state iff the proposed session id can be honored.
+
+        Every mismatch — unknown/evicted/expired id, different suite,
+        changed topology, changed policy, changed mode or key transport —
+        returns None and the caller falls back to a full handshake.
+        """
+        if self._session_cache is None or not hello.session_id:
+            return None
+        cached = self._session_cache.get(bytes(hello.session_id))
+        if not isinstance(cached, ms.McTLSSessionState):
+            return None
+        if cached.cipher_suite_id != self.negotiated_suite.suite_id:
+            return None
+        if cached.topology_bytes != self.topology.encode():
+            return None  # client proposes a different middlebox/context setup
+        if not self._session_cacheable():
+            return None  # current policy no longer grants the full topology
+        if cached.mode != int(self.mode) or cached.key_transport != int(
+            self.key_transport
+        ):
+            return None
+        return cached
+
+    def _resume_session(self, cached: ms.McTLSSessionState) -> None:
+        """Abbreviated handshake: echo the id, skip certs/key exchange and
+        derive everything from the cached endpoint secret + fresh randoms."""
+        self.resumed = True
+        self._session_id = cached.session_id
+        self._endpoint_secret = cached.endpoint_secret
+        self._endpoint_keys = mk.derive_endpoint_keys(
+            self._endpoint_secret, self._client_random, self._server_random
+        )
+        self.records.set_endpoint_keys(self._endpoint_keys)
+        for ctx_id in self.topology.context_ids:
+            self.records.install_context_keys(
+                ctx_id,
+                mk.resumption_context_keys(
+                    self._endpoint_secret,
+                    self._client_random,
+                    self._server_random,
+                    ctx_id,
+                ),
+            )
+
+        self._send_handshake(
+            tls_msgs.ServerHello(
+                random=self._server_random,
+                session_id=cached.session_id,  # explicit echo = resumption
+                cipher_suite=self.negotiated_suite.suite_id,
+                extensions=[(mm.EXT_MCTLS_MODE, bytes([int(self.mode)]))],
+            ),
+            tag=ms.TAG_SERVER_HELLO,
+        )
+        # Server finishes first in the abbreviated flow.
+        verify = ks.finished_verify_data(
+            self._endpoint_secret,
+            ks.LABEL_SERVER_FINISHED,
+            self.transcript.hash_over(ms.resumed_order_server_finished()),
+        )
+        self._send_change_cipher_spec()
+        self.records.activate_write()
+        self._send_handshake(
+            tls_msgs.Finished(verify_data=verify), tag=ms.TAG_SERVER_FINISHED
+        )
         self._state = _State.WAIT_CLIENT_FLIGHT
 
     def _send_server_key_exchange(self) -> None:
@@ -270,6 +379,12 @@ class McTLSServer(ms.McTLSConnectionBase):
         if mkm.sender != mm.SENDER_CLIENT:
             raise TLSError("server received its own key material back")
         self.transcript.add(ms.tag_client_mkm(mkm.target), raw)
+        if self.resumed:
+            if mkm.target == ENDPOINT_TARGET:
+                raise TLSError(
+                    "endpoint key material has no place in a resumed handshake"
+                )
+            return  # middlebox re-keying; transcript only
         if mkm.target != ENDPOINT_TARGET:
             return  # addressed to a middlebox; transcript only
         if self._endpoint_keys is None:
@@ -291,6 +406,9 @@ class McTLSServer(ms.McTLSConnectionBase):
         self.records.activate_read()
 
     def _on_client_finished(self, finished: tls_msgs.Finished) -> None:
+        if self.resumed:
+            self._on_resumed_client_finished(finished)
+            return
         self._check_middlebox_flights_complete()
         expected = ks.finished_verify_data(
             self._endpoint_secret,
@@ -320,12 +438,52 @@ class McTLSServer(ms.McTLSConnectionBase):
         self._send_handshake(tls_msgs.Finished(verify_data=verify))
         self._state = _State.CONNECTED
         self.handshake_complete = True
+        self._cache_session()
         self._emit(
             ms.McTLSHandshakeComplete(
                 cipher_suite=self.negotiated_suite.name,
                 mode=self.mode,
                 topology=self.topology,
             )
+        )
+
+    def _on_resumed_client_finished(self, finished: tls_msgs.Finished) -> None:
+        """Close the abbreviated handshake (our CCS/Finished already went
+        out with the ServerHello)."""
+        expected = ks.finished_verify_data(
+            self._endpoint_secret,
+            ks.LABEL_CLIENT_FINISHED,
+            self.transcript.hash_over(
+                ms.resumed_order_client_finished(self.topology)
+            ),
+        )
+        if finished.verify_data != expected:
+            raise TLSError("client Finished verification failed", ALERT_DECRYPT_ERROR)
+        self._state = _State.CONNECTED
+        self.handshake_complete = True
+        self._emit(
+            ms.McTLSHandshakeComplete(
+                cipher_suite=self.negotiated_suite.name,
+                mode=self.mode,
+                topology=self.topology,
+                resumed=True,
+            )
+        )
+
+    def _cache_session(self) -> None:
+        """Make a completed full handshake resumable."""
+        if self._session_cache is None or not self._session_id:
+            return
+        self._session_cache.put(
+            self._session_id,
+            ms.McTLSSessionState(
+                session_id=self._session_id,
+                endpoint_secret=self._endpoint_secret,
+                cipher_suite_id=self.negotiated_suite.suite_id,
+                mode=int(self.mode),
+                key_transport=int(self.key_transport),
+                topology_bytes=self.topology.encode(),
+            ),
         )
 
     def _check_middlebox_flights_complete(self) -> None:

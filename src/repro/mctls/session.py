@@ -72,6 +72,33 @@ class McTLSHandshakeComplete(Event):
     mode: HandshakeMode
     topology: SessionTopology
     peer_certificate: Optional[Certificate] = None
+    resumed: bool = False  # abbreviated handshake from a cached session
+
+
+@dataclass
+class McTLSSessionState:
+    """Everything a resumed mcTLS session must reproduce exactly.
+
+    Stored server-side in a :class:`repro.tls.sessioncache.SessionCache`
+    keyed by session id, and client-side keyed by endpoint name.  Beyond
+    the plain-TLS master secret, an mcTLS session is defined by its
+    middlebox/context topology, handshake mode and key transport — a
+    resumption is honored only when all of them match, so a resumed
+    session can never widen (or silently change) middlebox access.
+
+    ``middlebox_certs`` is populated client-side only: on resumption the
+    client re-distributes fresh context keys by sealing them to each
+    middlebox's certificate key (there is no DH exchange to derive
+    pairwise keys from in the abbreviated flow).
+    """
+
+    session_id: bytes
+    endpoint_secret: bytes
+    cipher_suite_id: int
+    mode: int
+    key_transport: int
+    topology_bytes: bytes
+    middlebox_certs: Dict[int, Certificate] = field(default_factory=dict)
 
 
 @dataclass
@@ -96,6 +123,9 @@ TAG_SERVER_KE = "server_ke"
 TAG_SERVER_HELLO_DONE = "server_hello_done"
 TAG_CLIENT_KE = "client_ke"
 TAG_CLIENT_FINISHED = "client_finished"
+# Only the abbreviated flow tags the server's Finished: there the server
+# finishes *first*, so the client's Finished must cover it.
+TAG_SERVER_FINISHED = "server_finished"
 
 
 def tag_mbox_hello(mbox_id: int) -> str:
@@ -185,6 +215,28 @@ def canonical_order_t2(
         for mbox in topology.middleboxes:
             tags.append(tag_server_mkm(mbox.mbox_id))
         tags.append(tag_server_mkm(ENDPOINT_TARGET))
+    return tags
+
+
+def resumed_order_server_finished() -> List[str]:
+    """Messages covered by the server's Finished in the abbreviated flow.
+
+    The server finishes immediately after its ServerHello — no
+    certificates, key exchanges or middlebox flights exist to cover.
+    """
+    return [TAG_CLIENT_HELLO, TAG_SERVER_HELLO]
+
+
+def resumed_order_client_finished(topology: SessionTopology) -> List[str]:
+    """Messages covered by the client's Finished in the abbreviated flow.
+
+    Covers the server's Finished plus the fresh per-middlebox key
+    material the client re-distributed, so the server detects any
+    tampering with (or suppression of) the re-keying messages.
+    """
+    tags = [TAG_CLIENT_HELLO, TAG_SERVER_HELLO, TAG_SERVER_FINISHED]
+    for mbox in topology.middleboxes:
+        tags.append(tag_client_mkm(mbox.mbox_id))
     return tags
 
 

@@ -31,17 +31,27 @@ from repro.tls.connection import (
     TLSError,
 )
 from repro.tls.server import TLSServer
+from repro.tls.sessioncache import (
+    ClientSessionStore,
+    SessionCache,
+    TLSSessionState,
+    new_session_id,
+)
 
 __all__ = [
     "AlertReceived",
     "ApplicationData",
     "CipherSuite",
+    "ClientSessionStore",
     "ConnectionClosed",
     "HandshakeComplete",
+    "SessionCache",
     "SUITE_DHE_RSA_AES128_CBC_SHA256",
     "SUITE_DHE_RSA_SHACTR_SHA256",
     "TLSClient",
     "TLSConfig",
     "TLSError",
     "TLSServer",
+    "TLSSessionState",
+    "new_session_id",
 ]

@@ -20,6 +20,7 @@ from repro.tls.connection import (
     TLSError,
     make_random,
 )
+from repro.tls.sessioncache import ClientSessionStore, TLSSessionState
 
 
 class _State(Enum):
@@ -44,7 +45,11 @@ class TLSClient(TLSConnectionBase):
         events = client.receive_bytes(transport.read())
     """
 
-    def __init__(self, config: TLSConfig):
+    def __init__(
+        self,
+        config: TLSConfig,
+        session_store: Optional[ClientSessionStore] = None,
+    ):
         super().__init__(config)
         self._state = _State.START
         self._client_random = make_random()
@@ -53,6 +58,10 @@ class TLSClient(TLSConnectionBase):
         self._server_dh_public: Optional[int] = None
         self._server_kx_group: Optional[DHGroup] = None
         self._master_secret: Optional[bytes] = None
+        self._session_store = session_store
+        self._offered_session: Optional[TLSSessionState] = None
+        self._pending_session_id = b""
+        self.resumed = False
 
     # -- driving the handshake -------------------------------------------
 
@@ -61,11 +70,27 @@ class TLSClient(TLSConnectionBase):
             raise TLSError("handshake already started")
         hello = msgs.ClientHello(
             random=self._client_random,
+            session_id=self._resumable_session_id(),
             cipher_suites=self.config.suite_ids(),
             extensions=self._hello_extensions(),
         )
         self._send_handshake(hello)
         self._state = _State.WAIT_SERVER_HELLO
+
+    def _session_store_key(self) -> str:
+        return self.config.server_name or ""
+
+    def _resumable_session_id(self) -> bytes:
+        """Offer a cached session for this endpoint, if we hold one."""
+        if self._session_store is None:
+            return b""
+        cached = self._session_store.get(self._session_store_key())
+        if not isinstance(cached, TLSSessionState):
+            return b""
+        if cached.cipher_suite_id not in self.config.suite_ids():
+            return b""  # local config changed; the old suite is gone
+        self._offered_session = cached
+        return cached.session_id
 
     def _hello_extensions(self):
         """Hook: subclasses (mcTLS) add extensions to the ClientHello."""
@@ -104,7 +129,30 @@ class TLSClient(TLSConnectionBase):
             raise TLSError("server selected a cipher suite we did not offer")
         self.negotiated_suite = suite
         self._server_random = hello.random
+        if (
+            self._offered_session is not None
+            and hello.session_id == self._offered_session.session_id
+        ):
+            self._begin_resumption(hello, suite)
+            return
+        # Full handshake: remember a server-issued id so we can cache the
+        # session once it completes (an empty id means "not resumable").
+        self._pending_session_id = hello.session_id
         self._state = _State.WAIT_CERTIFICATE
+
+    def _begin_resumption(self, hello: msgs.ServerHello, suite) -> None:
+        """Server echoed our cached session id: abbreviated handshake."""
+        cached = self._offered_session
+        if hello.cipher_suite != cached.cipher_suite_id:
+            raise TLSError("resumed session must keep its original cipher suite")
+        self.resumed = True
+        self._master_secret = cached.master_secret
+        self._key_block = ks.resume_key_block(
+            self._master_secret, self._client_random, self._server_random, suite
+        )
+        # Server sends CCS + Finished next; our own flight goes out after
+        # we verify it (see _on_finished).
+        self._state = _State.WAIT_CCS
 
     def _on_certificate(self, message: msgs.CertificateMessage) -> None:
         if not message.chain:
@@ -197,11 +245,34 @@ class TLSClient(TLSConnectionBase):
         )
         if finished.verify_data != expected:
             raise TLSError("server Finished verification failed", ALERT_DECRYPT_ERROR)
+        if self.resumed:
+            # Abbreviated flow: the server finishes first; now we send our
+            # CCS + Finished (covering the server's Finished as well).
+            self._activate_write_protection()
+            self._send_finished()
         self._state = _State.CONNECTED
         self.handshake_complete = True
+        self._store_session()
         self._emit(
             HandshakeComplete(
                 cipher_suite=self.negotiated_suite.name,
                 peer_certificate=self.peer_certificate,
+                resumed=self.resumed,
             )
+        )
+
+    def _store_session(self) -> None:
+        """Remember a full handshake's session for later resumption."""
+        if self._session_store is None or self.resumed:
+            return
+        if not self._pending_session_id:
+            return
+        self._session_store.put(
+            self._session_store_key(),
+            TLSSessionState(
+                session_id=self._pending_session_id,
+                master_secret=self._master_secret,
+                cipher_suite_id=self.negotiated_suite.suite_id,
+                server_name=self.config.server_name or "",
+            ),
         )

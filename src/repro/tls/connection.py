@@ -54,6 +54,7 @@ class Event:
 class HandshakeComplete(Event):
     cipher_suite: str
     peer_certificate: Optional[Certificate] = None
+    resumed: bool = False  # abbreviated handshake from a cached session
 
 
 @dataclass

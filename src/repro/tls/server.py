@@ -18,6 +18,7 @@ from repro.tls.connection import (
     TLSError,
     make_random,
 )
+from repro.tls.sessioncache import SessionCache, TLSSessionState, new_session_id
 
 
 class _State(Enum):
@@ -33,9 +34,14 @@ class TLSServer(TLSConnectionBase):
 
     Requires ``config.identity`` (certificate chain + RSA key).  The server
     waits passively: feed it bytes, drain ``data_to_send()``.
+
+    With a ``session_cache``, full handshakes are issued a fresh session id
+    and cached on completion; a ClientHello carrying a cached id gets the
+    abbreviated flow (no certificates, no key exchange — zero public-key
+    operations at the server).
     """
 
-    def __init__(self, config: TLSConfig):
+    def __init__(self, config: TLSConfig, session_cache: Optional[SessionCache] = None):
         if config.identity is None:
             raise TLSError("server requires an identity (certificate + key)")
         super().__init__(config)
@@ -45,6 +51,9 @@ class TLSServer(TLSConnectionBase):
         self._dh_keypair: Optional[DHKeyPair] = None
         self._master_secret: Optional[bytes] = None
         self._client_hello: Optional[msgs.ClientHello] = None
+        self._session_cache = session_cache
+        self._session_id = b""
+        self.resumed = False
 
     # -- message handling ---------------------------------------------------
 
@@ -68,6 +77,12 @@ class TLSServer(TLSConnectionBase):
     def _on_client_hello(self, hello: msgs.ClientHello) -> None:
         self._client_hello = hello
         self._client_random = hello.random
+
+        resumable = self._lookup_resumable_session(hello)
+        if resumable is not None:
+            self._resume_session(hello, resumable)
+            return
+
         suite = next(
             (
                 self.config.suite_for_id(sid)
@@ -80,9 +95,16 @@ class TLSServer(TLSConnectionBase):
             raise TLSError("no mutually supported cipher suite")
         self.negotiated_suite = suite
 
+        # On full handshakes the server never echoes the client-proposed
+        # session id (RFC 5246 §7.4.1.3); it issues a fresh one if it is
+        # willing to cache this session, or none at all.
+        if self._session_cache is not None:
+            self._session_id = new_session_id()
+
         self._send_handshake(
             msgs.ServerHello(
                 random=self._server_random,
+                session_id=self._session_id,
                 cipher_suite=suite.suite_id,
                 extensions=self._hello_extensions(hello),
             )
@@ -92,6 +114,60 @@ class TLSServer(TLSConnectionBase):
         self._before_hello_done(hello)
         self._send_handshake(msgs.ServerHelloDone())
         self._state = _State.WAIT_CLIENT_KEY_EXCHANGE
+
+    # -- resumption ---------------------------------------------------------
+
+    def _lookup_resumable_session(
+        self, hello: msgs.ClientHello
+    ) -> Optional[TLSSessionState]:
+        """Return cached state iff the proposed session id can be honored.
+
+        Unknown, evicted or expired ids simply return None — the caller
+        falls back to a full handshake, exactly as RFC 5246 prescribes.
+        """
+        if self._session_cache is None or not hello.session_id:
+            return None
+        cached = self._session_cache.get(bytes(hello.session_id))
+        if not isinstance(cached, TLSSessionState):
+            return None
+        if cached.cipher_suite_id not in hello.cipher_suites:
+            return None  # client no longer offers the original suite
+        if self.config.suite_for_id(cached.cipher_suite_id) is None:
+            return None  # we no longer support it either
+        return cached
+
+    def _resume_session(self, hello: msgs.ClientHello, cached: TLSSessionState) -> None:
+        """Abbreviated handshake: echo the id, skip certs and key exchange."""
+        self.resumed = True
+        self._session_id = cached.session_id
+        suite = self.config.suite_for_id(cached.cipher_suite_id)
+        self.negotiated_suite = suite
+        self._master_secret = cached.master_secret
+
+        self._send_handshake(
+            msgs.ServerHello(
+                random=self._server_random,
+                session_id=cached.session_id,  # explicit echo = resumption
+                cipher_suite=suite.suite_id,
+                extensions=self._hello_extensions(hello),
+            )
+        )
+        self._key_block = ks.resume_key_block(
+            self._master_secret, self._client_random, self._server_random, suite
+        )
+        # Server finishes first in the abbreviated flow: its Finished covers
+        # just [ClientHello, ServerHello].
+        verify = ks.finished_verify_data(
+            self._master_secret, ks.LABEL_SERVER_FINISHED, self._transcript_hash()
+        )
+        self._send_change_cipher_spec()
+        self.records.write_state.activate(
+            suite,
+            suite.new_cipher(self._key_block.server_enc_key),
+            self._key_block.server_mac_key,
+        )
+        self._send_handshake(msgs.Finished(verify_data=verify))
+        self._state = _State.WAIT_CCS
 
     def _hello_extensions(self, hello: msgs.ClientHello):
         """Hook: mcTLS echoes its negotiated mode here."""
@@ -155,6 +231,16 @@ class TLSServer(TLSConnectionBase):
         if finished.verify_data != expected:
             raise TLSError("client Finished verification failed", ALERT_DECRYPT_ERROR)
 
+        if self.resumed:
+            # Abbreviated flow: our CCS + Finished already went out with the
+            # ServerHello; the client's Finished closes the handshake.
+            self._state = _State.CONNECTED
+            self.handshake_complete = True
+            self._emit(
+                HandshakeComplete(cipher_suite=self.negotiated_suite.name, resumed=True)
+            )
+            return
+
         self._before_server_finished()
         suite = self.negotiated_suite
         self._send_change_cipher_spec()
@@ -169,7 +255,21 @@ class TLSServer(TLSConnectionBase):
         self._send_handshake(msgs.Finished(verify_data=verify))
         self._state = _State.CONNECTED
         self.handshake_complete = True
+        self._cache_session()
         self._emit(HandshakeComplete(cipher_suite=suite.name))
+
+    def _cache_session(self) -> None:
+        """Make a completed full handshake resumable."""
+        if self._session_cache is None or not self._session_id:
+            return
+        self._session_cache.put(
+            self._session_id,
+            TLSSessionState(
+                session_id=self._session_id,
+                master_secret=self._master_secret,
+                cipher_suite_id=self.negotiated_suite.suite_id,
+            ),
+        )
 
     def _before_server_finished(self) -> None:
         """Hook: mcTLS sends its key material messages here."""

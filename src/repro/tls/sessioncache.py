@@ -1,0 +1,200 @@
+"""Session caching for abbreviated-handshake resumption (RFC 5246 §7.3).
+
+The paper's server-side bottleneck is handshake CPU (§5, Figure 5); real
+deployments amortise it with *session resumption*: the server remembers
+the master secret under a ``session_id``, and a returning client skips
+certificates and key exchange entirely — ClientHello (cached id) →
+ServerHello (echo) + ChangeCipherSpec + Finished → ChangeCipherSpec +
+Finished.  Fresh randoms re-derive the record keys, so resumed sessions
+never reuse record protection keys.
+
+Two stores live here:
+
+* :class:`SessionCache` — the server side: a bounded LRU with absolute
+  TTL expiry, explicit invalidation and statistics counters.  Millions of
+  clients must not grow server memory without bound, so capacity is a
+  hard cap and the least-recently-used entry is evicted first.
+* :class:`ClientSessionStore` — the client side: the most recent
+  resumable session per endpoint (server name), same LRU/TTL machinery.
+
+Both are deliberately deterministic: the clock is injectable, so tests
+drive TTL expiry without sleeping.
+
+State payloads:
+
+* :class:`TLSSessionState` — plain TLS 1.2: master secret + cipher suite.
+* mcTLS state (endpoint secret, mode, key transport, topology bytes and
+  the middlebox certificates needed to re-distribute fresh context keys)
+  lives in :class:`repro.mctls.session.McTLSSessionState`; this module is
+  payload-agnostic.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional
+
+SESSION_ID_LEN = 32
+
+DEFAULT_CAPACITY = 1024
+DEFAULT_TTL_S = 3600.0
+
+
+def new_session_id() -> bytes:
+    """A fresh 32-byte session identifier (RFC 5246 caps it at 32)."""
+    return os.urandom(SESSION_ID_LEN)
+
+
+@dataclass(frozen=True)
+class TLSSessionState:
+    """What a plain-TLS resumption needs to rebuild record protection."""
+
+    session_id: bytes
+    master_secret: bytes
+    cipher_suite_id: int
+    server_name: str = ""
+
+
+@dataclass
+class CacheStats:
+    """Counters for every way an entry can enter or leave the cache."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    evictions: int = 0
+    stores: int = 0
+    overwrites: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "overwrites": self.overwrites,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class _Entry:
+    state: object
+    stored_at: float
+
+
+class SessionCache:
+    """A bounded LRU session cache with TTL expiry and stats.
+
+    * ``capacity`` — hard bound on live entries; storing beyond it evicts
+      the least recently *used* entry (lookups refresh recency).
+    * ``ttl`` — seconds an entry stays resumable, measured from its most
+      recent ``put``.  Expiry is lazy: detected on lookup (counted as an
+      expiration *and* a miss) or via :meth:`purge_expired`.
+    * ``clock`` — injectable monotonic time source for deterministic
+      tests; defaults to :func:`time.monotonic`.
+
+    Accounting invariant (the property tests pin it)::
+
+        stores == len(cache) + evictions + expirations
+                  + invalidations + overwrites
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        ttl: float = DEFAULT_TTL_S,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError("session cache capacity must be at least 1")
+        if ttl <= 0:
+            raise ValueError("session cache TTL must be positive")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership without touching recency or the hit/miss counters."""
+        entry = self._entries.get(key)
+        return entry is not None and not self._expired(entry)
+
+    def _expired(self, entry: _Entry) -> bool:
+        return self._clock() - entry.stored_at > self.ttl
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """Look up a resumable session; refreshes LRU recency on hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if self._expired(entry):
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.state
+
+    def put(self, key: Hashable, state: object) -> None:
+        """Store (or refresh) a session, evicting LRU entries past capacity."""
+        if key in self._entries:
+            self.stats.overwrites += 1
+            del self._entries[key]
+        self._entries[key] = _Entry(state=state, stored_at=self._clock())
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Explicitly drop a session (e.g. on fatal alert); True if present."""
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def purge_expired(self) -> int:
+        """Eagerly drop every expired entry; returns how many were dropped."""
+        expired = [k for k, e in self._entries.items() if self._expired(e)]
+        for key in expired:
+            del self._entries[key]
+            self.stats.expirations += 1
+        return len(expired)
+
+    def clear(self) -> None:
+        """Drop everything (counted as invalidations)."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+
+class ClientSessionStore(SessionCache):
+    """The client side: resumable sessions keyed by endpoint name.
+
+    Identical machinery to :class:`SessionCache`; the subclass exists so
+    call sites say what they mean and so client-side defaults can diverge
+    later (browsers keep far fewer sessions than servers)."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        ttl: float = DEFAULT_TTL_S,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        super().__init__(capacity=capacity, ttl=ttl, clock=clock)

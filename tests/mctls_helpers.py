@@ -27,9 +27,15 @@ def build_session(
     topology_policy=None,
     transformer=None,
     observer=None,
+    key_transport=None,
+    session_store=None,
+    session_cache=None,
 ):
     """Wire a client ⇄ N middleboxes ⇄ server session; returns
-    (client, middleboxes, server, chain) with the handshake already pumped."""
+    (client, middleboxes, server, chain) with the handshake already pumped.
+
+    Pass the same ``session_store`` (client side) and ``session_cache``
+    (server side) across two calls to exercise session resumption."""
     middleboxes = [
         MiddleboxInfo(i + 1, identity.name) for i, identity in enumerate(mbox_identities)
     ]
@@ -42,6 +48,8 @@ def build_session(
             dh_group=GROUP_TEST_512,
         ),
         topology=topology,
+        key_transport=key_transport,
+        session_store=session_store,
     )
     server = McTLSServer(
         TLSConfig(
@@ -51,6 +59,7 @@ def build_session(
         ),
         mode=mode,
         topology_policy=topology_policy,
+        session_cache=session_cache,
     )
     mboxes = [
         McTLSMiddlebox(

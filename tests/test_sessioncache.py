@@ -1,0 +1,223 @@
+"""Seeded property tests for the bounded LRU session cache.
+
+A reference model (plain list, oldest-first) replays the same random
+operation sequence as the real :class:`SessionCache`; after every step
+the two must agree on contents, lookup results and every counter.  Two
+fixed seeds make the sequences deterministic yet varied.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.tls.sessioncache import (
+    SESSION_ID_LEN,
+    ClientSessionStore,
+    SessionCache,
+    TLSSessionState,
+    new_session_id,
+)
+
+SEEDS = (1234, 98765)
+
+CAPACITY = 4
+TTL = 10.0
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class ModelCache:
+    """Reference semantics: list of [key, value, stored_at], LRU first."""
+
+    def __init__(self, capacity: float, ttl: float, clock: FakeClock) -> None:
+        self.items: list = []
+        self.capacity = capacity
+        self.ttl = ttl
+        self.clock = clock
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "expirations": 0,
+            "evictions": 0,
+            "stores": 0,
+            "overwrites": 0,
+            "invalidations": 0,
+        }
+
+    def _index(self, key):
+        for i, (k, _, _) in enumerate(self.items):
+            if k == key:
+                return i
+        return None
+
+    def get(self, key):
+        i = self._index(key)
+        if i is None:
+            self.stats["misses"] += 1
+            return None
+        k, v, t = self.items[i]
+        if self.clock() - t > self.ttl:
+            del self.items[i]
+            self.stats["expirations"] += 1
+            self.stats["misses"] += 1
+            return None
+        self.items.append(self.items.pop(i))
+        self.stats["hits"] += 1
+        return v
+
+    def put(self, key, value):
+        i = self._index(key)
+        if i is not None:
+            del self.items[i]
+            self.stats["overwrites"] += 1
+        self.items.append([key, value, self.clock()])
+        self.stats["stores"] += 1
+        while len(self.items) > self.capacity:
+            self.items.pop(0)
+            self.stats["evictions"] += 1
+
+    def invalidate(self, key):
+        i = self._index(key)
+        if i is None:
+            return False
+        del self.items[i]
+        self.stats["invalidations"] += 1
+        return True
+
+    def purge_expired(self):
+        expired = [it for it in self.items if self.clock() - it[2] > self.ttl]
+        for it in expired:
+            self.items.remove(it)
+            self.stats["expirations"] += 1
+        return len(expired)
+
+    def contains(self, key):
+        i = self._index(key)
+        return i is not None and self.clock() - self.items[i][2] <= self.ttl
+
+
+def check_invariant(cache: SessionCache) -> None:
+    s = cache.stats
+    assert s.stores == (
+        len(cache) + s.evictions + s.expirations + s.invalidations + s.overwrites
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_op_sequence_matches_model(seed):
+    rng = random.Random(seed)
+    clock = FakeClock()
+    cache = SessionCache(capacity=CAPACITY, ttl=TTL, clock=clock)
+    model = ModelCache(CAPACITY, TTL, clock)
+    keys = [f"key-{i}" for i in range(8)]
+    lookups = 0
+
+    for step in range(600):
+        op = rng.random()
+        key = rng.choice(keys)
+        if op < 0.40:
+            value = f"value-{step}"
+            cache.put(key, value)
+            model.put(key, value)
+        elif op < 0.70:
+            assert cache.get(key) == model.get(key)
+            lookups += 1
+        elif op < 0.80:
+            assert cache.invalidate(key) == model.invalidate(key)
+        elif op < 0.95:
+            clock.now += rng.uniform(0.0, TTL / 2)
+        else:
+            assert cache.purge_expired() == model.purge_expired()
+
+        # LRU bound is never exceeded, even transiently observable.
+        assert len(cache) <= CAPACITY
+        assert len(cache) == len(model.items)
+        assert cache.stats.snapshot() == model.stats
+        assert cache.stats.lookups == lookups
+        assert (key in cache) == model.contains(key)
+        check_invariant(cache)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ttl_expiry_is_monotonic(seed):
+    """Once an entry has expired it can never become resumable again."""
+    rng = random.Random(seed)
+    clock = FakeClock()
+    cache = SessionCache(capacity=8, ttl=TTL, clock=clock)
+    cache.put("k", "v")
+    # Within the TTL: always a hit, regardless of how we step time.
+    while clock.now <= TTL:
+        assert cache.get("k") == "v"
+        clock.now += rng.uniform(0.1, 2.0)
+    # Past the TTL: a miss forever after.
+    for _ in range(10):
+        assert cache.get("k") is None
+        clock.now += rng.uniform(0.0, 5.0)
+    assert cache.stats.expirations == 1
+    assert cache.stats.misses == 10
+    check_invariant(cache)
+
+
+def test_lru_eviction_order():
+    clock = FakeClock()
+    cache = SessionCache(capacity=2, ttl=TTL, clock=clock)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes recency: b is now LRU
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert cache.stats.evictions == 1
+    check_invariant(cache)
+
+
+def test_overwrite_refreshes_ttl():
+    clock = FakeClock()
+    cache = SessionCache(capacity=2, ttl=TTL, clock=clock)
+    cache.put("k", "old")
+    clock.now = TTL - 1
+    cache.put("k", "new")
+    clock.now = TTL + 5  # old entry would have expired; refreshed one has not
+    assert cache.get("k") == "new"
+    assert cache.stats.overwrites == 1
+    check_invariant(cache)
+
+
+def test_clear_counts_invalidations():
+    cache = SessionCache(capacity=4, ttl=TTL, clock=FakeClock())
+    for i in range(3):
+        cache.put(i, i)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.invalidations == 3
+    check_invariant(cache)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        SessionCache(capacity=0)
+    with pytest.raises(ValueError):
+        SessionCache(ttl=0)
+
+
+def test_new_session_id_shape():
+    ids = {new_session_id() for _ in range(8)}
+    assert all(len(i) == SESSION_ID_LEN for i in ids)
+    assert len(ids) == 8  # overwhelmingly unlikely to collide
+
+
+def test_client_store_is_a_session_cache():
+    store = ClientSessionStore(clock=FakeClock())
+    state = TLSSessionState(
+        session_id=b"\x02" * 32, master_secret=b"m" * 48, cipher_suite_id=0x67
+    )
+    store.put("server.example", state)
+    assert store.get("server.example") is state

@@ -207,3 +207,97 @@ class TestKeySchedule:
         client = ks.finished_verify_data(b"m" * 48, ks.LABEL_CLIENT_FINISHED, b"h" * 32)
         server = ks.finished_verify_data(b"m" * 48, ks.LABEL_SERVER_FINISHED, b"h" * 32)
         assert client != server and len(client) == 12
+
+
+class TestServerHelloSessionId:
+    """Wire-level regression: the ServerHello session_id is either empty,
+    a freshly generated id, or (on resumption) an exact echo — never a
+    reflection of whatever the client proposed (RFC 5246 §7.4.1.3)."""
+
+    def _server_hello_from(self, wire: bytes) -> msgs.ServerHello:
+        from repro.tls.record import HANDSHAKE, RecordLayer
+
+        records = RecordLayer()
+        records.feed(wire)
+        buf = msgs.HandshakeBuffer()
+        for content_type, payload in records.read_all():
+            if content_type == HANDSHAKE:
+                buf.feed(payload)
+        while True:
+            item = buf.next_message()
+            assert item is not None, "no ServerHello in wire bytes"
+            msg_type, body, _raw = item
+            if msg_type == msgs.SERVER_HELLO:
+                return msgs.ServerHello.decode(body)
+
+    def _client_with_bogus_session(self, client_config, suite_id):
+        from repro.tls.client import TLSClient
+        from repro.tls.sessioncache import ClientSessionStore, TLSSessionState
+
+        store = ClientSessionStore()
+        store.put(
+            "server.example",
+            TLSSessionState(
+                session_id=b"\x01" * 32,
+                master_secret=b"m" * 48,
+                cipher_suite_id=suite_id,
+                server_name="server.example",
+            ),
+        )
+        return TLSClient(client_config, session_store=store)
+
+    def test_session_id_wire_roundtrip(self):
+        for session_id in (b"", b"\xaa" * 32):
+            hello = msgs.ServerHello(
+                random=b"s" * 32, cipher_suite=0x0067, session_id=session_id
+            )
+            decoded = msgs.ServerHello.decode(hello.encode())
+            assert decoded.session_id == session_id
+            assert decoded.encode() == hello.encode()
+
+    def test_cacheless_server_sends_empty_session_id(self, client_config, server_config):
+        from repro.tls.server import TLSServer
+
+        suite_id = client_config.cipher_suites[0].suite_id
+        client = self._client_with_bogus_session(client_config, suite_id)
+        client.start_handshake()
+        server = TLSServer(server_config)
+        server.receive_bytes(client.data_to_send())
+        hello = self._server_hello_from(server.data_to_send())
+        assert hello.session_id == b""
+
+    def test_full_handshake_never_echoes_proposed_id(self, client_config, server_config):
+        from repro.tls.server import TLSServer
+        from repro.tls.sessioncache import SessionCache
+
+        suite_id = client_config.cipher_suites[0].suite_id
+        client = self._client_with_bogus_session(client_config, suite_id)
+        client.start_handshake()
+        server = TLSServer(server_config, session_cache=SessionCache())
+        server.receive_bytes(client.data_to_send())
+        hello = self._server_hello_from(server.data_to_send())
+        # Unknown proposed id: the server issues a FRESH id, never an echo.
+        assert len(hello.session_id) == 32
+        assert hello.session_id != b"\x01" * 32
+
+    def test_resumed_handshake_echoes_exactly(self, client_config, server_config):
+        from repro.tls.client import TLSClient
+        from repro.tls.server import TLSServer
+        from repro.tls.sessioncache import ClientSessionStore, SessionCache
+        from repro.transport import pump
+
+        cache = SessionCache()
+        store = ClientSessionStore()
+        client = TLSClient(client_config, session_store=store)
+        server = TLSServer(server_config, session_cache=cache)
+        client.start_handshake()
+        pump(client, server)
+        assert client.handshake_complete and server.handshake_complete
+        cached_id = store.get("server.example").session_id
+
+        client2 = TLSClient(client_config, session_store=store)
+        client2.start_handshake()
+        server2 = TLSServer(server_config, session_cache=cache)
+        server2.receive_bytes(client2.data_to_send())
+        hello = self._server_hello_from(server2.data_to_send())
+        assert hello.session_id == cached_id
