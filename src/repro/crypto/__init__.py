@@ -13,12 +13,15 @@ real traffic.
 
 from repro.crypto.aes import AES
 from repro.crypto.dh import DHGroup, DHKeyPair, GROUP_MODP_2048, GROUP_TEST_512
+from repro.crypto.fastcipher import ShaCtrCipher, clear_keystream_cache
+from repro.crypto.hmaccache import CachedHmacSha256, hmac_sha256
 from repro.crypto.opcount import OpCounter, current_counter, count_op, counting
 from repro.crypto.prf import prf, p_sha256
 from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey, generate_rsa_key
 
 __all__ = [
     "AES",
+    "CachedHmacSha256",
     "DHGroup",
     "DHKeyPair",
     "GROUP_MODP_2048",
@@ -26,10 +29,13 @@ __all__ = [
     "OpCounter",
     "RSAPrivateKey",
     "RSAPublicKey",
+    "ShaCtrCipher",
+    "clear_keystream_cache",
     "count_op",
     "counting",
     "current_counter",
     "generate_rsa_key",
+    "hmac_sha256",
     "p_sha256",
     "prf",
 ]

@@ -79,7 +79,9 @@ def current_counter() -> Optional[OpCounter]:
 
 def count_op(category: str, n: int = 1) -> None:
     """Record ``n`` operations of ``category`` on the active counter, if any."""
-    counter = current_counter()
+    # Inlined current_counter(): this runs per record encrypt/decrypt on
+    # the data plane, where the common case is "no counter active".
+    counter = getattr(_local, "counter", None)
     if counter is not None:
         counter.add(category, n)
 

@@ -26,16 +26,31 @@ Verification rules (paper §3.4):
 * a **reader** checks ``MAC_readers`` (it cannot police other readers —
   the documented limitation; see :mod:`repro.mctls.strict_readers` for
   the paper's optional fixes).
+
+Data-plane fast path
+--------------------
+
+Per (context, direction) the layer builds its protection state **once**
+— one keyed cipher plus one precomputed HMAC context per MAC slot
+(:class:`repro.crypto.hmaccache.CachedHmacSha256`) — instead of
+re-keying per record; :func:`split_records` and the endpoint receive
+path consume their buffers by cursor with a single batched reclamation,
+and fragments yielded to middleboxes are ``memoryview``s over the
+(immutable, safely retainable) ``raw`` record bytes.  Wire bytes are
+pinned bit-for-bit by the golden-vector tests.
 """
 
 from __future__ import annotations
 
 import hmac as _hmac
 from dataclasses import dataclass
+from struct import Struct
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.crypto.hmaccache import CachedHmacSha256, hmac_sha256
 from repro.mctls import keys as mk
 from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, Permission
+from repro.recbuf import RecordBuffer
 from repro.tls.ciphersuites import CipherError, CipherSuite
 from repro.tls.record import (
     ALERT,
@@ -53,6 +68,13 @@ MCTLS_HEADER_LEN = 6
 MCTLS_VERSION = 0xFC03
 MAC_LEN = 32
 MAX_FRAGMENT = MAX_PLAINTEXT + 2048
+
+# type(1) || version(2) || context_id(1) || length(2)
+_WIRE_HEADER = Struct(">BHBH")
+# seq(8) || type(1) || version(2) || context_id(1) || payload_length(2)
+_MAC_PREFIX = Struct(">QBHBH")
+
+_compare_digest = _hmac.compare_digest
 
 
 class McTLSRecordError(Exception):
@@ -106,22 +128,13 @@ class MacVerificationError(McTLSRecordError):
 def mac_input(seq: int, content_type: int, context_id: int, payload: bytes) -> bytes:
     """The bytes every mcTLS record MAC covers."""
     return (
-        seq.to_bytes(8, "big")
-        + bytes([content_type])
-        + MCTLS_VERSION.to_bytes(2, "big")
-        + bytes([context_id])
-        + len(payload).to_bytes(2, "big")
+        _MAC_PREFIX.pack(seq, content_type, MCTLS_VERSION, context_id, len(payload))
         + payload
     )
 
 
 def encode_header(content_type: int, context_id: int, fragment_len: int) -> bytes:
-    return (
-        bytes([content_type])
-        + MCTLS_VERSION.to_bytes(2, "big")
-        + bytes([context_id])
-        + fragment_len.to_bytes(2, "big")
-    )
+    return _WIRE_HEADER.pack(content_type, MCTLS_VERSION, context_id, fragment_len)
 
 
 def split_records(buf: bytearray) -> Iterator[Tuple[int, int, bytes, bytes]]:
@@ -129,30 +142,37 @@ def split_records(buf: bytearray) -> Iterator[Tuple[int, int, bytes, bytes]]:
 
     Yields ``(content_type, context_id, fragment, raw_record_bytes)`` and
     deletes consumed bytes — used by middleboxes, which forward records
-    they cannot (or need not) open verbatim.
+    they cannot (or need not) open verbatim.  ``raw`` is an immutable
+    ``bytes`` copy (safe to retain or forward); ``fragment`` is a
+    zero-copy ``memoryview`` into it.  Consumed bytes are reclaimed from
+    ``buf`` in one batched deletion when iteration stops (exhaustion,
+    ``break``, or an error on a later record).
     """
-    while True:
-        if len(buf) < MCTLS_HEADER_LEN:
-            return
-        content_type = buf[0]
-        version = int.from_bytes(buf[1:3], "big")
-        context_id = buf[3]
-        length = int.from_bytes(buf[4:6], "big")
-        if content_type not in CONTENT_TYPES:
-            raise McTLSRecordError(f"invalid content type {content_type}")
-        if version != MCTLS_VERSION:
-            raise McTLSRecordError(f"unsupported record version 0x{version:04x}")
-        if length > MAX_FRAGMENT:
-            raise McTLSRecordError("record fragment too long")
-        if len(buf) < MCTLS_HEADER_LEN + length:
-            return
-        raw = bytes(buf[: MCTLS_HEADER_LEN + length])
-        fragment = raw[MCTLS_HEADER_LEN:]
-        del buf[: MCTLS_HEADER_LEN + length]
-        yield content_type, context_id, fragment, raw
+    pos = 0
+    unpack_header = _WIRE_HEADER.unpack_from
+    try:
+        while True:
+            if len(buf) - pos < MCTLS_HEADER_LEN:
+                return
+            content_type, version, context_id, length = unpack_header(buf, pos)
+            if content_type not in CONTENT_TYPES:
+                raise McTLSRecordError(f"invalid content type {content_type}")
+            if version != MCTLS_VERSION:
+                raise McTLSRecordError(f"unsupported record version 0x{version:04x}")
+            if length > MAX_FRAGMENT:
+                raise McTLSRecordError("record fragment too long")
+            end = pos + MCTLS_HEADER_LEN + length
+            if len(buf) < end:
+                return
+            raw = bytes(buf[pos:end])
+            pos = end
+            yield content_type, context_id, memoryview(raw)[MCTLS_HEADER_LEN:], raw
+    finally:
+        if pos:
+            del buf[:pos]
 
 
-@dataclass
+@dataclass(slots=True)
 class UnprotectedRecord:
     """A record opened by an endpoint record layer."""
 
@@ -163,9 +183,9 @@ class UnprotectedRecord:
 
 
 def _hmac_sha256(key: bytes, data: bytes) -> bytes:
-    import hashlib
-
-    return _hmac.new(key, data, hashlib.sha256).digest()
+    # Kept as the module's (test- and fault-harness-visible) HMAC entry
+    # point; the key schedule is cached per key in repro.crypto.hmaccache.
+    return hmac_sha256(key, data)
 
 
 class McTLSRecordLayer:
@@ -185,7 +205,15 @@ class McTLSRecordLayer:
         self._read_protected = False
         self._write_seq = 0
         self._read_seq = 0
-        self._inbuf = bytearray()
+        self._inbuf = RecordBuffer()
+        # Lazily-built per-direction protection state: context_id ->
+        # (cipher, endpoint_mac_ctx, writer_mac_ctx, reader_mac_ctx) and
+        # (cipher, mac_ctx) for the endpoint control context.  Built once
+        # per key install, reused for every record.
+        self._write_ctx_state: Dict[int, tuple] = {}
+        self._read_ctx_state: Dict[int, tuple] = {}
+        self._write_ep_state: Optional[tuple] = None
+        self._read_ep_state: Optional[tuple] = None
 
     # -- direction helpers ----------------------------------------------
 
@@ -201,12 +229,24 @@ class McTLSRecordLayer:
 
     def set_suite(self, suite: CipherSuite) -> None:
         self.suite = suite
+        self._drop_cached_state()
 
     def set_endpoint_keys(self, keys: mk.EndpointKeys) -> None:
         self.endpoint_keys = keys
+        # The endpoint MAC key feeds the MAC_endpoints slot of *every*
+        # context, so all cached state is stale, not just context 0.
+        self._drop_cached_state()
 
     def install_context_keys(self, context_id: int, keys: mk.ContextKeys) -> None:
         self.context_keys[context_id] = keys
+        self._write_ctx_state.pop(context_id, None)
+        self._read_ctx_state.pop(context_id, None)
+
+    def _drop_cached_state(self) -> None:
+        self._write_ctx_state.clear()
+        self._read_ctx_state.clear()
+        self._write_ep_state = None
+        self._read_ep_state = None
 
     def activate_write(self) -> None:
         if self.endpoint_keys is None or self.suite is None:
@@ -220,54 +260,85 @@ class McTLSRecordLayer:
         self._read_protected = True
         self._read_seq = 0
 
+    # -- cached protection state ------------------------------------------
+
+    def _endpoint_state(self, write: bool) -> tuple:
+        state = self._write_ep_state if write else self._read_ep_state
+        if state is None:
+            direction = self._write_dir if write else self._read_dir
+            keys = self.endpoint_keys.for_direction(direction)
+            state = (self.suite.new_cipher(keys.enc), CachedHmacSha256(keys.mac))
+            if write:
+                self._write_ep_state = state
+            else:
+                self._read_ep_state = state
+        return state
+
+    def _context_state(self, context_id: int, write: bool) -> tuple:
+        cache = self._write_ctx_state if write else self._read_ctx_state
+        state = cache.get(context_id)
+        if state is None:
+            try:
+                keys = self.context_keys[context_id]
+            except KeyError:
+                raise McTLSRecordError(f"no keys for context {context_id}") from None
+            direction = self._write_dir if write else self._read_dir
+            reader_keys = keys.readers.for_direction(direction)
+            state = cache[context_id] = (
+                self.suite.new_cipher(reader_keys.enc),
+                CachedHmacSha256(self.endpoint_keys.for_direction(direction).mac),
+                CachedHmacSha256(keys.writers.mac_for_direction(direction)),
+                CachedHmacSha256(reader_keys.mac),
+            )
+        return state
+
     # -- encoding ---------------------------------------------------------
 
     def encode(self, content_type: int, payload: bytes, context_id: int = 0) -> bytes:
         """Frame (and fragment / protect) an outgoing payload."""
+        if len(payload) <= MAX_PLAINTEXT:
+            return self._encode_one(content_type, context_id, payload)
+        view = memoryview(payload)
         out = bytearray()
-        offset = 0
-        while True:
-            chunk = payload[offset : offset + MAX_PLAINTEXT]
-            out += self._encode_one(content_type, context_id, chunk)
-            offset += MAX_PLAINTEXT
-            if offset >= len(payload):
-                break
+        for offset in range(0, len(payload), MAX_PLAINTEXT):
+            out += self._encode_one(
+                content_type, context_id, view[offset : offset + MAX_PLAINTEXT]
+            )
         return bytes(out)
 
-    def _encode_one(self, content_type: int, context_id: int, payload: bytes) -> bytes:
+    def _encode_one(self, content_type: int, context_id: int, payload) -> bytes:
         if content_type == CHANGE_CIPHER_SPEC or not self._write_protected:
-            fragment = payload
+            fragment = payload if type(payload) is bytes else bytes(payload)
         elif context_id == ENDPOINT_CONTEXT_ID:
             fragment = self._protect_endpoint(content_type, payload)
         else:
             fragment = self._protect_context(content_type, context_id, payload)
-        return encode_header(content_type, context_id, len(fragment)) + fragment
+        return (
+            _WIRE_HEADER.pack(content_type, MCTLS_VERSION, context_id, len(fragment))
+            + fragment
+        )
 
-    def _protect_endpoint(self, content_type: int, payload: bytes) -> bytes:
-        keys = self.endpoint_keys.for_direction(self._write_dir)
-        seq = self._next_write_seq()
-        mac = _hmac_sha256(
-            keys.mac, mac_input(seq, content_type, ENDPOINT_CONTEXT_ID, payload)
+    def _protect_endpoint(self, content_type: int, payload) -> bytes:
+        cipher, mac_ctx = self._endpoint_state(write=True)
+        seq = self._write_seq
+        self._write_seq = seq + 1
+        prefix = _MAC_PREFIX.pack(
+            seq, content_type, MCTLS_VERSION, ENDPOINT_CONTEXT_ID, len(payload)
         )
-        return self.suite.new_cipher(keys.enc).encrypt(payload + mac)
+        mac = mac_ctx.digest(prefix, payload)
+        return cipher.encrypt(b"".join((payload, mac)))
 
-    def _protect_context(self, content_type: int, context_id: int, payload: bytes) -> bytes:
-        try:
-            keys = self.context_keys[context_id]
-        except KeyError:
-            raise McTLSRecordError(f"no keys for context {context_id}") from None
-        direction = self._write_dir
-        seq = self._next_write_seq()
-        covered = mac_input(seq, content_type, context_id, payload)
-        endpoint_mac = _hmac_sha256(
-            self.endpoint_keys.for_direction(direction).mac, covered
+    def _protect_context(self, content_type: int, context_id: int, payload) -> bytes:
+        cipher, ep_mac, wr_mac, rd_mac = self._context_state(context_id, write=True)
+        seq = self._write_seq
+        self._write_seq = seq + 1
+        prefix = _MAC_PREFIX.pack(
+            seq, content_type, MCTLS_VERSION, context_id, len(payload)
         )
-        writer_mac = _hmac_sha256(keys.writers.mac_for_direction(direction), covered)
-        reader_mac = _hmac_sha256(keys.readers.for_direction(direction).mac, covered)
-        plaintext = payload + endpoint_mac + writer_mac + reader_mac
-        return self.suite.new_cipher(keys.readers.for_direction(direction).enc).encrypt(
-            plaintext
-        )
+        endpoint_mac = ep_mac.digest(prefix, payload)
+        writer_mac = wr_mac.digest(prefix, payload)
+        reader_mac = rd_mac.digest(prefix, payload)
+        return cipher.encrypt(b"".join((payload, endpoint_mac, writer_mac, reader_mac)))
 
     def _next_write_seq(self) -> int:
         seq = self._write_seq
@@ -277,12 +348,26 @@ class McTLSRecordLayer:
     # -- decoding ---------------------------------------------------------
 
     def feed(self, data: bytes) -> None:
-        self._inbuf += data
+        self._inbuf.append(data)
 
     def read_record(self) -> Optional[UnprotectedRecord]:
-        for content_type, context_id, fragment, _raw in split_records(self._inbuf):
-            return self._unprotect(content_type, context_id, fragment)
-        return None
+        buf = self._inbuf
+        if len(buf) < MCTLS_HEADER_LEN:
+            return None
+        content_type, version, context_id, length = _WIRE_HEADER.unpack_from(
+            buf.data, buf.pos
+        )
+        if content_type not in CONTENT_TYPES:
+            raise McTLSRecordError(f"invalid content type {content_type}")
+        if version != MCTLS_VERSION:
+            raise McTLSRecordError(f"unsupported record version 0x{version:04x}")
+        if length > MAX_FRAGMENT:
+            raise McTLSRecordError("record fragment too long")
+        if len(buf) < MCTLS_HEADER_LEN + length:
+            return None
+        buf.consume(MCTLS_HEADER_LEN)
+        fragment = buf.take(length)
+        return self._unprotect(content_type, context_id, fragment)
 
     def read_all(self) -> Iterator[UnprotectedRecord]:
         while True:
@@ -301,19 +386,19 @@ class McTLSRecordLayer:
         return self._unprotect_context(content_type, context_id, fragment)
 
     def _unprotect_endpoint(self, content_type: int, fragment: bytes) -> UnprotectedRecord:
-        keys = self.endpoint_keys.for_direction(self._read_dir)
+        cipher, mac_ctx = self._endpoint_state(write=False)
         try:
-            plaintext = self.suite.new_cipher(keys.enc).decrypt(fragment)
+            plaintext = cipher.decrypt(fragment)
         except CipherError as exc:
             raise McTLSRecordError(f"decryption failed: {exc}") from exc
         if len(plaintext) < MAC_LEN:
             raise McTLSRecordError("record shorter than its MAC")
         payload, mac = plaintext[:-MAC_LEN], plaintext[-MAC_LEN:]
         seq = self._next_read_seq()
-        expected = _hmac_sha256(
-            keys.mac, mac_input(seq, content_type, ENDPOINT_CONTEXT_ID, payload)
+        prefix = _MAC_PREFIX.pack(
+            seq, content_type, MCTLS_VERSION, ENDPOINT_CONTEXT_ID, len(payload)
         )
-        if not _hmac.compare_digest(mac, expected):
+        if not _compare_digest(mac, mac_ctx.digest(prefix, payload)):
             raise MacVerificationError(
                 "endpoint MAC verification failed",
                 mac=MAC_ENDPOINTS,
@@ -326,15 +411,9 @@ class McTLSRecordLayer:
     def _unprotect_context(
         self, content_type: int, context_id: int, fragment: bytes
     ) -> UnprotectedRecord:
+        cipher, ep_mac, wr_mac, _rd_mac = self._context_state(context_id, write=False)
         try:
-            keys = self.context_keys[context_id]
-        except KeyError:
-            raise McTLSRecordError(f"no keys for context {context_id}") from None
-        direction = self._read_dir
-        try:
-            plaintext = self.suite.new_cipher(
-                keys.readers.for_direction(direction).enc
-            ).decrypt(fragment)
+            plaintext = cipher.decrypt(fragment)
         except CipherError as exc:
             raise McTLSRecordError(f"decryption failed: {exc}") from exc
         if len(plaintext) < 3 * MAC_LEN:
@@ -343,12 +422,10 @@ class McTLSRecordLayer:
         endpoint_mac = plaintext[-3 * MAC_LEN : -2 * MAC_LEN]
         writer_mac = plaintext[-2 * MAC_LEN : -MAC_LEN]
         seq = self._next_read_seq()
-        covered = mac_input(seq, content_type, context_id, payload)
-
-        expected_writer = _hmac_sha256(
-            keys.writers.mac_for_direction(direction), covered
+        prefix = _MAC_PREFIX.pack(
+            seq, content_type, MCTLS_VERSION, context_id, len(payload)
         )
-        if not _hmac.compare_digest(writer_mac, expected_writer):
+        if not _compare_digest(writer_mac, wr_mac.digest(prefix, payload)):
             raise MacVerificationError(
                 f"writer MAC verification failed on context {context_id} "
                 "(illegal modification)",
@@ -357,10 +434,9 @@ class McTLSRecordLayer:
                 context_id=context_id,
                 seq=seq,
             )
-        expected_endpoint = _hmac_sha256(
-            self.endpoint_keys.for_direction(direction).mac, covered
+        legally_modified = not _compare_digest(
+            endpoint_mac, ep_mac.digest(prefix, payload)
         )
-        legally_modified = not _hmac.compare_digest(endpoint_mac, expected_endpoint)
         return UnprotectedRecord(
             content_type, context_id, payload, legally_modified=legally_modified
         )
@@ -374,7 +450,7 @@ class McTLSRecordLayer:
 # -- middlebox-side record processing --------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class OpenedRecord:
     """A record opened (or passed through) by a middlebox."""
 
@@ -406,16 +482,44 @@ class MiddleboxRecordProcessor:
         self.context_keys: Dict[int, mk.ContextKeys] = {}
         self.seq = 0
         self.active = False
+        # context_id -> (cipher, writer_mac_ctx, reader_mac_ctx,
+        # can_write, permission), built lazily once per installed key set
+        # and reused per record; None caches "cannot open" (no
+        # permission / no keys / endpoint context) so the per-record cost
+        # of a pass-through context is a single dict lookup.
+        self._open_state: Dict[int, Optional[tuple]] = {}
 
     def install(self, context_id: int, permission: Permission, keys: Optional[mk.ContextKeys]) -> None:
         self.permissions[context_id] = permission
         if keys is not None:
             self.context_keys[context_id] = keys
+        self._open_state.pop(context_id, None)
 
     def activate(self) -> None:
         """Start counting sequence numbers (at the CCS boundary)."""
         self.active = True
         self.seq = 0
+
+    def _build_open_state(self, context_id: int) -> Optional[tuple]:
+        permission = self.permissions.get(context_id, Permission.NONE)
+        if (
+            context_id == ENDPOINT_CONTEXT_ID
+            or not permission.can_read
+            or context_id not in self.context_keys
+        ):
+            state = None
+        else:
+            keys = self.context_keys[context_id]
+            reader_keys = keys.readers.for_direction(self.direction)
+            state = (
+                self.suite.new_cipher(reader_keys.enc),
+                CachedHmacSha256(keys.writers.mac_for_direction(self.direction)),
+                CachedHmacSha256(reader_keys.mac),
+                permission.can_write,
+                permission,
+            )
+        self._open_state[context_id] = state
+        return state
 
     def open_record(self, content_type: int, context_id: int, fragment: bytes) -> OpenedRecord:
         """Open (or account for) one protected record flowing through.
@@ -427,24 +531,16 @@ class MiddleboxRecordProcessor:
             raise McTLSRecordError("record processor not yet activated")
         seq = self.seq
         self.seq += 1
-        permission = self.permissions.get(context_id, Permission.NONE)
-        if (
-            context_id == ENDPOINT_CONTEXT_ID
-            or not permission.can_read
-            or context_id not in self.context_keys
-        ):
-            return OpenedRecord(
-                content_type=content_type,
-                context_id=context_id,
-                payload=None,
-                permission=Permission.NONE,
-                seq=seq,
-            )
-
-        keys = self.context_keys[context_id]
-        reader_keys = keys.readers.for_direction(self.direction)
         try:
-            plaintext = self.suite.new_cipher(reader_keys.enc).decrypt(fragment)
+            state = self._open_state[context_id]
+        except KeyError:
+            state = self._build_open_state(context_id)
+        if state is None:
+            return OpenedRecord(content_type, context_id, None, Permission.NONE, seq=seq)
+
+        cipher, wr_mac, rd_mac, can_write, permission = state
+        try:
+            plaintext = cipher.decrypt(fragment)
         except CipherError as exc:
             raise McTLSRecordError(f"middlebox decryption failed: {exc}") from exc
         if len(plaintext) < 3 * MAC_LEN:
@@ -453,11 +549,12 @@ class MiddleboxRecordProcessor:
         endpoint_mac = plaintext[-3 * MAC_LEN : -2 * MAC_LEN]
         writer_mac = plaintext[-2 * MAC_LEN : -MAC_LEN]
         reader_mac = plaintext[-MAC_LEN:]
-        covered = mac_input(seq, content_type, context_id, payload)
+        prefix = _MAC_PREFIX.pack(
+            seq, content_type, MCTLS_VERSION, context_id, len(payload)
+        )
 
-        if permission.can_write:
-            expected = _hmac_sha256(keys.writers.mac_for_direction(self.direction), covered)
-            if not _hmac.compare_digest(writer_mac, expected):
+        if can_write:
+            if not _compare_digest(writer_mac, wr_mac.digest(prefix, payload)):
                 raise MacVerificationError(
                     "writer MAC verification failed at middlebox (illegal modification)",
                     mac=MAC_WRITERS,
@@ -466,8 +563,7 @@ class MiddleboxRecordProcessor:
                     seq=seq,
                 )
         else:
-            expected = _hmac_sha256(reader_keys.mac, covered)
-            if not _hmac.compare_digest(reader_mac, expected):
+            if not _compare_digest(reader_mac, rd_mac.digest(prefix, payload)):
                 raise MacVerificationError(
                     "reader MAC verification failed at middlebox "
                     "(third-party modification)",
@@ -477,14 +573,14 @@ class MiddleboxRecordProcessor:
                     seq=seq,
                 )
         return OpenedRecord(
-            content_type=content_type,
-            context_id=context_id,
-            payload=payload,
-            permission=permission,
-            endpoint_mac=endpoint_mac,
-            writer_mac=writer_mac,
-            reader_mac=reader_mac,
-            seq=seq,
+            content_type,
+            context_id,
+            payload,
+            permission,
+            endpoint_mac,
+            writer_mac,
+            reader_mac,
+            seq,
         )
 
     def rebuild_record(self, opened: OpenedRecord, new_payload: bytes) -> bytes:
@@ -494,17 +590,46 @@ class MiddleboxRecordProcessor:
         ``MAC_endpoints`` is forwarded untouched; writer and reader MACs
         are regenerated over the new payload.
         """
-        permission = self.permissions.get(opened.context_id, Permission.NONE)
-        if not permission.can_write:
-            raise McTLSRecordError(
-                f"middlebox lacks write permission on context {opened.context_id}"
+        context_id = opened.context_id
+        try:
+            state = self._open_state[context_id]
+        except KeyError:
+            state = self._build_open_state(context_id)
+        if state is None or not state[3]:
+            # Cold path: reproduce the pre-cache failure modes exactly.
+            permission = self.permissions.get(context_id, Permission.NONE)
+            if not permission.can_write:
+                raise McTLSRecordError(
+                    f"middlebox lacks write permission on context {context_id}"
+                )
+            # Write permission without cached state means the key lookup
+            # must fail (or the context is one the cache refuses to open);
+            # build directly from the key material as the old code did.
+            keys = self.context_keys[context_id]
+            reader_keys = keys.readers.for_direction(self.direction)
+            state = (
+                self.suite.new_cipher(reader_keys.enc),
+                CachedHmacSha256(keys.writers.mac_for_direction(self.direction)),
+                CachedHmacSha256(reader_keys.mac),
+                True,
+                permission,
             )
-        keys = self.context_keys[opened.context_id]
-        covered = mac_input(opened.seq, opened.content_type, opened.context_id, new_payload)
-        writer_mac = _hmac_sha256(keys.writers.mac_for_direction(self.direction), covered)
-        reader_mac = _hmac_sha256(keys.readers.for_direction(self.direction).mac, covered)
-        plaintext = new_payload + opened.endpoint_mac + writer_mac + reader_mac
-        fragment = self.suite.new_cipher(
-            keys.readers.for_direction(self.direction).enc
-        ).encrypt(plaintext)
-        return encode_header(opened.content_type, opened.context_id, len(fragment)) + fragment
+        cipher, wr_mac, rd_mac = state[0], state[1], state[2]
+        prefix = _MAC_PREFIX.pack(
+            opened.seq,
+            opened.content_type,
+            MCTLS_VERSION,
+            opened.context_id,
+            len(new_payload),
+        )
+        writer_mac = wr_mac.digest(prefix, new_payload)
+        reader_mac = rd_mac.digest(prefix, new_payload)
+        fragment = cipher.encrypt(
+            b"".join((new_payload, opened.endpoint_mac, writer_mac, reader_mac))
+        )
+        return (
+            _WIRE_HEADER.pack(
+                opened.content_type, MCTLS_VERSION, opened.context_id, len(fragment)
+            )
+            + fragment
+        )

@@ -11,14 +11,13 @@ Python; benchmarks state which suite they use.
 
 from __future__ import annotations
 
-import hashlib
-import hmac
 import os
 from dataclasses import dataclass
 from typing import Callable, Dict
 
 from repro.crypto.aes import AES
 from repro.crypto.fastcipher import ShaCtrCipher
+from repro.crypto.hmaccache import hmac_sha256
 from repro.crypto.modes import (
     PaddingError,
     cbc_decrypt,
@@ -55,11 +54,15 @@ class AesCbcCipher(BulkCipher):
 
     def encrypt(self, plaintext: bytes) -> bytes:
         count_op("sym_encrypt")
+        if type(plaintext) is not bytes:
+            plaintext = bytes(plaintext)
         iv = os.urandom(16)
         return iv + cbc_encrypt(self._aes, iv, pkcs7_pad(plaintext))
 
     def decrypt(self, ciphertext: bytes) -> bytes:
         count_op("sym_decrypt")
+        if type(ciphertext) is not bytes:
+            ciphertext = bytes(ciphertext)
         if len(ciphertext) < 32:
             raise CipherError("ciphertext shorter than IV + one block")
         iv, body = ciphertext[:16], ciphertext[16:]
@@ -116,7 +119,9 @@ class CipherSuite:
         return self.cipher_factory(key)
 
     def mac(self, key: bytes, data: bytes) -> bytes:
-        return hmac.new(key, data, hashlib.sha256).digest()
+        # Identical bytes to hmac.new(key, data, sha256).digest(), with
+        # the key schedule cached per key (see repro.crypto.hmaccache).
+        return hmac_sha256(key, data)
 
 
 SUITE_DHE_RSA_AES128_CBC_SHA256 = CipherSuite(

@@ -8,12 +8,23 @@ and appended to the plaintext before encryption.
 :class:`RecordLayer` holds both directions of one connection endpoint:
 ``encode()`` frames and protects outgoing payloads, ``feed()`` +
 ``read_record()`` de-frame and unprotect incoming bytes.
+
+The data plane is on the fast path of every experiment: the receive
+side parses straight out of a cursor buffer (:class:`repro.recbuf.RecordBuffer`)
+with one fragment copy per record, the MAC key schedule is precomputed
+per direction (:class:`repro.crypto.hmaccache.CachedHmacSha256`), and
+headers/MAC prefixes are packed with :class:`struct.Struct`.  Wire bytes
+are pinned by the golden-vector tests.
 """
 
 from __future__ import annotations
 
+import hmac as _hmac
+from struct import Struct
 from typing import Iterator, Optional, Tuple
 
+from repro.crypto.hmaccache import CachedHmacSha256
+from repro.recbuf import RecordBuffer
 from repro.tls.ciphersuites import BulkCipher, CipherError, CipherSuite
 
 # Record content types (RFC 5246).
@@ -30,6 +41,11 @@ MAX_PLAINTEXT = 1 << 14
 # Protected fragments may exceed MAX_PLAINTEXT by MAC + padding + IV.
 MAX_FRAGMENT = MAX_PLAINTEXT + 2048
 
+# type(1) || version(2) || length(2)
+_WIRE_HEADER = Struct(">BHH")
+# seq(8) || type(1) || version(2) || plaintext_length(2)
+_MAC_PREFIX = Struct(">QBHH")
+
 
 class RecordError(Exception):
     """Raised on malformed records or failed record protection."""
@@ -43,6 +59,7 @@ class DirectionState:
         self.mac_key: bytes = b""
         self.suite: Optional[CipherSuite] = None
         self.seq: int = 0
+        self._mac_ctx: Optional[CachedHmacSha256] = None
 
     @property
     def protected(self) -> bool:
@@ -53,22 +70,24 @@ class DirectionState:
         self.cipher = cipher
         self.mac_key = mac_key
         self.seq = 0
+        self._mac_ctx = CachedHmacSha256(mac_key)
 
     def next_seq(self) -> int:
         seq = self.seq
         self.seq += 1
         return seq
 
+    def record_mac(self, seq: int, content_type: int, plaintext) -> bytes:
+        """MAC over ``mac_input(seq, content_type, plaintext)``."""
+        return self._mac_ctx.digest(
+            _MAC_PREFIX.pack(seq, content_type, TLS_VERSION, len(plaintext)),
+            plaintext,
+        )
+
 
 def mac_input(seq: int, content_type: int, plaintext: bytes) -> bytes:
     """The bytes a TLS record MAC covers."""
-    return (
-        seq.to_bytes(8, "big")
-        + bytes([content_type])
-        + TLS_VERSION.to_bytes(2, "big")
-        + len(plaintext).to_bytes(2, "big")
-        + plaintext
-    )
+    return _MAC_PREFIX.pack(seq, content_type, TLS_VERSION, len(plaintext)) + plaintext
 
 
 class RecordLayer:
@@ -77,7 +96,7 @@ class RecordLayer:
     def __init__(self) -> None:
         self.read_state = DirectionState()
         self.write_state = DirectionState()
-        self._inbuf = bytearray()
+        self._inbuf = RecordBuffer()
 
     # -- outgoing ------------------------------------------------------
 
@@ -85,55 +104,48 @@ class RecordLayer:
         """Frame (and fragment / protect) an outgoing payload."""
         if content_type not in CONTENT_TYPES:
             raise RecordError(f"invalid content type {content_type}")
+        if len(payload) <= MAX_PLAINTEXT:
+            return self._encode_one(content_type, payload)
+        view = memoryview(payload)
         out = bytearray()
-        offset = 0
-        while True:
-            fragment = payload[offset : offset + MAX_PLAINTEXT]
-            out += self._encode_one(content_type, fragment)
-            offset += MAX_PLAINTEXT
-            if offset >= len(payload):
-                break
+        for offset in range(0, len(payload), MAX_PLAINTEXT):
+            out += self._encode_one(content_type, view[offset : offset + MAX_PLAINTEXT])
         return bytes(out)
 
-    def _encode_one(self, content_type: int, plaintext: bytes) -> bytes:
+    def _encode_one(self, content_type: int, plaintext) -> bytes:
         state = self.write_state
-        if state.protected:
-            seq = state.next_seq()
-            mac = state.suite.mac(state.mac_key, mac_input(seq, content_type, plaintext))
-            fragment = state.cipher.encrypt(plaintext + mac)
+        if state.cipher is not None:
+            seq = state.seq
+            state.seq = seq + 1
+            mac = state.record_mac(seq, content_type, plaintext)
+            fragment = state.cipher.encrypt(b"".join((plaintext, mac)))
         else:
             fragment = plaintext
         if len(fragment) > MAX_FRAGMENT:
             raise RecordError("record fragment too long")
-        header = (
-            bytes([content_type])
-            + TLS_VERSION.to_bytes(2, "big")
-            + len(fragment).to_bytes(2, "big")
-        )
-        return header + fragment
+        return _WIRE_HEADER.pack(content_type, TLS_VERSION, len(fragment)) + fragment
 
     # -- incoming ------------------------------------------------------
 
     def feed(self, data: bytes) -> None:
-        self._inbuf += data
+        self._inbuf.append(data)
 
     def read_record(self) -> Optional[Tuple[int, bytes]]:
         """Return the next (content_type, plaintext) or None if incomplete."""
-        if len(self._inbuf) < RECORD_HEADER_LEN:
+        buf = self._inbuf
+        if len(buf) < RECORD_HEADER_LEN:
             return None
-        content_type = self._inbuf[0]
-        version = int.from_bytes(self._inbuf[1:3], "big")
-        length = int.from_bytes(self._inbuf[3:5], "big")
+        content_type, version, length = _WIRE_HEADER.unpack_from(buf.data, buf.pos)
         if content_type not in CONTENT_TYPES:
             raise RecordError(f"invalid content type {content_type}")
         if version != TLS_VERSION:
             raise RecordError(f"unsupported record version 0x{version:04x}")
         if length > MAX_FRAGMENT:
             raise RecordError("record fragment too long")
-        if len(self._inbuf) < RECORD_HEADER_LEN + length:
+        if len(buf) < RECORD_HEADER_LEN + length:
             return None
-        fragment = bytes(self._inbuf[RECORD_HEADER_LEN : RECORD_HEADER_LEN + length])
-        del self._inbuf[: RECORD_HEADER_LEN + length]
+        buf.consume(RECORD_HEADER_LEN)
+        fragment = buf.take(length)
         return content_type, self._unprotect(content_type, fragment)
 
     def read_all(self) -> Iterator[Tuple[int, bytes]]:
@@ -145,7 +157,7 @@ class RecordLayer:
 
     def _unprotect(self, content_type: int, fragment: bytes) -> bytes:
         state = self.read_state
-        if not state.protected:
+        if state.cipher is None:
             return fragment
         try:
             plaintext_and_mac = state.cipher.decrypt(fragment)
@@ -157,13 +169,11 @@ class RecordLayer:
         plaintext = plaintext_and_mac[:-mac_len]
         mac = plaintext_and_mac[-mac_len:]
         seq = state.next_seq()
-        expected = state.suite.mac(state.mac_key, mac_input(seq, content_type, plaintext))
+        expected = state.record_mac(seq, content_type, plaintext)
         if not _constant_time_eq(mac, expected):
             raise RecordError("record MAC verification failed")
         return plaintext
 
 
 def _constant_time_eq(a: bytes, b: bytes) -> bool:
-    import hmac as _hmac
-
     return _hmac.compare_digest(a, b)

@@ -1,0 +1,143 @@
+"""Wire-compatibility tests for the record data-plane fast path.
+
+``tests/golden/record_vectors.json`` was frozen from the record layers
+*before* the fast-path rewrite (per-key HMAC/cipher caching, cursor
+buffers, keystream memoization).  These tests prove the optimisations
+changed no wire byte:
+
+* :func:`build_vectors` re-encodes every vector group with today's code
+  under the same deterministic nonces and must reproduce the frozen
+  JSON exactly;
+* the frozen wires must still *decode* on fresh receive-side layers,
+  including middlebox-rebuilt records and their ``legally_modified``
+  endpoint verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.mctls import keys as mk
+from repro.mctls.contexts import ENDPOINT_CONTEXT_ID
+from repro.tls.record import APPLICATION_DATA, HANDSHAKE, RecordLayer
+
+from tests.golden.gen_record_vectors import (
+    PAYLOADS,
+    SUITES,
+    VECTORS_PATH,
+    _mctls_layer,
+    _patched_nonces,
+    build_vectors,
+)
+
+FROZEN = json.loads(VECTORS_PATH.read_text())
+
+
+def test_fast_path_reproduces_frozen_vectors_bit_for_bit():
+    """The whole generator output must equal the frozen JSON exactly."""
+    assert build_vectors() == FROZEN
+
+
+@pytest.mark.parametrize("suite_name", sorted(SUITES))
+def test_frozen_tls_wires_decode(suite_name):
+    suite = SUITES[suite_name]
+    group = FROZEN["suites"][suite_name]["tls"]
+    enc_key = bytes.fromhex(group["enc_key"])
+    mac_key = bytes.fromhex(group["mac_key"])
+    reader = RecordLayer()
+    reader.read_state.activate(suite, suite.new_cipher(enc_key), mac_key)
+    for vector in group["records"]:
+        reader.feed(bytes.fromhex(vector["wire"]))
+        content_type, payload = reader.read_record()
+        assert content_type == APPLICATION_DATA
+        assert payload == bytes.fromhex(vector["payload"])
+
+
+@pytest.mark.parametrize("suite_name", sorted(SUITES))
+@pytest.mark.parametrize("direction", ["mctls_c2s", "mctls_s2c"])
+def test_frozen_mctls_wires_decode(suite_name, direction):
+    suite = SUITES[suite_name]
+    group = FROZEN["suites"][suite_name][direction]
+    # The reader for client-written records is the server and vice versa.
+    reader = _mctls_layer(suite, is_client=(direction == "mctls_s2c"))
+    for vector in group["records"]:
+        reader.feed(bytes.fromhex(vector["wire"]))
+        record = reader.read_record()
+        assert record is not None
+        assert record.context_id == vector["context_id"]
+        assert record.content_type == vector.get("content_type", APPLICATION_DATA)
+        assert record.payload == bytes.fromhex(vector["payload"])
+        assert record.legally_modified is False
+    assert group["records"][-1]["context_id"] == ENDPOINT_CONTEXT_ID
+    assert group["records"][-1]["content_type"] == HANDSHAKE
+
+
+@pytest.mark.parametrize("suite_name", sorted(SUITES))
+def test_frozen_rebuilt_wires_decode_with_modification_verdict(suite_name):
+    """Middlebox-rebuilt records still verify at the endpoint.
+
+    The writer MAC must accept every rebuild (it came from an authorised
+    writer); the endpoint MAC must flag exactly the rebuilds whose
+    payload actually changed (§3.4 "legal modification").
+    """
+    suite = SUITES[suite_name]
+    cases = FROZEN["suites"][suite_name]["middlebox_rebuild"]["cases"]
+    # All cases were produced by one client / one processor, so their
+    # sequence numbers are 0, 1, 2...; one server must read them in order.
+    server = _mctls_layer(suite, is_client=False)
+    for case in cases:
+        server.feed(bytes.fromhex(case["rebuilt_wire"]))
+        record = server.read_record()
+        assert record is not None
+        assert record.payload == bytes.fromhex(case["replacement_payload"])
+        modified = case["replacement_payload"] != case["original_payload"]
+        assert record.legally_modified is modified
+
+
+@pytest.mark.parametrize("suite_name", sorted(SUITES))
+def test_payload_set_covers_boundaries(suite_name):
+    """Guard the generator's coverage: empty, text, block-aligned, >256 B."""
+    sizes = sorted(len(p) for p in PAYLOADS)
+    assert sizes[0] == 0
+    assert any(size % 32 == 0 and size for size in sizes)
+    assert sizes[-1] > 256
+    group = FROZEN["suites"][suite_name]["mctls_c2s"]
+    assert len(group["records"]) == len(PAYLOADS) + 1  # + control record
+
+
+def test_primitive_vectors_unchanged():
+    from repro.crypto.fastcipher import ShaCtrCipher
+    from repro.mctls.record import _hmac_sha256
+    from repro.tls.ciphersuites import SUITE_DHE_RSA_SHACTR_SHA256
+
+    prim = FROZEN["primitives"]
+    key32 = bytes.fromhex(prim["hmac_sha256"]["key"])
+    assert (
+        _hmac_sha256(key32, bytes.fromhex(prim["hmac_sha256"]["data"])).hex()
+        == prim["hmac_sha256"]["mac"]
+    )
+    assert (
+        SUITE_DHE_RSA_SHACTR_SHA256.mac(
+            key32, bytes.fromhex(prim["suite_mac"]["data"])
+        ).hex()
+        == prim["suite_mac"]["mac"]
+    )
+    for vector in prim["shactr_xor"]:
+        cipher = ShaCtrCipher(bytes.fromhex(vector["key"]))
+        out = cipher.xor(
+            bytes.fromhex(vector["nonce"]), bytes.fromhex(vector["data"])
+        )
+        assert out.hex() == vector["out"]
+
+
+def test_deterministic_nonce_patch_is_scoped():
+    """The os patch used for vector generation must not leak."""
+    import os as real_os
+
+    from repro.tls import ciphersuites
+
+    with _patched_nonces():
+        assert ciphersuites.os is not real_os
+    assert ciphersuites.os is real_os
