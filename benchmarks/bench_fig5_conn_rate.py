@@ -1,24 +1,322 @@
-"""Figure 5: sustainable handshake rate at the server (left) and the
-middlebox (right), vs number of contexts.
+"""Figure 5: sustainable handshake rate, two ways.
 
-Absolute rates are pure-Python rates; the paper's *ratios* are the
-reproduction target:
+**In-memory (pytest entry)** — the original Fig. 5 reproduction: pure
+protocol-CPU handshake rates per node via ``experiments.throughput``.
+The paper's *ratios* are the target:
 
 * server: mcTLS 23–35 % below SplitTLS/E2E-TLS, the gap widening with
   contexts; client-key-distribution mode reclaims it;
 * middlebox: mcTLS 45–75 % above SplitTLS (one mcTLS handshake vs two
   TLS handshakes); E2E-TLS orders of magnitude above both (blind
   forwarding).
+
+**Real sockets (CLI entry)** — the serving-runtime capacity question:
+hundreds of concurrent sessions over loopback TCP through the
+``repro.aio`` runtime (client → 0–2 middlebox relays → server),
+measured by the concurrent load generator, with a thread-per-connection
+``repro.sockets`` baseline at equal concurrency.  Results accumulate in
+a machine-readable trajectory (``BENCH_conn_rate.json``), PR-3 style::
+
+    python benchmarks/bench_fig5_conn_rate.py --phase smoke   # CI
+    python benchmarks/bench_fig5_conn_rate.py --phase full    # the real run
+
+Acceptance (full phase): every (mode × middlebox-count) cell completes
+a >= 200-concurrent-session run, and the async runtime sustains >=
+RUNTIME_THRESHOLD x the threaded runtime's connection rate on the
+runtime-bound workload.  Handshake-CPU-bound workloads converge under
+the GIL (pure-Python crypto serialises both runtimes identically — see
+EXPERIMENTS.md deviation #9); their ratios are still recorded.
 """
 
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import BENCH_REPS, cpu_testbed, emit, format_table
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from _common import BENCH_KEY_BITS, BENCH_REPS, cpu_testbed, emit, format_table
+
+from repro.experiments.harness import Mode, TestBed
 from repro.experiments.throughput import figure5
+
+SCHEMA = "mctls-conn-rate/1"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_conn_rate.json"
+RUNTIME_THRESHOLD = 2.0
+
+# The serving-load matrix of the tentpole: the three §5 protocol
+# comparisons across 0/1/2 middlebox hops.
+LOAD_MODES = (Mode.MCTLS, Mode.SPLIT_TLS, Mode.E2E_TLS)
+LOAD_MIDDLEBOXES = (0, 1, 2)
+
+# Runtime comparisons (async vs threaded, equal concurrency).  The
+# NoEncrypt-through-a-relay cell is the acceptance gate: with crypto out
+# of the way the serving runtime itself is the bottleneck, and the relay
+# hop is where the runtimes differ most (two pump threads per connection
+# vs two tasks on one loop).  The direct NoEncrypt cell and the mcTLS
+# cell (the paper's one-hop deployment shape) are reported ungated —
+# pure-Python handshake crypto serializes on the GIL in both runtimes,
+# so CPU-bound cells converge toward 1x by construction (see
+# EXPERIMENTS.md deviation #9).
+COMPARISONS = (
+    {"mode": Mode.NO_ENCRYPT, "middleboxes": 1, "gate": True, "scale": 5},
+    {"mode": Mode.NO_ENCRYPT, "middleboxes": 0, "gate": False, "scale": 5},
+    {"mode": Mode.MCTLS, "middleboxes": 1, "gate": False, "scale": 1},
+)
+
+
+def cell_key(mode: Mode, middleboxes: int, runtime: str = "async", extra: str = "") -> str:
+    key = f"{mode.value}|{middleboxes}mb|{runtime}"
+    return f"{key}|{extra}" if extra else key
+
+
+def _entry(report_row: dict, phase: str, key_bits: int) -> dict:
+    load = report_row["load"]
+    entry = {
+        "phase": phase,
+        "mode": report_row["mode"],
+        "middleboxes": report_row["middleboxes"],
+        "contexts": report_row["contexts"],
+        "key_bits": key_bits,
+        "runtime": load["runtime"],
+        "concurrency": load["concurrency"],
+        "requested": load["requested"],
+        "completed": load["completed"],
+        "failed": load["failed"],
+        "resumed": load["resumed"],
+        "duration_s": load["duration_s"],
+        "conn_per_s": load["conn_per_s"],
+        "handshake_latency_s": load["handshake_latency_s"],
+        "python": platform.python_version(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    if "server" in report_row:
+        entry["server_stats"] = report_row["server"]
+    return entry
+
+
+def run_phase(
+    phase: str,
+    bed: TestBed,
+    concurrency: int,
+    connections: int,
+    resume_ratio: float,
+    output: Path,
+) -> dict:
+    from repro.experiments.serving import run_async_load, run_threaded_load
+
+    report = load_report(output)
+    entries = report["entries"]
+    print(
+        f"# conn-rate bench — phase={phase}, key_bits={bed.key_bits}, "
+        f"concurrency={concurrency}, connections={connections}/cell"
+    )
+
+    # 1. The serving matrix on the async runtime.
+    for mode in LOAD_MODES:
+        for middleboxes in LOAD_MIDDLEBOXES:
+            row = asyncio.run(
+                run_async_load(
+                    bed,
+                    mode,
+                    middleboxes,
+                    connections=connections,
+                    concurrency=concurrency,
+                )
+            )
+            entry = _entry(row, phase, bed.key_bits)
+            entries[f"{phase}@{cell_key(mode, middleboxes)}"] = entry
+            lat = entry["handshake_latency_s"]
+            print(
+                f"  {mode.value:9s} {middleboxes}mb async    "
+                f"{entry['conn_per_s']:>8.1f} conn/s  "
+                f"p50={lat['p50']:.3f}s p95={lat['p95']:.3f}s p99={lat['p99']:.3f}s  "
+                f"failed={entry['failed']}"
+            )
+
+    # 2. A resumption cell: the --resume-ratio knob exercised end to end.
+    row = asyncio.run(
+        run_async_load(
+            bed,
+            Mode.MCTLS,
+            1,
+            connections=connections,
+            concurrency=concurrency,
+            resume_ratio=resume_ratio,
+        )
+    )
+    entry = _entry(row, phase, bed.key_bits)
+    entry["resume_ratio"] = resume_ratio
+    entries[f"{phase}@{cell_key(Mode.MCTLS, 1, extra=f'resume{resume_ratio}')}"] = entry
+    print(
+        f"  {Mode.MCTLS.value:9s} 1mb async    "
+        f"{entry['conn_per_s']:>8.1f} conn/s  resumed={entry['resumed']} "
+        f"of {entry['completed']} (ratio {resume_ratio})"
+    )
+
+    # 3. Runtime comparison: the same workload end-to-end on both
+    # runtimes (threaded = blocking clients + thread-per-connection
+    # servers; async = loadgen + repro.aio servers).
+    comparisons = {}
+    for spec in COMPARISONS:
+        mode, middleboxes = spec["mode"], spec["middleboxes"]
+        n = connections * spec["scale"]
+        threaded = run_threaded_load(
+            bed, mode, middleboxes, connections=n, concurrency=concurrency
+        )
+        async_row = asyncio.run(
+            run_async_load(
+                bed, mode, middleboxes, connections=n, concurrency=concurrency
+            )
+        )
+        t_entry = _entry(threaded, phase, bed.key_bits)
+        a_entry = _entry(async_row, phase, bed.key_bits)
+        entries[f"{phase}@{cell_key(mode, middleboxes, 'threaded')}"] = t_entry
+        entries[f"{phase}@{cell_key(mode, middleboxes, 'async', 'vs-threaded')}"] = a_entry
+        ratio = (
+            a_entry["conn_per_s"] / t_entry["conn_per_s"]
+            if t_entry["conn_per_s"]
+            else float("inf")
+        )
+        comparisons[cell_key(mode, middleboxes, "ratio")] = {
+            "threaded_conn_per_s": t_entry["conn_per_s"],
+            "async_conn_per_s": a_entry["conn_per_s"],
+            "concurrency": concurrency,
+            "connections": n,
+            "ratio": round(ratio, 3),
+            "gate": spec["gate"],
+        }
+        print(
+            f"  {mode.value:9s} {middleboxes}mb threaded {t_entry['conn_per_s']:>8.1f} conn/s "
+            f"vs async {a_entry['conn_per_s']:>8.1f} conn/s -> {ratio:.2f}x"
+            f"{'  [acceptance gate]' if spec['gate'] else ''}"
+        )
+
+    report[f"comparisons_{phase}"] = comparisons
+    report["acceptance"] = compute_acceptance(report, concurrency)
+    report["updated"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"# wrote {output}")
+    if report["acceptance"]["pass"] is not None:
+        print(
+            f"# acceptance: {'PASS' if report['acceptance']['pass'] else 'FAIL'} "
+            f"({json.dumps(report['acceptance']['checks'])})"
+        )
+    return report
+
+
+def load_report(path: Path) -> dict:
+    if path.exists():
+        report = json.loads(path.read_text())
+        if report.get("schema") == SCHEMA:
+            return report
+    return {"schema": SCHEMA, "entries": {}}
+
+
+def compute_acceptance(report: dict, concurrency: int) -> dict:
+    """Full-phase gates: every matrix cell completed its >=200-concurrent
+    run with zero failures, and the gated runtime ratio clears
+    RUNTIME_THRESHOLD."""
+    entries = report["entries"]
+    full_cells = {
+        k: v
+        for k, v in entries.items()
+        if k.startswith("full@") and v["runtime"] == "async"
+    }
+    if not full_cells:
+        return {"pass": None, "reason": "full phase not run", "checks": {}}
+    checks = {}
+    matrix_ok = True
+    for mode in LOAD_MODES:
+        for middleboxes in LOAD_MIDDLEBOXES:
+            cell = entries.get(f"full@{cell_key(mode, middleboxes)}")
+            ok = (
+                cell is not None
+                and cell["failed"] == 0
+                and cell["completed"] == cell["requested"]
+                and cell["concurrency"] >= 200
+            )
+            matrix_ok &= ok
+            checks[f"matrix:{mode.value}|{middleboxes}mb"] = ok
+    ratio_ok = True
+    for key, comp in report.get("comparisons_full", {}).items():
+        if comp["gate"]:
+            ok = comp["ratio"] >= RUNTIME_THRESHOLD
+            ratio_ok &= ok
+            checks[f"runtime:{key}"] = comp["ratio"]
+    return {
+        "pass": bool(matrix_ok and ratio_ok),
+        "threshold": RUNTIME_THRESHOLD,
+        "min_concurrency": 200,
+        "checks": checks,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--phase", choices=("smoke", "full"), default="full")
+    parser.add_argument("--key-bits", type=int, default=None)
+    parser.add_argument("--concurrency", type=int, default=None)
+    parser.add_argument("--connections", type=int, default=None)
+    parser.add_argument("--resume-ratio", type=float, default=0.8)
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.phase == "smoke":
+        # Small keys, few sessions: proves every cell of the serving
+        # matrix runs end-to-end over real sockets.  Never touches the
+        # repo-root trajectory unless pointed at it.
+        from repro.crypto.dh import GROUP_TEST_512
+
+        key_bits = args.key_bits or 512
+        bed = TestBed(key_bits=key_bits, dh_group=GROUP_TEST_512)
+        output = args.output or (
+            REPO_ROOT / "benchmarks" / "results" / "bench_conn_rate_smoke.json"
+        )
+        report = run_phase(
+            "smoke",
+            bed,
+            concurrency=args.concurrency or 8,
+            connections=args.connections or 24,
+            resume_ratio=args.resume_ratio,
+            output=output,
+        )
+        smoke = {
+            k: v for k, v in report["entries"].items() if k.startswith("smoke@")
+        }
+        bad = [k for k, v in smoke.items() if v["failed"] or not v["completed"]]
+        if bad:
+            print(f"smoke FAIL: {bad}", file=sys.stderr)
+            return 1
+        print(f"smoke OK: {len(smoke)} cells, all sessions completed")
+        return 0
+
+    key_bits = args.key_bits or BENCH_KEY_BITS
+    bed = cpu_testbed() if key_bits == BENCH_KEY_BITS else TestBed(key_bits=key_bits)
+    concurrency = args.concurrency or 200
+    connections = args.connections or max(2 * concurrency, 400)
+    run_phase(
+        "full",
+        bed,
+        concurrency=concurrency,
+        connections=connections,
+        resume_ratio=args.resume_ratio,
+        output=args.output or DEFAULT_OUTPUT,
+    )
+    return 0
+
+
+# -- pytest entry: the original in-memory Fig. 5 reproduction ---------------
 
 
 def test_fig5_connection_rates(benchmark, capsys):
@@ -73,3 +371,7 @@ def test_fig5_connection_rates(benchmark, capsys):
         + "\n".join(summary_lines),
         capsys,
     )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

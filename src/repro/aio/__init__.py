@@ -1,0 +1,26 @@
+"""``repro.aio`` — the asyncio serving runtime.
+
+The concurrent twin of ``repro.sockets``: the same surface
+(``connect`` / ``EndpointServer`` / ``RelayServer``, prefixed ``Async``)
+over asyncio streams, plus a load generator.  Protocol logic stays in
+the sans-I/O cores; this package is scheduling, backpressure, timeouts,
+stats and shutdown — the parts a serving deployment needs and a demo
+doesn't.
+"""
+
+from repro.aio.connection import AsyncConnection, SessionEnded, connect
+from repro.aio.loadgen import LoadResult, percentile, run_load, run_load_threaded
+from repro.aio.server import AsyncEndpointServer, AsyncRelayServer, ServerStats
+
+__all__ = [
+    "AsyncConnection",
+    "AsyncEndpointServer",
+    "AsyncRelayServer",
+    "LoadResult",
+    "ServerStats",
+    "SessionEnded",
+    "connect",
+    "percentile",
+    "run_load",
+    "run_load_threaded",
+]

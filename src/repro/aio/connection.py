@@ -1,0 +1,158 @@
+"""Asyncio driver for a single sans-I/O endpoint connection.
+
+:class:`AsyncConnection` is the asyncio twin of
+``repro.sockets.SocketConnection``: it owns a
+:class:`asyncio.StreamReader` / :class:`asyncio.StreamWriter` pair and
+pumps transport bytes through any sans-I/O connection object (plain TLS,
+mcTLS, or the plaintext baseline).  The protocol object never sees the
+event loop; everything stays ``receive_bytes()`` / ``data_to_send()``.
+
+Flow control is honoured on both sides: reads go through the stream
+reader (bounded buffer), writes ``drain()`` after every flush so a slow
+peer back-pressures the sender instead of ballooning memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional, Tuple
+
+from repro.sockets import MAX_PUMP_BYTES, RECV_SIZE, SessionEnded, tune_socket
+
+__all__ = ["AsyncConnection", "SessionEnded", "connect"]
+
+
+class AsyncConnection:
+    """Drives a sans-I/O endpoint connection over asyncio streams.
+
+    ``default_timeout`` bounds every pump that does not pass an explicit
+    timeout — servers set it from their idle-timeout knob so one stalled
+    peer cannot pin a handler task forever.
+    """
+
+    def __init__(
+        self,
+        connection,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        default_timeout: float = 30.0,
+    ):
+        self.connection = connection
+        self.reader = reader
+        self.writer = writer
+        self.default_timeout = default_timeout
+        self.events: List[object] = []
+        self.bytes_in = 0
+        self.bytes_out = 0
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            tune_socket(sock)
+
+    async def flush(self) -> None:
+        data = self.connection.data_to_send()
+        if data:
+            self.bytes_out += len(data)
+            self.writer.write(data)
+            await self.writer.drain()
+
+    def _on_eof(self) -> None:
+        if self.connection.handshake_complete or getattr(
+            self.connection, "closed", False
+        ):
+            raise SessionEnded("peer ended the session")
+        raise ConnectionError("peer closed the connection mid-handshake")
+
+    async def pump_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+        max_bytes: int = MAX_PUMP_BYTES,
+    ) -> None:
+        """Receive and process until ``predicate()`` holds.
+
+        Bounded by a deadline (``timeout`` seconds over the whole pump,
+        not per read) and by ``max_bytes`` of transport input, so a peer
+        streaming garbage forever cannot pin the task.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        await self.flush()
+        consumed = 0
+        while not predicate():
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError(
+                    f"pump_until deadline ({timeout:.1f}s) exceeded"
+                )
+            data = await asyncio.wait_for(self.reader.read(RECV_SIZE), remaining)
+            if not data:
+                self._on_eof()
+            consumed += len(data)
+            self.bytes_in += len(data)
+            if consumed > max_bytes:
+                raise ConnectionError(
+                    f"pump_until consumed {consumed} bytes without progress "
+                    f"(bound: {max_bytes})"
+                )
+            self.events.extend(self.connection.receive_bytes(data))
+            await self.flush()
+
+    async def handshake(self, timeout: Optional[float] = None) -> None:
+        if hasattr(self.connection, "start_handshake"):
+            if not self.connection.handshake_complete:
+                try:
+                    self.connection.start_handshake()
+                except Exception:
+                    pass  # server side: passive
+        await self.pump_until(
+            lambda: self.connection.handshake_complete, timeout
+        )
+
+    async def send(self, data: bytes, context_id: Optional[int] = None) -> None:
+        if context_id is None:
+            self.connection.send_application_data(data)
+        else:
+            self.connection.send_application_data(data, context_id=context_id)
+        await self.flush()
+
+    async def recv_app_data(self, timeout: Optional[float] = None):
+        """Wait for the next application-data event."""
+
+        def have_data():
+            return any(hasattr(e, "data") for e in self.events)
+
+        await self.pump_until(have_data, timeout)
+        for i, event in enumerate(self.events):
+            if hasattr(event, "data"):
+                return self.events.pop(i)
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    async def close(self) -> None:
+        try:
+            self.connection.close()
+            await self.flush()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def connect(
+    addr: Tuple[str, int],
+    connection,
+    timeout: float = 10.0,
+    default_timeout: float = 30.0,
+) -> AsyncConnection:
+    """Dial ``addr`` and wrap ``connection`` over the stream pair."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(*addr), timeout
+    )
+    return AsyncConnection(
+        connection, reader, writer, default_timeout=default_timeout
+    )

@@ -1,0 +1,253 @@
+"""Concurrent load generator for the serving runtimes (§5.2's workload).
+
+Drives many client sessions against a serving chain over real sockets
+and reports what a capacity evaluation needs: sustained connections/sec
+and handshake-latency percentiles.
+
+Two arrival models:
+
+* **closed loop** (default) — ``concurrency`` sessions are kept in
+  flight at all times; a new session starts the moment one finishes.
+  This measures sustainable capacity (the paper's Fig. 5 question).
+* **open loop** — ``rate`` connections/sec are *launched* on a fixed
+  schedule regardless of completions (still bounded by ``concurrency``
+  as a safety cap, so an overloaded server queues rather than forking
+  unbounded work).  This measures behaviour at a target offered load.
+
+``resume_ratio`` marks that fraction of sessions as resumption
+candidates: the factory receives ``resume=True`` and should build the
+client against a shared ``ClientSessionStore`` so abbreviated handshakes
+actually happen (the first such session necessarily does a full
+handshake and seeds the store).
+
+A thread-per-connection twin (:func:`run_load_threaded`) drives the same
+workload through ``repro.sockets`` so the two runtimes can be compared
+at equal concurrency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.aio.connection import AsyncConnection
+from repro.aio.connection import connect as aio_connect
+from repro.sockets import connect as blocking_connect
+
+__all__ = ["LoadResult", "percentile", "run_load", "run_load_threaded"]
+
+
+def percentile(sorted_values: List[float], p: float) -> float:
+    """Linear-interpolated percentile of an ascending list."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+@dataclass
+class LoadResult:
+    """Aggregated outcome of one load run."""
+
+    runtime: str  # "async" | "threaded"
+    requested: int
+    completed: int = 0
+    failed: int = 0
+    resumed: int = 0
+    concurrency: int = 0
+    rate: Optional[float] = None
+    duration_s: float = 0.0
+    handshake_latencies: List[float] = field(default_factory=list)
+    errors: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def conn_per_s(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        values = sorted(self.handshake_latencies)
+        return {
+            "p50": percentile(values, 50),
+            "p95": percentile(values, 95),
+            "p99": percentile(values, 99),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "runtime": self.runtime,
+            "requested": self.requested,
+            "completed": self.completed,
+            "failed": self.failed,
+            "resumed": self.resumed,
+            "concurrency": self.concurrency,
+            "rate": self.rate,
+            "duration_s": round(self.duration_s, 4),
+            "conn_per_s": round(self.conn_per_s, 2),
+            "handshake_latency_s": {
+                k: round(v, 5) for k, v in self.latency_percentiles().items()
+            },
+            "errors": dict(self.errors),
+        }
+
+    def _record_error(self, exc: BaseException) -> None:
+        self.failed += 1
+        name = type(exc).__name__
+        self.errors[name] = self.errors.get(name, 0) + 1
+
+
+def _plan_resume_flags(connections: int, resume_ratio: float) -> List[bool]:
+    """Evenly spread ``resume_ratio`` of True across the run (not a
+    random draw: load runs should be reproducible)."""
+    if resume_ratio <= 0:
+        return [False] * connections
+    flags = []
+    acc = 0.0
+    for _ in range(connections):
+        acc += resume_ratio
+        if acc >= 1.0 - 1e-9:
+            acc -= 1.0
+            flags.append(True)
+        else:
+            flags.append(False)
+    return flags
+
+
+async def run_load(
+    addr: Tuple[str, int],
+    client_factory: Callable[..., object],
+    connections: int = 100,
+    concurrency: int = 50,
+    rate: Optional[float] = None,
+    resume_ratio: float = 0.0,
+    payload: bytes = b"ping",
+    context_id: Optional[int] = None,
+    handshake_timeout: float = 60.0,
+    io_timeout: float = 60.0,
+) -> LoadResult:
+    """Drive ``connections`` sessions against ``addr`` (async runtime).
+
+    ``client_factory(resume: bool)`` must return a fresh sans-I/O client
+    connection.  Each session handshakes, optionally echoes ``payload``
+    once (skipped when ``payload`` is empty), and closes.
+    """
+    result = LoadResult(
+        runtime="async",
+        requested=connections,
+        concurrency=concurrency,
+        rate=rate,
+    )
+    sem = asyncio.Semaphore(concurrency)
+    loop = asyncio.get_running_loop()
+    flags = _plan_resume_flags(connections, resume_ratio)
+    start = loop.time()
+
+    async def one(index: int, resume: bool) -> None:
+        if rate is not None:
+            # Open loop: hold this session until its scheduled launch.
+            delay = start + index / rate - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        async with sem:
+            conn: Optional[AsyncConnection] = None
+            try:
+                conn = await aio_connect(
+                    addr,
+                    client_factory(resume=resume),
+                    default_timeout=io_timeout,
+                )
+                t0 = loop.time()
+                await conn.handshake(handshake_timeout)
+                result.handshake_latencies.append(loop.time() - t0)
+                if getattr(conn.connection, "resumed", False):
+                    result.resumed += 1
+                if payload:
+                    await conn.send(payload, context_id=context_id)
+                    reply = await conn.recv_app_data(io_timeout)
+                    if reply.data != payload:
+                        raise ValueError("echo mismatch")
+                result.completed += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                result._record_error(exc)
+            finally:
+                if conn is not None:
+                    await conn.close()
+
+    await asyncio.gather(
+        *(one(i, flag) for i, flag in enumerate(flags))
+    )
+    result.duration_s = loop.time() - start
+    return result
+
+
+def run_load_threaded(
+    addr: Tuple[str, int],
+    client_factory: Callable[..., object],
+    connections: int = 100,
+    concurrency: int = 50,
+    resume_ratio: float = 0.0,
+    payload: bytes = b"ping",
+    context_id: Optional[int] = None,
+    handshake_timeout: float = 60.0,
+    io_timeout: float = 60.0,
+) -> LoadResult:
+    """The same closed-loop workload over ``repro.sockets`` threads —
+    the baseline the async runtime is compared against."""
+    result = LoadResult(
+        runtime="threaded", requested=connections, concurrency=concurrency
+    )
+    sem = threading.Semaphore(concurrency)
+    lock = threading.Lock()
+    flags = _plan_resume_flags(connections, resume_ratio)
+    start = time.perf_counter()
+
+    def one(resume: bool) -> None:
+        with sem:
+            conn = None
+            try:
+                conn = blocking_connect(addr, client_factory(resume=resume))
+                t0 = time.perf_counter()
+                conn.handshake(handshake_timeout)
+                latency = time.perf_counter() - t0
+                resumed = bool(getattr(conn.connection, "resumed", False))
+                if payload:
+                    conn.send(payload, context_id=context_id)
+                    reply = conn.recv_app_data(io_timeout)
+                    if reply.data != payload:
+                        raise ValueError("echo mismatch")
+                with lock:
+                    result.handshake_latencies.append(latency)
+                    result.completed += 1
+                    if resumed:
+                        result.resumed += 1
+            except Exception as exc:
+                with lock:
+                    result._record_error(exc)
+            finally:
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except (ConnectionError, OSError):
+                        pass
+
+    threads = [
+        threading.Thread(target=one, args=(flag,), daemon=True)
+        for flag in flags
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.duration_s = time.perf_counter() - start
+    return result

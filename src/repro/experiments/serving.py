@@ -1,0 +1,378 @@
+"""Real-loopback serving chains: client → middleboxes → server on TCP.
+
+``repro.experiments.harness`` wires protocol objects over the *simulated*
+network; this module wires the same :class:`TestBed` factories over real
+loopback sockets, in either runtime:
+
+* **async** — ``repro.aio`` servers (:func:`start_chain`), driven by the
+  concurrent load generator (:func:`run_async_load`);
+* **threaded** — ``repro.sockets`` servers (:func:`start_threaded_chain`),
+  driven by the thread-per-connection twin (:func:`run_threaded_load`).
+
+Both run every protocol mode of §5 (mcTLS / mcTLS-CKD / SplitTLS /
+E2E-TLS / NoEncrypt) with any number of middlebox hops, so the Fig. 5
+capacity question — handshakes/sec and concurrent sessions sustained —
+can be asked of a real socket path instead of an in-memory pump.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.aio import (
+    AsyncConnection,
+    AsyncEndpointServer,
+    AsyncRelayServer,
+    run_load,
+    run_load_threaded,
+)
+from repro.baselines import BlindRelay, PlainConnection, PlainRelay, SplitTLSRelay
+from repro.experiments.harness import Mode, TestBed
+from repro.mctls import McTLSClient, McTLSMiddlebox, McTLSServer, SessionTopology
+from repro.mctls.session import HandshakeMode
+from repro.sockets import EndpointServer, RelayServer
+from repro.tls.client import TLSClient
+from repro.tls.server import TLSServer
+from repro.tls.sessioncache import ClientSessionStore, SessionCache
+
+LOOPBACK = "127.0.0.1"
+
+
+# -- per-mode factories (the socket-serving view of TestBed) ---------------
+
+
+def server_connection_factory(bed: TestBed, mode: Mode) -> Callable[..., object]:
+    """A factory for fresh server-side sans-I/O connections.
+
+    Accepts an optional positional ``session_cache`` so it can be handed
+    to ``EndpointServer``/``AsyncEndpointServer`` with or without a
+    cache attached.
+    """
+    if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
+        hs_mode = (
+            HandshakeMode.CLIENT_KEY_DIST
+            if mode is Mode.MCTLS_CKD
+            else HandshakeMode.DEFAULT
+        )
+
+        def make(session_cache=None):
+            return McTLSServer(
+                bed.server_tls_config(), mode=hs_mode, session_cache=session_cache
+            )
+
+        return make
+    if mode in (Mode.SPLIT_TLS, Mode.E2E_TLS):
+        # SplitTLS terminates at the proxy, so the origin is plain TLS
+        # either way; only E2E sessions ever reach the cache with a
+        # client that can resume.
+        def make(session_cache=None):
+            return TLSServer(bed.server_tls_config(), session_cache=session_cache)
+
+        return make
+
+    def make(session_cache=None):
+        return PlainConnection()
+
+    return make
+
+
+def client_connection_factory(
+    bed: TestBed,
+    mode: Mode,
+    topology: Optional[SessionTopology] = None,
+    session_store: Optional[ClientSessionStore] = None,
+) -> Callable[..., object]:
+    """A ``client_factory(resume=...)`` for the load generator.
+
+    ``resume=True`` builds the client against the shared
+    ``session_store`` (when the mode can resume at all); ``resume=False``
+    always yields a full handshake.
+    """
+
+    def make(resume: bool = False):
+        store = session_store if resume else None
+        if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
+            return McTLSClient(
+                bed.client_tls_config(),
+                topology=topology,
+                key_transport=bed.key_transport,
+                session_store=store,
+            )
+        if mode is Mode.SPLIT_TLS:
+            # The client's session ends at the interception proxy, which
+            # keeps no cache — SplitTLS always handshakes in full.
+            return TLSClient(bed.client_tls_config(trust_corp=True))
+        if mode is Mode.E2E_TLS:
+            return TLSClient(bed.client_tls_config(), session_store=store)
+        return PlainConnection()
+
+    return make
+
+
+def relay_factory(
+    bed: TestBed, mode: Mode, index: int, count: int
+) -> Callable[[], object]:
+    """A per-connection relay factory for hop ``index`` of ``count``
+    (index 0 is nearest the client), matching ``TestBed.make_relays``."""
+    if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
+        identity = bed.middlebox_identities(count)[index]
+        return lambda: McTLSMiddlebox(identity.name, bed.mbox_tls_config(identity))
+    if mode is Mode.SPLIT_TLS:
+        trust_corp = index < count - 1
+        config = bed.client_tls_config(trust_corp=trust_corp)
+        return lambda: SplitTLSRelay(
+            bed.corp_ca,
+            config,
+            bed.server_name,
+            key_bits=bed.key_bits,
+            forged_identity=bed.forged_identity,
+        )
+    if mode is Mode.E2E_TLS:
+        return lambda: BlindRelay()
+    return lambda: PlainRelay()
+
+
+# -- echo handlers ----------------------------------------------------------
+
+
+async def echo_handler(conn: AsyncConnection) -> None:
+    """Echo every application record back on the context it arrived on,
+    until the peer ends the session (SessionEnded handled by the server)."""
+    while True:
+        event = await conn.recv_app_data()
+        await conn.send(event.data, context_id=event.context_id)
+
+
+def threaded_echo_handler(conn) -> None:
+    while True:
+        event = conn.recv_app_data()
+        conn.send(event.data, context_id=event.context_id)
+
+
+# -- chains -----------------------------------------------------------------
+
+
+@dataclass
+class ServingChain:
+    """A started client-facing port plus the servers behind it."""
+
+    mode: Mode
+    endpoint: object  # AsyncEndpointServer | EndpointServer
+    relays: List[object] = field(default_factory=list)
+    session_cache: Optional[SessionCache] = None
+
+    @property
+    def port(self) -> int:
+        """The port clients dial: the outermost relay, else the server."""
+        return (self.relays[0] if self.relays else self.endpoint).port
+
+    def snapshot(self) -> Dict[str, object]:
+        snap: Dict[str, object] = {}
+        if hasattr(self.endpoint, "snapshot"):
+            snap["server"] = self.endpoint.snapshot()
+        if self.relays and hasattr(self.relays[0], "stats"):
+            snap["relays"] = [r.stats.snapshot() for r in self.relays]
+        return snap
+
+    async def stop(self, graceful: bool = True) -> None:
+        for relay in self.relays:
+            await relay.stop(graceful=graceful)
+        await self.endpoint.stop(graceful=graceful)
+
+    def stop_threaded(self) -> None:
+        for relay in self.relays:
+            relay.stop()
+        self.endpoint.stop()
+
+
+async def start_chain(
+    bed: TestBed,
+    mode: Mode,
+    n_middleboxes: int = 0,
+    session_cache: Optional[SessionCache] = None,
+    max_connections: int = 512,
+    handshake_timeout: float = 60.0,
+    idle_timeout: float = 60.0,
+    handler: Callable[[AsyncConnection], object] = echo_handler,
+) -> ServingChain:
+    """Start an async echo server and ``n_middleboxes`` relays on
+    loopback; relay ``i`` forwards to relay ``i+1``, the last to the
+    server — the wire topology of Fig. 1 on real sockets."""
+    endpoint = AsyncEndpointServer(
+        (LOOPBACK, 0),
+        server_connection_factory(bed, mode),
+        handler,
+        session_cache=session_cache,
+        max_connections=max_connections,
+        handshake_timeout=handshake_timeout,
+        idle_timeout=idle_timeout,
+    )
+    await endpoint.start()
+    relays: List[AsyncRelayServer] = []
+    upstream_port = endpoint.port
+    for index in reversed(range(n_middleboxes)):
+        relay = AsyncRelayServer(
+            (LOOPBACK, 0),
+            upstream_addr=(LOOPBACK, upstream_port),
+            relay_factory=relay_factory(bed, mode, index, n_middleboxes),
+            max_connections=max_connections,
+            idle_timeout=idle_timeout,
+        )
+        await relay.start()
+        relays.insert(0, relay)
+        upstream_port = relay.port
+    return ServingChain(
+        mode=mode, endpoint=endpoint, relays=relays, session_cache=session_cache
+    )
+
+
+def start_threaded_chain(
+    bed: TestBed,
+    mode: Mode,
+    n_middleboxes: int = 0,
+    session_cache: Optional[SessionCache] = None,
+) -> ServingChain:
+    """The ``repro.sockets`` twin of :func:`start_chain`."""
+    endpoint = EndpointServer(
+        (LOOPBACK, 0),
+        server_connection_factory(bed, mode),
+        threaded_echo_handler,
+        session_cache=session_cache,
+    ).start()
+    relays: List[RelayServer] = []
+    upstream_port = endpoint.port
+    for index in reversed(range(n_middleboxes)):
+        relay = RelayServer(
+            (LOOPBACK, 0),
+            upstream_addr=(LOOPBACK, upstream_port),
+            relay_factory=relay_factory(bed, mode, index, n_middleboxes),
+        ).start()
+        relays.insert(0, relay)
+        upstream_port = relay.port
+    return ServingChain(
+        mode=mode, endpoint=endpoint, relays=relays, session_cache=session_cache
+    )
+
+
+# -- load entry points ------------------------------------------------------
+
+
+def _topology(bed: TestBed, mode: Mode, n_middleboxes: int, n_contexts: int):
+    if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
+        return bed.topology(n_middleboxes, n_contexts=n_contexts)
+    return None
+
+
+def _payload_context(mode: Mode) -> Optional[int]:
+    return 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else None
+
+
+async def run_async_load(
+    bed: TestBed,
+    mode: Mode,
+    n_middleboxes: int = 0,
+    connections: int = 100,
+    concurrency: int = 50,
+    rate: Optional[float] = None,
+    resume_ratio: float = 0.0,
+    n_contexts: int = 1,
+    payload: bytes = b"ping",
+    handshake_timeout: float = 60.0,
+    io_timeout: float = 60.0,
+) -> Dict[str, object]:
+    """Start a chain, drive the load generator, stop, return the merged
+    load + server stats report."""
+    session_cache = SessionCache(capacity=max(64, concurrency * 2))
+    session_store = (
+        ClientSessionStore(capacity=max(64, concurrency * 2))
+        if resume_ratio > 0
+        else None
+    )
+    chain = await start_chain(
+        bed,
+        mode,
+        n_middleboxes,
+        session_cache=session_cache,
+        max_connections=max(concurrency * 2, 64),
+        handshake_timeout=handshake_timeout,
+        idle_timeout=io_timeout,
+    )
+    try:
+        result = await run_load(
+            (LOOPBACK, chain.port),
+            client_connection_factory(
+                bed,
+                mode,
+                topology=_topology(bed, mode, n_middleboxes, n_contexts),
+                session_store=session_store,
+            ),
+            connections=connections,
+            concurrency=concurrency,
+            rate=rate,
+            resume_ratio=resume_ratio,
+            payload=payload,
+            context_id=_payload_context(mode),
+            handshake_timeout=handshake_timeout,
+            io_timeout=io_timeout,
+        )
+    finally:
+        await chain.stop(graceful=False)
+    report: Dict[str, object] = {
+        "mode": mode.value,
+        "middleboxes": n_middleboxes,
+        "contexts": n_contexts,
+        "load": result.to_dict(),
+    }
+    report.update(chain.snapshot())
+    return report
+
+
+def run_threaded_load(
+    bed: TestBed,
+    mode: Mode,
+    n_middleboxes: int = 0,
+    connections: int = 100,
+    concurrency: int = 50,
+    resume_ratio: float = 0.0,
+    n_contexts: int = 1,
+    payload: bytes = b"ping",
+    handshake_timeout: float = 60.0,
+    io_timeout: float = 60.0,
+) -> Dict[str, object]:
+    """The thread-per-connection twin of :func:`run_async_load`."""
+    session_cache = SessionCache(capacity=max(64, concurrency * 2))
+    session_store = (
+        ClientSessionStore(capacity=max(64, concurrency * 2))
+        if resume_ratio > 0
+        else None
+    )
+    chain = start_threaded_chain(
+        bed, mode, n_middleboxes, session_cache=session_cache
+    )
+    try:
+        result = run_load_threaded(
+            (LOOPBACK, chain.port),
+            client_connection_factory(
+                bed,
+                mode,
+                topology=_topology(bed, mode, n_middleboxes, n_contexts),
+                session_store=session_store,
+            ),
+            connections=connections,
+            concurrency=concurrency,
+            resume_ratio=resume_ratio,
+            payload=payload,
+            context_id=_payload_context(mode),
+            handshake_timeout=handshake_timeout,
+            io_timeout=io_timeout,
+        )
+    finally:
+        chain.stop_threaded()
+    return {
+        "mode": mode.value,
+        "middleboxes": n_middleboxes,
+        "contexts": n_contexts,
+        "load": result.to_dict(),
+    }

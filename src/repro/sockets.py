@@ -8,7 +8,10 @@ listening socket and an upstream connection.
 
 Everything is synchronous and thread-per-connection — deliberately
 simple, since the protocol logic lives in the sans-I/O cores and this is
-just plumbing (and what `examples/` uses for live demos).
+just plumbing (and what `examples/` uses for live demos).  The
+production-shaped concurrent twin of this module is ``repro.aio``; the
+two expose the same surface (``connect`` / ``EndpointServer`` /
+``RelayServer``) so callers can switch with one import.
 """
 
 from __future__ import annotations
@@ -19,6 +22,40 @@ from typing import Callable, List, Optional, Tuple
 
 RECV_SIZE = 65536
 
+# A peer that streams garbage (e.g. a fault-injected mutator flipping
+# length fields) can keep a pump loop consuming forever without ever
+# satisfying its predicate.  Bound the damage: no sane handshake or
+# single application exchange in this stack needs more than this many
+# transport bytes.
+MAX_PUMP_BYTES = 16 * 1024 * 1024
+
+
+class SessionEnded(ConnectionError):
+    """The peer ended the session cleanly (close_notify or orderly EOF).
+
+    Subclasses :class:`ConnectionError` so existing ``except
+    ConnectionError`` handlers keep working, while letting callers that
+    care distinguish a clean end from a torn connection.
+    """
+
+
+def tune_socket(sock: socket.socket) -> None:
+    """Apply the transport options every socket in this stack wants.
+
+    ``TCP_NODELAY`` because the sans-I/O cores already emit whole flights
+    (Nagle only adds latency between our record-sized writes);
+    ``SO_REUSEADDR`` so benchmark/test servers can rebind a
+    just-released port instead of tripping over TIME_WAIT.
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except (OSError, AttributeError):  # pragma: no cover - non-TCP sockets
+        pass
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    except (OSError, AttributeError):  # pragma: no cover
+        pass
+
 
 class SocketConnection:
     """Drives a sans-I/O endpoint connection over a blocking socket."""
@@ -26,21 +63,54 @@ class SocketConnection:
     def __init__(self, connection, sock: socket.socket):
         self.connection = connection
         self.sock = sock
+        tune_socket(sock)
         self.events: List[object] = []
+        self.bytes_in = 0
+        self.bytes_out = 0
 
     def flush(self) -> None:
         data = self.connection.data_to_send()
         if data:
+            self.bytes_out += len(data)
             self.sock.sendall(data)
 
-    def pump_until(self, predicate: Callable[[], bool], timeout: float = 30.0) -> None:
-        """Receive and process until ``predicate()`` holds."""
+    def _on_eof(self) -> None:
+        """The peer half-closed.  After the handshake this is how plain
+        TCP peers signal "done" (many don't bother with close_notify);
+        mid-handshake it can only be a failure."""
+        if self.connection.handshake_complete or getattr(
+            self.connection, "closed", False
+        ):
+            raise SessionEnded("peer ended the session")
+        raise ConnectionError("peer closed the connection mid-handshake")
+
+    def pump_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 30.0,
+        max_bytes: int = MAX_PUMP_BYTES,
+    ) -> None:
+        """Receive and process until ``predicate()`` holds.
+
+        Bounded two ways: ``timeout`` on each receive, and ``max_bytes``
+        of total transport input — a peer streaming garbage forever
+        (fault mutators do) gets a ``ConnectionError``, not an unbounded
+        loop.
+        """
         self.sock.settimeout(timeout)
         self.flush()
+        consumed = 0
         while not predicate():
             data = self.sock.recv(RECV_SIZE)
             if not data:
-                raise ConnectionError("peer closed the connection")
+                self._on_eof()
+            consumed += len(data)
+            self.bytes_in += len(data)
+            if consumed > max_bytes:
+                raise ConnectionError(
+                    f"pump_until consumed {consumed} bytes without progress "
+                    f"(bound: {max_bytes})"
+                )
             self.events.extend(self.connection.receive_bytes(data))
             self.flush()
 
@@ -103,6 +173,7 @@ class RelayServer:
 
     def start(self) -> "RelayServer":
         self._listener = socket.create_server(self.listen_addr)
+        tune_socket(self._listener)
         self._listener.settimeout(0.2)
         thread = threading.Thread(target=self._accept_loop, daemon=True)
         thread.start()
@@ -131,6 +202,7 @@ class RelayServer:
             downstream.close()
             return
         for sock in (downstream, upstream):
+            tune_socket(sock)
             sock.settimeout(0.1)
 
         def flush() -> None:
@@ -141,14 +213,19 @@ class RelayServer:
             if to_client:
                 downstream.sendall(to_client)
 
+        # Track EOF per direction: one side half-closing must not stop
+        # the relay from draining the other (a server can keep streaming
+        # a response after the client shuts down its write side).
+        open_sides = {id(downstream): True, id(upstream): True}
         try:
-            open_ends = 2
-            while not self._stopping.is_set() and open_ends:
+            while not self._stopping.is_set() and any(open_sides.values()):
                 moved = False
                 for sock, feed in (
                     (downstream, relay.receive_from_client),
                     (upstream, relay.receive_from_server),
                 ):
+                    if not open_sides[id(sock)]:
+                        continue
                     try:
                         data = sock.recv(RECV_SIZE)
                     except socket.timeout:
@@ -156,10 +233,15 @@ class RelayServer:
                     except OSError:
                         return
                     if not data:
-                        open_ends -= 1
+                        open_sides[id(sock)] = False
                         continue
                     moved = True
-                    feed(data)
+                    try:
+                        feed(data)
+                    except Exception:
+                        # Garbage from one peer (or a fault mutator)
+                        # kills this relay session, never the server.
+                        return
                     flush()
                 if not moved:
                     flush()
@@ -175,17 +257,26 @@ class RelayServer:
 
 class EndpointServer:
     """Accepts connections and runs a fresh sans-I/O server connection
-    plus a user handler for each."""
+    plus a user handler for each.
+
+    When ``session_cache`` is given, ``connection_factory`` is called
+    with it as its single argument (instead of zero arguments) so every
+    per-connection protocol object shares the one server-side
+    :class:`repro.tls.sessioncache.SessionCache` — the deployment shape
+    for resumption over real sockets.
+    """
 
     def __init__(
         self,
         listen_addr: Tuple[str, int],
-        connection_factory: Callable[[], object],
+        connection_factory: Callable[..., object],
         handler: Callable[[SocketConnection], None],
+        session_cache: Optional[object] = None,
     ):
         self.listen_addr = listen_addr
         self.connection_factory = connection_factory
         self.handler = handler
+        self.session_cache = session_cache
         self._listener: Optional[socket.socket] = None
         self._stopping = threading.Event()
 
@@ -193,8 +284,14 @@ class EndpointServer:
     def port(self) -> int:
         return self._listener.getsockname()[1]
 
+    def _make_connection(self) -> object:
+        if self.session_cache is not None:
+            return self.connection_factory(self.session_cache)
+        return self.connection_factory()
+
     def start(self) -> "EndpointServer":
         self._listener = socket.create_server(self.listen_addr)
+        tune_socket(self._listener)
         self._listener.settimeout(0.2)
         threading.Thread(target=self._accept_loop, daemon=True).start()
         return self
@@ -212,10 +309,14 @@ class EndpointServer:
             ).start()
 
     def _handle(self, sock: socket.socket) -> None:
-        wrapper = SocketConnection(self.connection_factory(), sock)
+        wrapper = SocketConnection(self._make_connection(), sock)
         try:
             self.handler(wrapper)
         except (ConnectionError, OSError):
+            pass
+        except Exception:
+            # A protocol error from a misbehaving peer (TLSError,
+            # DecodeError, ...) ends this connection only.
             pass
         finally:
             sock.close()

@@ -5,17 +5,29 @@ support mcTLS... less than 30 new lines of C code" (§5.4).  This is the
 equivalent for our stack: run handshakes back to back for a wall-clock
 budget and report connections/sec, for any protocol mode.
 
+Two drivers:
+
+* the default runs sequential handshakes over the in-memory simulated
+  network (one chain per connection, like ``s_time`` proper);
+* ``--async`` starts a real serving chain on loopback (``repro.aio``
+  servers) and drives it with the concurrent load generator, reporting
+  sustained connections/sec plus handshake-latency percentiles.
+
 Usage::
 
     python -m repro.tools.s_time --mode mctls --contexts 4 --middleboxes 1
     python -m repro.tools.s_time --mode split --seconds 5 --key-bits 1024
+    python -m repro.tools.s_time --mode mctls --async --connections 200 \\
+        --concurrency 50 --resume-ratio 0.5
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import time
 
+from repro.crypto.dh import GROUP_TEST_512
 from repro.experiments.harness import Mode, TestBed
 from repro.mctls.session import KeyTransport
 from repro.transport import Chain
@@ -29,6 +41,18 @@ MODE_NAMES = {
 }
 
 
+def _make_bed(key_bits: int, key_transport: str) -> TestBed:
+    kwargs = dict(
+        key_bits=key_bits,
+        key_transport=(
+            KeyTransport.RSA if key_transport == "rsa" else KeyTransport.DHE
+        ),
+    )
+    if key_bits <= 512:
+        kwargs["dh_group"] = GROUP_TEST_512
+    return TestBed(**kwargs)
+
+
 def run_s_time(
     mode: Mode,
     seconds: float = 3.0,
@@ -38,12 +62,7 @@ def run_s_time(
     key_transport: str = "rsa",
 ) -> dict:
     """Run handshakes for ~``seconds``; returns measurement statistics."""
-    bed = TestBed(
-        key_bits=key_bits,
-        key_transport=(
-            KeyTransport.RSA if key_transport == "rsa" else KeyTransport.DHE
-        ),
-    )
+    bed = _make_bed(key_bits, key_transport)
     topology = (
         bed.topology(n_middleboxes, n_contexts=n_contexts)
         if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
@@ -73,6 +92,38 @@ def run_s_time(
     }
 
 
+def run_s_time_async(
+    mode: Mode,
+    connections: int = 100,
+    concurrency: int = 50,
+    rate: float = None,
+    resume_ratio: float = 0.0,
+    n_contexts: int = 1,
+    n_middleboxes: int = 1,
+    key_bits: int = 1024,
+    key_transport: str = "rsa",
+) -> dict:
+    """Drive the ``repro.aio`` load generator against a real loopback
+    serving chain; returns the load report plus server stats."""
+    from repro.experiments.serving import run_async_load
+
+    bed = _make_bed(key_bits, key_transport)
+    report = asyncio.run(
+        run_async_load(
+            bed,
+            mode,
+            n_middleboxes,
+            connections=connections,
+            concurrency=concurrency,
+            rate=rate,
+            resume_ratio=resume_ratio,
+            n_contexts=n_contexts,
+        )
+    )
+    report["key_bits"] = key_bits
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="s_time", description="Measure full-chain handshakes per second."
@@ -86,7 +137,54 @@ def main(argv=None) -> int:
         "--key-transport", choices=["rsa", "dhe"], default="rsa",
         help="MiddleboxKeyMaterial protection (rsa = the paper's prototype)",
     )
+    parser.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="serve over real loopback sockets (repro.aio) and drive the "
+        "concurrent load generator instead of sequential in-memory chains",
+    )
+    parser.add_argument(
+        "--connections", type=int, default=100,
+        help="(--async) total sessions to run",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=50,
+        help="(--async) sessions kept in flight",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="(--async) open-loop launch rate in connections/sec "
+        "(default: closed loop)",
+    )
+    parser.add_argument(
+        "--resume-ratio", type=float, default=0.0,
+        help="(--async) fraction of sessions offered as resumptions",
+    )
     args = parser.parse_args(argv)
+
+    if args.use_async:
+        report = run_s_time_async(
+            MODE_NAMES[args.mode],
+            connections=args.connections,
+            concurrency=args.concurrency,
+            rate=args.rate,
+            resume_ratio=args.resume_ratio,
+            n_contexts=args.contexts,
+            n_middleboxes=args.middleboxes,
+            key_bits=args.key_bits,
+            key_transport=args.key_transport,
+        )
+        load = report["load"]
+        lat = load["handshake_latency_s"]
+        print(
+            f"{load['completed']} connections in {load['duration_s']:.2f}s; "
+            f"{load['conn_per_s']:.1f} connections/sec "
+            f"({report['mode']}, {report['middleboxes']} mbox, "
+            f"{args.key_bits}-bit keys, concurrency {load['concurrency']}, "
+            f"{load['resumed']} resumed, {load['failed']} failed); "
+            f"handshake p50={lat['p50']:.4f}s p95={lat['p95']:.4f}s "
+            f"p99={lat['p99']:.4f}s"
+        )
+        return 1 if load["failed"] else 0
 
     stats = run_s_time(
         MODE_NAMES[args.mode],

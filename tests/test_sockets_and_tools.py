@@ -1,5 +1,6 @@
 """Integration tests: real localhost sockets and the s_time tool."""
 
+import socket
 import threading
 
 import pytest
@@ -15,9 +16,16 @@ from repro.mctls import (
     Permission,
     SessionTopology,
 )
-from repro.sockets import EndpointServer, RelayServer, connect
+from repro.sockets import (
+    EndpointServer,
+    RelayServer,
+    SessionEnded,
+    SocketConnection,
+    connect,
+)
 from repro.tls import TLSClient, TLSServer
 from repro.tls.connection import TLSConfig
+from repro.tls.sessioncache import ClientSessionStore, SessionCache
 from repro.tools.s_time import MODE_NAMES, run_s_time
 
 
@@ -192,6 +200,116 @@ class TestLiveMcTLS:
             server.stop()
 
 
+class _Sink:
+    """A sans-I/O stand-in that consumes anything and never progresses."""
+
+    def __init__(self, handshake_complete=True):
+        self.handshake_complete = handshake_complete
+        self.closed = False
+
+    def receive_bytes(self, data):
+        return []
+
+    def data_to_send(self):
+        return b""
+
+
+class TestSocketRobustness:
+    def test_pump_until_bounds_garbage_stream(self):
+        """A peer streaming junk forever trips the byte bound instead of
+        pinning the pump loop."""
+        left, right = socket.socketpair()
+        stop = threading.Event()
+
+        def stream():
+            junk = b"\xaa" * 65536
+            while not stop.is_set():
+                try:
+                    left.sendall(junk)
+                except OSError:
+                    return
+
+        thread = threading.Thread(target=stream, daemon=True)
+        thread.start()
+        try:
+            conn = SocketConnection(_Sink(), right)
+            with pytest.raises(ConnectionError, match="without progress"):
+                conn.pump_until(
+                    lambda: False, timeout=10.0, max_bytes=256 * 1024
+                )
+        finally:
+            stop.set()
+            right.close()
+            left.close()
+            thread.join(timeout=5)
+
+    def test_half_close_after_handshake_is_session_ended(self):
+        left, right = socket.socketpair()
+        try:
+            conn = SocketConnection(_Sink(handshake_complete=True), right)
+            left.shutdown(socket.SHUT_WR)
+            with pytest.raises(SessionEnded):
+                conn.recv_app_data(timeout=5.0)
+        finally:
+            right.close()
+            left.close()
+
+    def test_eof_mid_handshake_is_a_plain_connection_error(self):
+        left, right = socket.socketpair()
+        try:
+            conn = SocketConnection(_Sink(handshake_complete=False), right)
+            left.shutdown(socket.SHUT_WR)
+            with pytest.raises(ConnectionError) as excinfo:
+                conn.pump_until(lambda: False, timeout=5.0)
+            assert not isinstance(excinfo.value, SessionEnded)
+        finally:
+            right.close()
+            left.close()
+
+    def test_session_cache_threaded_through_endpoint_server(
+        self, ca, server_identity, client_config
+    ):
+        """A cache handed to EndpointServer reaches every per-connection
+        protocol object, so a client with a session store resumes."""
+        cache = SessionCache(capacity=8)
+
+        def handle(conn):
+            conn.handshake()
+            event = conn.recv_app_data()
+            conn.send(event.data)
+
+        server = EndpointServer(
+            ("127.0.0.1", 0),
+            connection_factory=lambda session_cache: TLSServer(
+                TLSConfig(identity=server_identity, dh_group=GROUP_TEST_512),
+                session_cache=session_cache,
+            ),
+            handler=handle,
+            session_cache=cache,
+        ).start()
+        store = ClientSessionStore(capacity=8)
+
+        def one_session():
+            client = connect(
+                ("127.0.0.1", server.port),
+                TLSClient(client_config, session_store=store),
+            )
+            client.handshake()
+            resumed = client.connection.resumed
+            client.send(b"hi")
+            assert client.recv_app_data().data == b"hi"
+            client.close()
+            return resumed
+
+        try:
+            assert one_session() is False  # full handshake seeds the cache
+            assert one_session() is True  # abbreviated handshake
+            assert cache.stats.hits == 1
+            assert len(cache) >= 1
+        finally:
+            server.stop()
+
+
 class TestSTime:
     def test_run_s_time_counts_handshakes(self):
         stats = run_s_time(
@@ -210,3 +328,14 @@ class TestSTime:
                      "--key-bits", "512"]) == 0
         out = capsys.readouterr().out
         assert "connections/sec" in out
+
+    def test_cli_async_drives_load_generator(self, capsys):
+        from repro.tools.s_time import main
+
+        assert main(["--mode", "plain", "--async", "--connections", "6",
+                     "--concurrency", "3", "--middleboxes", "0",
+                     "--key-bits", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "connections/sec" in out
+        assert "p50=" in out
+        assert "0 failed" in out
