@@ -3,9 +3,9 @@
 :class:`AsyncConnection` is the asyncio twin of
 ``repro.sockets.SocketConnection``: it owns a
 :class:`asyncio.StreamReader` / :class:`asyncio.StreamWriter` pair and
-pumps transport bytes through any sans-I/O connection object (plain TLS,
-mcTLS, or the plaintext baseline).  The protocol object never sees the
-event loop; everything stays ``receive_bytes()`` / ``data_to_send()``.
+pumps transport bytes through any :class:`repro.core.Connection` (plain
+TLS, mcTLS, or the plaintext baseline).  The protocol object never sees
+the event loop; everything stays ``receive_data()`` / ``data_to_send()``.
 
 Flow control is honoured on both sides: reads go through the stream
 reader (bounded buffer), writes ``drain()`` after every flush so a slow
@@ -17,13 +17,15 @@ from __future__ import annotations
 import asyncio
 from typing import Callable, List, Optional, Tuple
 
+from repro.core import Connection
+from repro.core.events import ApplicationData, Event
 from repro.sockets import MAX_PUMP_BYTES, RECV_SIZE, SessionEnded, tune_socket
 
 __all__ = ["AsyncConnection", "SessionEnded", "connect"]
 
 
 class AsyncConnection:
-    """Drives a sans-I/O endpoint connection over asyncio streams.
+    """Drives a :class:`repro.core.Connection` over asyncio streams.
 
     ``default_timeout`` bounds every pump that does not pass an explicit
     timeout — servers set it from their idle-timeout knob so one stalled
@@ -32,7 +34,7 @@ class AsyncConnection:
 
     def __init__(
         self,
-        connection,
+        connection: Connection,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         default_timeout: float = 30.0,
@@ -41,7 +43,7 @@ class AsyncConnection:
         self.reader = reader
         self.writer = writer
         self.default_timeout = default_timeout
-        self.events: List[object] = []
+        self.events: List[Event] = []
         self.bytes_in = 0
         self.bytes_out = 0
         sock = writer.get_extra_info("socket")
@@ -56,9 +58,7 @@ class AsyncConnection:
             await self.writer.drain()
 
     def _on_eof(self) -> None:
-        if self.connection.handshake_complete or getattr(
-            self.connection, "closed", False
-        ):
+        if self.connection.handshake_complete or self.connection.closed:
             raise SessionEnded("peer ended the session")
         raise ConnectionError("peer closed the connection mid-handshake")
 
@@ -96,16 +96,17 @@ class AsyncConnection:
                     f"pump_until consumed {consumed} bytes without progress "
                     f"(bound: {max_bytes})"
                 )
-            self.events.extend(self.connection.receive_bytes(data))
+            self.events.extend(self.connection.receive_data(data))
             await self.flush()
 
     async def handshake(self, timeout: Optional[float] = None) -> None:
-        if hasattr(self.connection, "start_handshake"):
-            if not self.connection.handshake_complete:
-                try:
-                    self.connection.start_handshake()
-                except Exception:
-                    pass  # server side: passive
+        if not self.connection.handshake_complete:
+            # start_handshake() is part of the Connection protocol: a
+            # no-op on passive (server) sides, the ClientHello elsewhere.
+            self.connection.start_handshake()
+            # Protocols whose handshake completes instantly (plain TCP)
+            # queue their HandshakeComplete during start; drain it.
+            self.events.extend(self.connection.receive_data(b""))
         await self.pump_until(
             lambda: self.connection.handshake_complete, timeout
         )
@@ -118,16 +119,23 @@ class AsyncConnection:
         await self.flush()
 
     async def recv_app_data(self, timeout: Optional[float] = None):
-        """Wait for the next application-data event."""
+        """Wait for the next application-data event.
 
-        def have_data():
-            return any(hasattr(e, "data") for e in self.events)
+        Raises :class:`SessionEnded` if the session ends first (by
+        close_notify or the peer's orderly EOF) — identical half-close
+        behaviour to the threaded runtime.
+        """
 
-        await self.pump_until(have_data, timeout)
+        def ready():
+            return self.connection.closed or any(
+                isinstance(e, ApplicationData) for e in self.events
+            )
+
+        await self.pump_until(ready, timeout)
         for i, event in enumerate(self.events):
-            if hasattr(event, "data"):
+            if isinstance(event, ApplicationData):
                 return self.events.pop(i)
-        raise RuntimeError("unreachable")  # pragma: no cover
+        raise SessionEnded("session closed before application data")
 
     async def close(self) -> None:
         try:
@@ -145,7 +153,7 @@ class AsyncConnection:
 
 async def connect(
     addr: Tuple[str, int],
-    connection,
+    connection: Connection,
     timeout: float = 10.0,
     default_timeout: float = 30.0,
 ) -> AsyncConnection:

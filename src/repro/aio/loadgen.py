@@ -168,7 +168,7 @@ async def run_load(
                 t0 = loop.time()
                 await conn.handshake(handshake_timeout)
                 result.handshake_latencies.append(loop.time() - t0)
-                if getattr(conn.connection, "resumed", False):
+                if conn.connection.resumed:
                     result.resumed += 1
                 if payload:
                     await conn.send(payload, context_id=context_id)
@@ -220,7 +220,7 @@ def run_load_threaded(
                 t0 = time.perf_counter()
                 conn.handshake(handshake_timeout)
                 latency = time.perf_counter() - t0
-                resumed = bool(getattr(conn.connection, "resumed", False))
+                resumed = conn.connection.resumed
                 if payload:
                     conn.send(payload, context_id=context_id)
                     reply = conn.recv_app_data(io_timeout)

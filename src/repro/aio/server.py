@@ -32,41 +32,16 @@ from __future__ import annotations
 
 import asyncio
 import socket
-from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Dict, Optional, Set, Tuple
 
 from repro.aio.connection import AsyncConnection
+from repro.core import Connection, RelayProcessor
+from repro.core.instrument import Instruments, ServerStats
 from repro.sockets import RECV_SIZE, SessionEnded, tune_socket
 
+# ServerStats moved to repro.core.instrument (shared with the threaded
+# runtime); re-exported here for compatibility.
 __all__ = ["AsyncEndpointServer", "AsyncRelayServer", "ServerStats"]
-
-
-@dataclass
-class ServerStats:
-    """Counters a serving deployment actually graphs."""
-
-    accepted: int = 0
-    active: int = 0
-    handshakes_ok: int = 0
-    handshakes_failed: int = 0
-    resumed: int = 0
-    timeouts: int = 0
-    errors: int = 0
-    bytes_in: int = 0
-    bytes_out: int = 0
-
-    def snapshot(self) -> Dict[str, int]:
-        return {
-            "accepted": self.accepted,
-            "active": self.active,
-            "handshakes_ok": self.handshakes_ok,
-            "handshakes_failed": self.handshakes_failed,
-            "resumed": self.resumed,
-            "timeouts": self.timeouts,
-            "errors": self.errors,
-            "bytes_in": self.bytes_in,
-            "bytes_out": self.bytes_out,
-        }
 
 
 class _AsyncServerBase:
@@ -77,11 +52,13 @@ class _AsyncServerBase:
         listen_addr: Tuple[str, int],
         max_connections: int = 256,
         backlog: int = 512,
+        instruments: Optional[Instruments] = None,
     ):
         self.listen_addr = listen_addr
         self.max_connections = max_connections
         self.backlog = backlog
-        self.stats = ServerStats()
+        self.instruments = instruments
+        self.stats = ServerStats(instruments=instruments)
         self._listener: Optional[socket.socket] = None
         self._sem: Optional[asyncio.Semaphore] = None
         self._accept_task: Optional[asyncio.Task] = None
@@ -185,25 +162,30 @@ class AsyncEndpointServer(_AsyncServerBase):
     def __init__(
         self,
         listen_addr: Tuple[str, int],
-        connection_factory: Callable[..., object],
+        connection_factory: Callable[..., Connection],
         handler: Callable[[AsyncConnection], Awaitable[None]],
         session_cache: Optional[object] = None,
         max_connections: int = 256,
         handshake_timeout: float = 30.0,
         idle_timeout: float = 30.0,
         backlog: int = 512,
+        instruments: Optional[Instruments] = None,
     ):
-        super().__init__(listen_addr, max_connections, backlog)
+        super().__init__(listen_addr, max_connections, backlog, instruments)
         self.connection_factory = connection_factory
         self.handler = handler
         self.session_cache = session_cache
         self.handshake_timeout = handshake_timeout
         self.idle_timeout = idle_timeout
 
-    def _make_connection(self) -> object:
+    def _make_connection(self) -> Connection:
         if self.session_cache is not None:
-            return self.connection_factory(self.session_cache)
-        return self.connection_factory()
+            connection = self.connection_factory(self.session_cache)
+        else:
+            connection = self.connection_factory()
+        if self.instruments is not None:
+            connection.instruments = self.instruments
+        return connection
 
     def snapshot(self) -> Dict[str, object]:
         """Stats plus the session cache's hit/miss ledger, if attached."""
@@ -230,7 +212,7 @@ class AsyncEndpointServer(_AsyncServerBase):
                 self.stats.handshakes_failed += 1
                 return
             self.stats.handshakes_ok += 1
-            if getattr(conn.connection, "resumed", False):
+            if conn.connection.resumed:
                 self.stats.resumed += 1
             try:
                 await self.handler(conn)
@@ -265,20 +247,27 @@ class AsyncRelayServer(_AsyncServerBase):
         self,
         listen_addr: Tuple[str, int],
         upstream_addr: Tuple[str, int],
-        relay_factory: Callable[[], object],
+        relay_factory: Callable[[], RelayProcessor],
         max_connections: int = 256,
         idle_timeout: float = 30.0,
         connect_timeout: float = 10.0,
         backlog: int = 512,
+        instruments: Optional[Instruments] = None,
     ):
-        super().__init__(listen_addr, max_connections, backlog)
+        super().__init__(listen_addr, max_connections, backlog, instruments)
         self.upstream_addr = upstream_addr
         self.relay_factory = relay_factory
         self.idle_timeout = idle_timeout
         self.connect_timeout = connect_timeout
 
-    async def _handle(self, raw: socket.socket) -> None:
+    def _make_relay(self) -> RelayProcessor:
         relay = self.relay_factory()
+        if self.instruments is not None:
+            relay.instruments = self.instruments
+        return relay
+
+    async def _handle(self, raw: socket.socket) -> None:
+        relay = self._make_relay()
         try:
             up_reader, up_writer = await asyncio.wait_for(
                 asyncio.open_connection(*self.upstream_addr),

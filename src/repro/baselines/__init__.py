@@ -8,10 +8,10 @@
   forwards ciphertext and can do nothing else.
 * **NoEncrypt** — plain TCP through a forwarding relay.
 
-All three expose the same sans-I/O surfaces as the mcTLS classes
-(endpoints: ``start_handshake``/``receive_bytes``/``data_to_send``;
-relays: ``receive_from_client``/``data_to_server``/…), so experiments
-swap protocols without changing harness code.
+All three implement the same formal sans-I/O surfaces as the mcTLS
+classes (endpoints: :class:`repro.core.Connection`; relays:
+:class:`repro.core.RelayProcessor`), so experiments and runtimes swap
+protocols without changing harness code.
 """
 
 from repro.baselines.e2e import BlindRelay

@@ -1,16 +1,19 @@
 """NoEncrypt: plain TCP endpoints and relay.
 
-The cleartext baseline.  :class:`PlainConnection` mimics the sans-I/O
-connection API (including a no-op "handshake") so harness code treats all
-four protocol modes uniformly; :class:`PlainRelay` forwards bytes and can
-observe or transform them — a cleartext middlebox sees everything.
+The cleartext baseline.  :class:`PlainConnection` implements the
+:class:`repro.core.Connection` protocol over nothing at all (the
+"handshake" completes instantly, bytes pass through untouched), so
+harness code treats all five protocol modes uniformly;
+:class:`PlainRelay` forwards bytes and can observe or transform them —
+a cleartext middlebox sees everything.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.tls.connection import ApplicationData, Event, HandshakeComplete
+from repro.core.events import ApplicationData, Event, HandshakeComplete
+from repro.core.instrument import record_event
 
 
 class PlainConnection:
@@ -18,34 +21,50 @@ class PlainConnection:
 
     def __init__(self) -> None:
         self._out = bytearray()
+        self._events: List[Event] = []
         self.handshake_complete = False
         self.closed = False
-        self._started = False
+        self.resumed = False
+        # Instrumentation plane: None (the default) costs one attribute
+        # load per hook site; attach a repro.core.Instruments to enable.
+        self.instruments = None
 
     def start_handshake(self) -> None:
         """No handshake on plain TCP; completes instantly."""
-        self._started = True
-        self.handshake_complete = True
+        if not self.handshake_complete:
+            self.handshake_complete = True
+            self._emit(HandshakeComplete(cipher_suite="none"))
 
     def data_to_send(self) -> bytes:
         out = bytes(self._out)
         self._out.clear()
         return out
 
-    def receive_bytes(self, data: bytes) -> List[Event]:
-        events: List[Event] = []
+    def receive_data(self, data: bytes) -> List[Event]:
         if not self.handshake_complete:
-            self.handshake_complete = True
-            events.append(HandshakeComplete(cipher_suite="none"))
+            self.start_handshake()
         if data:
-            events.append(ApplicationData(data=data))
+            self._emit(ApplicationData(data=data))
+        events, self._events = self._events, []
         return events
 
+    def receive_bytes(self, data: bytes) -> List[Event]:
+        """Historical name for :meth:`receive_data`."""
+        return self.receive_data(data)
+
     def send_application_data(self, data: bytes, context_id: int = 0) -> None:
+        if self.instruments is not None:
+            self.instruments.inc("records.out")
+            self.instruments.inc(f"context.{context_id}.bytes_out", len(data))
         self._out += data
 
     def close(self) -> None:
         self.closed = True
+
+    def _emit(self, event: Event) -> None:
+        if self.instruments is not None:
+            record_event(self.instruments, event)
+        self._events.append(event)
 
 
 class PlainRelay:
@@ -61,7 +80,7 @@ class PlainRelay:
         self._to_client = bytearray()
         self._to_server = bytearray()
 
-    def _relay(self, direction: str, data: bytes, out: bytearray) -> List[object]:
+    def _relay(self, direction: str, data: bytes, out: bytearray) -> List[Event]:
         if self.transformer is not None:
             data = self.transformer(direction, data)
         if self.observer is not None:
@@ -69,10 +88,10 @@ class PlainRelay:
         out += data
         return []
 
-    def receive_from_client(self, data: bytes) -> List[object]:
+    def receive_from_client(self, data: bytes) -> List[Event]:
         return self._relay("c2s", data, self._to_server)
 
-    def receive_from_server(self, data: bytes) -> List[object]:
+    def receive_from_server(self, data: bytes) -> List[Event]:
         return self._relay("s2c", data, self._to_client)
 
     def data_to_client(self) -> bytes:

@@ -79,7 +79,7 @@ class SplitTLSRelay:
         return bool(self.client_side.handshake_complete and self._pending_to_server)
 
     def receive_from_client(self, data: bytes) -> List[Event]:
-        events = self.client_side.receive_bytes(data)
+        events = self.client_side.receive_data(data)
         for event in events:
             if isinstance(event, ApplicationData):
                 self._forward("c2s", event.data)
@@ -87,7 +87,7 @@ class SplitTLSRelay:
         return events
 
     def receive_from_server(self, data: bytes) -> List[Event]:
-        events = self.server_side.receive_bytes(data)
+        events = self.server_side.receive_data(data)
         for event in events:
             if isinstance(event, ApplicationData):
                 self._forward("s2c", event.data)

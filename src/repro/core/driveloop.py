@@ -1,0 +1,119 @@
+"""The one in-memory drive loop for sans-I/O chains.
+
+Every in-memory harness in this repository used to hand-roll the same
+byte-shuttling loop (``transport.pump``, ``transport.Chain.pump``, the
+handshake-size experiment's counting variant).  :class:`DriveLoop` is
+that loop, once: a client and a server (each a
+:class:`~repro.core.interface.Connection`) joined through zero or more
+two-sided relays (:class:`~repro.core.interface.RelayProcessor`), pumped
+until the whole path is quiet.
+
+Hops are numbered from the client: hop 0 is the client's access link,
+hop ``i`` joins node ``i`` and node ``i+1`` (node 0 = client, nodes
+1..n = relays, node n+1 = server).  The optional ``on_hop`` tap sees
+every transfer as ``(hop_index, direction, data)`` with direction
+``"c2s"`` or ``"s2c"`` — which is all the Figure 8 handshake-size
+measurement needs to count the client hop's bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.events import Event
+
+HopTap = Callable[[int, str, bytes], None]
+EventSink = Callable[[Event], None]
+
+
+class DriveLoop:
+    """Pump a client ⇄ relays ⇄ server path until no node has output.
+
+    ``on_client_event`` / ``on_server_event`` are optional per-endpoint
+    event sinks (used to route application data to sessions);
+    ``on_hop`` is an optional wire tap (see module docstring).
+    """
+
+    def __init__(
+        self,
+        client,
+        relays: Sequence[object] = (),
+        server=None,
+        on_client_event: Optional[EventSink] = None,
+        on_server_event: Optional[EventSink] = None,
+        on_hop: Optional[HopTap] = None,
+    ):
+        self.client = client
+        self.relays = list(relays)
+        self.server = server
+        self.events: List[Event] = []
+        self.on_client_event = on_client_event
+        self.on_server_event = on_server_event
+        self.on_hop = on_hop
+
+    def pump(self, max_rounds: int = 200) -> List[Event]:
+        """Deliver bytes along the path until every node is quiet.
+
+        Returns the events this pump produced (in delivery order) and
+        appends them to :attr:`events`.
+        """
+        new_events: List[Event] = []
+        for _ in range(max_rounds):
+            moved = False
+
+            data = self.client.data_to_send()
+            if data:
+                moved = True
+                new_events.extend(self._deliver_towards_server(0, data))
+
+            for i, relay in enumerate(self.relays):
+                to_server = relay.data_to_server()
+                if to_server:
+                    moved = True
+                    new_events.extend(
+                        self._deliver_towards_server(i + 1, to_server)
+                    )
+                to_client = relay.data_to_client()
+                if to_client:
+                    moved = True
+                    new_events.extend(
+                        self._deliver_towards_client(i - 1, to_client)
+                    )
+
+            data = self.server.data_to_send()
+            if data:
+                moved = True
+                new_events.extend(
+                    self._deliver_towards_client(len(self.relays) - 1, data)
+                )
+
+            if not moved:
+                self.events.extend(new_events)
+                return new_events
+        raise RuntimeError("pump did not converge")
+
+    def _deliver_towards_server(self, node_index: int, data: bytes) -> List[Event]:
+        """Deliver server-ward bytes into the relay at ``node_index``
+        (crossing hop ``node_index``), or the server past the last one."""
+        if self.on_hop is not None:
+            self.on_hop(node_index, "c2s", data)
+        if node_index < len(self.relays):
+            return list(self.relays[node_index].receive_from_client(data))
+        events = list(self.server.receive_data(data))
+        if self.on_server_event is not None:
+            for event in events:
+                self.on_server_event(event)
+        return events
+
+    def _deliver_towards_client(self, node_index: int, data: bytes) -> List[Event]:
+        """Deliver client-ward bytes into the relay at ``node_index``
+        (crossing hop ``node_index + 1``), or the client below relay 0."""
+        if self.on_hop is not None:
+            self.on_hop(node_index + 1, "s2c", data)
+        if node_index >= 0:
+            return list(self.relays[node_index].receive_from_server(data))
+        events = list(self.client.receive_data(data))
+        if self.on_client_event is not None:
+            for event in events:
+                self.on_client_event(event)
+        return events

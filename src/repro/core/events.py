@@ -1,0 +1,79 @@
+"""The shared event vocabulary every protocol stack speaks.
+
+A sans-I/O connection communicates upward exclusively through these
+events (or subclasses of them — mcTLS extends :class:`HandshakeComplete`
+and :class:`ApplicationData` with its session-specific fields).  Drivers
+therefore dispatch on *these* classes and work unchanged across all five
+stacks: ``isinstance(event, ApplicationData)`` matches plain TLS, mcTLS
+and the plaintext baseline alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # structural annotations only; core imports no stack
+    from repro.crypto.certs import Certificate
+    from repro.mctls.contexts import Permission
+
+
+class Event:
+    """Base class for all connection and relay events."""
+
+
+@dataclass
+class HandshakeComplete(Event):
+    """The connection is ready for application data.
+
+    ``resumed`` marks an abbreviated handshake from a cached session;
+    ``cipher_suite`` is ``"none"`` for the plaintext baseline.
+    """
+
+    cipher_suite: str
+    peer_certificate: Optional["Certificate"] = None
+    resumed: bool = False
+
+
+@dataclass
+class ApplicationData(Event):
+    """Application payload received on one context.
+
+    ``context_id`` is meaningful for mcTLS; plain TLS and the plaintext
+    baseline always deliver on context 0.
+    """
+
+    data: bytes
+    context_id: int = 0
+
+
+@dataclass
+class ContextData(Event):
+    """Application data observed (and possibly rewritten) at a relay.
+
+    Emitted by :class:`~repro.core.interface.RelayProcessor`
+    implementations that can see plaintext — the mcTLS middlebox for
+    contexts it was granted, the SplitTLS proxy for everything.
+    """
+
+    direction: str  # "c2s" | "s2c"
+    context_id: int
+    data: bytes
+    permission: "Permission" = None
+    modified: bool = False
+
+
+@dataclass
+class AlertReceived(Event):
+    level: int
+    description: int
+
+
+@dataclass
+class SessionClosed(Event):
+    """The peer ended the session (close_notify or a fatal alert)."""
+
+
+# Historical name, kept as a true alias so existing ``isinstance(event,
+# ConnectionClosed)`` checks and the new vocabulary match the same event.
+ConnectionClosed = SessionClosed

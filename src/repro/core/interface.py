@@ -1,0 +1,83 @@
+"""The formal sans-I/O interfaces: endpoint connections and relays.
+
+Both protocols are :func:`typing.runtime_checkable`, so conformance is a
+plain ``isinstance`` check — the interface drift check in
+``repro.tools.check_interface`` and the conformance suite assert it for
+every stack.  Runtime checks verify the *surface* (methods and data
+members exist); the behavioural contract below is what the shared
+conformance battery (``tests/test_core_conformance.py``) pins.
+
+Contract for :class:`Connection`:
+
+* ``receive_data(data)`` consumes transport bytes and returns the events
+  they produced, in order.  Feeding ``b""`` is legal and drains any
+  internally queued events without consuming input.  After a fatal
+  protocol error the connection raises and ``closed`` is True; further
+  input is ignored.
+* ``data_to_send()`` drains the pending output buffer (returns ``b""``
+  when quiet).  It never blocks and never raises.
+* ``start_handshake()`` begins the handshake on the active (client)
+  side; on passive (server) connections it is a no-op.  Calling it twice
+  is an error for stateful stacks.
+* ``send_application_data(data, context_id)`` queues protected payload;
+  raises if the handshake has not completed or the connection is closed.
+* ``close()`` queues a close_notify (where the protocol has one) and
+  marks the connection ``closed``.
+
+``handshake_complete``, ``closed`` and ``resumed`` are plain readable
+attributes — drivers poll them between pumps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+from repro.core.events import Event
+
+
+@runtime_checkable
+class Connection(Protocol):
+    """A sans-I/O endpoint: bytes in, bytes out, events up."""
+
+    handshake_complete: bool
+    closed: bool
+    resumed: bool
+
+    def start_handshake(self) -> None:
+        """Begin the handshake (no-op on passive/server connections)."""
+
+    def receive_data(self, data: bytes) -> List[Event]:
+        """Consume transport bytes; return the events they produced."""
+
+    def data_to_send(self) -> bytes:
+        """Drain pending output bytes for the transport."""
+
+    def send_application_data(self, data: bytes, context_id: int = 0) -> None:
+        """Queue application payload for ``context_id``."""
+
+    def close(self) -> None:
+        """Signal end-of-session to the peer and mark ``closed``."""
+
+
+@runtime_checkable
+class RelayProcessor(Protocol):
+    """A two-sided in-path relay (middlebox, proxy, blind forwarder).
+
+    A relay sits between a client-facing and a server-facing transport:
+    bytes arriving from either side are fed in, and each side's pending
+    output is drained independently.  Events (e.g.
+    :class:`~repro.core.events.ContextData`) surface whatever the relay
+    could legally observe.
+    """
+
+    def receive_from_client(self, data: bytes) -> List[Event]:
+        """Consume bytes arriving on the client side."""
+
+    def receive_from_server(self, data: bytes) -> List[Event]:
+        """Consume bytes arriving on the server side."""
+
+    def data_to_client(self) -> bytes:
+        """Drain bytes pending towards the client."""
+
+    def data_to_server(self) -> bytes:
+        """Drain bytes pending towards the server."""

@@ -30,41 +30,24 @@ class HandshakeSizeResult:
 
 
 class _CountingChain(Chain):
-    """Chain that counts bytes crossing the client's first hop."""
+    """Chain that counts bytes crossing the client's first hop.
+
+    Uses the :class:`~repro.core.DriveLoop` ``on_hop`` tap: hop 0 is the
+    client's access link, and the tap sees every transfer crossing it in
+    either direction — no need to re-implement the pump loop.
+    """
 
     def __init__(self, client, relays, server):
         super().__init__(client, relays, server)
         self.client_hop_bytes = 0
+        self.on_hop = self._count_hop
+
+    def _count_hop(self, hop_index: int, direction: str, data: bytes) -> None:
+        if hop_index == 0:
+            self.client_hop_bytes += len(data)
 
     def pump(self, max_rounds: int = 400):
-        new_events = []
-        for _ in range(max_rounds):
-            moved = False
-            data = self.client.data_to_send()
-            if data:
-                moved = True
-                self.client_hop_bytes += len(data)
-                new_events.extend(self._deliver_towards_server(0, data))
-            for i, relay in enumerate(self.relays):
-                to_server = relay.data_to_server()
-                if to_server:
-                    moved = True
-                    new_events.extend(self._deliver_towards_server(i + 1, to_server))
-                to_client = relay.data_to_client()
-                if to_client:
-                    moved = True
-                    if i == 0:
-                        self.client_hop_bytes += len(to_client)
-                    new_events.extend(self._deliver_towards_client(i - 1, to_client))
-            data = self.server.data_to_send()
-            if data:
-                moved = True
-                if not self.relays:
-                    self.client_hop_bytes += len(data)
-                new_events.extend(self._deliver_towards_client(len(self.relays) - 1, data))
-            if not moved:
-                return new_events
-        raise RuntimeError("handshake did not converge")
+        return super().pump(max_rounds)
 
 
 def measure_handshake_size(

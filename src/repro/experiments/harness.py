@@ -20,6 +20,7 @@ from enum import Enum
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import BlindRelay, PlainConnection, PlainRelay, SplitTLSRelay
+from repro.core.events import ApplicationData, HandshakeComplete
 from repro.crypto.certs import CertificateAuthority, Identity, generate_rsa_key
 from repro.crypto.dh import GROUP_MODP_1024, DHGroup
 from repro.http.strategies import ContextStrategy, FOUR_CONTEXT, ONE_CONTEXT
@@ -283,20 +284,19 @@ class EndpointNode:
     def _on_connected(self) -> None:
         if self.is_client:
             self.connection.start_handshake()
-            if self.connection.handshake_complete and self.on_event is not None:
-                # Plain TCP "completes" instantly; surface it as an event
-                # so drivers treat all modes uniformly.
-                from repro.tls.connection import HandshakeComplete
-
-                self.on_event(HandshakeComplete(cipher_suite="none"), self.sim.now)
+            # Drain events queued by start_handshake itself (plain TCP
+            # "completes" instantly) so drivers treat all modes uniformly.
+            self._route_events(self.connection.receive_data(b""))
         self.flush()
 
     def _on_data(self, data: bytes) -> None:
-        events = self.connection.receive_bytes(data)
+        self._route_events(self.connection.receive_data(data))
+        self.flush()
+
+    def _route_events(self, events) -> None:
         if self.on_event is not None:
             for event in events:
                 self.on_event(event, self.sim.now)
-        self.flush()
 
     def flush(self) -> None:
         data = self.connection.data_to_send()
@@ -488,11 +488,11 @@ def build_path(
 
 
 def is_handshake_complete(event) -> bool:
-    return type(event).__name__ in ("HandshakeComplete", "McTLSHandshakeComplete")
+    return isinstance(event, HandshakeComplete)
 
 
 def is_app_data(event) -> bool:
-    return type(event).__name__ in ("ApplicationData", "McTLSApplicationData")
+    return isinstance(event, ApplicationData)
 
 
 # Module-level testbed cache so pytest-benchmark runs share key material.

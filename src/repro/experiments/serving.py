@@ -29,6 +29,7 @@ from repro.aio import (
     run_load_threaded,
 )
 from repro.baselines import BlindRelay, PlainConnection, PlainRelay, SplitTLSRelay
+from repro.core import Connection, Instruments, RelayProcessor
 from repro.experiments.harness import Mode, TestBed
 from repro.mctls import McTLSClient, McTLSMiddlebox, McTLSServer, SessionTopology
 from repro.mctls.session import HandshakeMode
@@ -43,7 +44,7 @@ LOOPBACK = "127.0.0.1"
 # -- per-mode factories (the socket-serving view of TestBed) ---------------
 
 
-def server_connection_factory(bed: TestBed, mode: Mode) -> Callable[..., object]:
+def server_connection_factory(bed: TestBed, mode: Mode) -> Callable[..., Connection]:
     """A factory for fresh server-side sans-I/O connections.
 
     Accepts an optional positional ``session_cache`` so it can be handed
@@ -83,7 +84,7 @@ def client_connection_factory(
     mode: Mode,
     topology: Optional[SessionTopology] = None,
     session_store: Optional[ClientSessionStore] = None,
-) -> Callable[..., object]:
+) -> Callable[..., Connection]:
     """A ``client_factory(resume=...)`` for the load generator.
 
     ``resume=True`` builds the client against the shared
@@ -113,7 +114,7 @@ def client_connection_factory(
 
 def relay_factory(
     bed: TestBed, mode: Mode, index: int, count: int
-) -> Callable[[], object]:
+) -> Callable[[], RelayProcessor]:
     """A per-connection relay factory for hop ``index`` of ``count``
     (index 0 is nearest the client), matching ``TestBed.make_relays``."""
     if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
@@ -169,10 +170,8 @@ class ServingChain:
         return (self.relays[0] if self.relays else self.endpoint).port
 
     def snapshot(self) -> Dict[str, object]:
-        snap: Dict[str, object] = {}
-        if hasattr(self.endpoint, "snapshot"):
-            snap["server"] = self.endpoint.snapshot()
-        if self.relays and hasattr(self.relays[0], "stats"):
+        snap: Dict[str, object] = {"server": self.endpoint.snapshot()}
+        if self.relays:
             snap["relays"] = [r.stats.snapshot() for r in self.relays]
         return snap
 
@@ -196,10 +195,15 @@ async def start_chain(
     handshake_timeout: float = 60.0,
     idle_timeout: float = 60.0,
     handler: Callable[[AsyncConnection], object] = echo_handler,
+    instruments: Optional[Instruments] = None,
 ) -> ServingChain:
     """Start an async echo server and ``n_middleboxes`` relays on
     loopback; relay ``i`` forwards to relay ``i+1``, the last to the
-    server — the wire topology of Fig. 1 on real sockets."""
+    server — the wire topology of Fig. 1 on real sockets.
+
+    ``instruments`` (optional) is shared by the endpoint server and every
+    relay, so protocol-level counters aggregate across the whole chain.
+    """
     endpoint = AsyncEndpointServer(
         (LOOPBACK, 0),
         server_connection_factory(bed, mode),
@@ -208,6 +212,7 @@ async def start_chain(
         max_connections=max_connections,
         handshake_timeout=handshake_timeout,
         idle_timeout=idle_timeout,
+        instruments=instruments,
     )
     await endpoint.start()
     relays: List[AsyncRelayServer] = []
@@ -219,6 +224,7 @@ async def start_chain(
             relay_factory=relay_factory(bed, mode, index, n_middleboxes),
             max_connections=max_connections,
             idle_timeout=idle_timeout,
+            instruments=instruments,
         )
         await relay.start()
         relays.insert(0, relay)
@@ -233,6 +239,7 @@ def start_threaded_chain(
     mode: Mode,
     n_middleboxes: int = 0,
     session_cache: Optional[SessionCache] = None,
+    instruments: Optional[Instruments] = None,
 ) -> ServingChain:
     """The ``repro.sockets`` twin of :func:`start_chain`."""
     endpoint = EndpointServer(
@@ -240,6 +247,7 @@ def start_threaded_chain(
         server_connection_factory(bed, mode),
         threaded_echo_handler,
         session_cache=session_cache,
+        instruments=instruments,
     ).start()
     relays: List[RelayServer] = []
     upstream_port = endpoint.port
@@ -248,6 +256,7 @@ def start_threaded_chain(
             (LOOPBACK, 0),
             upstream_addr=(LOOPBACK, upstream_port),
             relay_factory=relay_factory(bed, mode, index, n_middleboxes),
+            instruments=instruments,
         ).start()
         relays.insert(0, relay)
         upstream_port = relay.port
@@ -281,6 +290,7 @@ async def run_async_load(
     payload: bytes = b"ping",
     handshake_timeout: float = 60.0,
     io_timeout: float = 60.0,
+    instruments: Optional[Instruments] = None,
 ) -> Dict[str, object]:
     """Start a chain, drive the load generator, stop, return the merged
     load + server stats report."""
@@ -298,6 +308,7 @@ async def run_async_load(
         max_connections=max(concurrency * 2, 64),
         handshake_timeout=handshake_timeout,
         idle_timeout=io_timeout,
+        instruments=instruments,
     )
     try:
         result = await run_load(
@@ -340,6 +351,7 @@ def run_threaded_load(
     payload: bytes = b"ping",
     handshake_timeout: float = 60.0,
     io_timeout: float = 60.0,
+    instruments: Optional[Instruments] = None,
 ) -> Dict[str, object]:
     """The thread-per-connection twin of :func:`run_async_load`."""
     session_cache = SessionCache(capacity=max(64, concurrency * 2))
@@ -349,7 +361,11 @@ def run_threaded_load(
         else None
     )
     chain = start_threaded_chain(
-        bed, mode, n_middleboxes, session_cache=session_cache
+        bed,
+        mode,
+        n_middleboxes,
+        session_cache=session_cache,
+        instruments=instruments,
     )
     try:
         result = run_load_threaded(
@@ -370,9 +386,11 @@ def run_threaded_load(
         )
     finally:
         chain.stop_threaded()
-    return {
+    report: Dict[str, object] = {
         "mode": mode.value,
         "middleboxes": n_middleboxes,
         "contexts": n_contexts,
         "load": result.to_dict(),
     }
+    report.update(chain.snapshot())
+    return report

@@ -244,12 +244,12 @@ def measure_full_vs_resumed(
         client, server, full_ops, full_cpu, full_bytes = _run_profiled_handshake(
             bed, mode, topology, n_middleboxes
         )
-        if getattr(server, "resumed", False):
+        if server.resumed:
             raise RuntimeError("first handshake unexpectedly resumed")
         client, server, resumed_ops, resumed_cpu, resumed_bytes = _run_profiled_handshake(
             bed, mode, topology, n_middleboxes
         )
-        if not (getattr(client, "resumed", False) and getattr(server, "resumed", False)):
+        if not (client.resumed and server.resumed):
             raise RuntimeError(f"second handshake did not resume for {mode}")
     finally:
         bed.session_cache, bed.client_sessions = saved

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Callable, Dict, List, Optional
 
+from repro.core.events import ContextData
 from repro.crypto.certs import verify_chain
 from repro.crypto.dh import DHGroup, DHKeyPair
 from repro.mctls import keys as mk
@@ -66,15 +67,9 @@ class MiddleboxHandshakeComplete(Event):
     mode: ms.HandshakeMode
 
 
-@dataclass
-class ContextData(Event):
-    """Application data observed (and possibly rewritten) at the middlebox."""
-
-    direction: str
-    context_id: int
-    data: bytes
-    permission: Permission
-    modified: bool = False
+# ContextData now lives in the shared vocabulary (repro.core.events);
+# re-exported here because this is where middlebox drivers import it from.
+__all__ = ["ContextData", "McTLSMiddlebox", "MiddleboxHandshakeComplete"]
 
 
 class _Side(Enum):
@@ -123,6 +118,10 @@ class McTLSMiddlebox:
         self._proposed_session_id = b""
         self.handshake_complete = False
         self.closed = False
+
+        # Instrumentation plane: None (the default) costs one attribute
+        # load per hook site; attach a repro.core.Instruments to enable.
+        self.instruments = None
 
         self._random = ms.make_random()
         self._client_random: Optional[bytes] = None
@@ -175,6 +174,11 @@ class McTLSMiddlebox:
             self.closed = True
             if getattr(exc, "where", None) is None:
                 exc.where = "middlebox"
+            if self.instruments is not None:
+                self.instruments.inc("errors.fatal")
+                mac = getattr(exc, "mac", None)
+                if mac is not None:
+                    self.instruments.inc(f"mac.fail.{mac}")
             raise TLSError(f"middlebox relay failure: {exc}") from exc
         events, self._events = self._events, []
         return events
@@ -217,6 +221,8 @@ class McTLSMiddlebox:
     ) -> None:
         processor = self._proc_c2s if side is _Side.CLIENT else self._proc_s2c
         direction = mk.C2S if side is _Side.CLIENT else mk.S2C
+        if self.instruments is not None:
+            self.instruments.inc("relay.records")
         opened = processor.open_record(content_type, context_id, fragment)
         if opened.payload is None or content_type != rec.APPLICATION_DATA:
             self._out_for(side).extend(raw)
@@ -243,6 +249,8 @@ class McTLSMiddlebox:
             )
         )
         if modified:
+            if self.instruments is not None:
+                self.instruments.inc("relay.modified")
             self._out_for(side).extend(processor.rebuild_record(opened, new_payload))
         else:
             self._out_for(side).extend(raw)

@@ -31,14 +31,19 @@ from repro.mctls.contexts import (
 from repro.tls import messages as tls_msgs
 from repro.tls import record as rec
 from repro.tls.ciphersuites import CipherSuite
+from repro.core.events import (
+    AlertReceived,
+    ApplicationData,
+    ConnectionClosed,
+    Event,
+    HandshakeComplete,
+)
+from repro.core.instrument import record_event
 from repro.tls.connection import (
     ALERT_BAD_RECORD_MAC,
     ALERT_CLOSE_NOTIFY,
     ALERT_LEVEL_FATAL,
     ALERT_LEVEL_WARNING,
-    AlertReceived,
-    ConnectionClosed,
-    Event,
     TLSConfig,
     TLSError,
 )
@@ -67,12 +72,18 @@ class KeyTransport(IntEnum):
 
 
 @dataclass
-class McTLSHandshakeComplete(Event):
-    cipher_suite: str
-    mode: HandshakeMode
-    topology: SessionTopology
-    peer_certificate: Optional[Certificate] = None
-    resumed: bool = False  # abbreviated handshake from a cached session
+class McTLSHandshakeComplete(HandshakeComplete):
+    """The mcTLS refinement of the shared :class:`HandshakeComplete`.
+
+    Subclassing keeps generic drivers working —
+    ``isinstance(event, HandshakeComplete)`` matches both — while adding
+    the session's negotiated ``mode`` and middlebox/context ``topology``.
+    Both are always set by the stack; the defaults exist only because the
+    parent class has defaulted fields.
+    """
+
+    mode: HandshakeMode = None
+    topology: SessionTopology = None
 
 
 @dataclass
@@ -102,15 +113,15 @@ class McTLSSessionState:
 
 
 @dataclass
-class McTLSApplicationData(Event):
+class McTLSApplicationData(ApplicationData):
     """Application data received in one context.
 
-    ``legally_modified`` is True when the endpoint MAC did not match —
-    i.e. a writer middlebox (legally) modified the record in flight.
+    Subclasses the shared :class:`ApplicationData` so generic drivers
+    match it.  ``legally_modified`` is True when the endpoint MAC did not
+    match — i.e. a writer middlebox (legally) modified the record in
+    flight.
     """
 
-    data: bytes
-    context_id: int
     legally_modified: bool = False
 
 
@@ -263,19 +274,26 @@ class McTLSConnectionBase:
         self._events: List[Event] = []
         self.handshake_complete = False
         self.closed = False
+        self.resumed = False
         self.negotiated_suite: Optional[CipherSuite] = None
         self.peer_certificate: Optional[Certificate] = None
+        # Instrumentation plane: None (the default) costs one attribute
+        # load per hook site; attach a repro.core.Instruments to enable.
+        self.instruments = None
 
     # -- transport-facing API ---------------------------------------------
+
+    def start_handshake(self) -> None:
+        """Passive side by default; the client subclass overrides."""
 
     def data_to_send(self) -> bytes:
         data = bytes(self._out)
         self._out.clear()
         return data
 
-    def receive_bytes(self, data: bytes) -> List[Event]:
+    def receive_data(self, data: bytes) -> List[Event]:
         if self.closed:
-            return []
+            return self._drain_events()
         self.records.feed(data)
         try:
             for record in self.records.read_all():
@@ -283,12 +301,28 @@ class McTLSConnectionBase:
         except (mrec.McTLSRecordError, DecodeError) as exc:
             if getattr(exc, "where", None) is None:
                 exc.where = "endpoint"
+            self._count_failure(exc)
             failure = TLSError(str(exc), ALERT_BAD_RECORD_MAC)
             failure.__cause__ = exc  # keep the detection outcome reachable
             self._fail(failure)
         except TLSError as exc:
+            self._count_failure(exc)
             self._fail(exc)
         return self._drain_events()
+
+    def receive_bytes(self, data: bytes) -> List[Event]:
+        """Historical name for :meth:`receive_data`."""
+        return self.receive_data(data)
+
+    def _count_failure(self, exc: Exception) -> None:
+        if self.instruments is None:
+            return
+        self.instruments.inc("errors.fatal")
+        if not self.handshake_complete:
+            self.instruments.inc("handshake.failed")
+        mac = getattr(exc, "mac", None)
+        if mac is not None:
+            self.instruments.inc(f"mac.fail.{mac}")
 
     def send_application_data(self, data: bytes, context_id: int = 1) -> None:
         if not self.handshake_complete:
@@ -297,6 +331,9 @@ class McTLSConnectionBase:
             raise TLSError("connection is closed")
         if context_id == ENDPOINT_CONTEXT_ID:
             raise TLSError("context 0 is reserved for the endpoints")
+        if self.instruments is not None:
+            self.instruments.inc("records.out")
+            self.instruments.inc(f"context.{context_id}.bytes_out", len(data))
         self._out += self.records.encode(rec.APPLICATION_DATA, data, context_id)
 
     def close(self) -> None:
@@ -311,6 +348,8 @@ class McTLSConnectionBase:
         return events
 
     def _emit(self, event: Event) -> None:
+        if self.instruments is not None:
+            record_event(self.instruments, event)
         self._events.append(event)
 
     def _fail(self, exc: TLSError) -> None:
@@ -332,6 +371,8 @@ class McTLSConnectionBase:
                 if message is None:
                     break
                 msg_type, body, raw = message
+                if self.instruments is not None:
+                    self.instruments.inc("handshake.messages_in")
                 self._handle_handshake_message(msg_type, body, raw)
         elif record.content_type == rec.CHANGE_CIPHER_SPEC:
             if record.payload != b"\x01":
@@ -365,6 +406,8 @@ class McTLSConnectionBase:
         raw = tls_msgs.frame(message.msg_type, message.encode())
         if tag is not None:
             self.transcript.add(tag, raw)
+        if self.instruments is not None:
+            self.instruments.inc("handshake.messages_out")
         self._out += self.records.encode(rec.HANDSHAKE, raw, ENDPOINT_CONTEXT_ID)
         return raw
 

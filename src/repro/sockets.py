@@ -2,9 +2,12 @@
 
 The paper's §5.4 deployability argument is that mcTLS slots into
 applications with minimal effort.  This module provides the blocking
-socket glue: run any endpoint connection over a TCP socket, and any
-two-sided relay (mcTLS middlebox, SplitTLS proxy, blind relay) between a
-listening socket and an upstream connection.
+socket glue: run any endpoint implementing the
+:class:`repro.core.Connection` protocol over a TCP socket, and any
+:class:`repro.core.RelayProcessor` (mcTLS middlebox, SplitTLS proxy,
+blind relay) between a listening socket and an upstream connection.
+The glue is generic — no per-protocol branches; everything a transport
+needs is in the formal connection interface.
 
 Everything is synchronous and thread-per-connection — deliberately
 simple, since the protocol logic lives in the sans-I/O cores and this is
@@ -18,7 +21,11 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import Connection, RelayProcessor
+from repro.core.events import ApplicationData, Event
+from repro.core.instrument import Instruments, ServerStats
 
 RECV_SIZE = 65536
 
@@ -58,13 +65,13 @@ def tune_socket(sock: socket.socket) -> None:
 
 
 class SocketConnection:
-    """Drives a sans-I/O endpoint connection over a blocking socket."""
+    """Drives a :class:`repro.core.Connection` over a blocking socket."""
 
-    def __init__(self, connection, sock: socket.socket):
+    def __init__(self, connection: Connection, sock: socket.socket):
         self.connection = connection
         self.sock = sock
         tune_socket(sock)
-        self.events: List[object] = []
+        self.events: List[Event] = []
         self.bytes_in = 0
         self.bytes_out = 0
 
@@ -78,9 +85,7 @@ class SocketConnection:
         """The peer half-closed.  After the handshake this is how plain
         TCP peers signal "done" (many don't bother with close_notify);
         mid-handshake it can only be a failure."""
-        if self.connection.handshake_complete or getattr(
-            self.connection, "closed", False
-        ):
+        if self.connection.handshake_complete or self.connection.closed:
             raise SessionEnded("peer ended the session")
         raise ConnectionError("peer closed the connection mid-handshake")
 
@@ -111,16 +116,17 @@ class SocketConnection:
                     f"pump_until consumed {consumed} bytes without progress "
                     f"(bound: {max_bytes})"
                 )
-            self.events.extend(self.connection.receive_bytes(data))
+            self.events.extend(self.connection.receive_data(data))
             self.flush()
 
     def handshake(self, timeout: float = 30.0) -> None:
-        if hasattr(self.connection, "start_handshake"):
-            if not self.connection.handshake_complete:
-                try:
-                    self.connection.start_handshake()
-                except Exception:
-                    pass  # server side: passive
+        if not self.connection.handshake_complete:
+            # start_handshake() is part of the Connection protocol: a
+            # no-op on passive (server) sides, the ClientHello elsewhere.
+            self.connection.start_handshake()
+            # Protocols whose handshake completes instantly (plain TCP)
+            # queue their HandshakeComplete during start; drain it.
+            self.events.extend(self.connection.receive_data(b""))
         self.pump_until(lambda: self.connection.handshake_complete, timeout)
 
     def send(self, data: bytes, context_id: Optional[int] = None) -> None:
@@ -131,16 +137,24 @@ class SocketConnection:
         self.flush()
 
     def recv_app_data(self, timeout: float = 30.0):
-        """Block until the next application-data event arrives."""
+        """Block until the next application-data event arrives.
 
-        def have_data():
-            return any(hasattr(e, "data") for e in self.events)
+        Raises :class:`SessionEnded` if the session ends first — whether
+        by close_notify (the connection marks itself closed) or by the
+        peer's orderly EOF — so half-close behaves identically to the
+        asyncio runtime.
+        """
 
-        self.pump_until(have_data, timeout)
+        def ready():
+            return self.connection.closed or any(
+                isinstance(e, ApplicationData) for e in self.events
+            )
+
+        self.pump_until(ready, timeout)
         for i, event in enumerate(self.events):
-            if hasattr(event, "data"):
+            if isinstance(event, ApplicationData):
                 return self.events.pop(i)
-        raise RuntimeError("unreachable")  # pragma: no cover
+        raise SessionEnded("session closed before application data")
 
     def close(self) -> None:
         try:
@@ -152,17 +166,23 @@ class SocketConnection:
 
 class RelayServer:
     """Accepts downstream connections and relays them upstream through a
-    two-sided relay object (one relay instance per connection)."""
+    :class:`repro.core.RelayProcessor` (one relay instance per
+    connection).  Keeps a :class:`ServerStats` ledger like the endpoint
+    servers; ``instruments`` (optional) is attached to every fresh relay
+    object so middlebox-level counters aggregate across sessions."""
 
     def __init__(
         self,
         listen_addr: Tuple[str, int],
         upstream_addr: Tuple[str, int],
-        relay_factory: Callable[[], object],
+        relay_factory: Callable[[], RelayProcessor],
+        instruments: Optional[Instruments] = None,
     ):
         self.listen_addr = listen_addr
         self.upstream_addr = upstream_addr
         self.relay_factory = relay_factory
+        self.instruments = instruments
+        self.stats = ServerStats(instruments=instruments)
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
         self._stopping = threading.Event()
@@ -170,6 +190,9 @@ class RelayServer:
     @property
     def port(self) -> int:
         return self._listener.getsockname()[1]
+
+    def snapshot(self) -> Dict[str, object]:
+        return self.stats.snapshot()
 
     def start(self) -> "RelayServer":
         self._listener = socket.create_server(self.listen_addr)
@@ -194,11 +217,19 @@ class RelayServer:
             thread.start()
             self._threads.append(thread)
 
-    def _handle(self, downstream: socket.socket) -> None:
+    def _make_relay(self) -> RelayProcessor:
         relay = self.relay_factory()
+        if self.instruments is not None:
+            relay.instruments = self.instruments
+        return relay
+
+    def _handle(self, downstream: socket.socket) -> None:
+        relay = self._make_relay()
+        self.stats.add(accepted=1, active=1)
         try:
             upstream = socket.create_connection(self.upstream_addr, timeout=10)
         except OSError:
+            self.stats.add(errors=1, active=-1)
             downstream.close()
             return
         for sock in (downstream, upstream):
@@ -208,9 +239,11 @@ class RelayServer:
         def flush() -> None:
             to_server = relay.data_to_server()
             if to_server:
+                self.stats.add(bytes_out=len(to_server))
                 upstream.sendall(to_server)
             to_client = relay.data_to_client()
             if to_client:
+                self.stats.add(bytes_out=len(to_client))
                 downstream.sendall(to_client)
 
         # Track EOF per direction: one side half-closing must not stop
@@ -236,16 +269,19 @@ class RelayServer:
                         open_sides[id(sock)] = False
                         continue
                     moved = True
+                    self.stats.add(bytes_in=len(data))
                     try:
                         feed(data)
                     except Exception:
                         # Garbage from one peer (or a fault mutator)
                         # kills this relay session, never the server.
+                        self.stats.add(errors=1)
                         return
                     flush()
                 if not moved:
                     flush()
         finally:
+            self.stats.add(active=-1)
             downstream.close()
             upstream.close()
 
@@ -259,24 +295,37 @@ class EndpointServer:
     """Accepts connections and runs a fresh sans-I/O server connection
     plus a user handler for each.
 
+    The server owns the handshake (handlers receive a
+    :class:`SocketConnection` whose handshake has already completed, and
+    may call :meth:`SocketConnection.handshake` again as a no-op), so
+    stats and resumption accounting are uniform across handlers and
+    symmetric with :class:`repro.aio.AsyncEndpointServer`.
+
     When ``session_cache`` is given, ``connection_factory`` is called
     with it as its single argument (instead of zero arguments) so every
     per-connection protocol object shares the one server-side
     :class:`repro.tls.sessioncache.SessionCache` — the deployment shape
-    for resumption over real sockets.
+    for resumption over real sockets.  ``instruments`` (optional) is
+    attached to every per-connection protocol object, aggregating
+    protocol-level counters across the server's lifetime.
     """
 
     def __init__(
         self,
         listen_addr: Tuple[str, int],
-        connection_factory: Callable[..., object],
+        connection_factory: Callable[..., Connection],
         handler: Callable[[SocketConnection], None],
         session_cache: Optional[object] = None,
+        instruments: Optional[Instruments] = None,
+        handshake_timeout: float = 30.0,
     ):
         self.listen_addr = listen_addr
         self.connection_factory = connection_factory
         self.handler = handler
         self.session_cache = session_cache
+        self.instruments = instruments
+        self.handshake_timeout = handshake_timeout
+        self.stats = ServerStats(instruments=instruments)
         self._listener: Optional[socket.socket] = None
         self._stopping = threading.Event()
 
@@ -284,10 +333,22 @@ class EndpointServer:
     def port(self) -> int:
         return self._listener.getsockname()[1]
 
-    def _make_connection(self) -> object:
+    def _make_connection(self) -> Connection:
         if self.session_cache is not None:
-            return self.connection_factory(self.session_cache)
-        return self.connection_factory()
+            connection = self.connection_factory(self.session_cache)
+        else:
+            connection = self.connection_factory()
+        if self.instruments is not None:
+            connection.instruments = self.instruments
+        return connection
+
+    def snapshot(self) -> Dict[str, object]:
+        """Stats plus the session cache's hit/miss ledger, if attached."""
+        snap = self.stats.snapshot()
+        cache_stats = getattr(self.session_cache, "stats", None)
+        if cache_stats is not None:
+            snap["session_cache"] = cache_stats.snapshot()
+        return snap
 
     def start(self) -> "EndpointServer":
         self._listener = socket.create_server(self.listen_addr)
@@ -310,15 +371,34 @@ class EndpointServer:
 
     def _handle(self, sock: socket.socket) -> None:
         wrapper = SocketConnection(self._make_connection(), sock)
+        self.stats.add(accepted=1, active=1)
         try:
-            self.handler(wrapper)
-        except (ConnectionError, OSError):
-            pass
-        except Exception:
-            # A protocol error from a misbehaving peer (TLSError,
-            # DecodeError, ...) ends this connection only.
-            pass
+            try:
+                wrapper.handshake(self.handshake_timeout)
+            except Exception:
+                self.stats.add(handshakes_failed=1)
+                return
+            self.stats.add(handshakes_ok=1)
+            if wrapper.connection.resumed:
+                self.stats.add(resumed=1)
+            try:
+                self.handler(wrapper)
+            except SessionEnded:
+                pass  # peer finished cleanly mid-handler
+            except socket.timeout:
+                self.stats.add(timeouts=1)
+            except (ConnectionError, OSError):
+                self.stats.add(errors=1)
+            except Exception:
+                # A protocol error from a misbehaving peer (TLSError,
+                # DecodeError, ...) ends this connection only.
+                self.stats.add(errors=1)
         finally:
+            self.stats.add(
+                active=-1,
+                bytes_in=wrapper.bytes_in,
+                bytes_out=wrapper.bytes_out,
+            )
             sock.close()
 
     def stop(self) -> None:
@@ -327,7 +407,9 @@ class EndpointServer:
             self._listener.close()
 
 
-def connect(addr: Tuple[str, int], connection, timeout: float = 10.0) -> SocketConnection:
+def connect(
+    addr: Tuple[str, int], connection: Connection, timeout: float = 10.0
+) -> SocketConnection:
     """Dial ``addr`` and wrap ``connection`` over the socket."""
     sock = socket.create_connection(addr, timeout=timeout)
     return SocketConnection(connection, sock)

@@ -10,8 +10,9 @@ SplitTLS / E2E-TLS baselines the paper compares against:
   CCS/Finished),
 * alerts and transcript (Finished) verification.
 
-All protocol objects are sans-I/O state machines: feed received bytes with
-``receive_bytes()``, drain output with ``data_to_send()``, observe progress
+All protocol objects are sans-I/O state machines implementing the
+``repro.core.Connection`` protocol: feed received bytes with
+``receive_data()``, drain output with ``data_to_send()``, observe progress
 through returned events.  The same code runs over in-memory pipes, real
 sockets and the discrete-event network simulator.
 """

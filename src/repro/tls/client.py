@@ -42,7 +42,7 @@ class TLSClient(TLSConnectionBase):
         client = TLSClient(TLSConfig(trusted_roots=[...], server_name="s"))
         client.start_handshake()
         transport.write(client.data_to_send())
-        events = client.receive_bytes(transport.read())
+        events = client.receive_data(transport.read())
     """
 
     def __init__(

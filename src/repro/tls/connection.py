@@ -1,9 +1,12 @@
 """Sans-I/O connection base shared by the TLS client and server.
 
-A connection consumes raw transport bytes (``receive_bytes``) and produces
+A connection consumes raw transport bytes (``receive_data``) and produces
 (1) raw bytes to write to the transport (``data_to_send``) and (2) a list
 of high-level events (handshake completion, application data, alerts,
 closure).  Nothing here ever touches a socket; transports live elsewhere.
+The surface is the formal :class:`repro.core.Connection` protocol; the
+event classes live in :mod:`repro.core.events` and are re-exported here
+for compatibility.
 """
 
 from __future__ import annotations
@@ -13,6 +16,15 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.events import (
+    AlertReceived,
+    ApplicationData,
+    ConnectionClosed,
+    Event,
+    HandshakeComplete,
+    SessionClosed,
+)
+from repro.core.instrument import record_event
 from repro.crypto.certs import Certificate, Identity
 from repro.crypto.dh import DHGroup, GROUP_MODP_2048
 from repro.tls import messages as msgs
@@ -41,37 +53,6 @@ class TLSError(Exception):
     def __init__(self, message: str, alert: int = ALERT_HANDSHAKE_FAILURE):
         super().__init__(message)
         self.alert = alert
-
-
-# -- events --------------------------------------------------------------
-
-
-class Event:
-    """Base class for connection events."""
-
-
-@dataclass
-class HandshakeComplete(Event):
-    cipher_suite: str
-    peer_certificate: Optional[Certificate] = None
-    resumed: bool = False  # abbreviated handshake from a cached session
-
-
-@dataclass
-class ApplicationData(Event):
-    data: bytes
-    context_id: int = 0  # meaningful for mcTLS; always 0 for plain TLS
-
-
-@dataclass
-class AlertReceived(Event):
-    level: int
-    description: int
-
-
-@dataclass
-class ConnectionClosed(Event):
-    pass
 
 
 # -- configuration --------------------------------------------------------
@@ -117,35 +98,57 @@ class TLSConnectionBase:
         self._events: List[Event] = []
         self.handshake_complete = False
         self.closed = False
+        self.resumed = False
         self.negotiated_suite: Optional[CipherSuite] = None
         self.peer_certificate: Optional[Certificate] = None
+        # Instrumentation plane: None (the default) costs one attribute
+        # load per hook site; attach a repro.core.Instruments to enable.
+        self.instruments = None
 
     # -- transport-facing API ------------------------------------------
+
+    def start_handshake(self) -> None:
+        """Passive side by default; the client subclass overrides."""
 
     def data_to_send(self) -> bytes:
         data = bytes(self._out)
         self._out.clear()
         return data
 
-    def receive_bytes(self, data: bytes) -> List[Event]:
+    def receive_data(self, data: bytes) -> List[Event]:
         """Feed transport bytes; returns the events they produced."""
         if self.closed:
-            return []
+            return self._drain_events()
         self.records.feed(data)
         try:
             for content_type, plaintext in self.records.read_all():
                 self._dispatch_record(content_type, plaintext)
         except (rec.RecordError, DecodeError) as exc:
+            self._count_failure()
             self._fail(TLSError(str(exc), ALERT_BAD_RECORD_MAC))
         except TLSError as exc:
+            self._count_failure()
             self._fail(exc)
         return self._drain_events()
+
+    def receive_bytes(self, data: bytes) -> List[Event]:
+        """Historical name for :meth:`receive_data`."""
+        return self.receive_data(data)
+
+    def _count_failure(self) -> None:
+        if self.instruments is not None:
+            self.instruments.inc("errors.fatal")
+            if not self.handshake_complete:
+                self.instruments.inc("handshake.failed")
 
     def send_application_data(self, data: bytes, context_id: int = 0) -> None:
         if not self.handshake_complete:
             raise TLSError("cannot send application data before handshake")
         if self.closed:
             raise TLSError("connection is closed")
+        if self.instruments is not None:
+            self.instruments.inc("records.out")
+            self.instruments.inc(f"context.{context_id}.bytes_out", len(data))
         self._out += self.records.encode(rec.APPLICATION_DATA, data)
 
     def close(self) -> None:
@@ -161,6 +164,8 @@ class TLSConnectionBase:
         return events
 
     def _emit(self, event: Event) -> None:
+        if self.instruments is not None:
+            record_event(self.instruments, event)
         self._events.append(event)
 
     def _fail(self, exc: TLSError) -> None:
@@ -180,6 +185,8 @@ class TLSConnectionBase:
                 if message is None:
                     break
                 msg_type, body, raw = message
+                if self.instruments is not None:
+                    self.instruments.inc("handshake.messages_in")
                 self._handle_handshake_message(msg_type, body, raw)
         elif content_type == rec.CHANGE_CIPHER_SPEC:
             if plaintext != b"\x01":
@@ -210,6 +217,8 @@ class TLSConnectionBase:
         raw = msgs.frame(message.msg_type, message.encode())
         if transcript:
             self._transcript.append(raw)
+        if self.instruments is not None:
+            self.instruments.inc("handshake.messages_out")
         self._out += self.records.encode(rec.HANDSHAKE, raw)
         return raw
 

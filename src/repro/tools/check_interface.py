@@ -1,0 +1,54 @@
+"""Interface drift check: every stack satisfies the ``repro.core`` protocols.
+
+CI runs this as ``python -m repro.tools.check_interface``.  It builds one
+instance of every endpoint connection and every relay across the five
+protocol modes (with throwaway 512-bit material, so it is cheap) and
+asserts each satisfies the runtime-checkable
+:class:`repro.core.Connection` / :class:`repro.core.RelayProcessor`
+protocol.  A stack that drops or renames part of the formal surface
+fails here immediately, before any behavioural test runs.
+"""
+
+from __future__ import annotations
+
+from repro.core import Connection, RelayProcessor
+from repro.crypto.dh import GROUP_TEST_512
+from repro.experiments.harness import Mode, TestBed
+
+
+def check_interfaces(bed: TestBed | None = None) -> list:
+    """Return ``(label, object)`` pairs checked; raises on any drift."""
+    if bed is None:
+        bed = TestBed(key_bits=512, dh_group=GROUP_TEST_512)
+    checked = []
+    for mode in Mode:
+        client, server = bed.make_endpoints(mode)
+        for side, endpoint in (("client", client), ("server", server)):
+            label = f"{mode.value} {side} ({type(endpoint).__name__})"
+            if not isinstance(endpoint, Connection):
+                raise TypeError(f"{label} does not satisfy repro.core.Connection")
+            checked.append((label, endpoint))
+        for relay in bed.make_relays(mode, 1):
+            label = f"{mode.value} relay ({type(relay).__name__})"
+            if not isinstance(relay, RelayProcessor):
+                raise TypeError(
+                    f"{label} does not satisfy repro.core.RelayProcessor"
+                )
+            # A relay must not masquerade as an endpoint: the runtimes
+            # pick the driving loop by which protocol an object fulfils.
+            if isinstance(relay, Connection):
+                raise TypeError(f"{label} also satisfies Connection")
+            checked.append((label, relay))
+    return checked
+
+
+def main() -> int:
+    checked = check_interfaces()
+    for label, _ in checked:
+        print(f"ok: {label}")
+    print(f"{len(checked)} objects satisfy the repro.core protocols")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

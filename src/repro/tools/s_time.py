@@ -19,14 +19,19 @@ Usage::
     python -m repro.tools.s_time --mode split --seconds 5 --key-bits 1024
     python -m repro.tools.s_time --mode mctls --async --connections 200 \\
         --concurrency 50 --resume-ratio 0.5
+    python -m repro.tools.s_time --mode mctls --seconds 1 \\
+        --stats-json stats.json   # instrumentation-plane counter snapshot
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import time
+from typing import Optional
 
+from repro.core import Instruments
 from repro.crypto.dh import GROUP_TEST_512
 from repro.experiments.harness import Mode, TestBed
 from repro.mctls.session import KeyTransport
@@ -60,8 +65,15 @@ def run_s_time(
     n_middleboxes: int = 1,
     key_bits: int = 1024,
     key_transport: str = "rsa",
+    instruments: Optional[Instruments] = None,
 ) -> dict:
-    """Run handshakes for ~``seconds``; returns measurement statistics."""
+    """Run handshakes for ~``seconds``; returns measurement statistics.
+
+    ``instruments`` (optional) is attached to every protocol object of
+    every iteration, so protocol-level counters (handshake messages, MAC
+    failures, per-context bytes) aggregate over the whole run and appear
+    under ``"instruments"`` in the returned statistics.
+    """
     bed = _make_bed(key_bits, key_transport)
     topology = (
         bed.topology(n_middleboxes, n_contexts=n_contexts)
@@ -74,6 +86,9 @@ def run_s_time(
     while time.perf_counter() < deadline:
         client, server = bed.make_endpoints(mode, topology=topology)
         relays = bed.make_relays(mode, n_middleboxes)
+        if instruments is not None:
+            for node in (client, server, *relays):
+                node.instruments = instruments
         chain = Chain(client, relays, server)
         client.start_handshake()
         chain.pump()
@@ -81,7 +96,7 @@ def run_s_time(
             raise RuntimeError("handshake failed")
         count += 1
     elapsed = time.perf_counter() - start
-    return {
+    stats = {
         "mode": mode.value,
         "contexts": n_contexts,
         "middleboxes": n_middleboxes,
@@ -90,6 +105,9 @@ def run_s_time(
         "seconds": elapsed,
         "connections_per_second": count / elapsed,
     }
+    if instruments is not None:
+        stats["instruments"] = instruments.snapshot()
+    return stats
 
 
 def run_s_time_async(
@@ -102,9 +120,12 @@ def run_s_time_async(
     n_middleboxes: int = 1,
     key_bits: int = 1024,
     key_transport: str = "rsa",
+    instruments: Optional[Instruments] = None,
 ) -> dict:
     """Drive the ``repro.aio`` load generator against a real loopback
-    serving chain; returns the load report plus server stats."""
+    serving chain; returns the load report plus server stats (including
+    the chain-wide instrumentation snapshot when ``instruments`` is
+    given)."""
     from repro.experiments.serving import run_async_load
 
     bed = _make_bed(key_bits, key_transport)
@@ -118,6 +139,7 @@ def run_s_time_async(
             rate=rate,
             resume_ratio=resume_ratio,
             n_contexts=n_contexts,
+            instruments=instruments,
         )
     )
     report["key_bits"] = key_bits
@@ -159,7 +181,14 @@ def main(argv=None) -> int:
         "--resume-ratio", type=float, default=0.0,
         help="(--async) fraction of sessions offered as resumptions",
     )
+    parser.add_argument(
+        "--stats-json", metavar="PATH", default=None,
+        help="enable the instrumentation plane and write the full report "
+        "(including the counter snapshot) as JSON to PATH",
+    )
     args = parser.parse_args(argv)
+
+    instruments = Instruments() if args.stats_json else None
 
     if args.use_async:
         report = run_s_time_async(
@@ -172,7 +201,11 @@ def main(argv=None) -> int:
             n_middleboxes=args.middleboxes,
             key_bits=args.key_bits,
             key_transport=args.key_transport,
+            instruments=instruments,
         )
+        if args.stats_json:
+            with open(args.stats_json, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
         load = report["load"]
         lat = load["handshake_latency_s"]
         print(
@@ -193,7 +226,11 @@ def main(argv=None) -> int:
         n_middleboxes=args.middleboxes,
         key_bits=args.key_bits,
         key_transport=args.key_transport,
+        instruments=instruments,
     )
+    if args.stats_json:
+        with open(args.stats_json, "w") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
     print(
         f"{stats['connections']} connections in {stats['seconds']:.2f}s; "
         f"{stats['connections_per_second']:.1f} connections/sec "

@@ -49,6 +49,10 @@ def _describe_handshake_message(msg_type: int, body: bytes) -> str:
         if msg_type == tls_msgs.CLIENT_HELLO:
             hello = tls_msgs.ClientHello.decode(body)
             detail = f" suites={len(hello.cipher_suites)}"
+            if hello.session_id:
+                detail += (
+                    f" session_id={len(hello.session_id)}B (resumption offer)"
+                )
             ext = hello.find_extension(tls_msgs.EXT_MIDDLEBOX_LIST)
             if ext is not None:
                 from repro.mctls.contexts import SessionTopology
@@ -61,6 +65,8 @@ def _describe_handshake_message(msg_type: int, body: bytes) -> str:
         elif msg_type == tls_msgs.SERVER_HELLO:
             hello = tls_msgs.ServerHello.decode(body)
             detail = f" suite=0x{hello.cipher_suite:04x}"
+            if hello.session_id:
+                detail += f" session_id={len(hello.session_id)}B"
             mode = hello.find_extension(mm.EXT_MCTLS_MODE)
             if mode is not None:
                 detail += f" mode={mode[0]}"
@@ -89,11 +95,32 @@ def _describe_handshake_message(msg_type: int, body: bytes) -> str:
     return f"{name} ({len(body)}B){detail}"
 
 
+def _trailer_note(mctls: bool, context_id) -> str:
+    """The structural layout of a protected mcTLS record's trailer.
+
+    Context 0 (the handshake/default context) carries a single MAC;
+    contexts >= 1 carry the paper's three-MAC trailer — one MAC per key
+    class — so endpoints, writers and readers can each verify exactly
+    what their permission allows (§3.3).
+    """
+    if not mctls or context_id is None:
+        return ""
+    if context_id == 0:
+        return "; payload || MAC"
+    return "; payload || MAC_endpoints || MAC_writers || MAC_readers"
+
+
 def describe_stream(data: bytes, mctls: bool = True, encrypted: bool = False) -> List[str]:
     """One description line per record in ``data``.
 
-    ``encrypted`` marks the stream as post-CCS (fragments summarised,
-    not parsed).  Incomplete trailing bytes are reported as such.
+    The description is stateful across the stream: once a
+    ChangeCipherSpec is seen, subsequent handshake records (the Finished
+    flight) are summarised as protected instead of parsed — which is all
+    a passive observer sees, and also what makes whole-handshake captures
+    safe to trace.  ``encrypted`` marks the stream as post-CCS from the
+    first byte.  An abbreviated (resumption) flow is called out when a
+    server flight goes ServerHello → CCS without a Certificate.
+    Incomplete trailing bytes are reported as such.
     """
     lines: List[str] = []
     buf = bytearray(data)
@@ -111,13 +138,29 @@ def describe_stream(data: bytes, mctls: bool = True, encrypted: bool = False) ->
         lines.append(f"!! malformed record stream: {exc}")
         return lines
 
+    seen_ccs = encrypted
+    seen_server_hello = False
+    seen_certificate = False
     for content_type, context_id, fragment in records:
         prefix = _CONTENT_NAMES.get(content_type, f"type[{content_type}]")
         ctx_part = f" ctx={context_id}" if context_id is not None else ""
-        if encrypted or (content_type == rec.APPLICATION_DATA):
-            lines.append(f"{prefix}{ctx_part} <{len(fragment)}B protected>")
+        if content_type == rec.APPLICATION_DATA:
+            note = _trailer_note(mctls, context_id)
+            lines.append(f"{prefix}{ctx_part} <{len(fragment)}B protected{note}>")
+            continue
+        if content_type == rec.CHANGE_CIPHER_SPEC:
+            note = ""
+            if seen_server_hello and not seen_certificate:
+                note = " (abbreviated handshake: resumption accepted)"
+            seen_ccs = True
+            lines.append(f"{prefix}{ctx_part} {len(fragment)}B{note}")
             continue
         if content_type == rec.HANDSHAKE:
+            if seen_ccs:
+                # Post-CCS handshake records (the Finished flight) are
+                # encrypted; only their size is visible on the path.
+                lines.append(f"{prefix}{ctx_part} <{len(fragment)}B protected>")
+                continue
             hs = tls_msgs.HandshakeBuffer()
             hs.feed(fragment)
             while True:
@@ -125,6 +168,10 @@ def describe_stream(data: bytes, mctls: bool = True, encrypted: bool = False) ->
                 if message is None:
                     break
                 msg_type, body, _ = message
+                if msg_type == tls_msgs.SERVER_HELLO:
+                    seen_server_hello = True
+                elif msg_type == tls_msgs.CERTIFICATE:
+                    seen_certificate = True
                 lines.append(
                     f"{prefix}{ctx_part} :: "
                     + _describe_handshake_message(msg_type, body)

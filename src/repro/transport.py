@@ -1,111 +1,41 @@
 """In-memory transports for driving sans-I/O connections.
 
+Both helpers here are thin veneers over :class:`repro.core.DriveLoop`,
+the single byte-shuttling loop shared by every in-memory harness:
+
 :func:`pump` shuttles pending bytes between two directly connected
-protocol objects until neither has anything to send — the workhorse for
-tests and for CPU benchmarks where network timing is irrelevant.
+:class:`repro.core.Connection` objects until neither has anything to
+send — the workhorse for tests and for CPU benchmarks where network
+timing is irrelevant.
 
 :class:`Chain` wires a client and server through an ordered list of
-middlebox-like relays, each exposing the two-sided relay interface used by
-mcTLS middleboxes and the SplitTLS / E2E-TLS baselines:
-
-* ``receive_from_client(data) -> events``
-* ``receive_from_server(data) -> events``
-* ``data_to_client()`` / ``data_to_server()``
+:class:`repro.core.RelayProcessor` relays (mcTLS middleboxes, the
+SplitTLS / E2E-TLS / NoEncrypt baselines).
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.core.driveloop import DriveLoop
+from repro.core.events import Event
 
-def pump(a, b, max_rounds: int = 100) -> List[object]:
+
+def pump(a, b, max_rounds: int = 100) -> List[Event]:
     """Exchange bytes between two connections until both go quiet.
 
     Returns every event either side produced, in delivery order.
     """
-    events: List[object] = []
-    for _ in range(max_rounds):
-        data_ab = a.data_to_send()
-        data_ba = b.data_to_send()
-        if not data_ab and not data_ba:
-            return events
-        if data_ab:
-            events.extend(b.receive_bytes(data_ab))
-        if data_ba:
-            events.extend(a.receive_bytes(data_ba))
-    raise RuntimeError("pump did not converge")
+    return DriveLoop(a, (), b).pump(max_rounds)
 
 
-class Chain:
+class Chain(DriveLoop):
     """Client ⇄ relays ⇄ server over in-memory pipes.
 
-    The client and server are sans-I/O connections; each relay is a
-    two-sided object (see module docstring).  :meth:`pump` delivers all
-    pending bytes along the path until the whole chain is quiet.
+    The historical name for :class:`repro.core.DriveLoop` with a
+    positional ``(client, relays, server)`` constructor; kept because
+    experiment code reads naturally with it.
     """
 
     def __init__(self, client, relays: Sequence[object], server):
-        self.client = client
-        self.relays = list(relays)
-        self.server = server
-        self.events: List[object] = []
-        # Optional per-node event sinks: callables invoked with each event
-        # the node produces (used to route application data to sessions).
-        self.on_client_event = None
-        self.on_server_event = None
-
-    def pump(self, max_rounds: int = 200) -> List[object]:
-        """Deliver bytes along the chain until no node has output pending."""
-        new_events: List[object] = []
-        for _ in range(max_rounds):
-            moved = False
-
-            # Client towards server.
-            data = self.client.data_to_send()
-            if data:
-                moved = True
-                new_events.extend(self._deliver_towards_server(0, data))
-
-            # Relays towards both directions.
-            for i, relay in enumerate(self.relays):
-                to_server = relay.data_to_server()
-                if to_server:
-                    moved = True
-                    new_events.extend(self._deliver_towards_server(i + 1, to_server))
-                to_client = relay.data_to_client()
-                if to_client:
-                    moved = True
-                    new_events.extend(self._deliver_towards_client(i - 1, to_client))
-
-            # Server towards client.
-            data = self.server.data_to_send()
-            if data:
-                moved = True
-                new_events.extend(
-                    self._deliver_towards_client(len(self.relays) - 1, data)
-                )
-
-            if not moved:
-                self.events.extend(new_events)
-                return new_events
-        raise RuntimeError("chain pump did not converge")
-
-    def _deliver_towards_server(self, relay_index: int, data: bytes) -> List[object]:
-        """Deliver bytes moving server-ward into the node at ``relay_index``."""
-        if relay_index < len(self.relays):
-            return list(self.relays[relay_index].receive_from_client(data))
-        events = list(self.server.receive_bytes(data))
-        if self.on_server_event is not None:
-            for event in events:
-                self.on_server_event(event)
-        return events
-
-    def _deliver_towards_client(self, relay_index: int, data: bytes) -> List[object]:
-        """Deliver bytes moving client-ward into the node at ``relay_index``."""
-        if relay_index >= 0:
-            return list(self.relays[relay_index].receive_from_server(data))
-        events = list(self.client.receive_bytes(data))
-        if self.on_client_event is not None:
-            for event in events:
-                self.on_client_event(event)
-        return events
+        super().__init__(client, relays, server)

@@ -1,0 +1,385 @@
+"""Conformance battery: every protocol stack behind ``repro.core``.
+
+The point of the sans-I/O refactor is that the five stacks (mcTLS,
+mcTLS-CKD, SplitTLS, E2E-TLS, NoEncrypt) are interchangeable behind the
+:class:`repro.core.Connection` / :class:`repro.core.RelayProcessor`
+protocols, and that *both* runtimes (``repro.sockets`` threaded,
+``repro.aio`` asyncio) drive them through that interface alone.  This
+suite runs one behavioural battery — handshake+echo through a relay,
+clean close, garbage-peer survival, server-initiated half-close —
+parametrized over (runtime x mode), with zero per-mode branches in the
+drivers beyond choosing a context id.
+
+The asyncio runtime is driven through a synchronous facade (a private
+event loop advanced by ``run_until_complete``) so both runtimes share
+the exact same scenario code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+import repro.aio as aio
+import repro.sockets as sockets
+from repro.core import Connection, DriveLoop, RelayProcessor
+from repro.core.events import ApplicationData, HandshakeComplete, SessionClosed
+from repro.core.instrument import Instruments
+from repro.crypto.dh import GROUP_TEST_512
+from repro.experiments.harness import Mode, TestBed
+
+LOOPBACK = "127.0.0.1"
+MODES = list(Mode)
+
+
+@pytest.fixture(scope="module")
+def bed() -> TestBed:
+    return TestBed(key_bits=512, dh_group=GROUP_TEST_512)
+
+
+def _context_id(mode: Mode) -> int:
+    """mcTLS reserves context 0 for the endpoints' handshake channel."""
+    return 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else 0
+
+
+# -- runtime drivers --------------------------------------------------------
+#
+# Each driver exposes: serve(bed, mode, n_relays, handler) -> None,
+# connect() -> client facade with handshake/send/recv/close, plus
+# endpoint_snapshot() and the runtime's SessionEnded type.  The facades
+# are synchronous for both runtimes so scenarios are written once.
+
+
+class ThreadedDriver:
+    name = "threaded"
+    SessionEnded = sockets.SessionEnded
+
+    def __init__(self):
+        self._servers = []
+        self._bed = None
+        self._mode = None
+        self._topology = None
+        self._endpoint = None
+        self._dial_port = None
+
+    def serve(self, bed, mode, n_relays, handler, instruments=None):
+        self._bed, self._mode = bed, mode
+        self._topology = (
+            bed.topology(n_relays)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+            else None
+        )
+        self._endpoint = sockets.EndpointServer(
+            (LOOPBACK, 0),
+            connection_factory=lambda: bed.make_endpoints(
+                mode, topology=self._topology
+            )[1],
+            handler=handler,
+            instruments=instruments,
+        ).start()
+        self._servers.append(self._endpoint)
+        self._dial_port = self._endpoint.port
+        for relay_obj in reversed(bed.make_relays(mode, n_relays)):
+            relay = sockets.RelayServer(
+                (LOOPBACK, 0),
+                upstream_addr=(LOOPBACK, self._dial_port),
+                relay_factory=lambda r=relay_obj: r,
+                instruments=instruments,
+            ).start()
+            self._servers.append(relay)
+            self._dial_port = relay.port
+
+    def echo_handler(self, conn):
+        while True:
+            event = conn.recv_app_data()
+            conn.send(event.data, context_id=event.context_id)
+
+    def send_one_handler(self, payload, context_id):
+        def handler(conn):
+            conn.send(payload, context_id=context_id)
+
+        return handler
+
+    def connect(self):
+        client = self._bed.make_endpoints(self._mode, topology=self._topology)[0]
+        return sockets.connect((LOOPBACK, self._dial_port), client)
+
+    def raw_probe(self, data: bytes) -> None:
+        with socket.create_connection((LOOPBACK, self._dial_port)) as sock:
+            sock.sendall(data)
+
+    def endpoint_snapshot(self):
+        return self._endpoint.snapshot()
+
+    def tick(self):
+        import time
+
+        time.sleep(0.02)
+
+    def stop(self):
+        for server in reversed(self._servers):
+            server.stop()
+
+
+class _AioFacade:
+    """Synchronous view of an :class:`repro.aio.AsyncConnection`."""
+
+    def __init__(self, loop, conn):
+        self._loop = loop
+        self._conn = conn
+        self.connection = conn.connection
+
+    def handshake(self, timeout: float = 30.0):
+        self._loop.run_until_complete(self._conn.handshake(timeout))
+
+    def send(self, data, context_id=None):
+        if context_id is None:
+            self._loop.run_until_complete(self._conn.send(data))
+        else:
+            self._loop.run_until_complete(
+                self._conn.send(data, context_id=context_id)
+            )
+
+    def recv_app_data(self, timeout: float = 30.0):
+        return self._loop.run_until_complete(self._conn.recv_app_data(timeout))
+
+    def close(self):
+        self._loop.run_until_complete(self._conn.close())
+
+
+class AioDriver:
+    name = "aio"
+    SessionEnded = aio.SessionEnded
+
+    def __init__(self):
+        self._loop = asyncio.new_event_loop()
+        self._servers = []
+        self._bed = None
+        self._mode = None
+        self._topology = None
+        self._endpoint = None
+        self._dial_port = None
+
+    def serve(self, bed, mode, n_relays, handler, instruments=None):
+        self._bed, self._mode = bed, mode
+        self._topology = (
+            bed.topology(n_relays)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+            else None
+        )
+        self._endpoint = aio.AsyncEndpointServer(
+            (LOOPBACK, 0),
+            connection_factory=lambda: bed.make_endpoints(
+                mode, topology=self._topology
+            )[1],
+            handler=handler,
+            instruments=instruments,
+        )
+        self._loop.run_until_complete(self._endpoint.start())
+        self._servers.append(self._endpoint)
+        self._dial_port = self._endpoint.port
+        for relay_obj in reversed(bed.make_relays(mode, n_relays)):
+            relay = aio.AsyncRelayServer(
+                (LOOPBACK, 0),
+                upstream_addr=(LOOPBACK, self._dial_port),
+                relay_factory=lambda r=relay_obj: r,
+                instruments=instruments,
+            )
+            self._loop.run_until_complete(relay.start())
+            self._servers.append(relay)
+            self._dial_port = relay.port
+
+    def echo_handler(self, conn):
+        async def _run():
+            while True:
+                event = await conn.recv_app_data()
+                await conn.send(event.data, context_id=event.context_id)
+
+        return _run()
+
+    def send_one_handler(self, payload, context_id):
+        async def handler(conn):
+            await conn.send(payload, context_id=context_id)
+
+        return handler
+
+    def connect(self):
+        client = self._bed.make_endpoints(self._mode, topology=self._topology)[0]
+        conn = self._loop.run_until_complete(
+            aio.connect((LOOPBACK, self._dial_port), client)
+        )
+        return _AioFacade(self._loop, conn)
+
+    def raw_probe(self, data: bytes) -> None:
+        # A misbehaving peer doesn't use asyncio; a blocking socket from
+        # the test thread is exactly what the server must survive.
+        with socket.create_connection((LOOPBACK, self._dial_port)) as sock:
+            sock.sendall(data)
+
+    def endpoint_snapshot(self):
+        return self._endpoint.snapshot()
+
+    def tick(self):
+        # The private loop only runs inside run_until_complete; give the
+        # server tasks a slice so they can observe closes and unwind.
+        self._loop.run_until_complete(asyncio.sleep(0.02))
+
+    def stop(self):
+        try:
+            for server in reversed(self._servers):
+                self._loop.run_until_complete(server.stop())
+        finally:
+            self._loop.close()
+
+
+DRIVERS = [ThreadedDriver, AioDriver]
+
+
+@pytest.fixture(params=DRIVERS, ids=lambda d: d.name)
+def driver(request):
+    drv = request.param()
+    yield drv
+    drv.stop()
+
+
+def _settled_snapshot(driver, ready, timeout: float = 5.0):
+    """Poll the endpoint snapshot until ``ready(snap)`` or timeout.
+
+    Server-side accounting lags the client's view of a close (the
+    handler thread/task unwinds asynchronously in both runtimes).
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    while True:
+        snap = driver.endpoint_snapshot()
+        if ready(snap) or time.monotonic() >= deadline:
+            return snap
+        driver.tick()
+
+
+# -- the battery ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+class TestConformance:
+    def test_interface_and_echo_through_relay(self, driver, bed, mode):
+        """Handshake + application echo through one in-path relay, with
+        the endpoints checked against the formal protocol."""
+        driver.serve(bed, mode, 1, driver.echo_handler)
+        client = driver.connect()
+        assert isinstance(client.connection, Connection)
+        client.handshake()
+        assert client.connection.handshake_complete
+        ctx = _context_id(mode)
+        client.send(b"conform-ping", context_id=ctx)
+        event = client.recv_app_data()
+        assert isinstance(event, ApplicationData)
+        assert event.data == b"conform-ping"
+        client.close()
+
+    def test_clean_close_counts_no_errors(self, driver, bed, mode):
+        driver.serve(bed, mode, 0, driver.echo_handler)
+        client = driver.connect()
+        client.handshake()
+        client.send(b"x", context_id=_context_id(mode))
+        assert client.recv_app_data().data == b"x"
+        client.close()
+        second = driver.connect()
+        second.handshake()
+        second.close()
+        # The server-side handlers observe the closes asynchronously;
+        # wait for both sessions to fully unwind before asserting.
+        snap = _settled_snapshot(
+            driver, lambda s: s["handshakes_ok"] == 2 and s["active"] == 0
+        )
+        assert snap["handshakes_ok"] == 2
+        assert snap["errors"] == 0
+
+    def test_survives_garbage_peer(self, driver, bed, mode):
+        """A peer streaming junk must not take the server down; the next
+        well-behaved session completes normally."""
+        driver.serve(bed, mode, 0, driver.echo_handler)
+        driver.raw_probe(b"\x99" * 256)
+        client = driver.connect()
+        client.handshake()
+        ctx = _context_id(mode)
+        client.send(b"still-alive", context_id=ctx)
+        assert client.recv_app_data().data == b"still-alive"
+        client.close()
+
+    def test_server_half_close(self, driver, bed, mode):
+        """Server sends one message and ends the session; the client
+        reads the message, then the next read raises SessionEnded —
+        identical behaviour on both runtimes (satellite fix)."""
+        payload = b"parting-gift"
+        driver.serve(
+            bed, mode, 0,
+            driver.send_one_handler(payload, _context_id(mode)),
+        )
+        client = driver.connect()
+        client.handshake()
+        assert client.recv_app_data().data == payload
+        with pytest.raises(driver.SessionEnded):
+            client.recv_app_data()
+
+
+# -- cross-cutting checks (no parametrization) ------------------------------
+
+
+def test_all_stacks_satisfy_protocols(bed):
+    from repro.tools.check_interface import check_interfaces
+
+    checked = check_interfaces(bed)
+    # 5 modes x (client + server + relay) = 15 objects.
+    assert len(checked) == 15
+
+
+def test_instruments_aggregate_across_runtime(bed):
+    instruments = Instruments()
+    driver = ThreadedDriver()
+    try:
+        driver.serve(bed, Mode.MCTLS, 1, driver.echo_handler,
+                     instruments=instruments)
+        client = driver.connect()
+        client.connection.instruments = instruments
+        client.handshake()
+        client.send(b"counted", context_id=1)
+        client.recv_app_data()
+        client.close()
+    finally:
+        driver.stop()
+    snap = instruments.snapshot()
+    assert snap.get("handshake.complete", 0) >= 2  # client + server
+    assert snap.get("relay.records", 0) >= 1
+    assert snap.get("context.1.bytes_out", 0) >= len(b"counted")
+
+
+def test_driveloop_event_vocabulary(bed):
+    """In-memory DriveLoop over the mcTLS stack produces the shared
+    event vocabulary with the hop tap seeing both directions."""
+    topology = bed.topology(1)
+    client, server = bed.make_endpoints(Mode.MCTLS, topology=topology)
+    relays = bed.make_relays(Mode.MCTLS, 1)
+    hops = []
+    loop = DriveLoop(
+        client, relays, server,
+        on_hop=lambda hop, direction, data: hops.append((hop, direction)),
+    )
+    client.start_handshake()
+    events = loop.pump()
+    assert any(isinstance(e, HandshakeComplete) for e in events)
+    assert client.handshake_complete and server.handshake_complete
+
+    client.send_application_data(b"vocab", context_id=1)
+    events = loop.pump()
+    data_events = [e for e in events if isinstance(e, ApplicationData)]
+    assert data_events and data_events[0].data == b"vocab"
+    assert data_events[0].context_id == 1
+
+    client.close()
+    events = loop.pump()
+    assert any(isinstance(e, SessionClosed) for e in events)
+    assert {(0, "c2s"), (0, "s2c"), (1, "c2s"), (1, "s2c")} <= set(hops)

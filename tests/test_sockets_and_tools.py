@@ -206,12 +206,22 @@ class _Sink:
     def __init__(self, handshake_complete=True):
         self.handshake_complete = handshake_complete
         self.closed = False
+        self.resumed = False
 
-    def receive_bytes(self, data):
+    def start_handshake(self):
+        pass
+
+    def receive_data(self, data):
         return []
 
     def data_to_send(self):
         return b""
+
+    def send_application_data(self, data, context_id=0):
+        pass
+
+    def close(self):
+        self.closed = True
 
 
 class TestSocketRobustness:

@@ -31,6 +31,54 @@ class TestTraceTLS:
         assert "ServerKeyExchange" in names
         assert "ServerHelloDone" in names
 
+    def test_post_ccs_finished_summarised(self, client_config, server_config):
+        """The client's second flight: CKE plaintext, then CCS, then an
+        encrypted Finished — which must be summarised, not parsed."""
+        from repro.tls import TLSServer
+
+        client = TLSClient(client_config)
+        server = TLSServer(server_config)
+        client.start_handshake()
+        server.receive_data(client.data_to_send())
+        client.receive_data(server.data_to_send())
+        lines = describe_stream(client.data_to_send(), mctls=False)
+        names = " ".join(lines)
+        assert "ClientKeyExchange" in names
+        assert "ChangeCipherSpec" in names
+        # Client stream: no ServerHello seen, so no abbreviated-flow note.
+        assert "abbreviated" not in names
+        assert lines[-1].startswith("Handshake <")
+        assert "B protected" in lines[-1]
+
+    def test_resumption_flow_annotated(self, client_config, server_config):
+        from repro.tls import TLSServer
+        from repro.tls.sessioncache import ClientSessionStore, SessionCache
+        from repro.transport import pump
+
+        cache = SessionCache()
+        store = ClientSessionStore()
+        client = TLSClient(client_config, session_store=store)
+        server = TLSServer(server_config, session_cache=cache)
+        client.start_handshake()
+        pump(client, server)
+        assert client.handshake_complete
+
+        client2 = TLSClient(client_config, session_store=store)
+        server2 = TLSServer(server_config, session_cache=cache)
+        client2.start_handshake()
+        hello_bytes = client2.data_to_send()
+        hello_lines = describe_stream(hello_bytes, mctls=False)
+        assert "resumption offer" in hello_lines[0]
+
+        server2.receive_data(hello_bytes)
+        lines = describe_stream(server2.data_to_send(), mctls=False)
+        names = " ".join(lines)
+        assert "ServerHello" in names and "session_id=" in names
+        assert "abbreviated handshake: resumption accepted" in names
+        # The server's Finished follows its CCS and is encrypted.
+        assert lines[-1].startswith("Handshake <")
+        assert "B protected" in lines[-1]
+
 
 class TestTraceMcTLS:
     def test_client_hello_shows_topology(self, ca):
@@ -87,8 +135,20 @@ class TestTraceMcTLS:
         lines = describe_stream(client.data_to_send())
         assert len(lines) == 1
         assert lines[0].startswith("ApplicationData ctx=1 <")
-        assert lines[0].endswith("B protected>")
+        assert "B protected" in lines[0]
+        # Contexts >= 1 carry the paper's three-MAC trailer.
+        assert "MAC_endpoints || MAC_writers || MAC_readers" in lines[0]
         assert "secret" not in lines[0]
+
+    def test_trailer_note_layouts(self):
+        from repro.trace import _trailer_note
+
+        # Context 0 (endpoint-reserved) carries a single MAC; contexts
+        # >= 1 carry the three-MAC trailer; plain TLS has no note.
+        assert _trailer_note(True, 0) == "; payload || MAC"
+        assert "MAC_endpoints" in _trailer_note(True, 1)
+        assert _trailer_note(False, 1) == ""
+        assert _trailer_note(True, None) == ""
 
     def test_malformed_stream_reported(self):
         lines = describe_stream(b"\x99\x99\x99\x99\x99\x99\x99")

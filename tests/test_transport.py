@@ -20,7 +20,7 @@ class _Echo:
         self._out.clear()
         return out
 
-    def receive_bytes(self, data):
+    def receive_data(self, data):
         self.received.append(bytes(data))
         if self.reply_prefix:
             self._out += self.reply_prefix + data
