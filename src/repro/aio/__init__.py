@@ -9,7 +9,14 @@ doesn't.
 """
 
 from repro.aio.connection import AsyncConnection, SessionEnded, connect
-from repro.aio.loadgen import LoadResult, percentile, run_load, run_load_threaded
+from repro.aio.loadgen import (
+    LoadResult,
+    merge_load_results,
+    percentile,
+    run_load,
+    run_load_mp,
+    run_load_threaded,
+)
 from repro.aio.server import AsyncEndpointServer, AsyncRelayServer, ServerStats
 
 __all__ = [
@@ -20,7 +27,9 @@ __all__ = [
     "ServerStats",
     "SessionEnded",
     "connect",
+    "merge_load_results",
     "percentile",
     "run_load",
+    "run_load_mp",
     "run_load_threaded",
 ]

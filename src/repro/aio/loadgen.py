@@ -18,16 +18,24 @@ Two arrival models:
 candidates: the factory receives ``resume=True`` and should build the
 client against a shared ``ClientSessionStore`` so abbreviated handshakes
 actually happen (the first such session necessarily does a full
-handshake and seeds the store).
+handshake and seeds the store).  ``ticket_ratio`` further splits the
+resumption candidates: that fraction resume via stateless session
+tickets (factory called with ``ticket=True``), the rest via the
+server-side session cache — the knob that compares O(1)-server-memory
+resumption against the stateful kind.
 
 A thread-per-connection twin (:func:`run_load_threaded`) drives the same
 workload through ``repro.sockets`` so the two runtimes can be compared
-at equal concurrency.
+at equal concurrency, and :func:`run_load_mp` forks the async generator
+across processes — a single Python client process saturates one core on
+handshake crypto long before a sharded server does, so measuring a
+multi-worker server needs a multi-process client.
 """
 
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import threading
 import time
 from dataclasses import dataclass, field
@@ -37,7 +45,14 @@ from repro.aio.connection import AsyncConnection
 from repro.aio.connection import connect as aio_connect
 from repro.sockets import connect as blocking_connect
 
-__all__ = ["LoadResult", "percentile", "run_load", "run_load_threaded"]
+__all__ = [
+    "LoadResult",
+    "merge_load_results",
+    "percentile",
+    "run_load",
+    "run_load_mp",
+    "run_load_threaded",
+]
 
 
 def percentile(sorted_values: List[float], p: float) -> float:
@@ -122,6 +137,54 @@ def _plan_resume_flags(connections: int, resume_ratio: float) -> List[bool]:
     return flags
 
 
+def _plan_session_flags(
+    connections: int, resume_ratio: float, ticket_ratio: float
+) -> List[Tuple[bool, bool]]:
+    """Per-session ``(resume, ticket)`` plan, both spreads deterministic.
+
+    ``ticket_ratio`` applies *within* the resumption candidates: 0.0
+    means all candidates use the session cache, 1.0 means all use
+    tickets, 0.5 alternates.
+    """
+    resume_flags = _plan_resume_flags(connections, resume_ratio)
+    plan: List[Tuple[bool, bool]] = []
+    acc = 0.0
+    for resume in resume_flags:
+        ticket = False
+        if resume and ticket_ratio > 0:
+            acc += ticket_ratio
+            if acc >= 1.0 - 1e-9:
+                acc -= 1.0
+                ticket = True
+        plan.append((resume, ticket))
+    return plan
+
+
+def merge_load_results(
+    results: List["LoadResult"], runtime: str = "mp"
+) -> "LoadResult":
+    """Fold per-process results into one: counters add, latency samples
+    concatenate, duration is the slowest process (they ran in parallel)."""
+    merged = LoadResult(
+        runtime=runtime,
+        requested=sum(r.requested for r in results),
+        concurrency=sum(r.concurrency for r in results),
+        rate=None,
+    )
+    rates = [r.rate for r in results if r.rate is not None]
+    if rates:
+        merged.rate = sum(rates)
+    for r in results:
+        merged.completed += r.completed
+        merged.failed += r.failed
+        merged.resumed += r.resumed
+        merged.handshake_latencies.extend(r.handshake_latencies)
+        for name, count in r.errors.items():
+            merged.errors[name] = merged.errors.get(name, 0) + count
+        merged.duration_s = max(merged.duration_s, r.duration_s)
+    return merged
+
+
 async def run_load(
     addr: Tuple[str, int],
     client_factory: Callable[..., object],
@@ -129,6 +192,7 @@ async def run_load(
     concurrency: int = 50,
     rate: Optional[float] = None,
     resume_ratio: float = 0.0,
+    ticket_ratio: float = 0.0,
     payload: bytes = b"ping",
     context_id: Optional[int] = None,
     handshake_timeout: float = 60.0,
@@ -138,7 +202,10 @@ async def run_load(
 
     ``client_factory(resume: bool)`` must return a fresh sans-I/O client
     connection.  Each session handshakes, optionally echoes ``payload``
-    once (skipped when ``payload`` is empty), and closes.
+    once (skipped when ``payload`` is empty), and closes.  When
+    ``ticket_ratio`` > 0 the factory is called with an additional
+    ``ticket`` keyword selecting stateless-ticket resumption for that
+    fraction of the resumption candidates.
     """
     result = LoadResult(
         runtime="async",
@@ -148,10 +215,11 @@ async def run_load(
     )
     sem = asyncio.Semaphore(concurrency)
     loop = asyncio.get_running_loop()
-    flags = _plan_resume_flags(connections, resume_ratio)
+    plan = _plan_session_flags(connections, resume_ratio, ticket_ratio)
+    use_ticket_kwarg = ticket_ratio > 0
     start = loop.time()
 
-    async def one(index: int, resume: bool) -> None:
+    async def one(index: int, resume: bool, ticket: bool) -> None:
         if rate is not None:
             # Open loop: hold this session until its scheduled launch.
             delay = start + index / rate - loop.time()
@@ -160,9 +228,13 @@ async def run_load(
         async with sem:
             conn: Optional[AsyncConnection] = None
             try:
+                if use_ticket_kwarg:
+                    client = client_factory(resume=resume, ticket=ticket)
+                else:
+                    client = client_factory(resume=resume)
                 conn = await aio_connect(
                     addr,
-                    client_factory(resume=resume),
+                    client,
                     default_timeout=io_timeout,
                 )
                 t0 = loop.time()
@@ -185,7 +257,7 @@ async def run_load(
                     await conn.close()
 
     await asyncio.gather(
-        *(one(i, flag) for i, flag in enumerate(flags))
+        *(one(i, resume, ticket) for i, (resume, ticket) in enumerate(plan))
     )
     result.duration_s = loop.time() - start
     return result
@@ -197,6 +269,7 @@ def run_load_threaded(
     connections: int = 100,
     concurrency: int = 50,
     resume_ratio: float = 0.0,
+    ticket_ratio: float = 0.0,
     payload: bytes = b"ping",
     context_id: Optional[int] = None,
     handshake_timeout: float = 60.0,
@@ -209,14 +282,19 @@ def run_load_threaded(
     )
     sem = threading.Semaphore(concurrency)
     lock = threading.Lock()
-    flags = _plan_resume_flags(connections, resume_ratio)
+    plan = _plan_session_flags(connections, resume_ratio, ticket_ratio)
+    use_ticket_kwarg = ticket_ratio > 0
     start = time.perf_counter()
 
-    def one(resume: bool) -> None:
+    def one(resume: bool, ticket: bool) -> None:
         with sem:
             conn = None
             try:
-                conn = blocking_connect(addr, client_factory(resume=resume))
+                if use_ticket_kwarg:
+                    client = client_factory(resume=resume, ticket=ticket)
+                else:
+                    client = client_factory(resume=resume)
+                conn = blocking_connect(addr, client)
                 t0 = time.perf_counter()
                 conn.handshake(handshake_timeout)
                 latency = time.perf_counter() - t0
@@ -242,8 +320,8 @@ def run_load_threaded(
                         pass
 
     threads = [
-        threading.Thread(target=one, args=(flag,), daemon=True)
-        for flag in flags
+        threading.Thread(target=one, args=(resume, ticket), daemon=True)
+        for resume, ticket in plan
     ]
     for thread in threads:
         thread.start()
@@ -251,3 +329,93 @@ def run_load_threaded(
         thread.join()
     result.duration_s = time.perf_counter() - start
     return result
+
+
+def _mp_load_child(pipe, addr, client_factory, kwargs) -> None:
+    """Forked child: run one async load shard and ship the result back."""
+    try:
+        res = asyncio.run(run_load(addr, client_factory, **kwargs))
+        pipe.send(("ok", res))
+    except Exception as exc:  # pragma: no cover - defensive
+        pipe.send(("err", f"{type(exc).__name__}: {exc}"))
+    finally:
+        pipe.close()
+
+
+def run_load_mp(
+    addr: Tuple[str, int],
+    client_factory: Callable[..., object],
+    connections: int = 100,
+    concurrency: int = 50,
+    processes: int = 2,
+    rate: Optional[float] = None,
+    resume_ratio: float = 0.0,
+    ticket_ratio: float = 0.0,
+    payload: bytes = b"ping",
+    context_id: Optional[int] = None,
+    handshake_timeout: float = 60.0,
+    io_timeout: float = 60.0,
+) -> LoadResult:
+    """Fork ``processes`` client generators and merge their results.
+
+    Each child runs :func:`run_load` over its shard of ``connections``
+    with its own event loop and its own copies of whatever the factory
+    closure captured — so resumption stores are per-process, exactly
+    like independent client machines.  Requires the ``fork`` start
+    method (closures are inherited, not pickled).
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError("run_load_mp requires the fork start method")
+    ctx = multiprocessing.get_context("fork")
+    shards = [
+        connections // processes + (1 if i < connections % processes else 0)
+        for i in range(processes)
+    ]
+    shards = [n for n in shards if n > 0]
+    per_conc = max(1, concurrency // max(1, len(shards)))
+    children = []
+    for n in shards:
+        kwargs = dict(
+            connections=n,
+            concurrency=per_conc,
+            rate=(rate / len(shards)) if rate is not None else None,
+            resume_ratio=resume_ratio,
+            ticket_ratio=ticket_ratio,
+            payload=payload,
+            context_id=context_id,
+            handshake_timeout=handshake_timeout,
+            io_timeout=io_timeout,
+        )
+        parent_pipe, child_pipe = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_mp_load_child,
+            args=(child_pipe, addr, client_factory, kwargs),
+            daemon=True,
+        )
+        proc.start()
+        child_pipe.close()
+        children.append((proc, parent_pipe))
+
+    results: List[LoadResult] = []
+    errors: List[str] = []
+    for proc, pipe in children:
+        try:
+            tag, payload_msg = pipe.recv()
+        except EOFError:
+            tag, payload_msg = "err", "client process died without a result"
+        if tag == "ok":
+            results.append(payload_msg)
+        else:
+            errors.append(payload_msg)
+        proc.join()
+        pipe.close()
+    if not results:
+        raise RuntimeError(
+            "all load-generator processes failed: " + "; ".join(errors)
+        )
+    merged = merge_load_results(results, runtime="mp")
+    for err in errors:
+        merged.errors[err] = merged.errors.get(err, 0) + 1
+    return merged

@@ -53,6 +53,7 @@ class _AsyncServerBase:
         max_connections: int = 256,
         backlog: int = 512,
         instruments: Optional[Instruments] = None,
+        listen_sock: Optional[socket.socket] = None,
     ):
         self.listen_addr = listen_addr
         self.max_connections = max_connections
@@ -60,6 +61,7 @@ class _AsyncServerBase:
         self.instruments = instruments
         self.stats = ServerStats(instruments=instruments)
         self._listener: Optional[socket.socket] = None
+        self._listen_sock = listen_sock
         self._sem: Optional[asyncio.Semaphore] = None
         self._accept_task: Optional[asyncio.Task] = None
         self._tasks: Set[asyncio.Task] = set()
@@ -70,9 +72,14 @@ class _AsyncServerBase:
         return self._listener.getsockname()[1]
 
     async def start(self) -> "_AsyncServerBase":
-        self._listener = socket.create_server(
-            self.listen_addr, backlog=self.backlog
-        )
+        if self._listen_sock is not None:
+            # Pre-bound listener (worker pools: a SO_REUSEPORT sibling
+            # socket, or one shared accept fd inherited across fork).
+            self._listener = self._listen_sock
+        else:
+            self._listener = socket.create_server(
+                self.listen_addr, backlog=self.backlog
+            )
         tune_socket(self._listener)
         self._listener.setblocking(False)
         self._sem = asyncio.Semaphore(self.max_connections)
@@ -170,8 +177,11 @@ class AsyncEndpointServer(_AsyncServerBase):
         idle_timeout: float = 30.0,
         backlog: int = 512,
         instruments: Optional[Instruments] = None,
+        listen_sock: Optional[socket.socket] = None,
     ):
-        super().__init__(listen_addr, max_connections, backlog, instruments)
+        super().__init__(
+            listen_addr, max_connections, backlog, instruments, listen_sock
+        )
         self.connection_factory = connection_factory
         self.handler = handler
         self.session_cache = session_cache

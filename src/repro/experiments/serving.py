@@ -26,6 +26,7 @@ from repro.aio import (
     AsyncEndpointServer,
     AsyncRelayServer,
     run_load,
+    run_load_mp,
     run_load_threaded,
 )
 from repro.baselines import BlindRelay, PlainConnection, PlainRelay, SplitTLSRelay
@@ -33,10 +34,12 @@ from repro.core import Connection, Instruments, RelayProcessor
 from repro.experiments.harness import Mode, TestBed
 from repro.mctls import McTLSClient, McTLSMiddlebox, McTLSServer, SessionTopology
 from repro.mctls.session import HandshakeMode
+from repro.mp import ClusterEndpointServer
 from repro.sockets import EndpointServer, RelayServer
 from repro.tls.client import TLSClient
 from repro.tls.server import TLSServer
 from repro.tls.sessioncache import ClientSessionStore, SessionCache
+from repro.tls.tickets import TicketKeyManager
 
 LOOPBACK = "127.0.0.1"
 
@@ -44,12 +47,18 @@ LOOPBACK = "127.0.0.1"
 # -- per-mode factories (the socket-serving view of TestBed) ---------------
 
 
-def server_connection_factory(bed: TestBed, mode: Mode) -> Callable[..., Connection]:
+def server_connection_factory(
+    bed: TestBed,
+    mode: Mode,
+    ticket_manager: Optional[TicketKeyManager] = None,
+) -> Callable[..., Connection]:
     """A factory for fresh server-side sans-I/O connections.
 
     Accepts an optional positional ``session_cache`` so it can be handed
     to ``EndpointServer``/``AsyncEndpointServer`` with or without a
-    cache attached.
+    cache attached.  A ``ticket_manager`` (shared across all connections
+    — and, under the sharded runtime, fork-inherited by every worker)
+    additionally enables stateless session-ticket resumption.
     """
     if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
         hs_mode = (
@@ -60,7 +69,10 @@ def server_connection_factory(bed: TestBed, mode: Mode) -> Callable[..., Connect
 
         def make(session_cache=None):
             return McTLSServer(
-                bed.server_tls_config(), mode=hs_mode, session_cache=session_cache
+                bed.server_tls_config(),
+                mode=hs_mode,
+                session_cache=session_cache,
+                ticket_manager=ticket_manager,
             )
 
         return make
@@ -69,7 +81,11 @@ def server_connection_factory(bed: TestBed, mode: Mode) -> Callable[..., Connect
         # either way; only E2E sessions ever reach the cache with a
         # client that can resume.
         def make(session_cache=None):
-            return TLSServer(bed.server_tls_config(), session_cache=session_cache)
+            return TLSServer(
+                bed.server_tls_config(),
+                session_cache=session_cache,
+                ticket_manager=ticket_manager,
+            )
 
         return make
 
@@ -84,29 +100,36 @@ def client_connection_factory(
     mode: Mode,
     topology: Optional[SessionTopology] = None,
     session_store: Optional[ClientSessionStore] = None,
+    ticket_store: Optional[ClientSessionStore] = None,
 ) -> Callable[..., Connection]:
-    """A ``client_factory(resume=...)`` for the load generator.
+    """A ``client_factory(resume=..., ticket=...)`` for the load generator.
 
     ``resume=True`` builds the client against the shared
     ``session_store`` (when the mode can resume at all); ``resume=False``
-    always yields a full handshake.
+    always yields a full handshake.  ``ticket=True`` (with ``resume``)
+    attaches the ``ticket_store`` instead, so that session resumes via a
+    stateless server-sealed ticket rather than the server's cache.
     """
 
-    def make(resume: bool = False):
-        store = session_store if resume else None
+    def make(resume: bool = False, ticket: bool = False):
+        store = session_store if (resume and not ticket) else None
+        tstore = ticket_store if (resume and ticket) else None
         if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
             return McTLSClient(
                 bed.client_tls_config(),
                 topology=topology,
                 key_transport=bed.key_transport,
                 session_store=store,
+                ticket_store=tstore,
             )
         if mode is Mode.SPLIT_TLS:
             # The client's session ends at the interception proxy, which
             # keeps no cache — SplitTLS always handshakes in full.
             return TLSClient(bed.client_tls_config(trust_corp=True))
         if mode is Mode.E2E_TLS:
-            return TLSClient(bed.client_tls_config(), session_store=store)
+            return TLSClient(
+                bed.client_tls_config(), session_store=store, ticket_store=tstore
+            )
         return PlainConnection()
 
     return make
@@ -265,6 +288,54 @@ def start_threaded_chain(
     )
 
 
+def start_sharded_chain(
+    bed: TestBed,
+    mode: Mode,
+    n_middleboxes: int = 0,
+    workers: int = 2,
+    ticket_manager: Optional[TicketKeyManager] = None,
+    session_cache_factory: Optional[Callable[[], SessionCache]] = None,
+    max_connections: int = 512,
+    handshake_timeout: float = 60.0,
+    idle_timeout: float = 60.0,
+    handler: Callable[[AsyncConnection], object] = echo_handler,
+    reuse_port: bool = True,
+) -> ServingChain:
+    """A multi-process endpoint (:class:`ClusterEndpointServer`) behind
+    the usual relay chain.
+
+    The endpoint forks *before* any relay thread starts (forking a
+    multi-threaded parent is the classic deadlock), and the relays run
+    thread-per-connection in the parent.  Session caches are per-worker
+    (``session_cache_factory`` runs post-fork); the ``ticket_manager``
+    is fork-inherited, so ticket resumption works across workers while
+    cache resumption only hits when the kernel lands the reconnect on
+    the same worker — the exact contrast the sharded phase measures.
+    """
+    endpoint = ClusterEndpointServer(
+        (LOOPBACK, 0),
+        server_connection_factory(bed, mode, ticket_manager=ticket_manager),
+        handler,
+        workers=workers,
+        session_cache_factory=session_cache_factory,
+        max_connections=max_connections,
+        handshake_timeout=handshake_timeout,
+        idle_timeout=idle_timeout,
+        reuse_port=reuse_port,
+    ).start()
+    relays: List[RelayServer] = []
+    upstream_port = endpoint.port
+    for index in reversed(range(n_middleboxes)):
+        relay = RelayServer(
+            (LOOPBACK, 0),
+            upstream_addr=(LOOPBACK, upstream_port),
+            relay_factory=relay_factory(bed, mode, index, n_middleboxes),
+        ).start()
+        relays.insert(0, relay)
+        upstream_port = relay.port
+    return ServingChain(mode=mode, endpoint=endpoint, relays=relays)
+
+
 # -- load entry points ------------------------------------------------------
 
 
@@ -334,6 +405,83 @@ async def run_async_load(
         "mode": mode.value,
         "middleboxes": n_middleboxes,
         "contexts": n_contexts,
+        "load": result.to_dict(),
+    }
+    report.update(chain.snapshot())
+    return report
+
+
+def run_sharded_load(
+    bed: TestBed,
+    mode: Mode,
+    n_middleboxes: int = 0,
+    workers: int = 2,
+    connections: int = 100,
+    concurrency: int = 50,
+    client_processes: int = 2,
+    resume_ratio: float = 0.0,
+    ticket_ratio: float = 1.0,
+    n_contexts: int = 1,
+    payload: bytes = b"ping",
+    handshake_timeout: float = 60.0,
+    io_timeout: float = 60.0,
+) -> Dict[str, object]:
+    """Drive a multi-process client fleet against a sharded chain.
+
+    ``ticket_ratio`` splits the resumption candidates between stateless
+    tickets (which resume on *any* worker) and the per-worker session
+    cache (which only hits on kernel affinity).  Client stores are
+    per-process — forked copies, like independent client machines.
+    """
+    ticket_manager = TicketKeyManager()
+    cache_capacity = max(64, concurrency * 2)
+    session_store = (
+        ClientSessionStore(capacity=cache_capacity) if resume_ratio > 0 else None
+    )
+    ticket_store = (
+        ClientSessionStore(capacity=cache_capacity)
+        if resume_ratio > 0 and ticket_ratio > 0
+        else None
+    )
+    chain = start_sharded_chain(
+        bed,
+        mode,
+        n_middleboxes,
+        workers=workers,
+        ticket_manager=ticket_manager,
+        session_cache_factory=lambda: SessionCache(capacity=cache_capacity),
+        max_connections=max(concurrency * 2, 64),
+        handshake_timeout=handshake_timeout,
+        idle_timeout=io_timeout,
+    )
+    try:
+        result = run_load_mp(
+            (LOOPBACK, chain.port),
+            client_connection_factory(
+                bed,
+                mode,
+                topology=_topology(bed, mode, n_middleboxes, n_contexts),
+                session_store=session_store,
+                ticket_store=ticket_store,
+            ),
+            connections=connections,
+            concurrency=concurrency,
+            processes=client_processes,
+            resume_ratio=resume_ratio,
+            ticket_ratio=ticket_ratio,
+            payload=payload,
+            context_id=_payload_context(mode),
+            handshake_timeout=handshake_timeout,
+            io_timeout=io_timeout,
+        )
+    finally:
+        chain.stop_threaded()
+    report: Dict[str, object] = {
+        "mode": mode.value,
+        "middleboxes": n_middleboxes,
+        "contexts": n_contexts,
+        "workers": workers,
+        "client_processes": client_processes,
         "load": result.to_dict(),
     }
     report.update(chain.snapshot())

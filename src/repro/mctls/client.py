@@ -10,6 +10,7 @@ full keys in client-key-distribution mode) and distributes the material in
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Dict, List, Optional, Sequence
@@ -30,7 +31,8 @@ from repro.tls.connection import (
     TLSConfig,
     TLSError,
 )
-from repro.tls.sessioncache import ClientSessionStore
+from repro.tls.sessioncache import ClientSessionStore, new_session_id
+from repro.tls.tickets import ClientTicket
 
 
 class _State(Enum):
@@ -71,6 +73,7 @@ class McTLSClient(ms.McTLSConnectionBase):
         verify_middleboxes: bool = True,
         key_transport: ms.KeyTransport = None,
         session_store: Optional[ClientSessionStore] = None,
+        ticket_store: Optional[ClientSessionStore] = None,
     ):
         super().__init__(config, is_client=True)
         self.topology = topology
@@ -80,7 +83,10 @@ class McTLSClient(ms.McTLSConnectionBase):
         )
         self.mode: ms.HandshakeMode = ms.HandshakeMode.DEFAULT
         self._session_store = session_store
+        self._ticket_store = ticket_store
         self._offered_session: Optional[ms.McTLSSessionState] = None
+        self._offered_ticket: Optional[ClientTicket] = None
+        self._received_ticket: Optional[tls_msgs.NewSessionTicket] = None
         self._pending_session_id = b""
         self.resumed = False
         self._state = _State.START
@@ -108,14 +114,24 @@ class McTLSClient(ms.McTLSConnectionBase):
     def start_handshake(self) -> None:
         if self._state is not _State.START:
             raise TLSError("handshake already started")
+        session_id = self._resumable_session_id()
+        extensions = [
+            (tls_msgs.EXT_MIDDLEBOX_LIST, self.topology.encode()),
+            (mm.EXT_MCTLS_KEY_TRANSPORT, bytes([int(self.key_transport)])),
+        ]
+        if self._ticket_store is not None:
+            # Present even when empty: "I support tickets, issue me one".
+            extensions.append(
+                (
+                    tls_msgs.EXT_SESSION_TICKET,
+                    self._offered_ticket.ticket if self._offered_ticket else b"",
+                )
+            )
         hello = tls_msgs.ClientHello(
             random=self._client_random,
-            session_id=self._resumable_session_id(),
+            session_id=session_id,
             cipher_suites=self.config.suite_ids(),
-            extensions=[
-                (tls_msgs.EXT_MIDDLEBOX_LIST, self.topology.encode()),
-                (mm.EXT_MCTLS_KEY_TRANSPORT, bytes([int(self.key_transport)])),
-            ],
+            extensions=extensions,
         )
         self._send_handshake(hello, tag=ms.TAG_CLIENT_HELLO)
         self._state = _State.WAIT_SERVER_HELLO
@@ -126,22 +142,50 @@ class McTLSClient(ms.McTLSConnectionBase):
         return ("mctls", self.config.server_name or "")
 
     def _resumable_session_id(self) -> bytes:
-        """Offer a cached session, but only if this session's parameters
-        still match it exactly — otherwise a full handshake is the only
-        way to renegotiate topology, mode or transport."""
+        """Offer a cached ticket or session, but only if this session's
+        parameters still match it exactly — otherwise a full handshake is
+        the only way to renegotiate topology, mode or transport.
+
+        A ticket offer goes out with a fresh random session id (RFC 5077
+        §3.4); the server echoes it on acceptance, which drives the same
+        abbreviated flow the session-id path uses.
+        """
+        ticket = self._resumable_ticket()
+        if ticket is not None:
+            self._offered_ticket = ticket
+            accept_id = new_session_id()
+            self._offered_session = dataclasses.replace(
+                ticket.state, session_id=accept_id
+            )
+            return accept_id
         if self._session_store is None:
             return b""
         cached = self._session_store.get(self._session_store_key())
-        if not isinstance(cached, ms.McTLSSessionState):
-            return b""
-        if cached.cipher_suite_id not in self.config.suite_ids():
-            return b""
-        if cached.topology_bytes != self.topology.encode():
-            return b""
-        if cached.key_transport != int(self.key_transport):
+        if not self._session_matches(cached):
             return b""
         self._offered_session = cached
         return cached.session_id
+
+    def _session_matches(self, cached: object) -> bool:
+        if not isinstance(cached, ms.McTLSSessionState):
+            return False
+        if cached.cipher_suite_id not in self.config.suite_ids():
+            return False
+        if cached.topology_bytes != self.topology.encode():
+            return False
+        if cached.key_transport != int(self.key_transport):
+            return False
+        return True
+
+    def _resumable_ticket(self) -> Optional[ClientTicket]:
+        if self._ticket_store is None:
+            return None
+        cached = self._ticket_store.get(self._session_store_key())
+        if not isinstance(cached, ClientTicket):
+            return None
+        if not self._session_matches(cached.state):
+            return None
+        return cached
 
     # -- message handling -----------------------------------------------------
 
@@ -189,6 +233,13 @@ class McTLSClient(ms.McTLSConnectionBase):
             and self._state is _State.WAIT_SERVER_FLIGHT
         ):
             self._on_server_key_material(mm.MiddleboxKeyMaterial.decode(body), raw)
+        elif (
+            msg_type == tls_msgs.NEW_SESSION_TICKET
+            and self._state is _State.WAIT_SERVER_FLIGHT
+        ):
+            # Deliberately NOT added to the transcript store: the server
+            # sends it untagged too, so Finished hashes ignore it.
+            self._received_ticket = tls_msgs.NewSessionTicket.decode(body)
         elif msg_type == tls_msgs.FINISHED and self._state is _State.WAIT_SERVER_FLIGHT:
             self._on_server_finished(tls_msgs.Finished.decode(body), raw)
         else:
@@ -527,6 +578,7 @@ class McTLSClient(ms.McTLSConnectionBase):
         self._state = _State.CONNECTED
         self.handshake_complete = True
         self._store_session()
+        self._store_ticket()
         self._emit(
             ms.McTLSHandshakeComplete(
                 cipher_suite=self.negotiated_suite.name,
@@ -596,24 +648,42 @@ class McTLSClient(ms.McTLSConnectionBase):
                 tag=ms.tag_client_mkm(mbox.mbox_id),
             )
 
+    def _completed_session_state(self, session_id: bytes) -> ms.McTLSSessionState:
+        return ms.McTLSSessionState(
+            session_id=session_id,
+            endpoint_secret=self._endpoint_secret,
+            cipher_suite_id=self.negotiated_suite.suite_id,
+            mode=int(self.mode),
+            key_transport=int(self.key_transport),
+            topology_bytes=self.topology.encode(),
+            middlebox_certs={
+                mbox_id: state.chain[0]
+                for mbox_id, state in self._mboxes.items()
+                if state.chain
+            },
+        )
+
     def _store_session(self) -> None:
         """Remember a completed full handshake for later resumption."""
         if self._session_store is None or not self._pending_session_id:
             return
         self._session_store.put(
             self._session_store_key(),
-            ms.McTLSSessionState(
-                session_id=self._pending_session_id,
-                endpoint_secret=self._endpoint_secret,
-                cipher_suite_id=self.negotiated_suite.suite_id,
-                mode=int(self.mode),
-                key_transport=int(self.key_transport),
-                topology_bytes=self.topology.encode(),
-                middlebox_certs={
-                    mbox_id: state.chain[0]
-                    for mbox_id, state in self._mboxes.items()
-                    if state.chain
-                },
+            self._completed_session_state(self._pending_session_id),
+        )
+
+    def _store_ticket(self) -> None:
+        """Remember a freshly issued ticket alongside our own session
+        state (the ticket is opaque; the middlebox certificates we need
+        for re-keying on resumption come from *our* record, never the
+        ticket)."""
+        if self._ticket_store is None or self._received_ticket is None:
+            return
+        self._ticket_store.put(
+            self._session_store_key(),
+            ClientTicket(
+                ticket=self._received_ticket.ticket,
+                state=self._completed_session_state(b""),
             ),
         )
 

@@ -15,6 +15,7 @@ server the per-middlebox public-key work).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Callable, Dict, Optional, Sequence
@@ -36,6 +37,7 @@ from repro.tls.connection import (
     TLSError,
 )
 from repro.tls.sessioncache import SessionCache, new_session_id
+from repro.tls.tickets import KIND_MCTLS, TicketError, TicketKeyManager
 
 
 class _State(Enum):
@@ -71,6 +73,7 @@ class McTLSServer(ms.McTLSConnectionBase):
         topology_policy: Optional[Callable[[SessionTopology], SessionTopology]] = None,
         verify_middleboxes: bool = True,
         session_cache: Optional[SessionCache] = None,
+        ticket_manager: Optional[TicketKeyManager] = None,
     ):
         if config.identity is None:
             raise TLSError("mcTLS server requires an identity (certificate + key)")
@@ -79,6 +82,8 @@ class McTLSServer(ms.McTLSConnectionBase):
         self.topology_policy = topology_policy
         self.verify_middleboxes = verify_middleboxes
         self._session_cache = session_cache
+        self._ticket_manager = ticket_manager
+        self._client_ticket_support = False
         self._session_id = b""
         self.resumed = False
         self.key_transport: ms.KeyTransport = ms.KeyTransport.DHE
@@ -194,6 +199,9 @@ class McTLSServer(ms.McTLSConnectionBase):
         self.negotiated_suite = suite
         self.records.set_suite(suite)
 
+        if self._try_ticket_resumption(hello):
+            return
+
         cached = self._lookup_resumable_session(hello)
         if cached is not None:
             self._resume_session(cached)
@@ -233,6 +241,74 @@ class McTLSServer(ms.McTLSConnectionBase):
         would widen middlebox access beyond what the server approved.
         """
         return self.approved_topology.encode() == self.topology.encode()
+
+    def _try_ticket_resumption(self, hello: tls_msgs.ClientHello) -> bool:
+        """Resume from a client-presented ticket, statelessly.
+
+        The sealed state carries the originally *granted* topology, mode
+        and key transport; every one of them — plus the current policy,
+        via :meth:`_session_cacheable` — must match this ClientHello
+        verbatim, so a ticket can never widen middlebox access, not even
+        one minted before a policy change.  Any defect falls back to the
+        full handshake silently.
+        """
+        ext = hello.find_extension(tls_msgs.EXT_SESSION_TICKET)
+        if ext is None:
+            return False
+        self._client_ticket_support = True
+        if self._ticket_manager is None or not ext or not hello.session_id:
+            return False
+        try:
+            kind, payload = self._ticket_manager.unseal(ext)
+            if kind != KIND_MCTLS:
+                raise TicketError("ticket sealed for a different protocol")
+            state = ms.decode_ticket_state(payload)
+        except TicketError:
+            return False
+        if state.cipher_suite_id != self.negotiated_suite.suite_id:
+            return False
+        if state.topology_bytes != self.topology.encode():
+            return False
+        if not self._session_cacheable():
+            return False
+        if state.mode != int(self.mode) or state.key_transport != int(
+            self.key_transport
+        ):
+            return False
+        self._resume_session(
+            dataclasses.replace(state, session_id=bytes(hello.session_id))
+        )
+        return True
+
+    def _maybe_send_new_session_ticket(self) -> None:
+        """Issue a ticket on a completing full handshake — but only when
+        the session would be cacheable at all (topology granted verbatim);
+        a policy-narrowed session must renegotiate in full every time,
+        whether resumption is stateful or stateless."""
+        if self._ticket_manager is None or not self._client_ticket_support:
+            return
+        if not self._session_cacheable():
+            return
+        ticket = self._ticket_manager.seal(
+            KIND_MCTLS,
+            ms.encode_ticket_state(
+                ms.McTLSSessionState(
+                    session_id=b"",
+                    endpoint_secret=self._endpoint_secret,
+                    cipher_suite_id=self.negotiated_suite.suite_id,
+                    mode=int(self.mode),
+                    key_transport=int(self.key_transport),
+                    topology_bytes=self.topology.encode(),
+                )
+            ),
+        )
+        # Untagged: NewSessionTicket stays out of the canonical transcript
+        # (the client mirrors this), so Finished hashes are unchanged.
+        self._send_handshake(
+            tls_msgs.NewSessionTicket(
+                lifetime_hint=int(self._ticket_manager.lifetime), ticket=ticket
+            )
+        )
 
     def _lookup_resumable_session(
         self, hello: tls_msgs.ClientHello
@@ -426,6 +502,7 @@ class McTLSServer(ms.McTLSConnectionBase):
         else:
             self._install_ckd_context_keys()
 
+        self._maybe_send_new_session_ticket()
         self._send_change_cipher_spec()
         self.records.activate_write()
         verify = ks.finished_verify_data(

@@ -112,6 +112,49 @@ class McTLSSessionState:
     middlebox_certs: Dict[int, Certificate] = field(default_factory=dict)
 
 
+def encode_ticket_state(state: McTLSSessionState) -> bytes:
+    """Serialize what an mcTLS session ticket seals: the endpoint secret
+    and — the security-critical part — the *full granted topology*, mode
+    and key transport.  The server re-checks all of them against the new
+    ClientHello before honoring the ticket, so a stateless resumption is
+    exactly as narrow as the original grant.  ``middlebox_certs`` are
+    deliberately absent: they are the *client's* material (needed to
+    re-distribute fresh context keys) and never travel in the ticket."""
+    from repro.wire import Writer
+
+    w = Writer()
+    w.vec8(state.endpoint_secret)
+    w.u16(state.cipher_suite_id)
+    w.u8(state.mode)
+    w.u8(state.key_transport)
+    w.vec16(state.topology_bytes)
+    return w.bytes()
+
+
+def decode_ticket_state(payload: bytes) -> McTLSSessionState:
+    from repro.tls.tickets import TicketError
+    from repro.wire import Reader
+
+    try:
+        r = Reader(payload)
+        endpoint_secret = r.vec8()
+        cipher_suite_id = r.u16()
+        mode = r.u8()
+        key_transport = r.u8()
+        topology_bytes = r.vec16()
+        r.expect_end()
+    except DecodeError as exc:
+        raise TicketError(f"malformed mcTLS ticket payload: {exc}") from exc
+    return McTLSSessionState(
+        session_id=b"",
+        endpoint_secret=endpoint_secret,
+        cipher_suite_id=cipher_suite_id,
+        mode=mode,
+        key_transport=key_transport,
+        topology_bytes=topology_bytes,
+    )
+
+
 @dataclass
 class McTLSApplicationData(ApplicationData):
     """Application data received in one context.

@@ -1,0 +1,12 @@
+"""Multi-process sharded serving runtime.
+
+One listening port, N forked workers, each running the asyncio endpoint
+server over the unchanged sans-I/O protocol seam.  See
+:mod:`repro.mp.cluster` for the sharding strategies (SO_REUSEPORT vs
+inherited-fd), the control-pipe protocol, and the fork-inherited ticket
+keys that make cross-worker session resumption stateless.
+"""
+
+from repro.mp.cluster import ClusterEndpointServer, aggregate_snapshots
+
+__all__ = ["ClusterEndpointServer", "aggregate_snapshots"]

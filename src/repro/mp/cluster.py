@@ -1,0 +1,447 @@
+"""Multi-process sharded serving: N workers behind one listening port.
+
+:class:`ClusterEndpointServer` forks ``workers`` processes, each running
+the unmodified :class:`repro.aio.server.AsyncEndpointServer` over the
+same sans-I/O connection seam — the protocol objects never learn they
+are sharded.  Two kernel-level sharding strategies:
+
+* **SO_REUSEPORT** (default where available) — every worker binds its
+  own listening socket to the same address; the kernel hashes incoming
+  connections across the sockets.  No shared accept queue, no
+  thundering herd.
+* **inherited-fd fallback** (``reuse_port=False`` or platforms without
+  the option) — the parent binds once and every forked worker accepts
+  on its copy of the same fd; the kernel wakes one (or a few) blocked
+  acceptors per connection.  asyncio's ``sock_accept`` retries on
+  ``BlockingIOError``, so lost accept races are benign.
+
+The parent never accepts: once every worker reports ready it closes its
+own socket copy (in fallback mode the workers' inherited fds keep the
+socket alive) and becomes a pure control plane.  Control runs over one
+duplex pipe per worker carrying tagged tuples::
+
+    child -> parent:  ("ready", pid) | ("snapshot", dict) | ("stopped", dict)
+    parent -> child:  ("snapshot", None) | ("stop", {"graceful", "timeout"})
+
+Workers install a SIGTERM handler that triggers the same graceful drain
+as a ``stop`` command, so external supervisors can roll the pool too.
+:meth:`ClusterEndpointServer.stop` drains workers one at a time
+(rolling): each worker stops accepting, finishes in-flight sessions,
+reports its final stats and exits before the next worker is told to
+stop — the port keeps serving throughout.
+
+A crashed worker (e.g. SIGKILL mid-handshake) is isolated: its kernel
+socket disappears, the survivors keep accepting, and the parent keeps
+the worker's last known snapshot.  There is deliberately no respawn —
+supervision policy belongs a layer up.
+
+Shared state is the caller's problem, and fork is the mechanism:
+anything captured by ``connection_factory`` *before* ``start()`` (most
+importantly a :class:`repro.tls.TicketKeyManager` holding the ticket
+keys) is copied into every worker, which is exactly what makes a ticket
+sealed by one worker unseal at any other.  Per-worker mutable state
+(session caches) is created *after* the fork via
+``session_cache_factory``, so worker A's cache hit-ledger never aliases
+worker B's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.aio.connection import AsyncConnection
+from repro.aio.server import AsyncEndpointServer
+from repro.core import Connection
+from repro.core.instrument import Instruments
+
+__all__ = ["ClusterEndpointServer", "aggregate_snapshots"]
+
+# Keys that are per-worker identity/detail, not summable load counters.
+_NON_ADDITIVE_KEYS = frozenset({"pid", "instruments"})
+
+
+def aggregate_snapshots(snaps: List[Dict[str, object]]) -> Dict[str, object]:
+    """Sum per-worker stat snapshots into one cluster-wide view.
+
+    Numeric scalars add; one level of nested dicts (the session-cache
+    ledger) adds element-wise.  ``pid`` and ``instruments`` (which hold
+    histogram summaries whose percentiles do not add) stay per-worker.
+    """
+    total: Dict[str, object] = {}
+    for snap in snaps:
+        for key, value in snap.items():
+            if key in _NON_ADDITIVE_KEYS:
+                continue
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                total[key] = total.get(key, 0) + value
+            elif isinstance(value, dict):
+                sub = total.setdefault(key, {})
+                for sk, sv in value.items():
+                    if isinstance(sv, (int, float)) and not isinstance(sv, bool):
+                        sub[sk] = sub.get(sk, 0) + sv
+    return total
+
+
+@dataclass
+class _WorkerRecord:
+    index: int
+    process: multiprocessing.process.BaseProcess
+    pipe: object  # multiprocessing.connection.Connection
+    pid: Optional[int] = None
+    last_snapshot: Dict[str, object] = field(default_factory=dict)
+    stopped: bool = False
+
+
+class ClusterEndpointServer:
+    """Fork ``workers`` processes each serving the same port.
+
+    Same call shape as :class:`AsyncEndpointServer`, minus the event
+    loop: the parent API is synchronous (``start`` / ``snapshot`` /
+    ``stop``) because the loops live in the children.
+
+    ``session_cache_factory`` (not a cache instance) is invoked inside
+    each worker after the fork, so caches are per-worker by
+    construction.  Cross-worker resumption therefore *requires* tickets:
+    seed the ``connection_factory`` closure with a ``TicketKeyManager``
+    before ``start()`` and every worker inherits the same keys.  (Key
+    *rotation* after the fork is per-worker and would diverge; rotate by
+    restarting the pool, or keep ``rotation_period`` above the pool's
+    lifetime.)
+    """
+
+    def __init__(
+        self,
+        listen_addr: Tuple[str, int],
+        connection_factory: Callable[..., Connection],
+        handler: Callable[[AsyncConnection], Awaitable[None]],
+        workers: int = 2,
+        session_cache_factory: Optional[Callable[[], object]] = None,
+        max_connections: int = 256,
+        handshake_timeout: float = 30.0,
+        idle_timeout: float = 30.0,
+        backlog: int = 512,
+        reuse_port: bool = True,
+        start_timeout: float = 15.0,
+        control_timeout: float = 5.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ClusterEndpointServer requires the fork start method "
+                "(closures and ticket keys are inherited by memory, not pickled)"
+            )
+        self.listen_addr = listen_addr
+        self.connection_factory = connection_factory
+        self.handler = handler
+        self.workers = workers
+        self.session_cache_factory = session_cache_factory
+        self.max_connections = max_connections
+        self.handshake_timeout = handshake_timeout
+        self.idle_timeout = idle_timeout
+        self.backlog = backlog
+        self.reuse_port = reuse_port
+        self.start_timeout = start_timeout
+        self.control_timeout = control_timeout
+        self._ctx = multiprocessing.get_context("fork")
+        self._parent_sock: Optional[socket.socket] = None
+        self._port: Optional[int] = None
+        self._reuse_port_active = False
+        self._records: List[_WorkerRecord] = []
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # parent control plane
+
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise RuntimeError("cluster not started")
+        return self._port
+
+    @property
+    def worker_pids(self) -> List[int]:
+        return [rec.pid for rec in self._records if rec.pid is not None]
+
+    def alive_workers(self) -> List[int]:
+        return [
+            rec.pid
+            for rec in self._records
+            if rec.pid is not None and rec.process.is_alive()
+        ]
+
+    def start(self) -> "ClusterEndpointServer":
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._reuse_port_active = self.reuse_port and hasattr(
+                socket, "SO_REUSEPORT"
+            )
+            if self._reuse_port_active:
+                try:
+                    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                except OSError:
+                    self._reuse_port_active = False
+            sock.bind(self.listen_addr)
+            sock.listen(self.backlog)
+        except BaseException:
+            sock.close()
+            raise
+        self._parent_sock = sock
+        self._port = sock.getsockname()[1]
+
+        for index in range(self.workers):
+            parent_pipe, child_pipe = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=self._worker_entry,
+                args=(index, child_pipe),
+                daemon=True,
+                name=f"cluster-worker-{index}",
+            )
+            process.start()
+            child_pipe.close()
+            self._records.append(
+                _WorkerRecord(index=index, process=process, pipe=parent_pipe)
+            )
+
+        try:
+            deadline = time.monotonic() + self.start_timeout
+            for rec in self._records:
+                remaining = max(0.0, deadline - time.monotonic())
+                if not rec.pipe.poll(remaining):
+                    raise RuntimeError(
+                        f"worker {rec.index} did not report ready "
+                        f"within {self.start_timeout}s"
+                    )
+                tag, payload = rec.pipe.recv()
+                if tag != "ready":
+                    raise RuntimeError(
+                        f"worker {rec.index} sent {tag!r} before ready"
+                    )
+                rec.pid = payload
+        except BaseException:
+            self.stop(graceful=False)
+            raise
+        finally:
+            # The parent never accepts.  In SO_REUSEPORT mode keeping
+            # this socket open would make the kernel hash connections
+            # into a queue nobody drains; in fallback mode the workers'
+            # inherited fds keep the underlying socket alive.
+            if self._parent_sock is not None:
+                self._parent_sock.close()
+                self._parent_sock = None
+        return self
+
+    def snapshot(self) -> Dict[str, object]:
+        """Aggregated cluster stats plus the per-worker breakdown.
+
+        Live workers are polled over their control pipe; dead or
+        unresponsive workers contribute their last known snapshot.
+        """
+        for rec in self._records:
+            if rec.stopped or not rec.process.is_alive():
+                self._drain_pipe(rec)
+                continue
+            try:
+                rec.pipe.send(("snapshot", None))
+                if rec.pipe.poll(self.control_timeout):
+                    tag, payload = rec.pipe.recv()
+                    if tag in ("snapshot", "stopped"):
+                        rec.last_snapshot = payload
+                    if tag == "stopped":
+                        rec.stopped = True
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        worker_snaps = [dict(rec.last_snapshot) for rec in self._records]
+        agg = aggregate_snapshots(worker_snaps)
+        agg["workers"] = worker_snaps
+        agg["worker_count"] = len(self._records)
+        agg["alive_workers"] = len(self.alive_workers())
+        return agg
+
+    def stop(
+        self, graceful: bool = True, timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Rolling shutdown: drain workers one at a time; return final stats."""
+        if self._stopped:
+            return self.snapshot()
+        self._stopped = True
+        join_budget = timeout if timeout is not None else 30.0
+        for rec in self._records:
+            self._stop_worker(rec, graceful, timeout, join_budget)
+        if self._parent_sock is not None:  # start() failed before ready
+            self._parent_sock.close()
+            self._parent_sock = None
+        worker_snaps = [dict(rec.last_snapshot) for rec in self._records]
+        agg = aggregate_snapshots(worker_snaps)
+        agg["workers"] = worker_snaps
+        agg["worker_count"] = len(self._records)
+        agg["alive_workers"] = len(self.alive_workers())
+        return agg
+
+    def _drain_pipe(self, rec: _WorkerRecord) -> None:
+        """Capture any final snapshot a self-exited worker left queued.
+
+        A worker that shut down on its own (e.g. SIGTERM from outside)
+        sends ``("stopped", snapshot)`` before exiting; without draining,
+        its final ledger would be lost to the aggregate.
+        """
+        try:
+            while rec.pipe.poll(0):
+                tag, payload = rec.pipe.recv()
+                if tag in ("snapshot", "stopped"):
+                    rec.last_snapshot = payload
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+
+    def _stop_worker(
+        self,
+        rec: _WorkerRecord,
+        graceful: bool,
+        timeout: Optional[float],
+        join_budget: float,
+    ) -> None:
+        if rec.stopped or not rec.process.is_alive():
+            self._drain_pipe(rec)
+            rec.process.join(timeout=0)
+            rec.stopped = True
+            return
+        try:
+            rec.pipe.send(("stop", {"graceful": graceful, "timeout": timeout}))
+            deadline = time.monotonic() + join_budget
+            while time.monotonic() < deadline:
+                remaining = max(0.0, deadline - time.monotonic())
+                if not rec.pipe.poll(remaining):
+                    break
+                tag, payload = rec.pipe.recv()
+                if tag in ("snapshot", "stopped"):
+                    rec.last_snapshot = payload
+                if tag == "stopped":
+                    break
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        rec.process.join(timeout=join_budget)
+        if rec.process.is_alive():
+            rec.process.terminate()
+            rec.process.join(timeout=5.0)
+        rec.stopped = True
+        try:
+            rec.pipe.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+    # worker side (runs in the forked child)
+
+    def _worker_entry(self, index: int, pipe) -> None:
+        try:
+            listen_sock = self._make_worker_socket()
+            asyncio.run(self._worker_main(listen_sock, pipe))
+        except KeyboardInterrupt:  # pragma: no cover
+            pass
+        finally:
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover
+                pass
+        os._exit(0)
+
+    def _make_worker_socket(self) -> socket.socket:
+        if not self._reuse_port_active:
+            # Shared accept queue: every worker accepts on its fork-
+            # inherited copy of the parent's fd; the kernel balances.
+            return self._parent_sock
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self.listen_addr[0], self._port))
+            sock.listen(self.backlog)
+        except BaseException:
+            sock.close()
+            raise
+        # Our SO_REUSEPORT sibling is bound; the inherited parent copy
+        # must not linger as a second (undrained) accept queue.
+        self._parent_sock.close()
+        return sock
+
+    async def _worker_main(self, listen_sock: socket.socket, pipe) -> None:
+        loop = asyncio.get_running_loop()
+        session_cache = (
+            self.session_cache_factory()
+            if self.session_cache_factory is not None
+            else None
+        )
+        server = AsyncEndpointServer(
+            (self.listen_addr[0], self._port),
+            self.connection_factory,
+            self.handler,
+            session_cache=session_cache,
+            max_connections=self.max_connections,
+            handshake_timeout=self.handshake_timeout,
+            idle_timeout=self.idle_timeout,
+            backlog=self.backlog,
+            instruments=Instruments(),
+            listen_sock=listen_sock,
+        )
+        await server.start()
+
+        stop_event = asyncio.Event()
+        stop_args: Dict[str, object] = {}
+
+        def on_sigterm() -> None:
+            stop_args.setdefault("graceful", True)
+            stop_event.set()
+
+        def on_command() -> None:
+            try:
+                tag, payload = pipe.recv()
+            except (EOFError, OSError):
+                # Parent is gone; drain and exit rather than orphan.
+                loop.remove_reader(pipe.fileno())
+                stop_event.set()
+                return
+            if tag == "snapshot":
+                try:
+                    pipe.send(("snapshot", self._worker_snapshot(server)))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+            elif tag == "stop":
+                stop_args.update(payload or {})
+                stop_event.set()
+
+        loop.add_signal_handler(signal.SIGTERM, on_sigterm)
+        loop.add_reader(pipe.fileno(), on_command)
+        pipe.send(("ready", os.getpid()))
+
+        await stop_event.wait()
+        loop.remove_reader(pipe.fileno())
+        loop.remove_signal_handler(signal.SIGTERM)
+        await server.stop(
+            graceful=bool(stop_args.get("graceful", True)),
+            timeout=stop_args.get("timeout"),
+        )
+        try:
+            pipe.send(("stopped", self._worker_snapshot(server)))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+
+    def _worker_snapshot(self, server: AsyncEndpointServer) -> Dict[str, object]:
+        snap = server.snapshot()
+        snap["pid"] = os.getpid()
+        if server.instruments is not None:
+            snap["instruments"] = server.instruments.snapshot()
+        return snap

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from enum import Enum, auto
 from typing import Optional
 
@@ -20,7 +21,8 @@ from repro.tls.connection import (
     TLSError,
     make_random,
 )
-from repro.tls.sessioncache import ClientSessionStore, TLSSessionState
+from repro.tls.sessioncache import ClientSessionStore, TLSSessionState, new_session_id
+from repro.tls.tickets import ClientTicket
 
 
 class _State(Enum):
@@ -49,6 +51,7 @@ class TLSClient(TLSConnectionBase):
         self,
         config: TLSConfig,
         session_store: Optional[ClientSessionStore] = None,
+        ticket_store: Optional[ClientSessionStore] = None,
     ):
         super().__init__(config)
         self._state = _State.START
@@ -59,7 +62,10 @@ class TLSClient(TLSConnectionBase):
         self._server_kx_group: Optional[DHGroup] = None
         self._master_secret: Optional[bytes] = None
         self._session_store = session_store
+        self._ticket_store = ticket_store
         self._offered_session: Optional[TLSSessionState] = None
+        self._offered_ticket: Optional[ClientTicket] = None
+        self._received_ticket: Optional[msgs.NewSessionTicket] = None
         self._pending_session_id = b""
         self.resumed = False
 
@@ -81,7 +87,21 @@ class TLSClient(TLSConnectionBase):
         return self.config.server_name or ""
 
     def _resumable_session_id(self) -> bytes:
-        """Offer a cached session for this endpoint, if we hold one."""
+        """Offer a cached ticket or session for this endpoint, if held.
+
+        A ticket offer goes out with a *fresh random* session id (RFC
+        5077 §3.4): the server signals acceptance by echoing it — which
+        lets the existing session-id comparison in ``_on_server_hello``
+        drive the abbreviated flow unchanged.
+        """
+        ticket = self._resumable_ticket()
+        if ticket is not None:
+            self._offered_ticket = ticket
+            accept_id = new_session_id()
+            self._offered_session = dataclasses.replace(
+                ticket.state, session_id=accept_id
+            )
+            return accept_id
         if self._session_store is None:
             return b""
         cached = self._session_store.get(self._session_store_key())
@@ -92,9 +112,30 @@ class TLSClient(TLSConnectionBase):
         self._offered_session = cached
         return cached.session_id
 
+    def _resumable_ticket(self) -> Optional[ClientTicket]:
+        if self._ticket_store is None:
+            return None
+        cached = self._ticket_store.get(self._session_store_key())
+        if not isinstance(cached, ClientTicket) or not isinstance(
+            cached.state, TLSSessionState
+        ):
+            return None
+        if cached.state.cipher_suite_id not in self.config.suite_ids():
+            return None
+        return cached
+
     def _hello_extensions(self):
         """Hook: subclasses (mcTLS) add extensions to the ClientHello."""
-        return []
+        exts = []
+        if self._ticket_store is not None:
+            # Present even when empty: "I support tickets, issue me one".
+            exts.append(
+                (
+                    msgs.EXT_SESSION_TICKET,
+                    self._offered_ticket.ticket if self._offered_ticket else b"",
+                )
+            )
+        return exts
 
     # -- message handling ---------------------------------------------------
 
@@ -115,6 +156,12 @@ class TLSClient(TLSConnectionBase):
         ):
             msgs.ServerHelloDone.decode(body)
             self._on_server_hello_done()
+        elif (
+            msg_type == msgs.NEW_SESSION_TICKET and self._state is _State.WAIT_CCS
+        ):
+            # Full-handshake servers deliver the ticket between our flight
+            # and their CCS; it stays in the transcript (both sides hash it).
+            self._received_ticket = msgs.NewSessionTicket.decode(body)
         elif msg_type == msgs.FINISHED and self._state is _State.WAIT_FINISHED:
             self._on_finished(msgs.Finished.decode(body), raw)
         else:
@@ -253,12 +300,31 @@ class TLSClient(TLSConnectionBase):
         self._state = _State.CONNECTED
         self.handshake_complete = True
         self._store_session()
+        self._store_ticket()
         self._emit(
             HandshakeComplete(
                 cipher_suite=self.negotiated_suite.name,
                 peer_certificate=self.peer_certificate,
                 resumed=self.resumed,
             )
+        )
+
+    def _store_ticket(self) -> None:
+        """Remember a freshly issued ticket (full handshakes only; a
+        ticket-resumed session keeps its still-valid old ticket)."""
+        if self._ticket_store is None or self._received_ticket is None:
+            return
+        self._ticket_store.put(
+            self._session_store_key(),
+            ClientTicket(
+                ticket=self._received_ticket.ticket,
+                state=TLSSessionState(
+                    session_id=b"",
+                    master_secret=self._master_secret,
+                    cipher_suite_id=self.negotiated_suite.suite_id,
+                    server_name=self.config.server_name or "",
+                ),
+            ),
         )
 
     def _store_session(self) -> None:

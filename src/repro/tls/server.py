@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from enum import Enum, auto
 from typing import Optional
@@ -19,6 +20,13 @@ from repro.tls.connection import (
     make_random,
 )
 from repro.tls.sessioncache import SessionCache, TLSSessionState, new_session_id
+from repro.tls.tickets import (
+    KIND_TLS,
+    TicketError,
+    TicketKeyManager,
+    decode_tls_ticket_state,
+    encode_tls_ticket_state,
+)
 
 
 class _State(Enum):
@@ -39,9 +47,21 @@ class TLSServer(TLSConnectionBase):
     and cached on completion; a ClientHello carrying a cached id gets the
     abbreviated flow (no certificates, no key exchange — zero public-key
     operations at the server).
+
+    With a ``ticket_manager``, full handshakes additionally issue an RFC
+    5077 NewSessionTicket to clients that signalled ticket support, and a
+    ClientHello carrying a valid ticket resumes with **no server-side
+    state at all** — any worker holding the same ticket key can honor it.
+    A defective ticket (tampered, truncated, expired, rotated-out key,
+    version skew) is silently ignored: the handshake proceeds in full.
     """
 
-    def __init__(self, config: TLSConfig, session_cache: Optional[SessionCache] = None):
+    def __init__(
+        self,
+        config: TLSConfig,
+        session_cache: Optional[SessionCache] = None,
+        ticket_manager: Optional[TicketKeyManager] = None,
+    ):
         if config.identity is None:
             raise TLSError("server requires an identity (certificate + key)")
         super().__init__(config)
@@ -52,6 +72,8 @@ class TLSServer(TLSConnectionBase):
         self._master_secret: Optional[bytes] = None
         self._client_hello: Optional[msgs.ClientHello] = None
         self._session_cache = session_cache
+        self._ticket_manager = ticket_manager
+        self._client_ticket_support = False
         self._session_id = b""
         self.resumed = False
 
@@ -77,6 +99,9 @@ class TLSServer(TLSConnectionBase):
     def _on_client_hello(self, hello: msgs.ClientHello) -> None:
         self._client_hello = hello
         self._client_random = hello.random
+
+        if self._try_ticket_resumption(hello):
+            return
 
         resumable = self._lookup_resumable_session(hello)
         if resumable is not None:
@@ -116,6 +141,60 @@ class TLSServer(TLSConnectionBase):
         self._state = _State.WAIT_CLIENT_KEY_EXCHANGE
 
     # -- resumption ---------------------------------------------------------
+
+    def _try_ticket_resumption(self, hello: msgs.ClientHello) -> bool:
+        """Resume from a client-presented ticket, if it checks out.
+
+        Any defect in the ticket returns False (→ full handshake); the
+        extension's mere presence — even empty — marks the client as
+        ticket-capable, so a NewSessionTicket goes out on completion.
+        RFC 5077 §3.4: the accepting server echoes the session id the
+        client *proposed* alongside the ticket, which is how the client
+        recognises acceptance without readable ticket contents.
+        """
+        ext = hello.find_extension(msgs.EXT_SESSION_TICKET)
+        if ext is None:
+            return False
+        self._client_ticket_support = True
+        if self._ticket_manager is None or not ext or not hello.session_id:
+            return False
+        try:
+            kind, payload = self._ticket_manager.unseal(ext)
+            if kind != KIND_TLS:
+                raise TicketError("ticket sealed for a different protocol")
+            state = decode_tls_ticket_state(payload)
+        except TicketError:
+            return False
+        if state.cipher_suite_id not in hello.cipher_suites:
+            return False
+        if self.config.suite_for_id(state.cipher_suite_id) is None:
+            return False
+        self._resume_session(
+            hello, dataclasses.replace(state, session_id=bytes(hello.session_id))
+        )
+        return True
+
+    def _maybe_send_new_session_ticket(self) -> None:
+        """Issue a fresh ticket on a completing full handshake (sent after
+        the client's Finished, before our ChangeCipherSpec)."""
+        if self._ticket_manager is None or not self._client_ticket_support:
+            return
+        ticket = self._ticket_manager.seal(
+            KIND_TLS,
+            encode_tls_ticket_state(
+                TLSSessionState(
+                    session_id=b"",
+                    master_secret=self._master_secret,
+                    cipher_suite_id=self.negotiated_suite.suite_id,
+                    server_name=self.config.server_name or "",
+                )
+            ),
+        )
+        self._send_handshake(
+            msgs.NewSessionTicket(
+                lifetime_hint=int(self._ticket_manager.lifetime), ticket=ticket
+            )
+        )
 
     def _lookup_resumable_session(
         self, hello: msgs.ClientHello
@@ -241,6 +320,7 @@ class TLSServer(TLSConnectionBase):
             )
             return
 
+        self._maybe_send_new_session_ticket()
         self._before_server_finished()
         suite = self.negotiated_suite
         self._send_change_cipher_spec()

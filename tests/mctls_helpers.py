@@ -30,12 +30,16 @@ def build_session(
     key_transport=None,
     session_store=None,
     session_cache=None,
+    ticket_store=None,
+    ticket_manager=None,
 ):
     """Wire a client ⇄ N middleboxes ⇄ server session; returns
     (client, middleboxes, server, chain) with the handshake already pumped.
 
     Pass the same ``session_store`` (client side) and ``session_cache``
-    (server side) across two calls to exercise session resumption."""
+    (server side) across two calls to exercise session resumption — or
+    ``ticket_store`` (client) with ``ticket_manager`` (server) for the
+    stateless-ticket kind."""
     middleboxes = [
         MiddleboxInfo(i + 1, identity.name) for i, identity in enumerate(mbox_identities)
     ]
@@ -50,6 +54,7 @@ def build_session(
         topology=topology,
         key_transport=key_transport,
         session_store=session_store,
+        ticket_store=ticket_store,
     )
     server = McTLSServer(
         TLSConfig(
@@ -60,6 +65,7 @@ def build_session(
         mode=mode,
         topology_policy=topology_policy,
         session_cache=session_cache,
+        ticket_manager=ticket_manager,
     )
     mboxes = [
         McTLSMiddlebox(

@@ -194,12 +194,8 @@ class TestAsyncEndpoint:
             await reader.read()
             writer.close()
             await writer.wait_closed()
-            # The handler task has finished (read returned EOF), but its
-            # stats update races the assertion by one loop tick.
-            for _ in range(50):
-                if server.stats.handshakes_failed:
-                    break
-                await asyncio.sleep(0.01)
+            # stop() awaits every handler task, so after it returns the
+            # stats ledger is final — no polling needed.
             await server.stop()
             assert server.stats.handshakes_failed == 1
             assert server.stats.handshakes_ok == 0
@@ -275,17 +271,17 @@ class TestAsyncEndpoint:
             conn = await connect((LOOPBACK, server.port), TLSClient(client_config))
             await conn.handshake()
 
-            async def finish_session():
-                await asyncio.sleep(0.05)
-                await conn.send(b"late but served")
-                reply = await conn.recv_app_data()
-                await conn.close()
-                return reply.data
-
-            finisher = asyncio.create_task(finish_session())
-            await asyncio.sleep(0.01)  # session is in flight
-            await server.stop(graceful=True)
-            assert await finisher == b"late but served"
+            # Start the shutdown, then speak only once the server has
+            # committed to stopping (its first act is setting the flag) —
+            # event-sequenced, no timed sleeps to race against.
+            stop_task = asyncio.create_task(server.stop(graceful=True))
+            while not server._stopping:
+                await asyncio.sleep(0)
+            await conn.send(b"late but served")
+            reply = await conn.recv_app_data()
+            await conn.close()
+            await stop_task
+            assert reply.data == b"late but served"
             assert server.stats.handshakes_ok == 1
             assert server.stats.errors == 0
 

@@ -18,6 +18,7 @@ the exact same scenario code.
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import socket
 
 import pytest
@@ -234,11 +235,104 @@ class AioDriver:
             self._loop.close()
 
 
-DRIVERS = [ThreadedDriver, AioDriver]
+class MpDriver:
+    """Third axis: the multi-process sharded runtime.
+
+    The endpoint is a 2-worker :class:`repro.mp.ClusterEndpointServer`
+    (forked children each running the asyncio server); relays run
+    thread-per-connection in the parent, and the client facade is the
+    same blocking-socket one as :class:`ThreadedDriver` — so the
+    scenarios exercise a client whose connections land on whichever
+    worker the kernel picks.
+    """
+
+    name = "mp"
+    SessionEnded = sockets.SessionEnded
+
+    def __init__(self):
+        self._relays = []
+        self._cluster = None
+        self._bed = None
+        self._mode = None
+        self._topology = None
+        self._dial_port = None
+
+    def serve(self, bed, mode, n_relays, handler, instruments=None):
+        from repro.mp import ClusterEndpointServer
+
+        self._bed, self._mode = bed, mode
+        self._topology = (
+            bed.topology(n_relays)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+            else None
+        )
+        # Fork first, thread later: the relay threads must not exist in
+        # the parent when the workers fork off.
+        self._cluster = ClusterEndpointServer(
+            (LOOPBACK, 0),
+            connection_factory=lambda: bed.make_endpoints(
+                mode, topology=self._topology
+            )[1],
+            handler=handler,
+            workers=2,
+        ).start()
+        self._dial_port = self._cluster.port
+        for relay_obj in reversed(bed.make_relays(mode, n_relays)):
+            relay = sockets.RelayServer(
+                (LOOPBACK, 0),
+                upstream_addr=(LOOPBACK, self._dial_port),
+                relay_factory=lambda r=relay_obj: r,
+                instruments=instruments,
+            ).start()
+            self._relays.append(relay)
+            self._dial_port = relay.port
+
+    def echo_handler(self, conn):
+        async def _run():
+            while True:
+                event = await conn.recv_app_data()
+                await conn.send(event.data, context_id=event.context_id)
+
+        return _run()
+
+    def send_one_handler(self, payload, context_id):
+        async def handler(conn):
+            await conn.send(payload, context_id=context_id)
+
+        return handler
+
+    def connect(self):
+        client = self._bed.make_endpoints(self._mode, topology=self._topology)[0]
+        return sockets.connect((LOOPBACK, self._dial_port), client)
+
+    def raw_probe(self, data: bytes) -> None:
+        with socket.create_connection((LOOPBACK, self._dial_port)) as sock:
+            sock.sendall(data)
+
+    def endpoint_snapshot(self):
+        return self._cluster.snapshot()
+
+    def tick(self):
+        import time
+
+        time.sleep(0.02)
+
+    def stop(self):
+        for relay in reversed(self._relays):
+            relay.stop()
+        if self._cluster is not None:
+            self._cluster.stop()
+
+
+DRIVERS = [ThreadedDriver, AioDriver, MpDriver]
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 
 
 @pytest.fixture(params=DRIVERS, ids=lambda d: d.name)
 def driver(request):
+    if request.param is MpDriver and not HAS_FORK:
+        pytest.skip("sharded runtime requires the fork start method")
     drv = request.param()
     yield drv
     drv.stop()
