@@ -19,7 +19,13 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.core import Connection
 from repro.core.events import ApplicationData, Event
-from repro.sockets import MAX_PUMP_BYTES, RECV_SIZE, SessionEnded, tune_socket
+from repro.sockets import (
+    MAX_PUMP_BYTES,
+    RECV_SIZE,
+    SessionEnded,
+    drain_views,
+    tune_socket,
+)
 
 __all__ = ["AsyncConnection", "SessionEnded", "connect"]
 
@@ -51,10 +57,12 @@ class AsyncConnection:
             tune_socket(sock)
 
     async def flush(self) -> None:
-        data = self.connection.data_to_send()
-        if data:
-            self.bytes_out += len(data)
-            self.writer.write(data)
+        views = drain_views(self.connection)
+        if views:
+            self.bytes_out += sum(len(v) for v in views)
+            # Scatter-gather: hand the per-record chunks straight to the
+            # transport instead of joining them in userspace first.
+            self.writer.writelines(views)
             await self.writer.drain()
 
     def _on_eof(self) -> None:

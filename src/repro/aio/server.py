@@ -37,7 +37,7 @@ from typing import Awaitable, Callable, Dict, Optional, Set, Tuple
 from repro.aio.connection import AsyncConnection
 from repro.core import Connection, RelayProcessor
 from repro.core.instrument import Instruments, ServerStats
-from repro.sockets import RECV_SIZE, SessionEnded, tune_socket
+from repro.sockets import RECV_SIZE, SessionEnded, drain_views, tune_socket
 
 # ServerStats moved to repro.core.instrument (shared with the threaded
 # runtime); re-exported here for compatibility.
@@ -292,14 +292,16 @@ class AsyncRelayServer(_AsyncServerBase):
         down_reader, down_writer = await asyncio.open_connection(sock=raw)
 
         async def flush() -> None:
-            to_server = relay.data_to_server()
+            # Scatter-gather: per-record (or per-burst) chunks go to the
+            # transport as-is; no userspace join on the relay hot path.
+            to_server = drain_views(relay, "data_to_server")
             if to_server:
-                self.stats.bytes_out += len(to_server)
-                up_writer.write(to_server)
-            to_client = relay.data_to_client()
+                self.stats.bytes_out += sum(len(v) for v in to_server)
+                up_writer.writelines(to_server)
+            to_client = drain_views(relay, "data_to_client")
             if to_client:
-                self.stats.bytes_out += len(to_client)
-                down_writer.write(to_client)
+                self.stats.bytes_out += sum(len(v) for v in to_client)
+                down_writer.writelines(to_client)
             if to_server:
                 await up_writer.drain()
             if to_client:

@@ -15,26 +15,34 @@ class BlindRelay:
     """Forwards bytes verbatim in both directions."""
 
     def __init__(self) -> None:
-        self._to_client = bytearray()
-        self._to_server = bytearray()
+        self._to_client: List[bytes] = []
+        self._to_server: List[bytes] = []
         self.bytes_relayed = 0
 
     def receive_from_client(self, data: bytes) -> List[object]:
-        self._to_server += data
+        self._to_server.append(data)
         self.bytes_relayed += len(data)
         return []
 
     def receive_from_server(self, data: bytes) -> List[object]:
-        self._to_client += data
+        self._to_client.append(data)
         self.bytes_relayed += len(data)
         return []
 
     def data_to_client(self) -> bytes:
-        out = bytes(self._to_client)
+        out = b"".join(self._to_client)
         self._to_client.clear()
         return out
 
     def data_to_server(self) -> bytes:
-        out = bytes(self._to_server)
+        out = b"".join(self._to_server)
         self._to_server.clear()
         return out
+
+    def data_to_client_views(self) -> List[bytes]:
+        views, self._to_client = self._to_client, []
+        return views
+
+    def data_to_server_views(self) -> List[bytes]:
+        views, self._to_server = self._to_server, []
+        return views

@@ -20,7 +20,7 @@ class PlainConnection:
     """A no-op 'secure' connection: bytes in, bytes out."""
 
     def __init__(self) -> None:
-        self._out = bytearray()
+        self._out: List[bytes] = []
         self._events: List[Event] = []
         self.handshake_complete = False
         self.closed = False
@@ -36,9 +36,14 @@ class PlainConnection:
             self._emit(HandshakeComplete(cipher_suite="none"))
 
     def data_to_send(self) -> bytes:
-        out = bytes(self._out)
+        out = b"".join(self._out)
         self._out.clear()
         return out
+
+    def data_to_send_views(self) -> List[bytes]:
+        """Pending output as buffers for scatter-gather writes."""
+        views, self._out = self._out, []
+        return views
 
     def receive_data(self, data: bytes) -> List[Event]:
         if not self.handshake_complete:
@@ -56,7 +61,7 @@ class PlainConnection:
         if self.instruments is not None:
             self.instruments.inc("records.out")
             self.instruments.inc(f"context.{context_id}.bytes_out", len(data))
-        self._out += data
+        self._out.append(data)
 
     def close(self) -> None:
         self.closed = True
@@ -77,15 +82,15 @@ class PlainRelay:
     ):
         self.transformer = transformer
         self.observer = observer
-        self._to_client = bytearray()
-        self._to_server = bytearray()
+        self._to_client: List[bytes] = []
+        self._to_server: List[bytes] = []
 
-    def _relay(self, direction: str, data: bytes, out: bytearray) -> List[Event]:
+    def _relay(self, direction: str, data: bytes, out: List[bytes]) -> List[Event]:
         if self.transformer is not None:
             data = self.transformer(direction, data)
         if self.observer is not None:
             self.observer(direction, data)
-        out += data
+        out.append(data)
         return []
 
     def receive_from_client(self, data: bytes) -> List[Event]:
@@ -95,11 +100,19 @@ class PlainRelay:
         return self._relay("s2c", data, self._to_client)
 
     def data_to_client(self) -> bytes:
-        out = bytes(self._to_client)
+        out = b"".join(self._to_client)
         self._to_client.clear()
         return out
 
     def data_to_server(self) -> bytes:
-        out = bytes(self._to_server)
+        out = b"".join(self._to_server)
         self._to_server.clear()
         return out
+
+    def data_to_client_views(self) -> List[bytes]:
+        views, self._to_client = self._to_client, []
+        return views
+
+    def data_to_server_views(self) -> List[bytes]:
+        views, self._to_server = self._to_server, []
+        return views

@@ -100,6 +100,12 @@ class SplitTLSRelay:
     def data_to_server(self) -> bytes:
         return self.server_side.data_to_send()
 
+    def data_to_client_views(self) -> List[bytes]:
+        return self.client_side.data_to_send_views()
+
+    def data_to_server_views(self) -> List[bytes]:
+        return self.server_side.data_to_send_views()
+
     # -- plumbing ----------------------------------------------------------------
 
     def _forward(self, direction: str, payload: bytes) -> None:

@@ -33,7 +33,18 @@ name                            incremented when
 ``context.<id>.bytes_in/out``   application bytes per context
 ``relay.records``               a protected record transits a middlebox
 ``relay.modified``              ... and was rewritten by the transformer
+``keystream.pool.hit``          a record's keystream came from the bounded
+                                pool (:data:`repro.crypto.fastcipher.KEYSTREAM_POOL`)
+``keystream.pool.miss``         ... had to be derived (and was admitted
+                                if pool-sized)
+``keystream.pool.evict``        admission pushed out the oldest entry
+                                (FIFO, bounded by ``size_to_workload``)
 ==============================  =============================================
+
+The ``keystream.pool.*`` counters are published in deltas by
+``KeystreamPool.publish_to`` — relays fold them in once per forwarded
+burst, so snapshots stay consistent however many bursts a wakeup
+handled.
 """
 
 from __future__ import annotations

@@ -16,6 +16,11 @@ Contract for :class:`Connection`:
   input is ignored.
 * ``data_to_send()`` drains the pending output buffer (returns ``b""``
   when quiet).  It never blocks and never raises.
+* ``data_to_send_views()`` drains the same buffer as a list of chunks
+  (empty when quiet) for scatter-gather writes (``writev``/``sendmsg``/
+  ``writelines``).  ``b"".join(data_to_send_views())`` is byte-identical
+  to what ``data_to_send()`` would have returned; the two drain one
+  queue, so callers use one or the other per flush, never both.
 * ``start_handshake()`` begins the handshake on the active (client)
   side; on passive (server) connections it is a no-op.  Calling it twice
   is an error for stateful stacks.
@@ -52,6 +57,9 @@ class Connection(Protocol):
     def data_to_send(self) -> bytes:
         """Drain pending output bytes for the transport."""
 
+    def data_to_send_views(self) -> List[bytes]:
+        """Drain pending output as chunks for scatter-gather writes."""
+
     def send_application_data(self, data: bytes, context_id: int = 0) -> None:
         """Queue application payload for ``context_id``."""
 
@@ -81,3 +89,9 @@ class RelayProcessor(Protocol):
 
     def data_to_server(self) -> bytes:
         """Drain bytes pending towards the server."""
+
+    def data_to_client_views(self) -> List[bytes]:
+        """Drain client-bound output as chunks for scatter-gather writes."""
+
+    def data_to_server_views(self) -> List[bytes]:
+        """Drain server-bound output as chunks for scatter-gather writes."""

@@ -111,6 +111,14 @@ class TamperProxy:
         self._to_server.clear()
         return out
 
+    def data_to_client_views(self) -> List[bytes]:
+        out = self.data_to_client()
+        return [out] if out else []
+
+    def data_to_server_views(self) -> List[bytes]:
+        out = self.data_to_server()
+        return [out] if out else []
+
     # -- internals ----------------------------------------------------------
 
     def _process(
@@ -267,7 +275,7 @@ class MaliciousReader(McTLSMiddlebox):
         opened = processor.open_record(content_type, context_id, fragment)
         forged = forge_reader_record(processor, opened, self.rewrite(opened.payload))
         self.forged.append((direction, opened.seq))
-        self._out_for(side).extend(forged)
+        self._out_for(side).append(forged)
 
 
 __all__ = [

@@ -69,6 +69,7 @@ SEED = 2015  # any fixed value; tests assert run-to-run stability, not the value
 
 PAYLOAD_1 = b"mcTLS fault harness payload number one"
 PAYLOAD_2 = b"mcTLS fault harness payload number two"
+PAYLOAD_3 = b"mcTLS fault harness payload number three"
 
 KEY_BITS = 512  # test-sized keys; structure identical to production sizes
 
@@ -190,7 +191,7 @@ _GRANTS: Dict[Tuple[str, str], List[Permission]] = {
 }
 
 
-def _build_session(spec: CellSpec, seed: int):
+def _build_session(spec: CellSpec, seed: int, record_index: int = 0):
     """Fresh client / relays / server wired into a Chain for one cell."""
     ca, server_identity, mbox_identities = _fixture()
     grants = _GRANTS[(spec.attacker, spec.detector)]
@@ -216,7 +217,7 @@ def _build_session(spec: CellSpec, seed: int):
 
     relays: List[object] = []
     if spec.attacker in ("third-party", "handshake"):
-        relays.append(TamperProxy(_plan_for(spec, seed)))
+        relays.append(TamperProxy(_plan_for(spec, seed, record_index)))
     for i, identity in enumerate(identities):
         config = _config(identity=identity, trusted_roots=[ca.certificate])
         if spec.attacker == "reader" and i == 0:
@@ -242,13 +243,16 @@ def _handshake_mutator(name: str) -> Tuple[HandshakeMutator, str]:
     raise KeyError(name)
 
 
-def _plan_for(spec: CellSpec, seed: int) -> TamperPlan:
+def _plan_for(spec: CellSpec, seed: int, record_index: int = 0) -> TamperPlan:
     if spec.attacker == "handshake":
         mutator, direction = _handshake_mutator(spec.mutation)
         return TamperPlan(seed=seed, handshake_mutator=mutator, direction=direction)
     record_mutator = standard_record_mutators(swap_to=2)[spec.mutation]
     return TamperPlan(
-        seed=seed, record_mutator=record_mutator, record_index=0, direction=mk.C2S
+        seed=seed,
+        record_mutator=record_mutator,
+        record_index=record_index,
+        direction=mk.C2S,
     )
 
 
@@ -262,9 +266,21 @@ def _classify_failure(exc: TLSError) -> CellResult:
     return CellResult(Outcome.MALFORMED, detected_by=getattr(info, "where", None))
 
 
-def run_cell(spec: CellSpec, seed: int = SEED) -> CellResult:
-    """Run one cell of the matrix and classify the detection outcome."""
-    client, relays, server, chain = _build_session(spec, seed)
+def run_cell(spec: CellSpec, seed: int = SEED, burst: bool = False) -> CellResult:
+    """Run one cell of the matrix and classify the detection outcome.
+
+    With ``burst=True`` the application phase queues three records and
+    pumps them through the chain as ONE multi-record flight, with the
+    tampering aimed at the middle record (``record_index=1``) — so the
+    mutation lands mid-burst inside the relays' batched
+    ``_relay_app_burst`` path instead of on a lone record.  Table 1
+    attribution (outcome, MAC slot, detecting party) must not depend on
+    which path carried the record; ``tests/test_fault_matrix.py``
+    asserts both axes produce identical attribution.
+    """
+    client, relays, server, chain = _build_session(
+        spec, seed, record_index=1 if burst else 0
+    )
     server_events: List[object] = []
     chain.on_server_event = server_events.append
 
@@ -283,10 +299,16 @@ def run_cell(spec: CellSpec, seed: int = SEED) -> CellResult:
         raise RuntimeError(f"handshake did not complete for {spec}")
 
     try:
-        client.send_application_data(PAYLOAD_1, context_id=1)
-        chain.pump()
-        client.send_application_data(PAYLOAD_2, context_id=1)
-        chain.pump()
+        if burst:
+            client.send_application_data(PAYLOAD_1, context_id=1)
+            client.send_application_data(PAYLOAD_2, context_id=1)
+            client.send_application_data(PAYLOAD_3, context_id=1)
+            chain.pump()
+        else:
+            client.send_application_data(PAYLOAD_1, context_id=1)
+            chain.pump()
+            client.send_application_data(PAYLOAD_2, context_id=1)
+            chain.pump()
     except TLSError as exc:
         return _classify_failure(exc)
 
@@ -384,9 +406,9 @@ def all_cells() -> List[CellSpec]:
     return list(expected_matrix().keys())
 
 
-def run_matrix(seed: int = SEED) -> Dict[CellSpec, CellResult]:
+def run_matrix(seed: int = SEED, burst: bool = False) -> Dict[CellSpec, CellResult]:
     """Run every cell; deterministic for a fixed seed."""
-    return {spec: run_cell(spec, seed) for spec in all_cells()}
+    return {spec: run_cell(spec, seed, burst=burst) for spec in all_cells()}
 
 
 __all__ = [
@@ -396,6 +418,7 @@ __all__ = [
     "Outcome",
     "PAYLOAD_1",
     "PAYLOAD_2",
+    "PAYLOAD_3",
     "SEED",
     "all_cells",
     "expected_matrix",

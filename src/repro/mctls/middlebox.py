@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.events import ContextData
 from repro.crypto.certs import verify_chain
+from repro.crypto.fastcipher import KEYSTREAM_POOL
 from repro.crypto.dh import DHGroup, DHKeyPair
 from repro.mctls import keys as mk
 from repro.mctls import messages as mm
@@ -101,8 +102,11 @@ class McTLSMiddlebox:
         self.observer = observer
         self.verify_server = verify_server
 
-        self._to_client = bytearray()
-        self._to_server = bytearray()
+        # Onward buffers are chunk lists (appended per record or per
+        # coalesced burst span); data_to_*_views() hands them straight to
+        # scatter-gather transports.
+        self._to_client: List[bytes] = []
+        self._to_server: List[bytes] = []
         self._from_client = bytearray()
         self._from_server = bytearray()
         self._hs_client = tls_msgs.HandshakeBuffer()
@@ -141,6 +145,16 @@ class McTLSMiddlebox:
         self._s2c_protected = False
         self._proc_c2s: Optional[mrec.MiddleboxRecordProcessor] = None
         self._proc_s2c: Optional[mrec.MiddleboxRecordProcessor] = None
+        # The burst fast path re-MACs a whole wakeup's worth of records
+        # through open_burst(); it is only safe when per-record semantics
+        # live in *this* class.  A subclass that overrides
+        # _handle_protected_record (e.g. the fault harness's malicious
+        # reader) gets the sequential path so its override still sees
+        # every record.
+        self._burst_capable = (
+            type(self)._handle_protected_record
+            is McTLSMiddlebox._handle_protected_record
+        )
 
     # -- relay interface -----------------------------------------------------
 
@@ -151,14 +165,24 @@ class McTLSMiddlebox:
         return self._receive(_Side.SERVER, data)
 
     def data_to_client(self) -> bytes:
-        out = bytes(self._to_client)
+        out = b"".join(self._to_client)
         self._to_client.clear()
         return out
 
     def data_to_server(self) -> bytes:
-        out = bytes(self._to_server)
+        out = b"".join(self._to_server)
         self._to_server.clear()
         return out
+
+    def data_to_client_views(self) -> List[bytes]:
+        """Pending client-bound output as buffers for scatter-gather writes."""
+        views, self._to_client = self._to_client, []
+        return views
+
+    def data_to_server_views(self) -> List[bytes]:
+        """Pending server-bound output as buffers for scatter-gather writes."""
+        views, self._to_server = self._to_server, []
+        return views
 
     # -- record plumbing --------------------------------------------------------
 
@@ -168,8 +192,11 @@ class McTLSMiddlebox:
         buf = self._from_client if side is _Side.CLIENT else self._from_server
         buf += data
         try:
-            for content_type, context_id, fragment, raw in mrec.split_records(buf):
-                self._handle_record(side, content_type, context_id, fragment, raw)
+            if self._burst_capable and self._protected(side):
+                self._receive_burst(side, buf)
+            else:
+                for content_type, context_id, fragment, raw in mrec.split_records(buf):
+                    self._handle_record(side, content_type, context_id, fragment, raw)
         except (mrec.McTLSRecordError, DecodeError, CipherError) as exc:
             self.closed = True
             if getattr(exc, "where", None) is None:
@@ -183,9 +210,121 @@ class McTLSMiddlebox:
         events, self._events = self._events, []
         return events
 
-    def _out_for(self, side: _Side) -> bytearray:
-        """The buffer carrying bytes *onward* from ``side``."""
+    def _out_for(self, side: _Side) -> List[bytes]:
+        """The chunk list carrying bytes *onward* from ``side``."""
         return self._to_server if side is _Side.CLIENT else self._to_client
+
+    def _receive_burst(self, side: _Side, buf: bytearray) -> None:
+        """Process one wakeup's worth of buffered records as bursts.
+
+        Runs of protected APPLICATION_DATA records are verified (and
+        where needed re-MACed) through the batched processor path with
+        one fused XOR per run; interleaved control records (alerts, CCS)
+        fall back to the per-record handler at their exact position.  A
+        framing error surfaces only after every record before it has
+        been relayed, matching split_records' sequential order.
+        """
+        burst, entries, deferred = mrec.split_burst(buf)
+        i = 0
+        n = len(entries)
+        while i < n:
+            if entries[i][0] != rec.APPLICATION_DATA:
+                content_type, context_id, start, end = entries[i]
+                raw = burst[start:end]
+                self._handle_record(
+                    side,
+                    content_type,
+                    context_id,
+                    memoryview(raw)[mrec.MCTLS_HEADER_LEN :],
+                    raw,
+                )
+                i += 1
+                continue
+            j = i + 1
+            while j < n and entries[j][0] == rec.APPLICATION_DATA:
+                j += 1
+            self._relay_app_burst(side, burst, entries[i:j])
+            i = j
+        if deferred is not None:
+            raise deferred
+
+    def _relay_app_burst(self, side: _Side, burst: bytes, entries) -> None:
+        """Relay a run of protected APPLICATION_DATA records.
+
+        Contiguous records forwarded verbatim coalesce into one slice of
+        the burst (one output chunk instead of one copy per record);
+        modified records are rebuilt in place between the coalesced
+        spans.  Event and output order per record is identical to the
+        sequential handler, including on mid-burst failure: the pending
+        verbatim span is flushed before a MAC error propagates, exactly
+        as the per-record loop would already have forwarded it.
+        """
+        processor = self._proc_c2s if side is _Side.CLIENT else self._proc_s2c
+        direction = mk.C2S if side is _Side.CLIENT else mk.S2C
+        instruments = self.instruments
+        if instruments is not None:
+            instruments.inc("relay.records", len(entries))
+        out = self._out_for(side)
+        if processor.opaque:
+            # No readable context at all: the whole run forwards as one
+            # verbatim slice; only the global sequence numbers advance.
+            processor.skip_burst(len(entries))
+            out.append(burst[entries[0][2] : entries[-1][3]])
+            if instruments is not None:
+                KEYSTREAM_POOL.publish_to(instruments)
+            return
+        view = memoryview(burst)
+        header_len = mrec.MCTLS_HEADER_LEN
+        records = [
+            (content_type, context_id, view[start + header_len : end])
+            for content_type, context_id, start, end in entries
+        ]
+        run_start = run_end = -1  # pending verbatim-forward span
+        index = 0
+        try:
+            for opened in processor.open_burst(records):
+                content_type, context_id, start, end = entries[index]
+                index += 1
+                if opened is None:
+                    if run_start < 0:
+                        run_start = start
+                    run_end = end
+                    continue
+                payload = opened.payload
+                if opened.permission.can_write and self.transformer is not None:
+                    new_payload = self.transformer(direction, context_id, payload)
+                    if new_payload is None:
+                        new_payload = payload
+                else:
+                    new_payload = payload
+                if self.observer is not None:
+                    self.observer(direction, context_id, new_payload)
+                modified = new_payload != payload
+                self._emit(
+                    ContextData(
+                        direction=direction,
+                        context_id=context_id,
+                        data=new_payload,
+                        permission=opened.permission,
+                        modified=modified,
+                    )
+                )
+                if modified:
+                    if instruments is not None:
+                        instruments.inc("relay.modified")
+                    if run_start >= 0:
+                        out.append(burst[run_start:run_end])
+                        run_start = -1
+                    out.append(processor.rebuild_record(opened, new_payload))
+                else:
+                    if run_start < 0:
+                        run_start = start
+                    run_end = end
+        finally:
+            if run_start >= 0:
+                out.append(burst[run_start:run_end])
+        if instruments is not None:
+            KEYSTREAM_POOL.publish_to(instruments)
 
     def _protected(self, side: _Side) -> bool:
         return self._c2s_protected if side is _Side.CLIENT else self._s2c_protected
@@ -208,9 +347,9 @@ class McTLSMiddlebox:
                 self._handle_handshake_message(side, msg_type, body, msg_raw)
         elif content_type == rec.CHANGE_CIPHER_SPEC:
             self._on_change_cipher_spec(side)
-            self._out_for(side).extend(raw)
+            self._out_for(side).append(raw)
         elif content_type == rec.ALERT:
-            self._out_for(side).extend(raw)
+            self._out_for(side).append(raw)
         else:
             raise mrec.McTLSRecordError(
                 "application data before ChangeCipherSpec at middlebox"
@@ -225,7 +364,7 @@ class McTLSMiddlebox:
             self.instruments.inc("relay.records")
         opened = processor.open_record(content_type, context_id, fragment)
         if opened.payload is None or content_type != rec.APPLICATION_DATA:
-            self._out_for(side).extend(raw)
+            self._out_for(side).append(raw)
             return
 
         payload = opened.payload
@@ -251,9 +390,9 @@ class McTLSMiddlebox:
         if modified:
             if self.instruments is not None:
                 self.instruments.inc("relay.modified")
-            self._out_for(side).extend(processor.rebuild_record(opened, new_payload))
+            self._out_for(side).append(processor.rebuild_record(opened, new_payload))
         else:
-            self._out_for(side).extend(raw)
+            self._out_for(side).append(raw)
 
     def _emit(self, event: Event) -> None:
         self._events.append(event)
@@ -262,7 +401,7 @@ class McTLSMiddlebox:
 
     def _forward_message(self, side: _Side, msg_raw: bytes) -> None:
         header = mrec.encode_header(rec.HANDSHAKE, ENDPOINT_CONTEXT_ID, len(msg_raw))
-        self._out_for(side).extend(header + msg_raw)
+        self._out_for(side).append(header + msg_raw)
 
     def _handle_handshake_message(
         self, side: _Side, msg_type: int, body: bytes, msg_raw: bytes

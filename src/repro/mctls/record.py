@@ -45,13 +45,24 @@ from __future__ import annotations
 import hmac as _hmac
 from dataclasses import dataclass
 from struct import Struct
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
+
+try:  # vectorized burst framing; scalar fallback below needs nothing
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the image
+    _np = None
 
 from repro.crypto.hmaccache import CachedHmacSha256, hmac_sha256
 from repro.mctls import keys as mk
 from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, Permission
 from repro.recbuf import RecordBuffer
-from repro.tls.ciphersuites import CipherError, CipherSuite
+from repro.tls.ciphersuites import (
+    CipherError,
+    CipherSuite,
+    ShaCtrRecordCipher,
+    shactr_decrypt_batch,
+    shactr_encrypt_batch,
+)
 from repro.tls.record import (
     ALERT,
     APPLICATION_DATA,
@@ -75,6 +86,10 @@ _WIRE_HEADER = Struct(">BHBH")
 _MAC_PREFIX = Struct(">QBHBH")
 
 _compare_digest = _hmac.compare_digest
+
+# Sentinel distinguishing "state not built yet" from the cached None that
+# means "this context can never be opened" in the per-record hot loop.
+_MISSING_STATE = object()
 
 
 class McTLSRecordError(Exception):
@@ -170,6 +185,96 @@ def split_records(buf: bytearray) -> Iterator[Tuple[int, int, bytes, bytes]]:
     finally:
         if pos:
             del buf[:pos]
+
+
+def _vector_scan(buf: bytearray, total: int, entries: List[Tuple[int, int, int, int]]) -> int:
+    """Uniform-stride vectorized header scan for :func:`split_burst`.
+
+    Bulk-transfer bursts are overwhelmingly runs of same-size records, so
+    the first record's header predicts every later header's fixed bytes
+    (type, version, length) at a constant stride.  One strided numpy
+    comparison validates all of them at once; the first mismatching (or
+    trailing partial) record hands control back to the scalar loop, which
+    re-parses it from the returned position with full error handling.
+    Appends accepted ``(content_type, context_id, start, end)`` entries
+    and returns the resume position (0 when nothing was accepted).
+    """
+    content_type, version, context_id, length = _WIRE_HEADER.unpack_from(buf, 0)
+    if (
+        content_type not in CONTENT_TYPES
+        or version != MCTLS_VERSION
+        or length > MAX_FRAGMENT
+    ):
+        return 0
+    stride = MCTLS_HEADER_LEN + length
+    count = total // stride
+    if count < 4:
+        return 0
+    arr = _np.frombuffer(memoryview(buf)[: count * stride], _np.uint8)
+    ok = (
+        (arr[0::stride] == content_type)
+        & (arr[1::stride] == version >> 8)
+        & (arr[2::stride] == version & 0xFF)
+        & (arr[4::stride] == length >> 8)
+        & (arr[5::stride] == length & 0xFF)
+    )
+    good = count if bool(ok.all()) else int(_np.argmin(ok))
+    if not good:
+        return 0
+    context_ids = arr[3::stride][:good].tolist()
+    entries.extend(
+        (content_type, cid, start, start + stride)
+        for cid, start in zip(context_ids, range(0, good * stride, stride))
+    )
+    return good * stride
+
+
+def split_burst(buf: bytearray) -> Tuple[bytes, List[Tuple[int, int, int, int]], Optional[McTLSRecordError]]:
+    """Batched :func:`split_records`: parse every complete record at once.
+
+    Returns ``(burst, entries, deferred_error)``:
+
+    * ``burst`` — one immutable ``bytes`` snapshot of the parsed span
+      (one copy for the whole burst instead of one per record);
+    * ``entries`` — ``(content_type, context_id, start, end)`` *record*
+      offsets into ``burst`` (the fragment is ``burst[start + 6 : end]``);
+    * ``deferred_error`` — a framing error hit after the last good
+      record, for the caller to raise once it has handled ``entries``
+      (matching the order :func:`split_records` fails in).
+
+    Parsed bytes are reclaimed from ``buf`` in a single deletion before
+    returning, so the offsets can never alias bytes a later feed's
+    reclamation would shift — the snapshot is self-contained.  Malformed
+    bytes are left in ``buf`` exactly as :func:`split_records` leaves
+    them.
+    """
+    pos = 0
+    total = len(buf)
+    unpack_header = _WIRE_HEADER.unpack_from
+    entries: List[Tuple[int, int, int, int]] = []
+    error: Optional[McTLSRecordError] = None
+    if _np is not None and total >= 4 * MCTLS_HEADER_LEN:
+        pos = _vector_scan(buf, total, entries)
+    while total - pos >= MCTLS_HEADER_LEN:
+        content_type, version, context_id, length = unpack_header(buf, pos)
+        if content_type not in CONTENT_TYPES:
+            error = McTLSRecordError(f"invalid content type {content_type}")
+            break
+        if version != MCTLS_VERSION:
+            error = McTLSRecordError(f"unsupported record version 0x{version:04x}")
+            break
+        if length > MAX_FRAGMENT:
+            error = McTLSRecordError("record fragment too long")
+            break
+        end = pos + MCTLS_HEADER_LEN + length
+        if end > total:
+            break
+        entries.append((content_type, context_id, pos, end))
+        pos = end
+    burst = bytes(memoryview(buf)[:pos])
+    if pos:
+        del buf[:pos]
+    return burst, entries, error
 
 
 @dataclass(slots=True)
@@ -345,6 +450,86 @@ class McTLSRecordLayer:
         self._write_seq += 1
         return seq
 
+    def _batchable(self) -> bool:
+        """Whether the fused-XOR burst paths apply (SHA-CTR suite only).
+
+        AES-CBC keeps the sequential per-record path so its padding /
+        short-ciphertext failure ordering is preserved by construction.
+        """
+        suite = self.suite
+        return suite is not None and suite.cipher_factory is ShaCtrRecordCipher
+
+    def encode_batch(self, items) -> bytes:
+        """Frame a burst of ``(content_type, payload, context_id)`` triples.
+
+        Byte-identical to ``b"".join(encode(ct, p, cid) for ...)``: the
+        global write sequence and every MAC slot advance in record order,
+        and per-record nonces are drawn in the same order the sequential
+        path would (ChangeCipherSpec / unprotected records draw none, as
+        before).  Adjacent records may belong to different contexts —
+        nonce-order fidelity across their distinct ciphers is why the
+        batch bottoms out in :func:`shactr_encrypt_batch` rather than a
+        per-cipher API.
+        """
+        if not (self._write_protected and self._batchable()):
+            return b"".join(self.encode(ct, payload, cid) for ct, payload, cid in items)
+        pending = []
+        for content_type, payload, context_id in items:
+            if len(payload) <= MAX_PLAINTEXT:
+                pending.append((content_type, context_id, payload))
+            else:
+                view = memoryview(payload)
+                for offset in range(0, len(payload), MAX_PLAINTEXT):
+                    pending.append(
+                        (content_type, context_id, view[offset : offset + MAX_PLAINTEXT])
+                    )
+        protect_items = []  # (cipher, payload || MACs) in record order
+        metas = []  # (content_type, context_id, raw_fragment_or_None)
+        for content_type, context_id, payload in pending:
+            if content_type == CHANGE_CIPHER_SPEC:
+                metas.append(
+                    (
+                        content_type,
+                        context_id,
+                        payload if type(payload) is bytes else bytes(payload),
+                    )
+                )
+                continue
+            if context_id == ENDPOINT_CONTEXT_ID:
+                cipher, mac_ctx = self._endpoint_state(write=True)
+                seq = self._next_write_seq()
+                prefix = _MAC_PREFIX.pack(
+                    seq, content_type, MCTLS_VERSION, ENDPOINT_CONTEXT_ID, len(payload)
+                )
+                plaintext = b"".join((payload, mac_ctx.digest(prefix, payload)))
+            else:
+                cipher, ep_mac, wr_mac, rd_mac = self._context_state(
+                    context_id, write=True
+                )
+                seq = self._next_write_seq()
+                prefix = _MAC_PREFIX.pack(
+                    seq, content_type, MCTLS_VERSION, context_id, len(payload)
+                )
+                plaintext = b"".join(
+                    (
+                        payload,
+                        ep_mac.digest(prefix, payload),
+                        wr_mac.digest(prefix, payload),
+                        rd_mac.digest(prefix, payload),
+                    )
+                )
+            metas.append((content_type, context_id, None))
+            protect_items.append((cipher, plaintext))
+        fragments = iter(shactr_encrypt_batch(protect_items))
+        parts = []
+        for content_type, context_id, raw in metas:
+            fragment = raw if raw is not None else next(fragments)
+            parts.append(
+                _WIRE_HEADER.pack(content_type, MCTLS_VERSION, context_id, len(fragment))
+            )
+            parts.append(fragment)
+        return b"".join(parts)
+
     # -- decoding ---------------------------------------------------------
 
     def feed(self, data: bytes) -> None:
@@ -376,6 +561,122 @@ class McTLSRecordLayer:
                 return
             yield record
 
+    def read_burst(self) -> Iterator[UnprotectedRecord]:
+        """Yield every complete buffered record, batching decryption.
+
+        Sequentially equivalent to :meth:`read_all`: records come out in
+        order, and any failure raises at the same record position after
+        the records before it were yielded.  Bursts are planned up to
+        (never across) a ChangeCipherSpec record, because the consumer
+        re-activates read protection — and resets the read sequence —
+        between yields; the eligibility check re-runs each round so the
+        records after the boundary batch under the new state.
+        """
+        while True:
+            if self._read_protected and self._batchable():
+                plan = self._plan_burst()
+                if plan is not None:
+                    yield from self._read_planned_burst(plan)
+                    continue
+            record = self.read_record()
+            if record is None:
+                return
+            yield record
+
+    def _plan_burst(self):
+        """Parse all complete buffered records; consume them atomically.
+
+        Returns ``(burst, entries, deferred_error)`` — one snapshot of
+        the parsed span, ``(content_type, context_id, start, end)``
+        fragment offsets into it, and a framing error to re-raise after
+        the preceding records are yielded — or ``None`` when fewer than
+        two records are buffered.  Snapshot-and-consume in one step means
+        later :meth:`feed` calls can compact the receive buffer without
+        invalidating the parsed offsets.
+        """
+        buf = self._inbuf
+        data, start = buf.data, buf.pos
+        total = len(data)
+        pos = start
+        entries = []
+        error = None
+        while total - pos >= MCTLS_HEADER_LEN:
+            content_type, version, context_id, length = _WIRE_HEADER.unpack_from(
+                data, pos
+            )
+            if content_type not in CONTENT_TYPES:
+                error = McTLSRecordError(f"invalid content type {content_type}")
+                break
+            if version != MCTLS_VERSION:
+                error = McTLSRecordError(f"unsupported record version 0x{version:04x}")
+                break
+            if length > MAX_FRAGMENT:
+                error = McTLSRecordError("record fragment too long")
+                break
+            if content_type != APPLICATION_DATA:
+                # Control records (handshake, alert, CCS) may change
+                # session state when the consumer handles them between
+                # yields — install context keys, re-key at a protection
+                # boundary — so batching across one would decrypt later
+                # records against pre-transition state.  They end the
+                # plan and take the sequential path.
+                break
+            end = pos + MCTLS_HEADER_LEN + length
+            if end > total:
+                break
+            entries.append(
+                (content_type, context_id, pos + MCTLS_HEADER_LEN - start, end - start)
+            )
+            pos = end
+        if len(entries) < 2:
+            return None
+        burst = buf.snapshot(pos - start)
+        return burst, entries, error
+
+    def _read_planned_burst(self, plan) -> Iterator[UnprotectedRecord]:
+        burst, entries, error = plan
+        view = memoryview(burst)
+        # Pass A: look up per-record cipher state and batch-decrypt the
+        # prefix that can decrypt.  Failures that the sequential path
+        # would hit before decrypting (unknown context keys, fragment
+        # shorter than a nonce) truncate the batch and re-raise at that
+        # record's position in pass B.
+        items = []
+        deferred = None
+        n = len(entries)
+        for i, (content_type, context_id, frag_start, frag_end) in enumerate(entries):
+            try:
+                if context_id == ENDPOINT_CONTEXT_ID:
+                    cipher = self._endpoint_state(write=False)[0]
+                else:
+                    cipher = self._context_state(context_id, write=False)[0]
+            except McTLSRecordError as exc:
+                deferred = exc
+                n = i
+                break
+            if frag_end - frag_start < 16:
+                exc = CipherError("ciphertext shorter than nonce")
+                deferred = McTLSRecordError(f"decryption failed: {exc}")
+                deferred.__cause__ = exc
+                n = i
+                break
+            items.append((cipher, view[frag_start:frag_end]))
+        plaintexts = shactr_decrypt_batch(items)
+        # Pass B: verify MACs and consume read sequence numbers strictly
+        # in record order, through the same _finish_* helpers as the
+        # sequential path.
+        for (content_type, context_id, _, _), plaintext in zip(
+            entries[:n], plaintexts
+        ):
+            if context_id == ENDPOINT_CONTEXT_ID:
+                yield self._finish_endpoint(content_type, plaintext)
+            else:
+                yield self._finish_context(content_type, context_id, plaintext)
+        if deferred is not None:
+            raise deferred
+        if error is not None:
+            raise error
+
     def _unprotect(
         self, content_type: int, context_id: int, fragment: bytes
     ) -> UnprotectedRecord:
@@ -386,11 +687,18 @@ class McTLSRecordLayer:
         return self._unprotect_context(content_type, context_id, fragment)
 
     def _unprotect_endpoint(self, content_type: int, fragment: bytes) -> UnprotectedRecord:
-        cipher, mac_ctx = self._endpoint_state(write=False)
+        cipher, _ = self._endpoint_state(write=False)
         try:
             plaintext = cipher.decrypt(fragment)
         except CipherError as exc:
             raise McTLSRecordError(f"decryption failed: {exc}") from exc
+        return self._finish_endpoint(content_type, plaintext)
+
+    def _finish_endpoint(self, content_type: int, plaintext: bytes) -> UnprotectedRecord:
+        """Verify a decrypted endpoint-context record (shared by both
+        the sequential and batched read paths, so MAC coverage and error
+        attribution can never drift between them)."""
+        _, mac_ctx = self._endpoint_state(write=False)
         if len(plaintext) < MAC_LEN:
             raise McTLSRecordError("record shorter than its MAC")
         payload, mac = plaintext[:-MAC_LEN], plaintext[-MAC_LEN:]
@@ -411,11 +719,19 @@ class McTLSRecordLayer:
     def _unprotect_context(
         self, content_type: int, context_id: int, fragment: bytes
     ) -> UnprotectedRecord:
-        cipher, ep_mac, wr_mac, _rd_mac = self._context_state(context_id, write=False)
+        cipher, _, _, _ = self._context_state(context_id, write=False)
         try:
             plaintext = cipher.decrypt(fragment)
         except CipherError as exc:
             raise McTLSRecordError(f"decryption failed: {exc}") from exc
+        return self._finish_context(content_type, context_id, plaintext)
+
+    def _finish_context(
+        self, content_type: int, context_id: int, plaintext: bytes
+    ) -> UnprotectedRecord:
+        """Verify a decrypted application-context record (shared by both
+        the sequential and batched read paths)."""
+        _, ep_mac, wr_mac, _rd_mac = self._context_state(context_id, write=False)
         if len(plaintext) < 3 * MAC_LEN:
             raise McTLSRecordError("record shorter than its three MACs")
         payload = plaintext[: -3 * MAC_LEN]
@@ -500,6 +816,30 @@ class MiddleboxRecordProcessor:
         self.active = True
         self.seq = 0
 
+    @property
+    def opaque(self) -> bool:
+        """True when this processor holds no context read keys at all.
+
+        Every record then forwards verbatim — :meth:`open_burst` would
+        yield ``None`` for each without touching a fragment — so callers
+        may skip record extraction entirely and account for the burst
+        with :meth:`skip_burst`.  Conservative: a processor with keys it
+        is not permitted to use reports ``False`` and takes the general
+        path.
+        """
+        return not self.context_keys
+
+    def skip_burst(self, n: int) -> None:
+        """Account for ``n`` records forwarded without opening.
+
+        Equivalent to opening ``n`` pass-through records: sequence
+        numbers are global per direction, so opaque records still
+        consume them (deletion detection, §3.4).
+        """
+        if not self.active:
+            raise McTLSRecordError("record processor not yet activated")
+        self.seq += n
+
     def _build_open_state(self, context_id: int) -> Optional[tuple]:
         permission = self.permissions.get(context_id, Permission.NONE)
         if (
@@ -538,17 +878,97 @@ class MiddleboxRecordProcessor:
         if state is None:
             return OpenedRecord(content_type, context_id, None, Permission.NONE, seq=seq)
 
-        cipher, wr_mac, rd_mac, can_write, permission = state
+        cipher = state[0]
         try:
             plaintext = cipher.decrypt(fragment)
         except CipherError as exc:
             raise McTLSRecordError(f"middlebox decryption failed: {exc}") from exc
+        return self._finish_open(content_type, context_id, seq, state, plaintext)
+
+    def open_burst(
+        self, records
+    ) -> Iterator[Optional[OpenedRecord]]:
+        """Open a burst of protected records with one fused XOR pass.
+
+        ``records`` is a sequence of ``(content_type, context_id,
+        fragment)``.  Yields, in order, an :class:`OpenedRecord` per
+        readable record and ``None`` per pass-through record (no
+        allocation for contexts the middlebox cannot open — the caller
+        already holds the raw bytes to forward).  MAC verification and
+        any failure happen at yield time record by record, so a bad
+        record raises only after the records before it were yielded and
+        forwarded — the exact order a sequential ``open_record`` loop
+        produces.  Non-SHA-CTR suites decrypt per record at yield time
+        instead (same semantics, no fused XOR).
+        """
+        if not self.active:
+            raise McTLSRecordError("record processor not yet activated")
+        fast = self.suite.cipher_factory is ShaCtrRecordCipher
+        metas = []  # (content_type, context_id, seq, state, item_index)
+        items = []  # (cipher, fragment) for the batched decrypt
+        deferred = None
+        open_state = self._open_state
+        append_meta = metas.append
+        append_item = items.append
+        seq = self.seq
+        for content_type, context_id, fragment in records:
+            state = open_state.get(context_id, _MISSING_STATE)
+            if state is _MISSING_STATE:
+                state = self._build_open_state(context_id)
+            if state is None:
+                append_meta((content_type, context_id, seq, None, None))
+                seq += 1
+                continue
+            if fast and len(fragment) < 16:
+                # The sequential path fails this record inside decrypt;
+                # fail at the same position, after the prefix is yielded.
+                exc = CipherError("ciphertext shorter than nonce")
+                deferred = McTLSRecordError(f"middlebox decryption failed: {exc}")
+                deferred.__cause__ = exc
+                seq += 1
+                break
+            append_meta((content_type, context_id, seq, state, len(items)))
+            append_item((state[0], fragment))
+            seq += 1
+        self.seq = seq
+        plaintexts = shactr_decrypt_batch(items, views=True) if fast else None
+        for content_type, context_id, seq, state, index in metas:
+            if state is None:
+                yield None
+                continue
+            if fast:
+                plaintext = plaintexts[index]
+            else:
+                try:
+                    plaintext = state[0].decrypt(items[index][1])
+                except CipherError as exc:
+                    raise McTLSRecordError(
+                        f"middlebox decryption failed: {exc}"
+                    ) from exc
+            yield self._finish_open(content_type, context_id, seq, state, plaintext)
+        if deferred is not None:
+            raise deferred
+
+    def _finish_open(
+        self,
+        content_type: int,
+        context_id: int,
+        seq: int,
+        state: tuple,
+        plaintext: bytes,
+    ) -> OpenedRecord:
+        """Verify a decrypted record (shared by :meth:`open_record` and
+        :meth:`open_burst`, so MAC attribution can never drift)."""
+        _, wr_mac, rd_mac, can_write, permission = state
         if len(plaintext) < 3 * MAC_LEN:
             raise McTLSRecordError("record shorter than its three MACs")
-        payload = plaintext[: -3 * MAC_LEN]
-        endpoint_mac = plaintext[-3 * MAC_LEN : -2 * MAC_LEN]
-        writer_mac = plaintext[-2 * MAC_LEN : -MAC_LEN]
-        reader_mac = plaintext[-MAC_LEN:]
+        # bytes() wraps so both bytes and memoryview plaintexts (the
+        # batched decrypt hands out views of one shared buffer) produce
+        # self-contained, concatenation-safe fields.
+        payload = bytes(plaintext[: -3 * MAC_LEN])
+        endpoint_mac = bytes(plaintext[-3 * MAC_LEN : -2 * MAC_LEN])
+        writer_mac = bytes(plaintext[-2 * MAC_LEN : -MAC_LEN])
+        reader_mac = bytes(plaintext[-MAC_LEN:])
         prefix = _MAC_PREFIX.pack(
             seq, content_type, MCTLS_VERSION, context_id, len(payload)
         )
@@ -590,7 +1010,28 @@ class MiddleboxRecordProcessor:
         ``MAC_endpoints`` is forwarded untouched; writer and reader MACs
         are regenerated over the new payload.
         """
-        context_id = opened.context_id
+        cipher, wr_mac, rd_mac = self._rebuild_state(opened.context_id)
+        prefix = _MAC_PREFIX.pack(
+            opened.seq,
+            opened.content_type,
+            MCTLS_VERSION,
+            opened.context_id,
+            len(new_payload),
+        )
+        writer_mac = wr_mac.digest(prefix, new_payload)
+        reader_mac = rd_mac.digest(prefix, new_payload)
+        fragment = cipher.encrypt(
+            b"".join((new_payload, opened.endpoint_mac, writer_mac, reader_mac))
+        )
+        return (
+            _WIRE_HEADER.pack(
+                opened.content_type, MCTLS_VERSION, opened.context_id, len(fragment)
+            )
+            + fragment
+        )
+
+    def _rebuild_state(self, context_id: int) -> tuple:
+        """(cipher, writer_mac_ctx, reader_mac_ctx) for re-protecting."""
         try:
             state = self._open_state[context_id]
         except KeyError:
@@ -614,22 +1055,44 @@ class MiddleboxRecordProcessor:
                 True,
                 permission,
             )
-        cipher, wr_mac, rd_mac = state[0], state[1], state[2]
-        prefix = _MAC_PREFIX.pack(
-            opened.seq,
-            opened.content_type,
-            MCTLS_VERSION,
-            opened.context_id,
-            len(new_payload),
-        )
-        writer_mac = wr_mac.digest(prefix, new_payload)
-        reader_mac = rd_mac.digest(prefix, new_payload)
-        fragment = cipher.encrypt(
-            b"".join((new_payload, opened.endpoint_mac, writer_mac, reader_mac))
-        )
-        return (
-            _WIRE_HEADER.pack(
-                opened.content_type, MCTLS_VERSION, opened.context_id, len(fragment)
+        return state[0], state[1], state[2]
+
+    def rebuild_burst(self, pairs) -> List[bytes]:
+        """Re-protect a burst of ``(opened, new_payload)`` pairs.
+
+        Byte-identical to per-pair :meth:`rebuild_record` (nonces draw in
+        pair order); the SHA-CTR suite fuses the burst's re-encryption
+        into one XOR pass.  This is the write half of "re-MAC a whole
+        burst per wakeup": writer and reader MACs are regenerated per
+        record, endpoint MACs forwarded untouched.
+        """
+        if self.suite.cipher_factory is not ShaCtrRecordCipher:
+            return [self.rebuild_record(o, p) for o, p in pairs]
+        protect_items = []
+        headers = []
+        for opened, new_payload in pairs:
+            cipher, wr_mac, rd_mac = self._rebuild_state(opened.context_id)
+            prefix = _MAC_PREFIX.pack(
+                opened.seq,
+                opened.content_type,
+                MCTLS_VERSION,
+                opened.context_id,
+                len(new_payload),
             )
+            writer_mac = wr_mac.digest(prefix, new_payload)
+            reader_mac = rd_mac.digest(prefix, new_payload)
+            protect_items.append(
+                (
+                    cipher,
+                    b"".join(
+                        (new_payload, opened.endpoint_mac, writer_mac, reader_mac)
+                    ),
+                )
+            )
+            headers.append((opened.content_type, opened.context_id))
+        fragments = shactr_encrypt_batch(protect_items)
+        return [
+            _WIRE_HEADER.pack(content_type, MCTLS_VERSION, context_id, len(fragment))
             + fragment
-        )
+            for (content_type, context_id), fragment in zip(headers, fragments)
+        ]

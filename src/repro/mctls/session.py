@@ -313,7 +313,10 @@ class McTLSConnectionBase:
         self.records = mrec.McTLSRecordLayer(is_client=is_client)
         self._handshake_buf = tls_msgs.HandshakeBuffer()
         self.transcript = TranscriptStore()
-        self._out = bytearray()
+        # Outgoing bytes as a chunk list: encoders append whole records,
+        # data_to_send_views() hands the chunks to scatter-gather writers
+        # (sendmsg/writelines) without an intermediate join.
+        self._out: List[bytes] = []
         self._events: List[Event] = []
         self.handshake_complete = False
         self.closed = False
@@ -330,16 +333,26 @@ class McTLSConnectionBase:
         """Passive side by default; the client subclass overrides."""
 
     def data_to_send(self) -> bytes:
-        data = bytes(self._out)
+        data = b"".join(self._out)
         self._out.clear()
         return data
+
+    def data_to_send_views(self) -> List[bytes]:
+        """Pending output as a list of buffers for scatter-gather writes.
+
+        The concatenation equals what :meth:`data_to_send` would have
+        returned; transports may pass the list straight to
+        ``socket.sendmsg`` / ``StreamWriter.writelines``.
+        """
+        views, self._out = self._out, []
+        return views
 
     def receive_data(self, data: bytes) -> List[Event]:
         if self.closed:
             return self._drain_events()
         self.records.feed(data)
         try:
-            for record in self.records.read_all():
+            for record in self.records.read_burst():
                 self._dispatch_record(record)
         except (mrec.McTLSRecordError, DecodeError) as exc:
             if getattr(exc, "where", None) is None:
@@ -377,7 +390,7 @@ class McTLSConnectionBase:
         if self.instruments is not None:
             self.instruments.inc("records.out")
             self.instruments.inc(f"context.{context_id}.bytes_out", len(data))
-        self._out += self.records.encode(rec.APPLICATION_DATA, data, context_id)
+        self._out.append(self.records.encode(rec.APPLICATION_DATA, data, context_id))
 
     def close(self) -> None:
         if not self.closed:
@@ -402,8 +415,8 @@ class McTLSConnectionBase:
         raise exc
 
     def _send_alert(self, level: int, description: int) -> None:
-        self._out += self.records.encode(
-            rec.ALERT, bytes([level, description]), ENDPOINT_CONTEXT_ID
+        self._out.append(
+            self.records.encode(rec.ALERT, bytes([level, description]), ENDPOINT_CONTEXT_ID)
         )
 
     def _dispatch_record(self, record: mrec.UnprotectedRecord) -> None:
@@ -451,12 +464,12 @@ class McTLSConnectionBase:
             self.transcript.add(tag, raw)
         if self.instruments is not None:
             self.instruments.inc("handshake.messages_out")
-        self._out += self.records.encode(rec.HANDSHAKE, raw, ENDPOINT_CONTEXT_ID)
+        self._out.append(self.records.encode(rec.HANDSHAKE, raw, ENDPOINT_CONTEXT_ID))
         return raw
 
     def _send_change_cipher_spec(self) -> None:
-        self._out += self.records.encode(
-            rec.CHANGE_CIPHER_SPEC, b"\x01", ENDPOINT_CONTEXT_ID
+        self._out.append(
+            self.records.encode(rec.CHANGE_CIPHER_SPEC, b"\x01", ENDPOINT_CONTEXT_ID)
         )
 
     # -- subclass hooks --------------------------------------------------------

@@ -52,7 +52,22 @@ class RecordBuffer:
         start = self.pos
         end = start + n
         self.pos = end
-        return bytes(self.data[start:end])
+        # memoryview slice: one copy (bytearray slicing would copy twice).
+        return bytes(memoryview(self.data)[start:end])
+
+    def snapshot(self, n: int) -> bytes:
+        """Atomically copy out the next ``n`` bytes and consume them.
+
+        This is the batched-parse primitive.  A burst reader that parsed
+        record boundaries against ``data``/``pos`` must not hold those
+        offsets across a later :meth:`append`: reclamation there deletes
+        the consumed prefix and shifts every offset, so stale offsets
+        would silently re-read already-reclaimed bytes.  Copying the
+        parsed span *and* advancing the cursor in one step makes that
+        hazard unrepresentable — the returned ``bytes`` is immutable and
+        self-contained, and the buffer is free to compact underneath it.
+        """
+        return self.take(n)
 
     def clear(self) -> None:
         self.data.clear()

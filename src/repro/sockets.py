@@ -36,6 +36,54 @@ RECV_SIZE = 65536
 # transport bytes.
 MAX_PUMP_BYTES = 16 * 1024 * 1024
 
+# Linux caps a single sendmsg at IOV_MAX (1024) iovecs.
+_IOV_MAX = 1024
+
+
+def drain_views(source, method: str = "data_to_send") -> List[bytes]:
+    """Drain ``source``'s pending output as a chunk list.
+
+    Uses the scatter-gather drain (``data_to_send_views`` et al.) when
+    the object provides it, falling back to the joined drain so minimal
+    :class:`repro.core.Connection` implementations (test doubles,
+    third-party stacks) still work over this transport glue.
+    """
+    views_fn = getattr(source, method + "_views", None)
+    if views_fn is not None:
+        return views_fn()
+    data = getattr(source, method)()
+    return [data] if data else []
+
+
+def sendmsg_all(sock: socket.socket, views: List[bytes]) -> int:
+    """Send every chunk in ``views``, scatter-gather where possible.
+
+    The sans-I/O cores queue one chunk per record (or per coalesced
+    burst); ``sendmsg`` hands the kernel the whole list without a
+    userspace join.  Handles partial sends by advancing through the
+    chunk list, honours ``IOV_MAX``, and falls back to join +
+    ``sendall`` on sockets without ``sendmsg``.  Returns bytes sent.
+    """
+    total = sum(len(v) for v in views)
+    if not total:
+        return 0
+    if not hasattr(sock, "sendmsg"):  # pragma: no cover - exotic sockets
+        sock.sendall(b"".join(views))
+        return total
+    queue = [v for v in views if v]
+    while queue:
+        sent = sock.sendmsg(queue[:_IOV_MAX])
+        # Drop fully-sent chunks; trim a partially-sent head.
+        i = 0
+        while i < len(queue) and sent >= len(queue[i]):
+            sent -= len(queue[i])
+            i += 1
+        if i:
+            del queue[:i]
+        if sent and queue:
+            queue[0] = memoryview(queue[0])[sent:]
+    return total
+
 
 class SessionEnded(ConnectionError):
     """The peer ended the session cleanly (close_notify or orderly EOF).
@@ -76,10 +124,9 @@ class SocketConnection:
         self.bytes_out = 0
 
     def flush(self) -> None:
-        data = self.connection.data_to_send()
-        if data:
-            self.bytes_out += len(data)
-            self.sock.sendall(data)
+        views = drain_views(self.connection)
+        if views:
+            self.bytes_out += sendmsg_all(self.sock, views)
 
     def _on_eof(self) -> None:
         """The peer half-closed.  After the handshake this is how plain
@@ -237,14 +284,12 @@ class RelayServer:
             sock.settimeout(0.1)
 
         def flush() -> None:
-            to_server = relay.data_to_server()
+            to_server = drain_views(relay, "data_to_server")
             if to_server:
-                self.stats.add(bytes_out=len(to_server))
-                upstream.sendall(to_server)
-            to_client = relay.data_to_client()
+                self.stats.add(bytes_out=sendmsg_all(upstream, to_server))
+            to_client = drain_views(relay, "data_to_client")
             if to_client:
-                self.stats.add(bytes_out=len(to_client))
-                downstream.sendall(to_client)
+                self.stats.add(bytes_out=sendmsg_all(downstream, to_client))
 
         # Track EOF per direction: one side half-closing must not stop
         # the relay from draining the other (a server can keep streaming

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict
 
 from repro.crypto.aes import AES
-from repro.crypto.fastcipher import ShaCtrCipher
+from repro.crypto.fastcipher import ShaCtrCipher, xor_concat
 from repro.crypto.hmaccache import hmac_sha256
 from repro.crypto.modes import (
     PaddingError,
@@ -25,7 +25,7 @@ from repro.crypto.modes import (
     pkcs7_pad,
     pkcs7_unpad,
 )
-from repro.crypto.opcount import count_op
+from repro.crypto.opcount import count_op, current_counter
 
 
 class CipherError(Exception):
@@ -44,6 +44,25 @@ class BulkCipher:
     def ciphertext_length(self, plaintext_length: int) -> int:
         """Predict ciphertext size without encrypting (for size accounting)."""
         raise NotImplementedError
+
+    def encrypt_batch(self, plaintexts):
+        """Encrypt a burst; byte-identical to per-record :meth:`encrypt`.
+
+        The base implementation is the definitional loop; vectorizing
+        ciphers override it.  Either way randomness (per-record IVs or
+        nonces) is drawn in record order, so batched and sequential
+        encodes agree byte-for-byte under a deterministic RNG.
+        """
+        return [self.encrypt(p) for p in plaintexts]
+
+    def decrypt_batch(self, ciphertexts):
+        """Decrypt a burst; byte-identical to per-record :meth:`decrypt`.
+
+        Raises at the first bad fragment (in record order), like the
+        definitional loop — partial results are discarded, matching the
+        sequential failure mode where the connection dies anyway.
+        """
+        return [self.decrypt(c) for c in ciphertexts]
 
 
 class AesCbcCipher(BulkCipher):
@@ -100,6 +119,90 @@ class ShaCtrRecordCipher(BulkCipher):
 
     def ciphertext_length(self, plaintext_length: int) -> int:
         return 16 + plaintext_length
+
+    def stream_for(self, nonce: bytes, size: int) -> bytes:
+        """Pool-backed full-block keystream (see :meth:`ShaCtrCipher.stream_for`)."""
+        return self._cipher.stream_for(nonce, size)
+
+    def encrypt_batch(self, plaintexts):
+        return shactr_encrypt_batch([(self, p) for p in plaintexts])
+
+    def decrypt_batch(self, ciphertexts):
+        return shactr_decrypt_batch([(self, c) for c in ciphertexts])
+
+
+def shactr_encrypt_batch(items) -> list:
+    """Batched SHA-CTR encrypt across possibly-different cipher instances.
+
+    ``items`` is a sequence of ``(ShaCtrRecordCipher, plaintext)`` pairs —
+    the mcTLS record layer encrypts adjacent records under different
+    per-context ciphers, and byte-identity with the sequential path
+    requires nonces to be drawn strictly in record order regardless of
+    which cipher each record uses, so the batch helper lives above the
+    per-cipher API.  Op counts and ``os.urandom`` draws happen per record
+    exactly as :meth:`ShaCtrRecordCipher.encrypt` would; only the XOR is
+    fused into one pass over the concatenated burst.
+    """
+    counter = current_counter()
+    if counter is not None:
+        counter.add("sym_encrypt", len(items))
+    urandom = os.urandom
+    nonces = []
+    bodies = []
+    streams = []
+    sizes = []
+    for cipher, plaintext in items:
+        nonce = urandom(16)
+        size = len(plaintext)
+        nonces.append(nonce)
+        bodies.append(plaintext)
+        sizes.append(size)
+        streams.append(cipher.stream_for(nonce, size))
+    joined = xor_concat(bodies, streams, sizes)
+    out = []
+    off = 0
+    for nonce, size in zip(nonces, sizes):
+        end = off + size
+        out.append(nonce + joined[off:end])
+        off = end
+    return out
+
+
+def shactr_decrypt_batch(items, views: bool = False) -> list:
+    """Batched SHA-CTR decrypt across possibly-different cipher instances.
+
+    ``items`` is a sequence of ``(ShaCtrRecordCipher, fragment)`` pairs.
+    A short fragment raises :class:`CipherError` at its record position
+    (before any XOR work), matching the sequential loop's failure order.
+    With ``views=True`` the plaintexts come back as :class:`memoryview`
+    slices of one shared buffer (no per-record copy) — for callers that
+    re-slice them anyway and never let them escape.
+    """
+    counter = current_counter()
+    if counter is not None:
+        counter.add("sym_decrypt", len(items))
+    bodies = []
+    streams = []
+    sizes = []
+    for cipher, fragment in items:
+        if len(fragment) < 16:
+            raise CipherError("ciphertext shorter than nonce")
+        nonce = bytes(fragment[:16])
+        body = fragment[16:]
+        size = len(body)
+        bodies.append(body)
+        sizes.append(size)
+        streams.append(cipher.stream_for(nonce, size))
+    joined = xor_concat(bodies, streams, sizes)
+    if views:
+        joined = memoryview(joined)
+    out = []
+    off = 0
+    for size in sizes:
+        end = off + size
+        out.append(joined[off:end])
+        off = end
+    return out
 
 
 @dataclass(frozen=True)

@@ -94,7 +94,10 @@ class TLSConnectionBase:
         self.records = rec.RecordLayer()
         self._handshake_buf = msgs.HandshakeBuffer()
         self._transcript: List[bytes] = []
-        self._out = bytearray()
+        # Outgoing bytes as a chunk list: encoders append whole records,
+        # data_to_send_views() hands the chunks to scatter-gather writers
+        # (sendmsg/writelines) without an intermediate join.
+        self._out: List[bytes] = []
         self._events: List[Event] = []
         self.handshake_complete = False
         self.closed = False
@@ -111,9 +114,19 @@ class TLSConnectionBase:
         """Passive side by default; the client subclass overrides."""
 
     def data_to_send(self) -> bytes:
-        data = bytes(self._out)
+        data = b"".join(self._out)
         self._out.clear()
         return data
+
+    def data_to_send_views(self) -> List[bytes]:
+        """Pending output as a list of buffers for scatter-gather writes.
+
+        The concatenation equals what :meth:`data_to_send` would have
+        returned; transports may pass the list straight to
+        ``socket.sendmsg`` / ``StreamWriter.writelines``.
+        """
+        views, self._out = self._out, []
+        return views
 
     def receive_data(self, data: bytes) -> List[Event]:
         """Feed transport bytes; returns the events they produced."""
@@ -121,7 +134,7 @@ class TLSConnectionBase:
             return self._drain_events()
         self.records.feed(data)
         try:
-            for content_type, plaintext in self.records.read_all():
+            for content_type, plaintext in self.records.read_burst():
                 self._dispatch_record(content_type, plaintext)
         except (rec.RecordError, DecodeError) as exc:
             self._count_failure()
@@ -149,7 +162,7 @@ class TLSConnectionBase:
         if self.instruments is not None:
             self.instruments.inc("records.out")
             self.instruments.inc(f"context.{context_id}.bytes_out", len(data))
-        self._out += self.records.encode(rec.APPLICATION_DATA, data)
+        self._out.append(self.records.encode(rec.APPLICATION_DATA, data))
 
     def close(self) -> None:
         """Send close_notify and mark the connection closed."""
@@ -175,7 +188,7 @@ class TLSConnectionBase:
         raise exc
 
     def _send_alert(self, level: int, description: int) -> None:
-        self._out += self.records.encode(rec.ALERT, bytes([level, description]))
+        self._out.append(self.records.encode(rec.ALERT, bytes([level, description])))
 
     def _dispatch_record(self, content_type: int, plaintext: bytes) -> None:
         if content_type == rec.HANDSHAKE:
@@ -219,11 +232,11 @@ class TLSConnectionBase:
             self._transcript.append(raw)
         if self.instruments is not None:
             self.instruments.inc("handshake.messages_out")
-        self._out += self.records.encode(rec.HANDSHAKE, raw)
+        self._out.append(self.records.encode(rec.HANDSHAKE, raw))
         return raw
 
     def _send_change_cipher_spec(self) -> None:
-        self._out += self.records.encode(rec.CHANGE_CIPHER_SPEC, b"\x01")
+        self._out.append(self.records.encode(rec.CHANGE_CIPHER_SPEC, b"\x01"))
 
     def _transcript_hash(self) -> bytes:
         return hashlib.sha256(b"".join(self._transcript)).digest()

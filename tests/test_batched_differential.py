@@ -1,0 +1,592 @@
+"""Seeded differential suite: batched paths == sequential paths, bit for bit.
+
+The batched record data plane (``encode_batch`` / ``read_burst`` /
+``open_burst`` / ``rebuild_burst`` and the scatter-gather ``*_views``
+drains) is an optimisation, not a protocol change.  This suite proves it
+three ways:
+
+* **wire differentials** — seeded random bursts encoded/decoded through
+  the batched and the sequential paths on twin layers with identical
+  keys and a deterministic nonce schedule must produce identical bytes,
+  identical decoded records, and identical failure positions when a
+  record mid-burst is tampered;
+* **batched golden vectors** — ``tests/golden/batched_vectors.json``
+  pins the batched writers' bytes, and (because nonces draw in record
+  order on both paths) those frozen bursts must equal the concatenation
+  of the per-record wires frozen *before* this PR in
+  ``record_vectors.json``;
+* **full-stack event streams** — on every protocol stack, a burst
+  pumped through a live client → relay → server chain in one flight
+  must deliver the same application byte stream as the same payloads
+  sent record by record, and draining the client via
+  ``data_to_send_views()`` must be equivalent to the joined drain.
+
+Plus the satellite checks: the bounded keystream pool's hit/miss/evict
+accounting (and its ``Instruments`` publication), and the
+``RecordBuffer.snapshot`` reclamation-hazard regression.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.instrument import Instruments
+from repro.crypto.dh import GROUP_TEST_512
+from repro.crypto.fastcipher import KEYSTREAM_POOL, KeystreamPool, ShaCtrCipher
+from repro.experiments.harness import Mode, TestBed
+from repro.mctls import keys as mk
+from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, Permission
+from repro.mctls.record import (
+    MCTLS_HEADER_LEN,
+    MacVerificationError,
+    McTLSRecordError,
+    McTLSRecordLayer,
+    MiddleboxRecordProcessor,
+    split_burst,
+    split_records,
+)
+from repro.recbuf import RecordBuffer
+from repro.tls.record import APPLICATION_DATA, HANDSHAKE, RecordLayer
+from repro.transport import Chain
+
+from tests.golden.gen_batched_vectors import (
+    BATCHED_VECTORS_PATH,
+    REBUILD_CASES,
+    build_batched_vectors,
+)
+from tests.golden.gen_record_vectors import (
+    PAYLOADS,
+    RC,
+    RS,
+    SECRET,
+    SUITES,
+    VECTORS_PATH,
+    _mctls_layer,
+    _patched_nonces,
+)
+
+SEED = 0xD1FF
+FROZEN = json.loads(VECTORS_PATH.read_text())
+FROZEN_BATCHED = json.loads(BATCHED_VECTORS_PATH.read_text())
+
+SUITE_NAMES = sorted(SUITES)
+
+
+def _rng(name: str) -> random.Random:
+    return random.Random(f"{SEED}:{name}")
+
+
+def _random_payloads(rng: random.Random, count: int = 12, max_len: int = 600):
+    """A seeded mix of sizes: empty, tiny, block-aligned, big."""
+    payloads = [b"", b"x", bytes(32), bytes(range(256))]
+    while len(payloads) < count:
+        payloads.append(bytes(rng.getrandbits(8) for _ in range(rng.randrange(max_len))))
+    rng.shuffle(payloads)
+    return payloads
+
+
+def _tls_writer(suite) -> RecordLayer:
+    layer = RecordLayer()
+    layer.write_state.activate(
+        suite, suite.new_cipher(bytes(range(suite.key_length))), bytes(range(32))
+    )
+    return layer
+
+
+def _tls_reader(suite) -> RecordLayer:
+    layer = RecordLayer()
+    layer.read_state.activate(
+        suite, suite.new_cipher(bytes(range(suite.key_length))), bytes(range(32))
+    )
+    return layer
+
+
+def _mctls_two_context_layer(suite, is_client: bool) -> McTLSRecordLayer:
+    """Like the golden generator's layer, plus a second app context so
+    bursts can interleave records from different contexts."""
+    layer = McTLSRecordLayer(is_client=is_client)
+    layer.set_suite(suite)
+    layer.set_endpoint_keys(mk.derive_endpoint_keys(SECRET, RC, RS))
+    layer.install_context_keys(1, mk.ckd_context_keys(SECRET, RC, RS, 1))
+    layer.install_context_keys(2, mk.ckd_context_keys(SECRET, RC, RS, 2))
+    layer.activate_write()
+    layer.activate_read()
+    return layer
+
+
+def _mixed_mctls_items(rng: random.Random):
+    """(content_type, payload, context_id) triples interleaving two app
+    contexts with a control record mid-burst (which legally breaks any
+    batch plan — state may change while the consumer handles it)."""
+    items = [
+        (APPLICATION_DATA, payload, rng.choice((1, 2)))
+        for payload in _random_payloads(rng)
+    ]
+    items.insert(len(items) // 2, (HANDSHAKE, b"mid-burst control", ENDPOINT_CONTEXT_ID))
+    return items
+
+
+# -- batched golden vectors ---------------------------------------------------
+
+
+def test_batched_generator_reproduces_frozen_vectors():
+    """The batched writers must reproduce the frozen JSON exactly."""
+    assert build_batched_vectors() == FROZEN_BATCHED
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_frozen_batched_bursts_equal_joined_sequential_wires(suite_name):
+    """Cross-file identity: one ``encode_batch`` burst == the
+    concatenation of the per-record wires frozen before this PR."""
+    batched = FROZEN_BATCHED["suites"][suite_name]
+    sequential = FROZEN["suites"][suite_name]
+    assert batched["tls_burst"] == "".join(
+        vector["wire"] for vector in sequential["tls"]["records"]
+    )
+    for direction in ("c2s", "s2c"):
+        assert batched[f"mctls_{direction}_burst"] == "".join(
+            vector["wire"]
+            for vector in sequential[f"mctls_{direction}"]["records"]
+        )
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_frozen_batched_bursts_decode(suite_name):
+    """The frozen bursts decode on fresh receive-side layers via the
+    batched readers."""
+    suite = SUITES[suite_name]
+    group = FROZEN_BATCHED["suites"][suite_name]
+
+    reader = _tls_reader(suite)
+    reader.feed(bytes.fromhex(group["tls_burst"]))
+    decoded = list(reader.read_burst())
+    assert [payload for _, payload in decoded] == PAYLOADS
+
+    server = _mctls_layer(suite, is_client=False)
+    server.feed(bytes.fromhex(group["mctls_c2s_burst"]))
+    records = list(server.read_burst())
+    assert [r.payload for r in records[:-1]] == PAYLOADS
+    assert records[-1].content_type == HANDSHAKE
+    assert records[-1].context_id == ENDPOINT_CONTEXT_ID
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_frozen_rebuilt_burst_decodes_with_modification_verdicts(suite_name):
+    """The WRITE middlebox's ``rebuild_burst`` output verifies at the
+    endpoint, with §3.4 legal-modification verdicts per record."""
+    suite = SUITES[suite_name]
+    group = FROZEN_BATCHED["suites"][suite_name]["middlebox_rebuild_burst"]
+    server = _mctls_layer(suite, is_client=False)
+    server.feed(bytes.fromhex(group["rebuilt_burst"]))
+    records = list(server.read_burst())
+    assert len(records) == len(REBUILD_CASES)
+    for record, (original, replacement) in zip(records, REBUILD_CASES):
+        assert record.payload == replacement
+        assert record.legally_modified is (original != replacement)
+
+
+# -- seeded wire differentials ------------------------------------------------
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_tls_encode_batch_matches_sequential(suite_name):
+    suite = SUITES[suite_name]
+    items = [(APPLICATION_DATA, p) for p in _random_payloads(_rng("tls-enc"))]
+    with _patched_nonces():
+        batched = _tls_writer(suite).encode_batch(items)
+    with _patched_nonces():
+        writer = _tls_writer(suite)
+        sequential = b"".join(writer.encode(ct, p) for ct, p in items)
+    assert batched == sequential
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_tls_read_burst_matches_read_all(suite_name):
+    suite = SUITES[suite_name]
+    items = [(APPLICATION_DATA, p) for p in _random_payloads(_rng("tls-dec"))]
+    with _patched_nonces():
+        wire = _tls_writer(suite).encode_batch(items)
+    burst_reader, seq_reader = _tls_reader(suite), _tls_reader(suite)
+    burst_reader.feed(wire)
+    seq_reader.feed(wire)
+    assert list(burst_reader.read_burst()) == list(seq_reader.read_all())
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_mctls_encode_batch_matches_sequential(suite_name):
+    """Multi-context burst with a mid-burst control record: identical
+    bytes, because seqs, MAC slots, and nonces advance in record order
+    on both paths."""
+    suite = SUITES[suite_name]
+    items = _mixed_mctls_items(_rng("mctls-enc"))
+    with _patched_nonces():
+        batched = _mctls_two_context_layer(suite, True).encode_batch(items)
+    with _patched_nonces():
+        layer = _mctls_two_context_layer(suite, True)
+        sequential = b"".join(layer.encode(ct, p, cid) for ct, p, cid in items)
+    assert batched == sequential
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_mctls_read_burst_matches_read_all(suite_name):
+    suite = SUITES[suite_name]
+    items = _mixed_mctls_items(_rng("mctls-dec"))
+    with _patched_nonces():
+        wire = _mctls_two_context_layer(suite, True).encode_batch(items)
+    burst_reader = _mctls_two_context_layer(suite, False)
+    seq_reader = _mctls_two_context_layer(suite, False)
+    burst_reader.feed(wire)
+    seq_reader.feed(wire)
+    batched = [
+        (r.content_type, r.context_id, r.payload, r.legally_modified)
+        for r in burst_reader.read_burst()
+    ]
+    sequential = [
+        (r.content_type, r.context_id, r.payload, r.legally_modified)
+        for r in seq_reader.read_all()
+    ]
+    assert batched == sequential
+
+
+def _processor(suite, permission: Permission) -> MiddleboxRecordProcessor:
+    proc = MiddleboxRecordProcessor(suite, mk.C2S)
+    if permission is not Permission.NONE:
+        proc.install(1, permission, mk.ckd_context_keys(SECRET, RC, RS, 1))
+    proc.activate()
+    return proc
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+@pytest.mark.parametrize(
+    "permission", [Permission.NONE, Permission.READ, Permission.WRITE],
+    ids=lambda p: p.name.lower(),
+)
+def test_middlebox_burst_matches_sequential(suite_name, permission):
+    """Forwarded bytes, opened payloads, and the post-burst sequence
+    number are identical whether a flight is processed record by record
+    or as one burst (the ``_relay_app_burst`` shape)."""
+    suite = SUITES[suite_name]
+    rng = _rng(f"mbox-{permission.name}")
+    payloads = [p for p in _random_payloads(rng) ]
+    with _patched_nonces():
+        client = _mctls_layer(suite, True)
+        wire = client.encode_batch([(APPLICATION_DATA, p, 1) for p in payloads])
+
+    rebuild = permission is Permission.WRITE
+    # Sequential twin.
+    with _patched_nonces():
+        seq_proc = _processor(suite, permission)
+        seq_out = []
+        seq_opened = []
+        for ct, cid, fragment, raw in split_records(bytearray(wire)):
+            opened = seq_proc.open_record(ct, cid, fragment)
+            if opened.payload is not None:
+                seq_opened.append(bytes(opened.payload))
+            if rebuild and opened.payload is not None:
+                seq_out.append(seq_proc.rebuild_record(opened, opened.payload))
+            else:
+                seq_out.append(bytes(raw))
+    # Batched twin (nonce schedule: opens draw none, rebuilds draw in
+    # record order — same total order as the sequential loop).
+    with _patched_nonces():
+        burst_proc = _processor(suite, permission)
+        burst, entries, error = split_burst(bytearray(wire))
+        assert error is None
+        batched_out = []
+        batched_opened = []
+        if burst_proc.opaque:
+            burst_proc.skip_burst(len(entries))
+            batched_out.append(burst[entries[0][2] : entries[-1][3]])
+        else:
+            view = memoryview(burst)
+            recs = [
+                (ct, cid, view[start + MCTLS_HEADER_LEN : end])
+                for ct, cid, start, end in entries
+            ]
+            opened_records = []
+            for (ct, cid, start, end), opened in zip(
+                entries, burst_proc.open_burst(recs)
+            ):
+                if opened is None:
+                    batched_out.append(burst[start:end])
+                    continue
+                batched_opened.append(bytes(opened.payload))
+                if rebuild:
+                    opened_records.append(opened)
+                else:
+                    batched_out.append(burst[start:end])
+            if rebuild:
+                batched_out.extend(
+                    burst_proc.rebuild_burst(
+                        [(o, o.payload) for o in opened_records]
+                    )
+                )
+    assert b"".join(batched_out) == b"".join(seq_out)
+    if permission is Permission.READ:
+        assert batched_opened == seq_opened
+    assert burst_proc.seq == seq_proc.seq
+
+
+def test_endpoint_tamper_mid_burst_fails_at_same_record():
+    """Flip a byte mid-burst: the batched reader yields exactly the
+    records before the bad one, then raises the same MAC failure the
+    sequential reader does."""
+    suite = SUITES["shactr"]
+    payloads = [b"tamper-target-%d" % i * 3 for i in range(8)]
+    with _patched_nonces():
+        wire = bytearray(
+            _mctls_layer(suite, True).encode_batch(
+                [(APPLICATION_DATA, p, 1) for p in payloads]
+            )
+        )
+    # Corrupt a payload byte of record 5 (first ciphertext byte after
+    # the 16-byte nonce) — an illegal modification MAC_writers catches.
+    entries = split_burst(bytearray(wire))[1]
+    wire[entries[5][2] + MCTLS_HEADER_LEN + 16] ^= 0x40
+
+    outcomes = []
+    for reader_method in ("read_burst", "read_all"):
+        reader = _mctls_layer(suite, False)
+        reader.feed(bytes(wire))
+        yielded = []
+        with pytest.raises(MacVerificationError) as excinfo:
+            for record in getattr(reader, reader_method)():
+                yielded.append(record.payload)
+        outcomes.append((yielded, excinfo.value.mac, excinfo.value.context_id))
+    assert outcomes[0] == outcomes[1]
+    assert outcomes[0][0] == payloads[:5]
+
+
+def test_middlebox_tamper_mid_burst_fails_at_same_record():
+    """Same property for a READ middlebox's ``open_burst``."""
+    suite = SUITES["shactr"]
+    payloads = _random_payloads(_rng("tamper-mbox"), count=8)
+    with _patched_nonces():
+        wire = bytearray(
+            _mctls_layer(suite, True).encode_batch(
+                [(APPLICATION_DATA, p, 1) for p in payloads]
+            )
+        )
+    entries = split_burst(bytearray(wire))[1]
+    wire[entries[5][3] - 1] ^= 0x40
+
+    outcomes = []
+    # Sequential.
+    proc = _processor(suite, Permission.READ)
+    yielded = []
+    with pytest.raises(MacVerificationError) as excinfo:
+        for ct, cid, fragment, _raw in split_records(bytearray(wire)):
+            yielded.append(bytes(proc.open_record(ct, cid, fragment).payload))
+    outcomes.append((yielded, excinfo.value.mac))
+    # Batched.
+    proc = _processor(suite, Permission.READ)
+    burst, entries, error = split_burst(bytearray(wire))
+    assert error is None
+    view = memoryview(burst)
+    recs = [
+        (ct, cid, view[start + MCTLS_HEADER_LEN : end])
+        for ct, cid, start, end in entries
+    ]
+    yielded = []
+    with pytest.raises(MacVerificationError) as excinfo:
+        for opened in proc.open_burst(recs):
+            yielded.append(bytes(opened.payload))
+    outcomes.append((yielded, excinfo.value.mac))
+    assert outcomes[0] == outcomes[1]
+    assert outcomes[0][0] == payloads[:5]
+
+
+# -- full-stack event-stream equivalence --------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bed() -> TestBed:
+    return TestBed(key_bits=512, dh_group=GROUP_TEST_512)
+
+
+def _app_events(events):
+    return [
+        event
+        for event in events
+        if type(event).__name__.endswith("ApplicationData")
+    ]
+
+
+def _build_chain(bed, mode):
+    topology = (
+        bed.topology(1) if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else None
+    )
+    client, server = bed.make_endpoints(mode, topology=topology)
+    relays = bed.make_relays(mode, 1)
+    chain = Chain(client, relays, server)
+    client.start_handshake()
+    chain.pump()
+    assert client.handshake_complete
+    # Plain TCP has no handshake bytes: the server side completes on
+    # its first received data, not during the pump above.
+    if mode is not Mode.NO_ENCRYPT:
+        assert server.handshake_complete
+    return client, relays, server, chain
+
+
+@pytest.mark.parametrize("mode", list(Mode), ids=lambda m: m.value)
+def test_burst_flight_delivers_same_stream_as_sequential(bed, mode):
+    """One live session per stack: N payloads sent record by record,
+    then N more queued and pumped as ONE multi-record flight through the
+    relay.  Both phases must deliver the same application byte stream
+    (framed stacks also preserve per-record boundaries)."""
+    client, relays, server, chain = _build_chain(bed, mode)
+    server_events = []
+    chain.on_server_event = server_events.append
+    ctx = 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else 0
+    payloads = _random_payloads(_rng(f"stack-{mode.value}"), count=6, max_len=200)
+    payloads = [p for p in payloads if p]  # empty app data is a no-op on plain TCP
+
+    sequential = []
+    for payload in payloads:
+        client.send_application_data(payload, context_id=ctx)
+        chain.pump()
+        sequential.extend(e.data for e in _app_events(server_events))
+        server_events.clear()
+
+    for payload in payloads:
+        client.send_application_data(payload, context_id=ctx)
+    chain.pump()
+    burst = [e.data for e in _app_events(server_events)]
+    server_events.clear()
+
+    assert b"".join(burst) == b"".join(sequential) == b"".join(payloads)
+    if mode is not Mode.NO_ENCRYPT:  # record-framed stacks keep boundaries
+        assert burst == sequential == payloads
+
+
+@pytest.mark.parametrize("mode", list(Mode), ids=lambda m: m.value)
+def test_views_drain_equivalent_to_joined_drain(bed, mode):
+    """`data_to_send_views()` drains the same queue as `data_to_send()`:
+    injecting the joined views into the relay delivers the identical
+    stream, and the joined drain afterwards is empty."""
+    client, relays, server, chain = _build_chain(bed, mode)
+    server_events = []
+    chain.on_server_event = server_events.append
+    ctx = 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else 0
+    payloads = [p for p in _random_payloads(_rng(f"views-{mode.value}"), 6, 200) if p]
+
+    for payload in payloads:
+        client.send_application_data(payload, context_id=ctx)
+    views = client.data_to_send_views()
+    assert client.data_to_send() == b""  # the views drained the queue
+    relays[0].receive_from_client(b"".join(views))
+    chain.pump()
+    delivered = [e.data for e in _app_events(server_events)]
+    assert b"".join(delivered) == b"".join(payloads)
+
+
+# -- keystream pool accounting ------------------------------------------------
+
+
+class TestKeystreamPool:
+    def test_hit_miss_accounting_via_stream_for(self):
+        cipher = ShaCtrCipher(b"K" * 16)
+        nonce = b"pool-nonce-00001"
+        hits0, misses0 = KEYSTREAM_POOL.hits, KEYSTREAM_POOL.misses
+        first = cipher.stream_for(nonce, 100)
+        assert KEYSTREAM_POOL.misses == misses0 + 1
+        second = cipher.stream_for(nonce, 100)
+        assert KEYSTREAM_POOL.hits == hits0 + 1
+        assert first == second
+
+    def test_bounded_fifo_evicts_oldest(self):
+        pool = KeystreamPool(max_entries=2, cacheable_bytes=64)
+        pool.put(("k", b"n1", 1), b"s1", 32)
+        pool.put(("k", b"n2", 1), b"s2", 32)
+        assert len(pool) == 2 and pool.evictions == 0
+        pool.put(("k", b"n3", 1), b"s3", 32)
+        assert len(pool) == 2 and pool.evictions == 1
+        pool.put(("k", b"huge", 9), b"s", 65)  # over the admission cutoff
+        assert len(pool) == 2  # not admitted, nothing evicted
+        assert pool.evictions == 1
+
+    def test_size_to_workload_rebounds_pool(self):
+        pool = KeystreamPool()
+        default_entries = pool.max_entries
+        pool.size_to_workload([256] * 100, budget_bytes=1 << 23)
+        small_records = pool.max_entries
+        assert pool.cacheable_bytes >= 256
+        pool.size_to_workload([4096] * 100, budget_bytes=1 << 23)
+        assert pool.max_entries < small_records  # bigger records, fewer entries
+        assert (small_records, pool.max_entries) != (default_entries,) * 2
+
+    def test_publish_to_instruments_is_delta_based(self):
+        pool = KeystreamPool(max_entries=1, cacheable_bytes=64)
+        pool.hits, pool.misses = 3, 2
+        pool.put(("k", b"n1", 1), b"s", 32)
+        pool.put(("k", b"n2", 1), b"s", 32)  # evicts n1
+        instruments = Instruments()
+        pool.publish_to(instruments)
+        snap = instruments.snapshot()
+        assert snap["keystream.pool.hit"] == 3
+        assert snap["keystream.pool.miss"] == 2
+        assert snap["keystream.pool.evict"] == 1
+        pool.hits += 1
+        pool.publish_to(instruments)
+        snap = instruments.snapshot()
+        assert snap["keystream.pool.hit"] == 4  # only the delta was added
+        assert snap["keystream.pool.miss"] == 2
+
+
+# -- RecordBuffer reclamation regression --------------------------------------
+
+
+class TestRecordBufferSnapshot:
+    def test_snapshot_survives_compaction_on_later_append(self, monkeypatch):
+        """The hazard: burst offsets parsed against ``data``/``pos``
+        held across an ``append`` whose reclamation shifts the buffer.
+        ``snapshot`` copies the span out atomically, so a compacting
+        append afterwards must not disturb it or the cursor."""
+        import repro.recbuf as recbuf
+
+        monkeypatch.setattr(recbuf, "_COMPACT_BYTES", 8)
+        buf = RecordBuffer()
+        buf.append(b"AAAABBBBCCCCDDDD")
+        first = buf.snapshot(12)  # cursor now well past the tiny threshold
+        assert first == b"AAAABBBBCCCC"
+        buf.append(b"EEEE")  # triggers reclamation of the consumed prefix
+        assert buf.pos == 0  # the dead prefix was compacted away
+        assert first == b"AAAABBBBCCCC"  # the snapshot is self-contained
+        assert buf.snapshot(8) == b"DDDDEEEE"
+        assert len(buf) == 0
+
+    def test_interleaved_feed_and_read_at_fragment_boundaries(self):
+        """Feed a protected mcTLS stream in chunks that straddle record
+        boundaries, reading between feeds — every record must come out
+        intact, whichever side of a fragment boundary the feed stops
+        on."""
+        suite = SUITES["shactr"]
+        payloads = _random_payloads(_rng("recbuf"), count=10, max_len=300)
+        with _patched_nonces():
+            writer = _mctls_layer(suite, True)
+            wires = [writer.encode(APPLICATION_DATA, p, 1) for p in payloads]
+        stream = b"".join(wires)
+        boundaries = []
+        offset = 0
+        for wire in wires:
+            offset += len(wire)
+            boundaries.append(offset)
+        # Chunk edges at, just before, and just after record boundaries,
+        # plus mid-fragment cuts.
+        cuts = sorted(
+            {0, len(stream)}
+            | {b for b in boundaries}
+            | {max(0, b - 1) for b in boundaries}
+            | {min(len(stream), b + 1) for b in boundaries}
+            | {b - len(w) // 2 for b, w in zip(boundaries, wires) if len(w) > 1}
+        )
+        reader = _mctls_layer(suite, False)
+        got = []
+        for start, end in zip(cuts, cuts[1:]):
+            reader.feed(stream[start:end])
+            got.extend(record.payload for record in reader.read_burst())
+        assert got == payloads

@@ -146,6 +146,9 @@ class _AioFacade:
     def recv_app_data(self, timeout: float = 30.0):
         return self._loop.run_until_complete(self._conn.recv_app_data(timeout))
 
+    def flush(self):
+        self._loop.run_until_complete(self._conn.flush())
+
     def close(self):
         self._loop.run_until_complete(self._conn.close())
 
@@ -402,6 +405,29 @@ class TestConformance:
         ctx = _context_id(mode)
         client.send(b"still-alive", context_id=ctx)
         assert client.recv_app_data().data == b"still-alive"
+        client.close()
+
+    def test_batched_writer_single_flush(self, driver, bed, mode):
+        """Batched-writer axis: queue a burst of records on the sans-I/O
+        connection, then flush ONCE — the whole burst leaves in a single
+        scatter-gather write and crosses a relay as one multi-record
+        flight.  The echoed byte stream must come back intact and in
+        order (record-framed stacks also preserve boundaries; NoEncrypt
+        is a raw TCP stream, so the shared contract is the byte
+        stream)."""
+        driver.serve(bed, mode, 1, driver.echo_handler)
+        client = driver.connect()
+        client.handshake()
+        ctx = _context_id(mode)
+        payloads = [b"burst-%d" % i for i in range(6)]
+        for payload in payloads:
+            client.connection.send_application_data(payload, context_id=ctx)
+        client.flush()
+        expected = b"".join(payloads)
+        got = b""
+        while len(got) < len(expected):
+            got += client.recv_app_data().data
+        assert got == expected
         client.close()
 
     def test_server_half_close(self, driver, bed, mode):

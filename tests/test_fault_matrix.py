@@ -30,6 +30,14 @@ def matrix_results():
     return fm.run_matrix(fm.SEED)
 
 
+@pytest.fixture(scope="module")
+def matrix_results_burst():
+    """The same 39 cells with three records pumped as one flight and the
+    tampering aimed mid-burst (record_index=1) — the mutation lands
+    inside the relays' batched ``_relay_app_burst`` path."""
+    return fm.run_matrix(fm.SEED, burst=True)
+
+
 def _cell_id(spec):
     return f"{spec.attacker}|{spec.detector}|{spec.mutation}"
 
@@ -42,6 +50,24 @@ def test_table1_cell(spec, matrix_results):
     assert expected.matches(result), (
         f"{_cell_id(spec)}: expected {expected}, got {result}"
     )
+
+
+@pytest.mark.parametrize("spec", CELLS, ids=_cell_id)
+def test_table1_cell_mid_burst(spec, matrix_results, matrix_results_burst):
+    """Table 1 attribution is path-independent: tampering injected into
+    the middle of a batched three-record flight yields the same outcome,
+    MAC slot, and detecting party as the lone-record run."""
+    expected = EXPECTED[spec]
+    result = matrix_results_burst[spec]
+    assert expected.matches(result), (
+        f"{_cell_id(spec)} (burst): expected {expected}, got {result}"
+    )
+    sequential = matrix_results[spec]
+    assert (result.outcome, result.mac, result.detected_by) == (
+        sequential.outcome,
+        sequential.mac,
+        sequential.detected_by,
+    ), f"{_cell_id(spec)}: burst attribution diverged from sequential"
 
 
 def test_matrix_is_deterministic(matrix_results):
