@@ -43,6 +43,7 @@ import os
 import platform
 import sys
 import time
+from collections import deque
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -55,14 +56,16 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.mctls import keys as mk
 from repro.mctls.contexts import Permission
 from repro.mctls.record import (
-    MCTLS_HEADER_LEN,
     McTLSRecordLayer,
     MiddleboxRecordProcessor,
     split_burst,
     split_records,
 )
+from repro.crypto.provider import OPENSSL
 from repro.tls.ciphersuites import (
     SUITE_DHE_RSA_AES128_CBC_SHA256,
+    SUITE_DHE_RSA_AES128CTR_SHA256,
+    SUITE_DHE_RSA_CHACHA20_SHA256,
     SUITE_DHE_RSA_SHACTR_SHA256,
     CipherSuite,
 )
@@ -89,6 +92,12 @@ SUITES = {
     "shactr": SUITE_DHE_RSA_SHACTR_SHA256,
     "aes128-cbc": SUITE_DHE_RSA_AES128_CBC_SHA256,
 }
+# OpenSSL-provider stream suites (same wire geometry as SHA-CTR, real
+# cipher cores).  Only benchmarkable when the ``cryptography`` package
+# is importable; the ``--phase provider`` gate requires it.
+if OPENSSL.available:
+    SUITES["aes128-ctr"] = SUITE_DHE_RSA_AES128CTR_SHA256
+    SUITES["chacha20"] = SUITE_DHE_RSA_CHACHA20_SHA256
 
 SECRET, RC, RS = b"S" * 48, b"c" * 32, b"s" * 32
 
@@ -270,24 +279,17 @@ def _run_middlebox_batched(suite, payload, records, permission, rebuild):
         elapsed = time.perf_counter() - start
         assert sum(len(c) for c in out) >= records * len(payload)
         return elapsed
-    view = memoryview(burst)
-    recs = [
-        (ct, cid, view[s + MCTLS_HEADER_LEN : e]) for ct, cid, s, e in entries
-    ]
     if rebuild:
-        opened_records = [o for o in proc.open_burst(recs) if o is not None]
+        opened_records = [
+            o for o in proc.open_wire_burst(burst, entries) if o is not None
+        ]
         out.extend(proc.rebuild_burst([(o, o.payload) for o in opened_records]))
     else:
-        run_start = -1
-        run_end = -1
-        for (ct, cid, s, e), opened in zip(entries, proc.open_burst(recs)):
-            # Every record forwards verbatim here (pass-through or READ);
-            # coalesce adjacent ones into single burst-slice chunks.
-            if run_start < 0:
-                run_start = s
-            run_end = e
-        if run_start >= 0:
-            out.append(burst[run_start:run_end])
+        # Every record forwards verbatim here (pass-through or READ):
+        # drain the opener (each record is still verified in order) and
+        # emit the whole run as one coalesced burst slice.
+        deque(proc.open_wire_burst(burst, entries), maxlen=0)
+        out.append(burst[entries[0][2] : entries[-1][3]])
     elapsed = time.perf_counter() - start
     total_out = sum(len(c) for c in out)
     assert total_out >= records * len(payload), "middlebox dropped records"
@@ -333,13 +335,28 @@ ROLES.update(BATCHED_ROLES)
 # Acceptance gate of the batched data-plane PR: middlebox *forwarding*
 # throughput at the default small-record workload (the passthrough cell
 # — one vectorized framing pass plus one burst slice per wakeup).  The
-# READ and WRITE cells are reported but ungated: both paths pay the same
-# per-record floor — one HMAC verification plus one keystream's worth of
-# SHA blocks — so batching there only amortises framing and dispatch
-# overhead, which caps the honest speedup below 2x at 256 B (WRITE
-# additionally regenerates a fresh keystream per rebuilt record).
+# READ and WRITE cells are reported but ungated under SHA-CTR: both
+# paths pay the same per-record floor — one HMAC verification plus one
+# keystream's worth of SHA blocks — so batching there only amortises
+# framing and dispatch overhead, which caps the honest speedup below 2x
+# at 256 B (WRITE additionally regenerates a fresh keystream per
+# rebuilt record).  Breaking that floor is exactly what the OpenSSL
+# provider suites are for: ``--phase provider`` below gates READ and
+# WRITE at >= 2x under AES-128-CTR (resolving deviation #11).
 BATCHED_ACCEPTANCE_PAIRS = {
     "mctls|shactr|middlebox-passthrough-batched": "mctls|shactr|middlebox-passthrough",
+}
+
+# Acceptance gate of the provider PR (deviation #11): the OpenSSL
+# AES-128-CTR batched middlebox READ and WRITE cells must clear
+# THRESHOLD x the *sequential SHA-CTR seed* cells measured in the same
+# run — the exact pairing the seed benchmark reported when the
+# deviation was recorded.  ChaCha20 cells are reported but ungated (its
+# per-record context setup only amortises at large payloads).
+PROVIDER_SUITES = ("aes128-ctr", "chacha20", "shactr")
+PROVIDER_ACCEPTANCE_PAIRS = {
+    "mctls|aes128-ctr|middlebox-read-batched": "mctls|shactr|middlebox-read",
+    "mctls|aes128-ctr|middlebox-write-batched": "mctls|shactr|middlebox-write",
 }
 
 
@@ -530,10 +547,105 @@ def run_batched(payload_len, records, repeats, output):
     return report
 
 
+def run_provider(payload_len, records, repeats, output):
+    """``--phase provider``: gate the OpenSSL record suites.
+
+    Measures every stream suite's batched middlebox READ and WRITE
+    cells against the *sequential SHA-CTR* twins — the seed data plane
+    this repo shipped with — all in one process on one workload, then
+    gates the AES-128-CTR pairs on ``THRESHOLD``x.  A pass resolves
+    deviation #11 (the pure-Python per-record crypto floor capped
+    batched READ/WRITE below 2x at 256 B).
+    """
+    report = load_report(output)
+    if not OPENSSL.available:
+        print("# provider phase SKIPPED: 'cryptography' package unavailable")
+        report["provider_acceptance"] = {
+            "threshold": THRESHOLD,
+            "required_keys": list(PROVIDER_ACCEPTANCE_PAIRS),
+            "speedups": {},
+            "pass": False,
+            "skipped": "openssl provider unavailable",
+        }
+        output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        return report
+    suites = [s for s in PROVIDER_SUITES if s in SUITES]
+    print(
+        f"# record data-plane bench — phase=provider, "
+        f"{len(suites)} stream suites ({payload_len} B x {records})"
+    )
+    seed = {}
+    for role in ("middlebox-read", "middlebox-write"):
+        entry = measure("mctls", "shactr", role, payload_len, records, repeats)
+        entry["phase"] = "provider-seed"
+        entry["python"] = platform.python_version()
+        entry["timestamp"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        report["entries"][f"provider-seed@{entry_key(entry)}"] = entry
+        seed[entry_key(entry)] = entry
+        print(
+            f"  seed  {entry_key(entry):42s} "
+            f"{entry['records_per_sec']:>10.1f} rec/s"
+        )
+    ratios = {}
+    for suite_name in suites:
+        for role in ("middlebox-read-batched", "middlebox-write-batched"):
+            entry = measure("mctls", suite_name, role, payload_len, records, repeats)
+            entry["phase"] = "provider"
+            entry["python"] = platform.python_version()
+            entry["timestamp"] = datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            )
+            key = entry_key(entry)
+            report["entries"][f"provider@{key}"] = entry
+            seed_key = f"mctls|shactr|{role[: -len('-batched')]}"
+            ratio = round(
+                entry["records_per_sec"] / seed[seed_key]["records_per_sec"], 3
+            )
+            ratios[key] = {
+                "seed_key": seed_key,
+                "seed_records_per_sec": seed[seed_key]["records_per_sec"],
+                "batched_records_per_sec": entry["records_per_sec"],
+                "speedup": ratio,
+            }
+            print(
+                f"  {suite_name:10s} {role:26s} "
+                f"{entry['records_per_sec']:>10.1f} rec/s  {ratio:.2f}x vs seed"
+            )
+    checked = {
+        key: ratios[key]["speedup"]
+        for key in PROVIDER_ACCEPTANCE_PAIRS
+        if key in ratios
+    }
+    passed = (
+        bool(checked)
+        and len(checked) == len(PROVIDER_ACCEPTANCE_PAIRS)
+        and all(v >= THRESHOLD for v in checked.values())
+    )
+    report["provider_speedups"] = ratios
+    report["provider_acceptance"] = {
+        "threshold": THRESHOLD,
+        "required_keys": list(PROVIDER_ACCEPTANCE_PAIRS),
+        "speedups": checked,
+        "pass": passed,
+        "deviation_11_resolved": passed,
+    }
+    report["updated"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"# wrote {output}")
+    verdict = "PASS" if passed else "FAIL"
+    print(
+        f"# provider acceptance (>= {THRESHOLD}x vs sequential seed on "
+        f"{len(PROVIDER_ACCEPTANCE_PAIRS)} middlebox keys): {verdict}"
+    )
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--phase", choices=("before", "after", "smoke", "batched"), default="after"
+        "--phase",
+        choices=("before", "after", "smoke", "batched", "provider"),
+        default="after",
     )
     parser.add_argument(
         "--payload-bytes",
@@ -572,6 +684,13 @@ def main(argv=None) -> int:
             args.payload_bytes, args.records, args.repeat, output
         )
         return 0 if report["batched_acceptance"]["pass"] else 1
+
+    if args.phase == "provider":
+        output = args.output or DEFAULT_OUTPUT
+        report = run_provider(
+            args.payload_bytes, args.records, args.repeat, output
+        )
+        return 0 if report["provider_acceptance"]["pass"] else 1
 
     output = args.output or DEFAULT_OUTPUT
     aes_records = args.aes_records or max(4, args.records // 50)

@@ -26,6 +26,8 @@ single C pass while slice assignment pays per-block interpreter work.
 from __future__ import annotations
 
 import hashlib
+import os as _os
+import time as _time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 try:  # NumPy ships with the scientific-python base image; gate it anyway.
@@ -45,13 +47,74 @@ _COUNTER_BYTES = tuple(i.to_bytes(8, "big") for i in range(_CHUNK_BLOCKS))
 
 _int_from_bytes = int.from_bytes
 
-# Below this size the big-integer XOR wins (two int conversions beat
-# NumPy's fixed frombuffer/tobytes overhead); above it NumPy's C loop is
-# several times faster (measured crossover ~400 B on this host: 256 B
-# bigint 1.2 µs vs numpy 1.5 µs; 2 KiB 8.7 µs vs 2.7 µs).  Batched XOR
-# over a concatenated burst is the main beneficiary: a burst of 256 B
-# records crosses the threshold even though each record alone would not.
-_NUMPY_MIN_BYTES = 512
+# Below the crossover the big-integer XOR wins (two int conversions
+# beat NumPy's fixed frombuffer/tobytes overhead); above it NumPy's C
+# loop is several times faster (typical host: 256 B bigint 1.2 µs vs
+# numpy 1.5 µs; 2 KiB 8.7 µs vs 2.7 µs).  Batched XOR over a
+# concatenated burst is the main beneficiary: a burst of 256 B records
+# crosses the threshold even though each record alone would not.
+#
+# The crossover used to be hardcoded at 512 B; it is now measured once
+# at import because the true value moves with the interpreter, NumPy
+# build, and CPU (a slow frombuffer pushes it past 1 KiB; a fast one
+# pulls it under 256 B).  Both backends are bit-exact, so the only
+# effect of the calibration is speed.  ``REPRO_XOR_CROSSOVER=<bytes>``
+# pins it for deterministic CI.
+
+
+def _tight_best_ns(fn, reps: int = 48, rounds: int = 3) -> float:
+    """Best-of-``rounds`` mean ns/call — small enough to run at import."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = _time.perf_counter_ns()
+        for _ in range(reps):
+            fn()
+        elapsed = (_time.perf_counter_ns() - start) / reps
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _measured_numpy_crossover(environ=None) -> int:
+    """Smallest probed size at which the NumPy XOR beats the bigint XOR.
+
+    Probes doubling sizes (~1 ms total at import).  Returns an
+    effectively-infinite bound when NumPy is absent, the env override
+    when ``REPRO_XOR_CROSSOVER`` is set, and the old 512 B default if
+    calibration itself fails.
+    """
+    env = (environ if environ is not None else _os.environ).get(
+        "REPRO_XOR_CROSSOVER"
+    )
+    if env is not None:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    if _np is None:
+        return 1 << 62
+    try:
+        for size in (128, 256, 512, 1024, 2048):
+            data = b"\x5a" * size
+            stream = b"\xa5" * size
+
+            def _bigint():
+                n = _int_from_bytes(data, "big") ^ _int_from_bytes(stream, "big")
+                n.to_bytes(size, "big")
+
+            def _numpy():
+                a = _np.frombuffer(data, dtype=_np.uint8)
+                b = _np.frombuffer(stream, dtype=_np.uint8)
+                (a ^ b).tobytes()
+
+            if _tight_best_ns(_numpy) < _tight_best_ns(_bigint):
+                return size
+        return 4096
+    except Exception:  # pragma: no cover - defensive
+        return 512
+
+
+_NUMPY_MIN_BYTES = _measured_numpy_crossover()
 
 
 def xor_bytes(data, stream, size: Optional[int] = None) -> bytes:
@@ -105,6 +168,15 @@ _CACHEABLE_BYTES = 4096
 # never commits to more than this much keystream memory.
 _POOL_BUDGET_BYTES = 8 << 20
 
+# Provider-awareness policy for :meth:`KeystreamPool.worthwhile`:
+# ``auto`` compares a generator's measured cost against the pool's
+# measured hit cost; ``on``/``off`` force the answer (deterministic CI).
+_POOL_MODE = _os.environ.get("REPRO_KEYSTREAM_POOL", "auto")
+
+# A pooled hit must beat regeneration by this factor to justify the
+# admission bookkeeping and memory the pool spends on misses.
+_POOL_WIN_FACTOR = 2.0
+
 
 class KeystreamPool:
     """Bounded FIFO pool of memoized keystreams with hit/miss accounting.
@@ -132,6 +204,7 @@ class KeystreamPool:
         "evictions",
         "_streams",
         "_published",
+        "_hit_cost_ns",
     )
 
     def __init__(
@@ -146,9 +219,44 @@ class KeystreamPool:
         self.evictions = 0
         self._streams: Dict[tuple, bytes] = {}
         self._published = {"hit": 0, "miss": 0, "evict": 0}
+        self._hit_cost_ns: Optional[float] = None
 
     def __len__(self) -> int:
         return len(self._streams)
+
+    # -- provider awareness --------------------------------------------
+
+    def hit_cost_ns(self) -> float:
+        """Measured cost of one pool hit (dict get + accounting), cached.
+
+        Measured on a scratch dict so the calibration never perturbs the
+        live store or the hit/miss counters.
+        """
+        if self._hit_cost_ns is None:
+            probe = {("k", b"n", 11): b"\x00" * 352}
+            key = ("k", b"n", 11)
+
+            def _hit():
+                probe.get(key)
+
+            self._hit_cost_ns = _tight_best_ns(_hit) + 50.0  # +accounting
+        return self._hit_cost_ns
+
+    def worthwhile(self, gen_cost_ns: float) -> bool:
+        """Should a keystream source with this per-stream generation
+        cost memoize through the pool?
+
+        This is where the pool is provider-aware: the pure SHA-CTR
+        generator (~8 µs/stream) always clears the bar, while OpenSSL's
+        fused AES-CTR generation (~0.5 µs/record) is cheaper than a hit
+        and self-disables.  ``REPRO_KEYSTREAM_POOL=on|off`` overrides
+        the measurement for deterministic CI.
+        """
+        if _POOL_MODE == "on":
+            return True
+        if _POOL_MODE == "off":
+            return False
+        return gen_cost_ns > _POOL_WIN_FACTOR * self.hit_cost_ns()
 
     def put(self, cache_key: tuple, stream: bytes, size: int) -> None:
         """Admit a keystream if the record is pool-sized, evicting FIFO."""

@@ -8,19 +8,23 @@ through this PRF, exactly as TLS 1.2 does.
 
 from __future__ import annotations
 
-import hashlib
-import hmac
-
+from repro.crypto.hmaccache import CachedHmacSha256
 from repro.crypto.opcount import count_op
 
 
 def p_sha256(secret: bytes, seed: bytes, length: int) -> bytes:
-    """The P_hash data-expansion function with SHA-256 (RFC 5246 §5)."""
+    """The P_hash data-expansion function with SHA-256 (RFC 5246 §5).
+
+    One cached HMAC context per call: the key schedule for ``secret`` is
+    derived once and cloned per digest instead of re-deriving it for
+    every A(i) / output-block pair (identical bytes to ``hmac.new``).
+    """
+    ctx = CachedHmacSha256(secret)
     output = bytearray()
     a = seed
     while len(output) < length:
-        a = hmac.new(secret, a, hashlib.sha256).digest()
-        output += hmac.new(secret, a + seed, hashlib.sha256).digest()
+        a = ctx.digest(a)
+        output += ctx.digest(a, seed)
     return bytes(output[:length])
 
 

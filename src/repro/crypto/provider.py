@@ -1,0 +1,558 @@
+"""Pluggable crypto provider layer for the record data plane.
+
+PR 7's batched data plane left the middlebox READ/WRITE cells pinned to
+a per-record crypto floor: one HMAC verification plus one SHA-CTR
+keystream's worth of SHA-256 blocks per record (~3 µs at 256 B), paid in
+pure Python no matter how records are batched.  This module breaks that
+floor by putting the three record primitives — keystream generation,
+bulk XOR, record MAC — behind a small provider seam:
+
+* :data:`PURE` — the existing zero-dependency implementation
+  (``ShaCtrCipher`` keystreams, :class:`~repro.crypto.hmaccache.
+  CachedHmacSha256` MACs).  Default; its wire bytes are pinned by the
+  golden vectors and never change.
+* :data:`OPENSSL` — backed by the ``cryptography`` package's OpenSSL
+  bindings when importable: AES-128-CTR and ChaCha20 keystreams plus a
+  ``cryptography.hazmat`` HMAC with cached cloned contexts.
+
+The provider choice is **not** wire format: a suite's bytes are fully
+determined by its keystream definition and HMAC-SHA256, both of which
+are backend-independent for a given suite.  What the provider changes is
+who computes them.
+
+Why AES-CTR goes through a persistent ECB context
+-------------------------------------------------
+
+The naive route — one ``Cipher(AES, CTR(nonce))`` context per record —
+costs ~28 µs per record in context setup alone, *slower* than the pure
+SHA-CTR path it is meant to replace.  But CTR mode is just ECB over
+counter blocks: keystream block ``i`` is ``AES-ECB(key, nonce + i)``
+with the 16-byte nonce treated as a big-endian 128-bit counter.  So the
+generator keeps ONE persistent ECB encryptor per key and feeds it
+counter blocks; for a burst, the counter blocks of *all* records are
+assembled with vectorized NumPy arithmetic and encrypted in a single
+``update`` call (~0.5 µs per 256 B record, ~16x the SHA-CTR rate).
+ChaCha20 has no such decomposition in ``cryptography``'s API (the
+context binds the nonce), so it pays the per-record context price — it
+is negotiable and correct, and documented as winning only on large
+records.
+
+Keystream pooling becomes provider-aware here: each generator measures
+its own generation cost once and asks the shared
+:class:`~repro.crypto.fastcipher.KeystreamPool` whether memoization is
+worth it (:meth:`KeystreamPool.worthwhile`).  Fused batch generation is
+always below the pool's hit cost, so batched OpenSSL paths regenerate
+instead of pooling; the crossover is overridable for deterministic CI
+via ``REPRO_KEYSTREAM_POOL=on|off|auto``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.fastcipher import KEYSTREAM_POOL, ShaCtrCipher
+from repro.crypto.hmaccache import CachedHmacSha256
+
+try:  # NumPy drives the fused counter-block assembly; scalar fallback below.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the image
+    _np = None
+
+try:  # OpenSSL bindings; the provider gates itself when absent.
+    from cryptography.hazmat.primitives import hashes as _hazmat_hashes
+    from cryptography.hazmat.primitives import hmac as _hazmat_hmac
+    from cryptography.hazmat.primitives.ciphers import (
+        Cipher as _Cipher,
+        algorithms as _algorithms,
+        modes as _modes,
+    )
+
+    _CRYPTOGRAPHY_OK = True
+except ImportError:  # pragma: no cover - cryptography ships with the image
+    _CRYPTOGRAPHY_OK = False
+
+_MASK64 = (1 << 64) - 1
+_MASK128 = (1 << 128) - 1
+
+# HMAC backend selection for the OpenSSL provider.  Both backends emit
+# identical bytes (HMAC-SHA256 is HMAC-SHA256); ``auto`` picks the
+# faster one measured at first use — on CPython the hashlib-based
+# CachedHmacSha256 usually wins by ~10 % because hashlib is itself
+# OpenSSL-backed with less Python wrapping.
+_HMAC_BACKEND = os.environ.get("REPRO_HMAC_BACKEND", "auto")
+
+# A zero buffer ChaCha20 encrypts to expose its raw keystream.
+_ZEROS = bytes(1 << 12)
+
+
+def _best_ns(fn, reps: int = 32, rounds: int = 3) -> float:
+    """Best-of-``rounds`` mean ns per call — tiny, import-time-safe."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter_ns()
+        for _ in range(reps):
+            fn()
+        elapsed = (time.perf_counter_ns() - start) / reps
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+class OpenSSLHmacSha256:
+    """HMAC-SHA256 via ``cryptography.hazmat`` with a cached cloned context.
+
+    The keyed context is built once per key and ``copy()``-ed per digest
+    — the same RFC 2104 precomputation trick as
+    :class:`~repro.crypto.hmaccache.CachedHmacSha256`, expressed through
+    OpenSSL's HMAC instead of two hashlib contexts.  Output bytes are
+    identical; only the backend differs.
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, key: bytes) -> None:
+        self._base = _hazmat_hmac.HMAC(bytes(key), _hazmat_hashes.SHA256())
+
+    def digest(self, *parts) -> bytes:
+        ctx = self._base.copy()
+        for part in parts:
+            ctx.update(part if type(part) is bytes else bytes(part))
+        return ctx.finalize()
+
+    def digest2(self, header, body) -> bytes:
+        """Fixed two-part :meth:`digest` (same bytes, no varargs loop)."""
+        ctx = self._base.copy()
+        ctx.update(header if type(header) is bytes else bytes(header))
+        ctx.update(body if type(body) is bytes else bytes(body))
+        return ctx.finalize()
+
+
+class KeystreamGenerator:
+    """Per-key keystream source a :class:`StreamRecordCipher` draws from.
+
+    ``keystream(nonce, length)`` returns at least ``length`` bytes
+    (rounded up to whole cipher blocks); callers slice.  ``fused`` marks
+    generators whose :meth:`keystream_batch` beats per-record calls by
+    enough that batch paths should bypass the pool and regenerate.
+    """
+
+    block_size = 16
+    fused = False
+    _pool_tag = b""
+    # Measured per-class generation cost of one 352 B keystream (the
+    # 256 B-payload mcTLS record body), filled lazily by _decide_pooling.
+    _gen_cost_ns: Optional[float] = None
+
+    def __init__(self, key: bytes) -> None:
+        self._key = bytes(key)
+        self.pooled = self._decide_pooling()
+
+    # -- subclass API ---------------------------------------------------
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        raise NotImplementedError
+
+    def keystream_batch(self, nonces: Sequence[bytes], sizes: Sequence[int]) -> List:
+        """Full-block keystreams for a burst; override to fuse."""
+        return [self.keystream(n, s) for n, s in zip(nonces, sizes)]
+
+    def keystream_concat(self, nonces: Sequence[bytes], sizes: Sequence[int]) -> bytes:
+        """Exactly ``sizes[i]`` keystream bytes per record, concatenated.
+
+        The packed form lets a burst XOR run once over the concatenated
+        record bodies with no per-record stream slicing; bytes are
+        identical to truncating each :meth:`stream_for` individually
+        (pool accounting included — fused generators override with a
+        pool-bypassing single call, exactly like :meth:`stream_batch`).
+        """
+        return b"".join(
+            memoryview(self.stream_for(n, s))[:s] for n, s in zip(nonces, sizes)
+        )
+
+    def keystream_grid(self, nonces, count: int, size: int) -> bytes:
+        """Packed keystream for ``count`` records of one ``size``.
+
+        ``nonces`` is one packed buffer of ``count`` 16-byte nonces (the
+        shape a uniform wire burst yields with a single strided copy).
+        Same bytes as :meth:`keystream_concat` on the sliced-out nonce
+        list.
+        """
+        view = memoryview(nonces)
+        return b"".join(
+            memoryview(self.stream_for(bytes(view[i * 16 : i * 16 + 16]), size))[:size]
+            for i in range(count)
+        )
+
+    # -- pooled access --------------------------------------------------
+
+    def _decide_pooling(self) -> bool:
+        cls = type(self)
+        if cls._gen_cost_ns is None:
+            try:
+                nonce = b"\x00" * 16
+                cls._gen_cost_ns = _best_ns(lambda: self.keystream(nonce, 352))
+            except Exception:  # pragma: no cover - defensive
+                cls._gen_cost_ns = float("inf")
+        return KEYSTREAM_POOL.worthwhile(cls._gen_cost_ns)
+
+    def stream_for(self, nonce: bytes, size: int) -> bytes:
+        """Full-block keystream, memoized through the shared pool when
+        this generator's measured cost clears the pool's hit cost."""
+        if type(nonce) is not bytes:
+            nonce = bytes(nonce)
+        nblocks = -(-size // self.block_size)
+        if not self.pooled:
+            return self.keystream(nonce, nblocks * self.block_size)
+        pool = KEYSTREAM_POOL
+        cache_key = (self._pool_tag, self._key, nonce, nblocks)
+        stream = pool._streams.get(cache_key)
+        if stream is None:
+            pool.misses += 1
+            stream = self.keystream(nonce, nblocks * self.block_size)
+            if type(stream) is not bytes:
+                stream = bytes(stream)
+            pool.put(cache_key, stream, size)
+        else:
+            pool.hits += 1
+        return stream
+
+    def stream_batch(self, nonces: Sequence[bytes], sizes: Sequence[int]) -> List:
+        """Burst keystreams.  Fused generators regenerate below the
+        pool's hit cost, so this path never touches the pool."""
+        return self.keystream_batch(
+            [n if type(n) is bytes else bytes(n) for n in nonces], sizes
+        )
+
+
+class AesCtrKeystream(KeystreamGenerator):
+    """AES-128-CTR keystream via one persistent OpenSSL ECB context.
+
+    The 16-byte record nonce is the initial 128-bit big-endian counter
+    block; block ``i`` of the keystream is ``AES-ECB(key, (nonce + i)
+    mod 2^128)``.  Counter blocks for a whole burst are assembled with
+    vectorized uint64 arithmetic (carry out of the low 64 bits falls
+    back to exact scalar arithmetic) and encrypted in one ``update``.
+    """
+
+    block_size = 16
+    fused = True
+    _pool_tag = b"aes128-ctr"
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError("AES-128-CTR key must be 16 bytes")
+        self._ecb = _Cipher(_algorithms.AES(bytes(key)), _modes.ECB()).encryptor()
+        # Grid-path scratch (counter-block input + ECB output), reused
+        # across bursts of the same geometry so the steady-state data
+        # plane allocates nothing per burst beyond its plaintext.
+        self._grid_ctr: Optional[bytearray] = None
+        self._grid_out: Optional[bytearray] = None
+        super().__init__(key)
+
+    @staticmethod
+    def _scalar_counter_blocks(nonce: bytes, nblocks: int) -> bytes:
+        base = int.from_bytes(nonce, "big")
+        return b"".join(
+            ((base + i) & _MASK128).to_bytes(16, "big") for i in range(nblocks)
+        )
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        nblocks = -(-length // 16)
+        if nblocks <= 1:
+            return self._ecb.update(nonce if type(nonce) is bytes else bytes(nonce))
+        lo = int.from_bytes(nonce[8:], "big")
+        if _np is not None and nblocks >= 4 and lo + nblocks <= _MASK64:
+            # Native-endian arithmetic, one byteswap pass at the end —
+            # element-wise stores into a big-endian array pay a per-op
+            # byte-swap that dominates the assembly otherwise.
+            blocks = _np.empty((nblocks, 2), dtype=_np.uint64)
+            blocks[:, 0] = int.from_bytes(nonce[:8], "big")
+            blocks[:, 1] = lo + _np.arange(nblocks, dtype=_np.uint64)
+            blocks.byteswap(inplace=True)
+            ctr = blocks.tobytes()
+        else:
+            ctr = self._scalar_counter_blocks(nonce, nblocks)
+        return self._ecb.update(ctr)
+
+    def _burst_counter_blocks(self, nonces, counts):
+        """Counter blocks for a whole burst as one ``bytes`` buffer."""
+        if _np is None or len(nonces) < 2:
+            return b"".join(
+                self._scalar_counter_blocks(n, c) for n, c in zip(nonces, counts)
+            )
+        pairs = _np.frombuffer(b"".join(nonces), dtype=">u8").reshape(-1, 2)
+        counts_np = _np.asarray(counts, dtype=_np.uint64)
+        lo = pairs[:, 1].astype(_np.uint64)
+        if bool((lo > _np.uint64(_MASK64) - counts_np).any()):
+            # A record's counter run would carry out of the low 64
+            # bits (probability ~2^-59 per record): exact fallback.
+            return b"".join(
+                self._scalar_counter_blocks(n, c) for n, c in zip(nonces, counts)
+            )
+        hi = pairs[:, 0].astype(_np.uint64)
+        first = counts[0]
+        if counts.count(first) == len(counts):
+            # Uniform burst (the common record-data-plane shape): pure
+            # broadcasting, no repeat/cumsum bookkeeping.
+            blocks = _np.empty((len(counts), first, 2), dtype=_np.uint64)
+            blocks[:, :, 0] = hi[:, None]
+            blocks[:, :, 1] = lo[:, None] + _np.arange(first, dtype=_np.uint64)
+        else:
+            total = int(counts_np.sum())
+            counts_i = counts_np.astype(_np.int64)
+            starts = _np.repeat(_np.cumsum(counts_i) - counts_i, counts_i)
+            incr = _np.arange(total, dtype=_np.uint64) - starts.astype(_np.uint64)
+            blocks = _np.empty((total, 2), dtype=_np.uint64)
+            blocks[:, 0] = _np.repeat(hi, counts_i)
+            blocks[:, 1] = _np.repeat(lo, counts_i) + incr
+        blocks.byteswap(inplace=True)
+        return blocks.tobytes()
+
+    def keystream_batch(self, nonces: Sequence[bytes], sizes: Sequence[int]) -> List:
+        """One fused ECB call for the whole burst's counter blocks."""
+        counts = [-(-s // 16) for s in sizes]
+        ks = self._ecb.update(self._burst_counter_blocks(nonces, counts))
+        view = memoryview(ks)
+        out = []
+        off = 0
+        for count in counts:
+            end = off + count * 16
+            out.append(view[off:end])
+            off = end
+        return out
+
+    def keystream_concat(self, nonces: Sequence[bytes], sizes: Sequence[int]) -> bytes:
+        """Packed burst keystream: one ECB call, no per-record slices.
+
+        When every record needs a whole number of blocks (the mcTLS app
+        record body is MAC-padded to one) the fused ECB output *is* the
+        packed keystream; otherwise the per-record block padding is
+        stripped with one vectorized copy (uniform sizes) or a slice
+        join (mixed sizes).
+        """
+        if not sizes:
+            return b""
+        counts = [-(-s // 16) for s in sizes]
+        ks = self._ecb.update(self._burst_counter_blocks(nonces, counts))
+        first = sizes[0]
+        uniform = sizes.count(first) == len(sizes)
+        if uniform and first == counts[0] * 16:
+            return ks
+        if uniform and _np is not None:
+            padded = counts[0] * 16
+            arr = _np.frombuffer(ks, dtype=_np.uint8).reshape(-1, padded)
+            return arr[:, :first].tobytes()
+        view = memoryview(ks)
+        out = []
+        off = 0
+        for count, size in zip(counts, sizes):
+            out.append(view[off : off + size])
+            off += count * 16
+        return b"".join(out)
+
+    def keystream_grid(self, nonces, count: int, size: int) -> bytes:
+        """Uniform-burst packed keystream from one packed nonce buffer.
+
+        The grid shape skips even the per-record nonce objects: counter
+        blocks for the whole burst broadcast straight out of the packed
+        buffer, one ECB call encrypts them, and any per-record block
+        padding is stripped with a single vectorized copy.
+        """
+        if not count or not size:
+            return b""
+        nblocks = -(-size // 16)
+        if _np is None:
+            view = memoryview(nonces)
+            return b"".join(
+                memoryview(self.keystream(bytes(view[i * 16 : i * 16 + 16]), size))[
+                    :size
+                ]
+                for i in range(count)
+            )
+        pairs = _np.frombuffer(nonces, dtype=">u8").reshape(count, 2)
+        lo = pairs[:, 1].astype(_np.uint64)
+        if bool((lo > _np.uint64(_MASK64) - _np.uint64(nblocks)).any()):
+            view = memoryview(nonces)
+            ctr = b"".join(
+                self._scalar_counter_blocks(bytes(view[i * 16 : i * 16 + 16]), nblocks)
+                for i in range(count)
+            )
+        else:
+            blocks = _np.empty((count, nblocks, 2), dtype=_np.uint64)
+            blocks[:, :, 0] = pairs[:, 0].astype(_np.uint64)[:, None]
+            blocks[:, :, 1] = lo[:, None] + _np.arange(nblocks, dtype=_np.uint64)
+            blocks.byteswap(inplace=True)
+            ctr = blocks.tobytes()
+        ks = self._ecb.update(ctr)
+        if size == nblocks * 16:
+            return ks
+        arr = _np.frombuffer(ks, dtype=_np.uint8).reshape(count, nblocks * 16)
+        return arr[:, :size].tobytes()
+
+    def keystream_grid_arr(self, nonces, count: int, size: int):
+        """:meth:`keystream_grid` as a zero-copy numpy view.
+
+        Returns a ``(count, size)`` uint8 array over this generator's
+        reusable scratch buffer — **valid only until the next keystream
+        call on this generator** — so a burst decrypt can XOR it against
+        the wire bodies without materialising keystream ``bytes`` at
+        all.  Counter blocks assemble in place in the scratch input and
+        ``update_into`` writes the ECB output into the scratch output:
+        the steady-state per-burst cost is one AES pass and no
+        allocations.  Returns ``None`` when numpy is unavailable
+        (callers fall back to :meth:`keystream_grid`).
+        """
+        if _np is None:
+            return None
+        nblocks = -(-size // 16)
+        padded = nblocks * 16
+        total = count * padded
+        ctr_buf = self._grid_ctr
+        if ctr_buf is None or len(ctr_buf) != total:
+            # One geometry per connection in steady state; realloc only
+            # when the burst shape actually changes.
+            ctr_buf = self._grid_ctr = bytearray(total)
+            # update_into needs block_size - 1 bytes of slack.
+            self._grid_out = bytearray(total + 16)
+        pairs = _np.frombuffer(nonces, dtype=">u8").reshape(count, 2)
+        lo = pairs[:, 1].astype(_np.uint64)
+        if bool((lo > _np.uint64(_MASK64) - _np.uint64(nblocks)).any()):
+            view = memoryview(nonces)
+            ctr_buf[:] = b"".join(
+                self._scalar_counter_blocks(bytes(view[i * 16 : i * 16 + 16]), nblocks)
+                for i in range(count)
+            )
+        else:
+            blocks = _np.frombuffer(ctr_buf, dtype=_np.uint64).reshape(
+                count, nblocks, 2
+            )
+            blocks[:, :, 0] = pairs[:, 0].astype(_np.uint64)[:, None]
+            blocks[:, :, 1] = lo[:, None] + _np.arange(nblocks, dtype=_np.uint64)
+            blocks.byteswap(inplace=True)
+        self._ecb.update_into(ctr_buf, self._grid_out)
+        out = _np.frombuffer(self._grid_out, dtype=_np.uint8)[:total]
+        return out.reshape(count, padded)[:, :size]
+
+
+class ChaCha20Keystream(KeystreamGenerator):
+    """ChaCha20 keystream via per-record OpenSSL contexts.
+
+    ``cryptography`` binds the 16-byte nonce (64-bit counter || 64-bit
+    IV, the original DJB layout) at context construction, so there is no
+    persistent-context trick like AES-ECB's: each record pays ~15 µs of
+    context setup.  The suite exists for completeness — it wins only
+    once records are large enough for C-speed bulk throughput to
+    amortise the setup — and the pool keeps cross-hop re-derivations
+    cheap.  The mcTLS key schedule carves 16-byte bulk keys
+    (``ENC_KEY_LEN``); ChaCha20 needs 32, so the generator expands the
+    suite key with SHA-256 — simulation-grade, like SHA-CTR itself.
+    """
+
+    block_size = 64
+    _pool_tag = b"chacha20"
+
+    def __init__(self, key: bytes) -> None:
+        key = bytes(key)
+        self._key32 = key if len(key) == 32 else hashlib.sha256(key).digest()
+        super().__init__(key)
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        enc = _Cipher(
+            _algorithms.ChaCha20(self._key32, bytes(nonce)), mode=None
+        ).encryptor()
+        if length <= len(_ZEROS):
+            return enc.update(_ZEROS[:length])
+        return enc.update(bytes(length))
+
+
+class CryptoProvider:
+    """A bundle of record-plane primitive implementations."""
+
+    name = "base"
+    available = True
+
+    def mac_context(self, key: bytes):
+        """Per-key record-MAC object exposing ``digest(*parts)``.
+
+        Every provider's MAC is HMAC-SHA256 — identical bytes — so this
+        only chooses *who* computes it.  The cached-context
+        implementation is shared: all MAC slots (TLS record MAC and the
+        three mcTLS slots) route through here.
+        """
+        return CachedHmacSha256(key)
+
+    def hmac(self, key: bytes, *parts) -> bytes:
+        return self.mac_context(key).digest(*parts)
+
+
+class PurePythonProvider(CryptoProvider):
+    """The zero-dependency provider: SHA-CTR keystreams, hashlib HMAC."""
+
+    name = "pure"
+
+    def shactr_keystream(self, key: bytes) -> ShaCtrCipher:
+        return ShaCtrCipher(key)
+
+
+class OpenSSLProvider(CryptoProvider):
+    """OpenSSL-backed provider via the ``cryptography`` package."""
+
+    name = "openssl"
+    available = _CRYPTOGRAPHY_OK
+
+    def __init__(self) -> None:
+        self._mac_cls = None
+
+    def _require(self) -> None:
+        if not self.available:
+            raise RuntimeError(
+                "OpenSSL provider unavailable: the 'cryptography' package "
+                "is not importable"
+            )
+
+    def mac_context(self, key: bytes):
+        cls = self._mac_cls
+        if cls is None:
+            cls = self._mac_cls = self._pick_mac_backend()
+        return cls(key)
+
+    def _pick_mac_backend(self):
+        if _HMAC_BACKEND == "hashlib" or not self.available:
+            return CachedHmacSha256
+        if _HMAC_BACKEND == "hazmat":
+            return OpenSSLHmacSha256
+        # auto: measure both cached-context backends once; identical
+        # bytes, so this is purely a speed decision.
+        key = b"\x00" * 32
+        data = b"\x5a" * 352
+        hashlib_ctx = CachedHmacSha256(key)
+        hazmat_ctx = OpenSSLHmacSha256(key)
+        t_hashlib = _best_ns(lambda: hashlib_ctx.digest(data))
+        t_hazmat = _best_ns(lambda: hazmat_ctx.digest(data))
+        return OpenSSLHmacSha256 if t_hazmat < t_hashlib else CachedHmacSha256
+
+    def aes_ctr_keystream(self, key: bytes) -> AesCtrKeystream:
+        self._require()
+        return AesCtrKeystream(key)
+
+    def chacha20_keystream(self, key: bytes) -> ChaCha20Keystream:
+        self._require()
+        return ChaCha20Keystream(key)
+
+
+PURE = PurePythonProvider()
+OPENSSL = OpenSSLProvider()
+
+PROVIDERS: Dict[str, CryptoProvider] = {PURE.name: PURE, OPENSSL.name: OPENSSL}
+
+DEFAULT_PROVIDER = PURE
+
+
+def get_provider(name: str) -> CryptoProvider:
+    try:
+        return PROVIDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown crypto provider {name!r}") from None

@@ -157,10 +157,10 @@ def _fixture():
     return _FIXTURE["ca"], _FIXTURE["server"], _FIXTURE["mboxes"]
 
 
-def _config(**kwargs) -> TLSConfig:
+def _config(suite=None, **kwargs) -> TLSConfig:
     return TLSConfig(
         dh_group=GROUP_TEST_512,
-        cipher_suites=(SUITE_DHE_RSA_SHACTR_SHA256,),
+        cipher_suites=(suite or SUITE_DHE_RSA_SHACTR_SHA256,),
         **kwargs,
     )
 
@@ -191,8 +191,14 @@ _GRANTS: Dict[Tuple[str, str], List[Permission]] = {
 }
 
 
-def _build_session(spec: CellSpec, seed: int, record_index: int = 0):
-    """Fresh client / relays / server wired into a Chain for one cell."""
+def _build_session(spec: CellSpec, seed: int, record_index: int = 0, suite=None):
+    """Fresh client / relays / server wired into a Chain for one cell.
+
+    ``suite`` selects the record cipher suite every party negotiates
+    (default SHA-CTR); Table 1 attribution is suite-independent because
+    detection rides on the three HMAC-SHA256 record MACs, not the bulk
+    cipher — re-running the matrix under the OpenSSL suites proves it.
+    """
     ca, server_identity, mbox_identities = _fixture()
     grants = _GRANTS[(spec.attacker, spec.detector)]
     identities = mbox_identities[: len(grants)]
@@ -208,18 +214,22 @@ def _build_session(spec: CellSpec, seed: int, record_index: int = 0):
     topology = SessionTopology(middleboxes=middleboxes, contexts=contexts)
 
     client = McTLSClient(
-        _config(trusted_roots=[ca.certificate], server_name=server_identity.name),
+        _config(
+            suite=suite,
+            trusted_roots=[ca.certificate],
+            server_name=server_identity.name,
+        ),
         topology=topology,
     )
     server = McTLSServer(
-        _config(identity=server_identity, trusted_roots=[ca.certificate])
+        _config(suite=suite, identity=server_identity, trusted_roots=[ca.certificate])
     )
 
     relays: List[object] = []
     if spec.attacker in ("third-party", "handshake"):
         relays.append(TamperProxy(_plan_for(spec, seed, record_index)))
     for i, identity in enumerate(identities):
-        config = _config(identity=identity, trusted_roots=[ca.certificate])
+        config = _config(suite=suite, identity=identity, trusted_roots=[ca.certificate])
         if spec.attacker == "reader" and i == 0:
             relays.append(MaliciousReader(identity.name, config, target_context=1))
         elif spec.attacker == "writer" and i == 0:
@@ -266,7 +276,9 @@ def _classify_failure(exc: TLSError) -> CellResult:
     return CellResult(Outcome.MALFORMED, detected_by=getattr(info, "where", None))
 
 
-def run_cell(spec: CellSpec, seed: int = SEED, burst: bool = False) -> CellResult:
+def run_cell(
+    spec: CellSpec, seed: int = SEED, burst: bool = False, suite=None
+) -> CellResult:
     """Run one cell of the matrix and classify the detection outcome.
 
     With ``burst=True`` the application phase queues three records and
@@ -279,7 +291,7 @@ def run_cell(spec: CellSpec, seed: int = SEED, burst: bool = False) -> CellResul
     asserts both axes produce identical attribution.
     """
     client, relays, server, chain = _build_session(
-        spec, seed, record_index=1 if burst else 0
+        spec, seed, record_index=1 if burst else 0, suite=suite
     )
     server_events: List[object] = []
     chain.on_server_event = server_events.append
@@ -406,9 +418,11 @@ def all_cells() -> List[CellSpec]:
     return list(expected_matrix().keys())
 
 
-def run_matrix(seed: int = SEED, burst: bool = False) -> Dict[CellSpec, CellResult]:
+def run_matrix(
+    seed: int = SEED, burst: bool = False, suite=None
+) -> Dict[CellSpec, CellResult]:
     """Run every cell; deterministic for a fixed seed."""
-    return {spec: run_cell(spec, seed, burst=burst) for spec in all_cells()}
+    return {spec: run_cell(spec, seed, burst=burst, suite=suite) for spec in all_cells()}
 
 
 __all__ = [

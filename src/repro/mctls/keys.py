@@ -29,6 +29,7 @@ from __future__ import annotations
 import hmac as _hmac
 from dataclasses import dataclass
 
+from repro.crypto.hmaccache import hmac_sha256
 from repro.crypto.opcount import count_op
 from repro.crypto.prf import p_sha256
 from repro.tls.ciphersuites import CipherSuite, CipherError
@@ -269,10 +270,8 @@ def authenc_seal(
     suite: CipherSuite, enc_key: bytes, mac_key: bytes, plaintext: bytes
 ) -> bytes:
     """Encrypt-then-MAC a key material payload (``AuthEnc_K(...)``)."""
-    import hashlib
-
     ciphertext = suite.new_cipher(enc_key).encrypt(plaintext)
-    tag = _hmac.new(mac_key, ciphertext, hashlib.sha256).digest()
+    tag = hmac_sha256(mac_key, ciphertext)
     return ciphertext + tag
 
 
@@ -281,12 +280,10 @@ def authenc_open(
 ) -> bytes:
     """Verify and decrypt an AuthEnc payload; raises
     :class:`~repro.tls.ciphersuites.CipherError` on tampering."""
-    import hashlib
-
     if len(sealed) < 32:
         raise CipherError("sealed key material too short")
     ciphertext, tag = sealed[:-32], sealed[-32:]
-    expected = _hmac.new(mac_key, ciphertext, hashlib.sha256).digest()
+    expected = hmac_sha256(mac_key, ciphertext)
     if not _hmac.compare_digest(tag, expected):
         raise CipherError("key material authentication failed")
     return suite.new_cipher(enc_key).decrypt(ciphertext)

@@ -273,16 +273,10 @@ class McTLSMiddlebox:
             if instruments is not None:
                 KEYSTREAM_POOL.publish_to(instruments)
             return
-        view = memoryview(burst)
-        header_len = mrec.MCTLS_HEADER_LEN
-        records = [
-            (content_type, context_id, view[start + header_len : end])
-            for content_type, context_id, start, end in entries
-        ]
         run_start = run_end = -1  # pending verbatim-forward span
         index = 0
         try:
-            for opened in processor.open_burst(records):
+            for opened in processor.open_wire_burst(burst, entries):
                 content_type, context_id, start, end = entries[index]
                 index += 1
                 if opened is None:

@@ -32,7 +32,7 @@ Data-plane fast path
 
 Per (context, direction) the layer builds its protection state **once**
 — one keyed cipher plus one precomputed HMAC context per MAC slot
-(:class:`repro.crypto.hmaccache.CachedHmacSha256`) — instead of
+(the suite provider's cached HMAC contexts) — instead of
 re-keying per record; :func:`split_records` and the endpoint receive
 path consume their buffers by cursor with a single batched reclamation,
 and fragments yielded to middleboxes are ``memoryview``s over the
@@ -45,23 +45,24 @@ from __future__ import annotations
 import hmac as _hmac
 from dataclasses import dataclass
 from struct import Struct
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 try:  # vectorized burst framing; scalar fallback below needs nothing
     import numpy as _np
 except ImportError:  # pragma: no cover - numpy ships with the image
     _np = None
 
-from repro.crypto.hmaccache import CachedHmacSha256, hmac_sha256
+from repro.crypto.fastcipher import xor_bytes
+from repro.crypto.hmaccache import hmac_sha256
+from repro.crypto.opcount import current_counter
 from repro.mctls import keys as mk
 from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, Permission
 from repro.recbuf import RecordBuffer
 from repro.tls.ciphersuites import (
     CipherError,
     CipherSuite,
-    ShaCtrRecordCipher,
-    shactr_decrypt_batch,
-    shactr_encrypt_batch,
+    stream_decrypt_batch,
+    stream_encrypt_batch,
 )
 from repro.tls.record import (
     ALERT,
@@ -372,7 +373,7 @@ class McTLSRecordLayer:
         if state is None:
             direction = self._write_dir if write else self._read_dir
             keys = self.endpoint_keys.for_direction(direction)
-            state = (self.suite.new_cipher(keys.enc), CachedHmacSha256(keys.mac))
+            state = (self.suite.new_cipher(keys.enc), self.suite.mac_context(keys.mac))
             if write:
                 self._write_ep_state = state
             else:
@@ -391,9 +392,11 @@ class McTLSRecordLayer:
             reader_keys = keys.readers.for_direction(direction)
             state = cache[context_id] = (
                 self.suite.new_cipher(reader_keys.enc),
-                CachedHmacSha256(self.endpoint_keys.for_direction(direction).mac),
-                CachedHmacSha256(keys.writers.mac_for_direction(direction)),
-                CachedHmacSha256(reader_keys.mac),
+                self.suite.mac_context(
+                    self.endpoint_keys.for_direction(direction).mac
+                ),
+                self.suite.mac_context(keys.writers.mac_for_direction(direction)),
+                self.suite.mac_context(reader_keys.mac),
             )
         return state
 
@@ -457,7 +460,7 @@ class McTLSRecordLayer:
         short-ciphertext failure ordering is preserved by construction.
         """
         suite = self.suite
-        return suite is not None and suite.cipher_factory is ShaCtrRecordCipher
+        return suite is not None and suite.stream
 
     def encode_batch(self, items) -> bytes:
         """Frame a burst of ``(content_type, payload, context_id)`` triples.
@@ -468,7 +471,7 @@ class McTLSRecordLayer:
         path would (ChangeCipherSpec / unprotected records draw none, as
         before).  Adjacent records may belong to different contexts —
         nonce-order fidelity across their distinct ciphers is why the
-        batch bottoms out in :func:`shactr_encrypt_batch` rather than a
+        batch bottoms out in :func:`stream_encrypt_batch` rather than a
         per-cipher API.
         """
         if not (self._write_protected and self._batchable()):
@@ -520,7 +523,7 @@ class McTLSRecordLayer:
                 )
             metas.append((content_type, context_id, None))
             protect_items.append((cipher, plaintext))
-        fragments = iter(shactr_encrypt_batch(protect_items))
+        fragments = iter(stream_encrypt_batch(protect_items))
         parts = []
         for content_type, context_id, raw in metas:
             fragment = raw if raw is not None else next(fragments)
@@ -661,7 +664,7 @@ class McTLSRecordLayer:
                 n = i
                 break
             items.append((cipher, view[frag_start:frag_end]))
-        plaintexts = shactr_decrypt_batch(items)
+        plaintexts = stream_decrypt_batch(items)
         # Pass B: verify MACs and consume read sequence numbers strictly
         # in record order, through the same _finish_* helpers as the
         # sequential path.
@@ -766,9 +769,13 @@ class McTLSRecordLayer:
 # -- middlebox-side record processing --------------------------------------
 
 
-@dataclass(slots=True)
-class OpenedRecord:
-    """A record opened (or passed through) by a middlebox."""
+class OpenedRecord(NamedTuple):
+    """A record opened (or passed through) by a middlebox.
+
+    A ``NamedTuple`` rather than a dataclass: one of these is built per
+    record on the middlebox data plane, and the C-level tuple
+    constructor keeps that allocation off the per-record floor.
+    """
 
     content_type: int
     context_id: int
@@ -853,8 +860,10 @@ class MiddleboxRecordProcessor:
             reader_keys = keys.readers.for_direction(self.direction)
             state = (
                 self.suite.new_cipher(reader_keys.enc),
-                CachedHmacSha256(keys.writers.mac_for_direction(self.direction)),
-                CachedHmacSha256(reader_keys.mac),
+                self.suite.mac_context(
+                    keys.writers.mac_for_direction(self.direction)
+                ),
+                self.suite.mac_context(reader_keys.mac),
                 permission.can_write,
                 permission,
             )
@@ -903,7 +912,7 @@ class MiddleboxRecordProcessor:
         """
         if not self.active:
             raise McTLSRecordError("record processor not yet activated")
-        fast = self.suite.cipher_factory is ShaCtrRecordCipher
+        fast = self.suite.stream
         metas = []  # (content_type, context_id, seq, state, item_index)
         items = []  # (cipher, fragment) for the batched decrypt
         deferred = None
@@ -931,7 +940,7 @@ class MiddleboxRecordProcessor:
             append_item((state[0], fragment))
             seq += 1
         self.seq = seq
-        plaintexts = shactr_decrypt_batch(items, views=True) if fast else None
+        plaintexts = stream_decrypt_batch(items, views=True) if fast else None
         for content_type, context_id, seq, state, index in metas:
             if state is None:
                 yield None
@@ -948,6 +957,148 @@ class MiddleboxRecordProcessor:
             yield self._finish_open(content_type, context_id, seq, state, plaintext)
         if deferred is not None:
             raise deferred
+
+    def open_wire_burst(
+        self, burst: bytes, entries
+    ) -> Iterator[Optional[OpenedRecord]]:
+        """Open a framed burst straight from its wire buffer.
+
+        ``entries`` are ``(content_type, context_id, start, end)``
+        record offsets into ``burst`` from :func:`split_burst` —
+        semantically identical to slicing out the fragments and calling
+        :meth:`open_burst`.  A *uniform* burst (one record length, one
+        content type, one context — the shape every bulk-transfer burst
+        has) takes a grid path: nonces and bodies gather with two
+        strided copies, the keystream generates in one packed call, and
+        one XOR covers the whole burst, leaving per record only the MAC
+        verification that defines the data-plane floor.  Yield order,
+        MAC attribution, and failure position match :meth:`open_burst`
+        exactly.
+        """
+        n = len(entries)
+        if n == 0:
+            return
+        ct0, cid0, s0, e0 = entries[0]
+        length = e0 - s0 - MCTLS_HEADER_LEN
+        if (
+            _np is not None
+            and n >= 4
+            and length >= 16
+            and entries[-1][3] - s0 == n * (e0 - s0)
+            and self.active
+            and self.suite.stream
+        ):
+            stride = e0 - s0
+            arr = _np.frombuffer(
+                burst, dtype=_np.uint8, count=n * stride, offset=s0
+            ).reshape(n, stride)
+            # One vectorized check proves the uniform grid really is the
+            # framing: every grid-aligned header must repeat record 0's
+            # type, context and length (version was already validated by
+            # split_burst for each parsed record).
+            expected = (ct0, cid0, length >> 8, length & 0xFF)
+            if bool((arr[:, [0, 3, 4, 5]] == expected).all()):
+                state = self._open_state.get(cid0, _MISSING_STATE)
+                if state is _MISSING_STATE:
+                    state = self._build_open_state(cid0)
+                seq = self.seq
+                self.seq = seq + n
+                if state is None:
+                    for _ in range(n):
+                        yield None
+                    return
+                counter = current_counter()
+                if counter is not None:
+                    counter.add("sym_decrypt", n)
+                body_size = length - 16
+                if body_size < 3 * MAC_LEN:
+                    # Shorter than the three MACs: the generic loop
+                    # raises per record with the exact sequential error.
+                    finish = self._finish_open
+                    for i in range(n):
+                        yield finish(ct0, cid0, seq + i, state, b"")
+                    return
+                nonces = arr[:, MCTLS_HEADER_LEN : MCTLS_HEADER_LEN + 16].tobytes()
+                cipher = state[0]
+                ks_arr = cipher.stream_grid_arr(nonces, n, body_size)
+                if ks_arr is not None:
+                    # Fused decrypt: XOR the keystream view straight
+                    # against the strided wire bodies — no packed bodies
+                    # buffer, no keystream bytes, one plaintext alloc.
+                    plain = (arr[:, MCTLS_HEADER_LEN + 16 :] ^ ks_arr).tobytes()
+                else:
+                    bodies = arr[:, MCTLS_HEADER_LEN + 16 :].tobytes()
+                    ks = cipher.stream_grid(nonces, n, body_size)
+                    plain = xor_bytes(bodies, ks, n * body_size)
+                # Inlined uniform-burst twin of :meth:`_finish_open`:
+                # same MAC inputs, same error attribution (the fault
+                # matrix pins burst == sequential attribution cell by
+                # cell), with the record fields sliced straight out of
+                # the burst plaintext.
+                _, wr_mac, rd_mac, can_write, permission = state
+                digest = wr_mac.digest2 if can_write else rd_mac.digest2
+                payload_len = body_size - 3 * MAC_LEN
+                # All n MAC prefixes in one vectorized build: only the
+                # 8-byte sequence number varies record to record.
+                pre = _np.empty((n, 14), dtype=_np.uint8)
+                pre[:, :8] = (
+                    _np.arange(seq, seq + n, dtype=_np.uint64)
+                    .astype(">u8")
+                    .view(_np.uint8)
+                    .reshape(n, 8)
+                )
+                pre[:, 8:] = _np.frombuffer(
+                    _MAC_PREFIX.pack(0, ct0, MCTLS_VERSION, cid0, payload_len)[8:],
+                    dtype=_np.uint8,
+                )
+                prefixes = pre.tobytes()
+                off = 0
+                poff = 0
+                for i in range(n):
+                    end = off + body_size
+                    payload = plain[off : end - 3 * MAC_LEN]
+                    prefix = prefixes[poff : poff + 14]
+                    poff += 14
+                    endpoint_mac = plain[end - 3 * MAC_LEN : end - 2 * MAC_LEN]
+                    writer_mac = plain[end - 2 * MAC_LEN : end - MAC_LEN]
+                    reader_mac = plain[end - MAC_LEN : end]
+                    if not _compare_digest(
+                        writer_mac if can_write else reader_mac,
+                        digest(prefix, payload),
+                    ):
+                        if can_write:
+                            raise MacVerificationError(
+                                "writer MAC verification failed at middlebox "
+                                "(illegal modification)",
+                                mac=MAC_WRITERS,
+                                where="middlebox",
+                                context_id=cid0,
+                                seq=seq + i,
+                            )
+                        raise MacVerificationError(
+                            "reader MAC verification failed at middlebox "
+                            "(third-party modification)",
+                            mac=MAC_READERS,
+                            where="middlebox",
+                            context_id=cid0,
+                            seq=seq + i,
+                        )
+                    yield OpenedRecord(
+                        ct0,
+                        cid0,
+                        payload,
+                        permission,
+                        endpoint_mac,
+                        writer_mac,
+                        reader_mac,
+                        seq + i,
+                    )
+                    off = end
+                return
+        view = memoryview(burst)
+        yield from self.open_burst(
+            (ct, cid, view[s + MCTLS_HEADER_LEN : e]) for ct, cid, s, e in entries
+        )
 
     def _finish_open(
         self,
@@ -1050,8 +1201,10 @@ class MiddleboxRecordProcessor:
             reader_keys = keys.readers.for_direction(self.direction)
             state = (
                 self.suite.new_cipher(reader_keys.enc),
-                CachedHmacSha256(keys.writers.mac_for_direction(self.direction)),
-                CachedHmacSha256(reader_keys.mac),
+                self.suite.mac_context(
+                    keys.writers.mac_for_direction(self.direction)
+                ),
+                self.suite.mac_context(reader_keys.mac),
                 True,
                 permission,
             )
@@ -1066,21 +1219,26 @@ class MiddleboxRecordProcessor:
         burst per wakeup": writer and reader MACs are regenerated per
         record, endpoint MACs forwarded untouched.
         """
-        if self.suite.cipher_factory is not ShaCtrRecordCipher:
+        if not self.suite.stream:
             return [self.rebuild_record(o, p) for o, p in pairs]
         protect_items = []
         headers = []
+        pack = _MAC_PREFIX.pack
+        state_cid = -1
+        cipher = wr_mac = rd_mac = None
         for opened, new_payload in pairs:
-            cipher, wr_mac, rd_mac = self._rebuild_state(opened.context_id)
-            prefix = _MAC_PREFIX.pack(
+            if opened.context_id != state_cid:
+                state_cid = opened.context_id
+                cipher, wr_mac, rd_mac = self._rebuild_state(state_cid)
+            prefix = pack(
                 opened.seq,
                 opened.content_type,
                 MCTLS_VERSION,
                 opened.context_id,
                 len(new_payload),
             )
-            writer_mac = wr_mac.digest(prefix, new_payload)
-            reader_mac = rd_mac.digest(prefix, new_payload)
+            writer_mac = wr_mac.digest2(prefix, new_payload)
+            reader_mac = rd_mac.digest2(prefix, new_payload)
             protect_items.append(
                 (
                     cipher,
@@ -1090,7 +1248,7 @@ class MiddleboxRecordProcessor:
                 )
             )
             headers.append((opened.content_type, opened.context_id))
-        fragments = shactr_encrypt_batch(protect_items)
+        fragments = stream_encrypt_batch(protect_items)
         return [
             _WIRE_HEADER.pack(content_type, MCTLS_VERSION, context_id, len(fragment))
             + fragment

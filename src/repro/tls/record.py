@@ -12,7 +12,7 @@ and appended to the plaintext before encryption.
 The data plane is on the fast path of every experiment: the receive
 side parses straight out of a cursor buffer (:class:`repro.recbuf.RecordBuffer`)
 with one fragment copy per record, the MAC key schedule is precomputed
-per direction (:class:`repro.crypto.hmaccache.CachedHmacSha256`), and
+per direction (the suite provider's cached HMAC context), and
 headers/MAC prefixes are packed with :class:`struct.Struct`.  Wire bytes
 are pinned by the golden-vector tests.
 """
@@ -23,13 +23,12 @@ import hmac as _hmac
 from struct import Struct
 from typing import Iterator, Optional, Tuple
 
-from repro.crypto.hmaccache import CachedHmacSha256
 from repro.recbuf import RecordBuffer
 from repro.tls.ciphersuites import (
     BulkCipher,
     CipherError,
     CipherSuite,
-    ShaCtrRecordCipher,
+    StreamRecordCipher,
 )
 
 # Record content types (RFC 5246).
@@ -64,7 +63,7 @@ class DirectionState:
         self.mac_key: bytes = b""
         self.suite: Optional[CipherSuite] = None
         self.seq: int = 0
-        self._mac_ctx: Optional[CachedHmacSha256] = None
+        self._mac_ctx = None
 
     @property
     def protected(self) -> bool:
@@ -75,7 +74,7 @@ class DirectionState:
         self.cipher = cipher
         self.mac_key = mac_key
         self.seq = 0
-        self._mac_ctx = CachedHmacSha256(mac_key)
+        self._mac_ctx = suite.mac_context(mac_key)
 
     def next_seq(self) -> int:
         seq = self.seq
@@ -211,14 +210,14 @@ class RecordLayer:
         Sequentially equivalent to :meth:`read_all`: records come out in
         order, and any error raises at the same record position *after*
         the records before it were yielded.  When the read direction runs
-        the SHA-CTR suite, the whole burst is decrypted in one fused XOR
+        a stream suite, the whole burst is decrypted in one fused XOR
         pass; other states (unprotected, AES-CBC) take the sequential
         path record by record, and the eligibility check re-runs between
         records so protection activated mid-burst (the consumer handles a
         ChangeCipherSpec between yields) upgrades the rest of the burst.
         """
         while True:
-            if type(self.read_state.cipher) is ShaCtrRecordCipher:
+            if isinstance(self.read_state.cipher, StreamRecordCipher):
                 plan = self._plan_burst()
                 if plan is not None:
                     yield from self._read_planned_burst(plan)

@@ -74,6 +74,18 @@ FROZEN_BATCHED = json.loads(BATCHED_VECTORS_PATH.read_text())
 
 SUITE_NAMES = sorted(SUITES)
 
+# The live (non-golden) differentials also run under the OpenSSL
+# provider suites when available — byte-identity of batched vs
+# sequential must hold for every provider, not just the pure one.
+from repro.crypto.provider import OPENSSL  # noqa: E402
+
+ALL_SUITES = dict(SUITES)
+if OPENSSL.available:
+    from tests.golden.gen_provider_vectors import PROVIDER_SUITES
+
+    ALL_SUITES.update(PROVIDER_SUITES)
+ALL_SUITE_NAMES = sorted(ALL_SUITES)
+
 
 def _rng(name: str) -> random.Random:
     return random.Random(f"{SEED}:{name}")
@@ -157,7 +169,7 @@ def test_frozen_batched_bursts_equal_joined_sequential_wires(suite_name):
 def test_frozen_batched_bursts_decode(suite_name):
     """The frozen bursts decode on fresh receive-side layers via the
     batched readers."""
-    suite = SUITES[suite_name]
+    suite = ALL_SUITES[suite_name]
     group = FROZEN_BATCHED["suites"][suite_name]
 
     reader = _tls_reader(suite)
@@ -177,7 +189,7 @@ def test_frozen_batched_bursts_decode(suite_name):
 def test_frozen_rebuilt_burst_decodes_with_modification_verdicts(suite_name):
     """The WRITE middlebox's ``rebuild_burst`` output verifies at the
     endpoint, with §3.4 legal-modification verdicts per record."""
-    suite = SUITES[suite_name]
+    suite = ALL_SUITES[suite_name]
     group = FROZEN_BATCHED["suites"][suite_name]["middlebox_rebuild_burst"]
     server = _mctls_layer(suite, is_client=False)
     server.feed(bytes.fromhex(group["rebuilt_burst"]))
@@ -191,9 +203,9 @@ def test_frozen_rebuilt_burst_decodes_with_modification_verdicts(suite_name):
 # -- seeded wire differentials ------------------------------------------------
 
 
-@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+@pytest.mark.parametrize("suite_name", ALL_SUITE_NAMES)
 def test_tls_encode_batch_matches_sequential(suite_name):
-    suite = SUITES[suite_name]
+    suite = ALL_SUITES[suite_name]
     items = [(APPLICATION_DATA, p) for p in _random_payloads(_rng("tls-enc"))]
     with _patched_nonces():
         batched = _tls_writer(suite).encode_batch(items)
@@ -203,9 +215,9 @@ def test_tls_encode_batch_matches_sequential(suite_name):
     assert batched == sequential
 
 
-@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+@pytest.mark.parametrize("suite_name", ALL_SUITE_NAMES)
 def test_tls_read_burst_matches_read_all(suite_name):
-    suite = SUITES[suite_name]
+    suite = ALL_SUITES[suite_name]
     items = [(APPLICATION_DATA, p) for p in _random_payloads(_rng("tls-dec"))]
     with _patched_nonces():
         wire = _tls_writer(suite).encode_batch(items)
@@ -215,12 +227,12 @@ def test_tls_read_burst_matches_read_all(suite_name):
     assert list(burst_reader.read_burst()) == list(seq_reader.read_all())
 
 
-@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+@pytest.mark.parametrize("suite_name", ALL_SUITE_NAMES)
 def test_mctls_encode_batch_matches_sequential(suite_name):
     """Multi-context burst with a mid-burst control record: identical
     bytes, because seqs, MAC slots, and nonces advance in record order
     on both paths."""
-    suite = SUITES[suite_name]
+    suite = ALL_SUITES[suite_name]
     items = _mixed_mctls_items(_rng("mctls-enc"))
     with _patched_nonces():
         batched = _mctls_two_context_layer(suite, True).encode_batch(items)
@@ -230,9 +242,9 @@ def test_mctls_encode_batch_matches_sequential(suite_name):
     assert batched == sequential
 
 
-@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+@pytest.mark.parametrize("suite_name", ALL_SUITE_NAMES)
 def test_mctls_read_burst_matches_read_all(suite_name):
-    suite = SUITES[suite_name]
+    suite = ALL_SUITES[suite_name]
     items = _mixed_mctls_items(_rng("mctls-dec"))
     with _patched_nonces():
         wire = _mctls_two_context_layer(suite, True).encode_batch(items)
@@ -259,7 +271,7 @@ def _processor(suite, permission: Permission) -> MiddleboxRecordProcessor:
     return proc
 
 
-@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+@pytest.mark.parametrize("suite_name", ALL_SUITE_NAMES)
 @pytest.mark.parametrize(
     "permission", [Permission.NONE, Permission.READ, Permission.WRITE],
     ids=lambda p: p.name.lower(),
@@ -268,7 +280,7 @@ def test_middlebox_burst_matches_sequential(suite_name, permission):
     """Forwarded bytes, opened payloads, and the post-burst sequence
     number are identical whether a flight is processed record by record
     or as one burst (the ``_relay_app_burst`` shape)."""
-    suite = SUITES[suite_name]
+    suite = ALL_SUITES[suite_name]
     rng = _rng(f"mbox-{permission.name}")
     payloads = [p for p in _random_payloads(rng) ]
     with _patched_nonces():

@@ -75,6 +75,37 @@ def test_matrix_is_deterministic(matrix_results):
     assert fm.run_matrix(fm.SEED) == matrix_results
 
 
+@pytest.fixture(scope="module")
+def matrix_results_openssl():
+    from repro.crypto.provider import OPENSSL
+    from repro.tls.ciphersuites import SUITE_DHE_RSA_AES128CTR_SHA256
+
+    if not OPENSSL.available:
+        pytest.skip("cryptography package not importable")
+    return fm.run_matrix(fm.SEED, suite=SUITE_DHE_RSA_AES128CTR_SHA256)
+
+
+@pytest.mark.parametrize("spec", CELLS, ids=_cell_id)
+def test_table1_cell_under_openssl_provider(
+    spec, matrix_results, matrix_results_openssl
+):
+    """Table 1 attribution is provider-independent: the full matrix
+    re-run under the OpenSSL AES-CTR suite yields the same outcome, MAC
+    slot, and detecting party cell for cell — detection rides on the
+    three HMAC-SHA256 record MACs, never on the bulk cipher backend."""
+    expected = EXPECTED[spec]
+    result = matrix_results_openssl[spec]
+    assert expected.matches(result), (
+        f"{_cell_id(spec)} (openssl): expected {expected}, got {result}"
+    )
+    sequential = matrix_results[spec]
+    assert (result.outcome, result.mac, result.detected_by) == (
+        sequential.outcome,
+        sequential.mac,
+        sequential.detected_by,
+    ), f"{_cell_id(spec)}: openssl attribution diverged from pure provider"
+
+
 def test_matrix_covers_every_mutation_class():
     """The cell list spans all mutators and all detecting parties."""
     mutations = {spec.mutation for spec in CELLS}
