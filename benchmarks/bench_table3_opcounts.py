@@ -5,7 +5,9 @@ next to the paper's closed-form expressions evaluated at the same (N, K).
 Counting granularity differs (see EXPERIMENTS.md) — the structural
 relationships are the target: client/server cost growing with N and K in
 default mode, the CKD mode collapsing server cost, SplitTLS's middlebox
-paying for two full handshakes.
+paying for two full handshakes.  The mdTLS delegation row is measured
+too but has no paper column (the paper predates the variant); its
+head-to-head economics live in ``bench_mdtls_delegation.py``.
 """
 
 import sys

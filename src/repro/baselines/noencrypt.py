@@ -3,7 +3,7 @@
 The cleartext baseline.  :class:`PlainConnection` implements the
 :class:`repro.core.Connection` protocol over nothing at all (the
 "handshake" completes instantly, bytes pass through untouched), so
-harness code treats all five protocol modes uniformly;
+harness code treats all six protocol modes uniformly;
 :class:`PlainRelay` forwards bytes and can observe or transform them —
 a cleartext middlebox sees everything.
 """

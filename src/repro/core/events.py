@@ -3,9 +3,9 @@
 A sans-I/O connection communicates upward exclusively through these
 events (or subclasses of them — mcTLS extends :class:`HandshakeComplete`
 and :class:`ApplicationData` with its session-specific fields).  Drivers
-therefore dispatch on *these* classes and work unchanged across all five
-stacks: ``isinstance(event, ApplicationData)`` matches plain TLS, mcTLS
-and the plaintext baseline alike.
+therefore dispatch on *these* classes and work unchanged across all six
+stacks: ``isinstance(event, ApplicationData)`` matches plain TLS, mcTLS,
+mdTLS and the plaintext baseline alike.
 """
 
 from __future__ import annotations

@@ -34,6 +34,7 @@ from repro.mctls import (
 )
 from repro.mctls.contexts import ContextDefinition
 from repro.mctls.session import HandshakeMode, KeyTransport
+from repro.mdtls import MdTLSClient, MdTLSMiddlebox, MdTLSServer
 from repro.netsim import Simulator
 from repro.netsim.link import Link, duplex
 from repro.netsim.profiles import LinkProfile
@@ -49,10 +50,12 @@ from repro.tls.sessioncache import ClientSessionStore, SessionCache
 
 
 class Mode(str, Enum):
-    """The four protocol modes of §5, plus the §3.6 mcTLS variant."""
+    """The four protocol modes of §5, the §3.6 mcTLS variant and the
+    mdTLS delegation variant."""
 
     MCTLS = "mcTLS"
     MCTLS_CKD = "mcTLS-ckd"
+    MDTLS = "mdTLS"
     SPLIT_TLS = "SplitTLS"
     E2E_TLS = "E2E-TLS"
     NO_ENCRYPT = "NoEncrypt"
@@ -95,6 +98,11 @@ class TestBed:
         self.server_identity = Identity.issued_by(
             self.ca, self.server_name, key_bits=self.key_bits
         )
+        # mdTLS clients sign warrants, so (unlike every other mode) the
+        # client is certified too.
+        self.client_identity = Identity.issued_by(
+            self.ca, "client.example", key_bits=self.key_bits
+        )
         # Forged identity cache for SplitTLS (real proxies cache these).
         key = generate_rsa_key(self.key_bits)
         cert = self.corp_ca.issue(self.server_name, key.public_key)
@@ -132,13 +140,16 @@ class TestBed:
             return (SUITE_DHE_RSA_SHACTR_SHA256,)
         return (SUITE_DHE_RSA_AES128_CBC_SHA256,)
 
-    def client_tls_config(self, trust_corp: bool = False) -> TLSConfig:
+    def client_tls_config(
+        self, trust_corp: bool = False, with_identity: bool = False
+    ) -> TLSConfig:
         # Installing an interception root ADDS it to the trust store;
         # the genuine web roots stay trusted.
         roots = [self.ca.certificate]
         if trust_corp:
             roots.insert(0, self.corp_ca.certificate)
         return TLSConfig(
+            identity=self.client_identity if with_identity else None,
             trusted_roots=roots,
             server_name=self.server_name,
             dh_group=self.dh_group,
@@ -213,6 +224,19 @@ class TestBed:
                 session_cache=self.session_cache,
             )
             return client, server
+        if mode is Mode.MDTLS:
+            if topology is None:
+                topology = self.topology(0)
+            client = MdTLSClient(
+                self.client_tls_config(with_identity=True),
+                topology=topology,
+                session_store=self.client_sessions,
+            )
+            server = MdTLSServer(
+                self.server_tls_config(),
+                session_cache=self.session_cache,
+            )
+            return client, server
         if mode is Mode.SPLIT_TLS:
             # The client's TLS session terminates at the proxy, which does
             # not keep a cache — SplitTLS always performs full handshakes.
@@ -236,6 +260,11 @@ class TestBed:
         if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
             return [
                 McTLSMiddlebox(identity.name, self.mbox_tls_config(identity))
+                for identity in self.middlebox_identities(count)
+            ]
+        if mode is Mode.MDTLS:
+            return [
+                MdTLSMiddlebox(identity.name, self.mbox_tls_config(identity))
                 for identity in self.middlebox_identities(count)
             ]
         if mode is Mode.SPLIT_TLS:

@@ -4,8 +4,11 @@ Every primitive in :mod:`repro.crypto` reports to a thread-local
 :class:`~repro.crypto.opcount.OpCounter`; wrapping each node's calls in
 its own counter attributes operations to the party that performed them.
 The experiment runs real handshakes for mcTLS (default mode), mcTLS
-(client key distribution) and SplitTLS, and reports measured counts next
-to the paper's closed-form expressions (N = middleboxes, K = contexts).
+(client key distribution), mdTLS (delegated credentials) and SplitTLS,
+and reports measured counts next to the paper's closed-form expressions
+(N = middleboxes, K = contexts).  mdTLS has no Table 3 row in the paper,
+so its ``paper`` dict stays empty — the delegation benchmark compares it
+against the measured mcTLS modes instead.
 
 Exact equality with the paper's numbers is not expected — they count at
 OpenSSL API granularity, we count at primitive granularity — but the
@@ -140,7 +143,7 @@ def measure_opcounts(
 ) -> OpCountResult:
     topology = (
         bed.topology(n_middleboxes, n_contexts=n_contexts)
-        if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+        if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS)
         else None
     )
     client, server = bed.make_endpoints(mode, topology=topology)
@@ -187,5 +190,5 @@ def measure_opcounts(
 def table3(bed: TestBed, n_contexts: int = 4, n_middleboxes: int = 1) -> List[OpCountResult]:
     return [
         measure_opcounts(bed, mode, n_contexts, n_middleboxes)
-        for mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.SPLIT_TLS)
+        for mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS, Mode.SPLIT_TLS)
     ]

@@ -9,8 +9,8 @@ loopback sockets, in either runtime:
 * **threaded** — ``repro.sockets`` servers (:func:`start_threaded_chain`),
   driven by the thread-per-connection twin (:func:`run_threaded_load`).
 
-Both run every protocol mode of §5 (mcTLS / mcTLS-CKD / SplitTLS /
-E2E-TLS / NoEncrypt) with any number of middlebox hops, so the Fig. 5
+Both run every protocol mode of §5 (mcTLS / mcTLS-CKD / mdTLS /
+SplitTLS / E2E-TLS / NoEncrypt) with any number of middlebox hops, so the Fig. 5
 capacity question — handshakes/sec and concurrent sessions sustained —
 can be asked of a real socket path instead of an in-memory pump.
 """
@@ -34,6 +34,7 @@ from repro.core import Connection, Instruments, RelayProcessor
 from repro.experiments.harness import Mode, TestBed
 from repro.mctls import McTLSClient, McTLSMiddlebox, McTLSServer, SessionTopology
 from repro.mctls.session import HandshakeMode
+from repro.mdtls import MdTLSClient, MdTLSMiddlebox, MdTLSServer
 from repro.mp import ClusterEndpointServer
 from repro.sockets import EndpointServer, RelayServer
 from repro.tls.client import TLSClient
@@ -71,6 +72,16 @@ def server_connection_factory(
             return McTLSServer(
                 bed.server_tls_config(),
                 mode=hs_mode,
+                session_cache=session_cache,
+                ticket_manager=ticket_manager,
+            )
+
+        return make
+    if mode is Mode.MDTLS:
+
+        def make(session_cache=None):
+            return MdTLSServer(
+                bed.server_tls_config(),
                 session_cache=session_cache,
                 ticket_manager=ticket_manager,
             )
@@ -122,6 +133,13 @@ def client_connection_factory(
                 session_store=store,
                 ticket_store=tstore,
             )
+        if mode is Mode.MDTLS:
+            return MdTLSClient(
+                bed.client_tls_config(with_identity=True),
+                topology=topology,
+                session_store=store,
+                ticket_store=tstore,
+            )
         if mode is Mode.SPLIT_TLS:
             # The client's session ends at the interception proxy, which
             # keeps no cache — SplitTLS always handshakes in full.
@@ -143,6 +161,9 @@ def relay_factory(
     if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
         identity = bed.middlebox_identities(count)[index]
         return lambda: McTLSMiddlebox(identity.name, bed.mbox_tls_config(identity))
+    if mode is Mode.MDTLS:
+        identity = bed.middlebox_identities(count)[index]
+        return lambda: MdTLSMiddlebox(identity.name, bed.mbox_tls_config(identity))
     if mode is Mode.SPLIT_TLS:
         trust_corp = index < count - 1
         config = bed.client_tls_config(trust_corp=trust_corp)
@@ -340,13 +361,13 @@ def start_sharded_chain(
 
 
 def _topology(bed: TestBed, mode: Mode, n_middleboxes: int, n_contexts: int):
-    if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
+    if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS):
         return bed.topology(n_middleboxes, n_contexts=n_contexts)
     return None
 
 
 def _payload_context(mode: Mode) -> Optional[int]:
-    return 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else None
+    return 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS) else None
 
 
 async def run_async_load(

@@ -102,7 +102,7 @@ def measure_handshake_throughput(
         warmup = repetition == 0
         topology = (
             bed.topology(n_middleboxes, n_contexts=n_contexts)
-            if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS)
             else None
         )
         client, server = bed.make_endpoints(mode, topology=topology)
@@ -174,7 +174,7 @@ def figure5(
 
 PUBKEY_CATEGORIES = ("secret_comp", "asym_sign", "asym_verify")
 
-RESUMABLE_MODES = (Mode.MCTLS, Mode.MCTLS_CKD, Mode.E2E_TLS)
+RESUMABLE_MODES = (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS, Mode.E2E_TLS)
 
 
 @dataclass
@@ -238,7 +238,7 @@ def measure_full_vs_resumed(
     try:
         topology = (
             bed.topology(n_middleboxes, n_contexts=n_contexts)
-            if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS)
             else None
         )
         client, server, full_ops, full_cpu, full_bytes = _run_profiled_handshake(

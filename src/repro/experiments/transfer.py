@@ -51,8 +51,12 @@ def measure_transfer(
     n_middleboxes = profile.hops - 1
     topology = (
         bed.topology(n_middleboxes, n_contexts=1)
-        if mode in (Mode.MCTLS, Mode.MCTLS_CKD) and n_middleboxes > 0
-        else (bed.topology(0, n_contexts=1) if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else None)
+        if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS) and n_middleboxes > 0
+        else (
+            bed.topology(0, n_contexts=1)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS)
+            else None
+        )
     )
     is_mctls = topology is not None
 

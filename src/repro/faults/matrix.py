@@ -57,9 +57,12 @@ from repro.mctls import (
     Permission,
     SessionTopology,
 )
+from repro.faults.mutations import HandshakeMutator as _HandshakeMutatorBase
 from repro.mctls import keys as mk
 from repro.mctls import record as mrec
 from repro.mctls.session import McTLSApplicationData
+from repro.mdtls import MdTLSClient, MdTLSMiddlebox, MdTLSServer
+from repro.mdtls import warrants as mdw
 from repro.tls import messages as tls_msgs
 from repro.tls.ciphersuites import SUITE_DHE_RSA_SHACTR_SHA256
 from repro.tls.connection import TLSConfig, TLSError
@@ -86,8 +89,9 @@ class Outcome(Enum):
 class CellSpec:
     """One cell: who attacks, who should notice, with which mutation."""
 
-    attacker: str  # "third-party" | "reader" | "writer" | "handshake"
+    attacker: str  # "third-party" | "reader" | "writer" | "handshake" | "warrant"
     detector: str  # "endpoint" | "reader-mbox" | "writer-mbox" | "handshake"
+    #                 (warrant rows: "client" | "server" | "middlebox")
     mutation: str  # mutator name, or "forge" / "transform"
 
 
@@ -95,9 +99,11 @@ class CellSpec:
 class CellResult:
     outcome: Outcome
     mac: Optional[str] = None  # which MAC detected it, if any
-    detected_by: Optional[str] = None  # "endpoint" | "middlebox"
+    detected_by: Optional[str] = None  # "endpoint" | "middlebox" (warrant
+    #                                    rows: "client" | "server" | "middlebox")
     delivered: Tuple[bytes, ...] = ()
     legally_modified: bool = False
+    reason: Optional[str] = None  # warrant rows: "forged"/"expired"/"widened"
 
 
 @dataclass(frozen=True)
@@ -107,6 +113,7 @@ class Expected:
     outcome: Outcome
     mac: Optional[str] = None
     detected_by: Optional[str] = None
+    reason: Optional[str] = None
 
     def matches(self, result: CellResult) -> bool:
         if result.outcome is not self.outcome:
@@ -114,6 +121,8 @@ class Expected:
         if self.mac is not None and result.mac != self.mac:
             return False
         if self.detected_by is not None and result.detected_by != self.detected_by:
+            return False
+        if self.reason is not None and result.reason != self.reason:
             return False
         return True
 
@@ -170,6 +179,166 @@ def _writer_transform(direction: str, context_id: int, payload: bytes):
     if direction == mk.C2S and context_id == 1:
         return payload + b" [rewritten by writer]"
     return None
+
+
+# -- warrant attackers (mdTLS delegation rows) --------------------------------
+
+_DAY_MS = 86_400_000
+
+
+class _RogueKeyClient(MdTLSClient):
+    """Signs its warrants with a key that does not match its chain."""
+
+    def __init__(self, *args, rogue_key=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._rogue_key = rogue_key
+
+    def _make_warrants(self, now_ms):
+        return [w.sign(self._rogue_key) for w in super()._make_warrants(now_ms)]
+
+
+class _ExpiredWarrantClient(MdTLSClient):
+    """Issues warrants whose validity window closed a day ago (the
+    verification clock stays honest — only issuance is skewed)."""
+
+    def _make_warrants(self, now_ms):
+        return super()._make_warrants(now_ms - _DAY_MS)
+
+
+class _ExpiredWarrantServer(MdTLSServer):
+    def _make_warrants(self, now_ms):
+        return super()._make_warrants(now_ms - _DAY_MS)
+
+
+class _WideningClient(MdTLSClient):
+    """Re-grants WRITE everywhere, beyond the READ ceiling it proposed."""
+
+    def _make_warrants(self, now_ms):
+        warrants = super()._make_warrants(now_ms)
+        for warrant in warrants:
+            for ctx_id in self.topology.context_ids:
+                warrant.grants[ctx_id] = Permission.WRITE
+            warrant.sign(self.config.identity.key)
+        return warrants
+
+
+class _ColludingMiddlebox(MdTLSMiddlebox):
+    """Stores its warrants without verifying them — the rows built on it
+    prove detection does not depend on honest middleboxes."""
+
+    def _on_warrant_issue(self, issue, issuer_role):
+        own = next((w for w in issue.warrants if w.mbox_id == self.mbox_id), None)
+        if own is not None:
+            if issuer_role == mdw.ISSUER_CLIENT:
+                self._client_warrant = own
+            else:
+                self._server_warrant = own
+        self._maybe_install_keys()
+
+
+class _FlipWarrantSignature(_HandshakeMutatorBase):
+    """On-path bit-flip in the last byte of a passing ``WarrantIssue`` —
+    the tail of the last warrant's signature, so the flight still decodes
+    but the signature no longer verifies."""
+
+    name = "warrant-flip"
+    mutation_class = "warrant-tampering"
+
+    def __init__(self):
+        self._done = False
+
+    def mutate_message(self, msg_type, body, rng):
+        if self._done or msg_type != tls_msgs.WARRANT_ISSUE or not body:
+            return None
+        self._done = True
+        mutated = bytearray(body)
+        mutated[-1] ^= 0x01
+        return [(msg_type, bytes(mutated))]
+
+
+def _delegation_fixture():
+    """The shared fixture plus client and rogue identities (mdTLS clients
+    sign warrants, so the client is certified too)."""
+    ca, server_identity, mbox_identities = _fixture()
+    if "client" not in _FIXTURE:
+        _FIXTURE["client"] = Identity.issued_by(ca, "client.example", key_bits=KEY_BITS)
+        _FIXTURE["rogue"] = Identity.issued_by(ca, "rogue.example", key_bits=KEY_BITS)
+    return ca, server_identity, mbox_identities, _FIXTURE["client"], _FIXTURE["rogue"]
+
+
+def _build_delegation_session(spec: CellSpec, seed: int, suite=None):
+    """Fresh mdTLS client / relays / server for one warrant cell.
+
+    One READ middlebox on both contexts — READ is the ceiling the
+    widening rows must not be able to exceed."""
+    ca, server_identity, mbox_identities, client_identity, rogue = (
+        _delegation_fixture()
+    )
+    mbox_identity = mbox_identities[0]
+    topology = SessionTopology(
+        middleboxes=[MiddleboxInfo(1, mbox_identity.name)],
+        contexts=tuple(
+            ContextDefinition(ctx_id, f"context-{ctx_id}", {1: Permission.READ})
+            for ctx_id in (1, 2)
+        ),
+    )
+
+    client_cls, client_kwargs = MdTLSClient, {}
+    server_cls = MdTLSServer
+    mbox_cls = MdTLSMiddlebox
+    proxy_near_server = proxy_near_client = None
+
+    key = (spec.detector, spec.mutation)
+    if key == ("middlebox", "forged-signature"):
+        client_cls, client_kwargs = _RogueKeyClient, {"rogue_key": rogue.key}
+    elif key == ("middlebox", "expired-window"):
+        client_cls = _ExpiredWarrantClient
+    elif key == ("middlebox", "widened-scope"):
+        client_cls = _WideningClient
+    elif key == ("server", "forged-onpath"):
+        proxy_near_server = TamperProxy(
+            TamperPlan(
+                seed=seed, handshake_mutator=_FlipWarrantSignature(), direction=mk.C2S
+            )
+        )
+    elif key == ("server", "widened-scope"):
+        client_cls, mbox_cls = _WideningClient, _ColludingMiddlebox
+    elif key == ("client", "forged-onpath"):
+        proxy_near_client = TamperProxy(
+            TamperPlan(
+                seed=seed, handshake_mutator=_FlipWarrantSignature(), direction=mk.S2C
+            )
+        )
+    elif key == ("client", "expired-window"):
+        server_cls, mbox_cls = _ExpiredWarrantServer, _ColludingMiddlebox
+    else:
+        raise KeyError(f"unknown warrant cell {spec}")
+
+    client = client_cls(
+        _config(
+            suite=suite,
+            identity=client_identity,
+            trusted_roots=[ca.certificate],
+            server_name=server_identity.name,
+        ),
+        topology=topology,
+        **client_kwargs,
+    )
+    server = server_cls(
+        _config(suite=suite, identity=server_identity, trusted_roots=[ca.certificate])
+    )
+    relays: List[object] = []
+    if proxy_near_client is not None:
+        relays.append(proxy_near_client)
+    relays.append(
+        mbox_cls(
+            mbox_identity.name,
+            _config(suite=suite, identity=mbox_identity, trusted_roots=[ca.certificate]),
+        )
+    )
+    if proxy_near_server is not None:
+        relays.append(proxy_near_server)
+    return client, relays, server, Chain(client, relays, server)
 
 
 # -- per-cell topology --------------------------------------------------------
@@ -290,6 +459,8 @@ def run_cell(
     which path carried the record; ``tests/test_fault_matrix.py``
     asserts both axes produce identical attribution.
     """
+    if spec.attacker == "warrant":
+        return _run_warrant_cell(spec, seed, suite=suite)
     client, relays, server, chain = _build_session(
         spec, seed, record_index=1 if burst else 0, suite=suite
     )
@@ -333,6 +504,25 @@ def run_cell(
     )
 
 
+def _run_warrant_cell(spec: CellSpec, seed: int, suite=None) -> CellResult:
+    """Run one mdTLS warrant cell: the handshake must fail, and the
+    ``WarrantError`` in the cause chain attributes who detected what."""
+    client, relays, server, chain = _build_delegation_session(spec, seed, suite=suite)
+    client.start_handshake()
+    try:
+        chain.pump()
+    except TLSError as exc:
+        info = failure_info(exc)
+        return CellResult(
+            Outcome.HANDSHAKE_FAILED,
+            detected_by=getattr(info, "where", None),
+            reason=getattr(info, "reason", None),
+        )
+    if client.handshake_complete and server.handshake_complete:
+        return CellResult(Outcome.ACCEPTED)
+    return CellResult(Outcome.HANDSHAKE_FAILED)
+
+
 # -- the full matrix -----------------------------------------------------------
 
 _RECORD_MUTATIONS = (
@@ -354,6 +544,17 @@ _HS_MUTATIONS = (
     "hs-drop-client-key-exchange",
     "hs-flip-server-key-exchange",
     "hs-escalate-permission",
+)
+
+# (detector, mutation, reason) per mdTLS warrant row.
+_WARRANT_ROWS = (
+    ("middlebox", "forged-signature", "forged"),
+    ("middlebox", "expired-window", "expired"),
+    ("middlebox", "widened-scope", "widened"),
+    ("server", "forged-onpath", "forged"),
+    ("server", "widened-scope", "widened"),
+    ("client", "forged-onpath", "forged"),
+    ("client", "expired-window", "expired"),
 )
 
 
@@ -410,6 +611,15 @@ def expected_matrix() -> Dict[CellSpec, Expected]:
     for mutation in _HS_MUTATIONS:
         expected[CellSpec("handshake", "handshake", mutation)] = Expected(
             Outcome.HANDSHAKE_FAILED
+        )
+    # mdTLS delegation rows: a forged, expired or scope-widened warrant
+    # fails the handshake, attributed to the right party and reason.
+    # The "server"/"client" rows route the defect past the middlebox (an
+    # on-path flip after it, or a colluding middlebox that skips its own
+    # checks), proving endpoint detection is independent of relay honesty.
+    for detector, mutation, reason in _WARRANT_ROWS:
+        expected[CellSpec("warrant", detector, mutation)] = Expected(
+            Outcome.HANDSHAKE_FAILED, detected_by=detector, reason=reason
         )
     return expected
 

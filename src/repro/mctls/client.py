@@ -394,14 +394,7 @@ class McTLSClient(ms.McTLSConnectionBase):
         )
         self.records.set_endpoint_keys(self._endpoint_keys)
 
-        # Pairwise keys with each middlebox (single client DH key pair).
-        # RSA transport needs none: material is sealed to the middlebox's
-        # certificate key instead.
-        if self.key_transport is ms.KeyTransport.DHE:
-            for state in self._mboxes.values():
-                peer_public = self._group.public_from_bytes(state.ke_to_client.dh_public)
-                ps = self._dh.combine(peer_public)
-                state.pairwise = mk.derive_pairwise(ps, self._client_random, state.random)
+        self._derive_middlebox_pairwise()
 
         self._generate_key_material()
         self._send_key_material()
@@ -411,16 +404,41 @@ class McTLSClient(ms.McTLSConnectionBase):
         verify = ks.finished_verify_data(
             self._endpoint_secret,
             ks.LABEL_CLIENT_FINISHED,
-            self.transcript.hash_over(
-                ms.canonical_order_t1(self.topology, self.mode, self.key_transport)
-            ),
+            self.transcript.hash_over(self._order_t1()),
         )
         raw = self._send_handshake(tls_msgs.Finished(verify_data=verify))
         self.transcript.add(ms.TAG_CLIENT_FINISHED, raw)
 
-        if self.mode is ms.HandshakeMode.CLIENT_KEY_DIST:
+        if self.mode is not ms.HandshakeMode.DEFAULT:
             self._install_ckd_context_keys()
         self._state = _State.WAIT_SERVER_FLIGHT
+
+    def _derive_middlebox_pairwise(self) -> None:
+        """Pairwise keys with each middlebox (single client DH key pair).
+
+        RSA transport needs none: material is sealed to the middlebox's
+        certificate key instead.  The delegation stack overrides this to
+        a no-op — the client distributes no key material there.
+        """
+        if self.key_transport is ms.KeyTransport.DHE:
+            for state in self._mboxes.values():
+                peer_public = self._group.public_from_bytes(state.ke_to_client.dh_public)
+                ps = self._dh.combine(peer_public)
+                state.pairwise = mk.derive_pairwise(ps, self._client_random, state.random)
+
+    # -- canonical transcript orders (delegation stack overrides) -----------
+
+    def _order_t1(self) -> List[str]:
+        return ms.canonical_order_t1(self.topology, self.mode, self.key_transport)
+
+    def _order_t2(self) -> List[str]:
+        return ms.canonical_order_t2(self.topology, self.mode, self.key_transport)
+
+    def _resumed_order_server(self) -> List[str]:
+        return ms.resumed_order_server_finished()
+
+    def _resumed_order_client(self) -> List[str]:
+        return ms.resumed_order_client_finished(self.topology)
 
     def _check_middlebox_flights_complete(self) -> None:
         for state in self._mboxes.values():
@@ -539,8 +557,8 @@ class McTLSClient(ms.McTLSConnectionBase):
             raise TLSError("client received its own key material back")
         if self.resumed:
             raise TLSError("server sent key material in a resumed handshake")
-        if self.mode is ms.HandshakeMode.CLIENT_KEY_DIST:
-            raise TLSError("server sent key material in client-key-distribution mode")
+        if self.mode is not ms.HandshakeMode.DEFAULT:
+            raise TLSError("server sent key material outside default mode")
         self.transcript.add(ms.tag_server_mkm(mkm.target), raw)
         if mkm.target != ENDPOINT_TARGET:
             return  # middlebox-addressed; transcript only
@@ -567,9 +585,7 @@ class McTLSClient(ms.McTLSConnectionBase):
         expected = ks.finished_verify_data(
             self._endpoint_secret,
             ks.LABEL_SERVER_FINISHED,
-            self.transcript.hash_over(
-                ms.canonical_order_t2(self.topology, self.mode, self.key_transport)
-            ),
+            self.transcript.hash_over(self._order_t2()),
         )
         if finished.verify_data != expected:
             raise TLSError("server Finished verification failed", ALERT_DECRYPT_ERROR)
@@ -594,7 +610,7 @@ class McTLSClient(ms.McTLSConnectionBase):
         expected = ks.finished_verify_data(
             self._endpoint_secret,
             ks.LABEL_SERVER_FINISHED,
-            self.transcript.hash_over(ms.resumed_order_server_finished()),
+            self.transcript.hash_over(self._resumed_order_server()),
         )
         if finished.verify_data != expected:
             raise TLSError("server Finished verification failed", ALERT_DECRYPT_ERROR)
@@ -607,9 +623,7 @@ class McTLSClient(ms.McTLSConnectionBase):
         verify = ks.finished_verify_data(
             self._endpoint_secret,
             ks.LABEL_CLIENT_FINISHED,
-            self.transcript.hash_over(
-                ms.resumed_order_client_finished(self.topology)
-            ),
+            self.transcript.hash_over(self._resumed_order_client()),
         )
         self._send_handshake(tls_msgs.Finished(verify_data=verify))
         self._state = _State.CONNECTED

@@ -38,6 +38,7 @@ TOWARD_SERVER = 2
 EXT_MCTLS_MODE = 0xFF02
 MODE_DEFAULT = 0
 MODE_CLIENT_KEY_DIST = 1
+MODE_DELEGATION = 2  # mdTLS: warrants instead of per-middlebox key dist
 
 # Key-transport selection for MiddleboxKeyMaterial (ClientHello extension).
 # DHE is the paper's design (Figure 1); RSA is the shortcut its evaluated

@@ -260,9 +260,9 @@ class McTLSServer(ms.McTLSConnectionBase):
             return False
         try:
             kind, payload = self._ticket_manager.unseal(ext)
-            if kind != KIND_MCTLS:
+            if kind != self._ticket_kind:
                 raise TicketError("ticket sealed for a different protocol")
-            state = ms.decode_ticket_state(payload)
+            state = self._decode_ticket_payload(payload)
         except TicketError:
             return False
         if state.cipher_suite_id != self.negotiated_suite.suite_id:
@@ -290,23 +290,32 @@ class McTLSServer(ms.McTLSConnectionBase):
         if not self._session_cacheable():
             return
         ticket = self._ticket_manager.seal(
-            KIND_MCTLS,
-            ms.encode_ticket_state(
-                ms.McTLSSessionState(
-                    session_id=b"",
-                    endpoint_secret=self._endpoint_secret,
-                    cipher_suite_id=self.negotiated_suite.suite_id,
-                    mode=int(self.mode),
-                    key_transport=int(self.key_transport),
-                    topology_bytes=self.topology.encode(),
-                )
-            ),
+            self._ticket_kind, self._encode_ticket_payload()
         )
         # Untagged: NewSessionTicket stays out of the canonical transcript
         # (the client mirrors this), so Finished hashes are unchanged.
         self._send_handshake(
             tls_msgs.NewSessionTicket(
                 lifetime_hint=int(self._ticket_manager.lifetime), ticket=ticket
+            )
+        )
+
+    # Which ticket kind this stack seals/accepts; the delegation stack
+    # overrides all three so its tickets can never cross into mcTLS.
+    _ticket_kind = KIND_MCTLS
+
+    def _decode_ticket_payload(self, payload: bytes) -> ms.McTLSSessionState:
+        return ms.decode_ticket_state(payload)
+
+    def _encode_ticket_payload(self) -> bytes:
+        return ms.encode_ticket_state(
+            ms.McTLSSessionState(
+                session_id=b"",
+                endpoint_secret=self._endpoint_secret,
+                cipher_suite_id=self.negotiated_suite.suite_id,
+                mode=int(self.mode),
+                key_transport=int(self.key_transport),
+                topology_bytes=self.topology.encode(),
             )
         )
 
@@ -366,11 +375,15 @@ class McTLSServer(ms.McTLSConnectionBase):
             ),
             tag=ms.TAG_SERVER_HELLO,
         )
+        # Anything the abbreviated flow must add before the server's
+        # Finished (the delegation stack sends fresh warrants + key
+        # material here); plain mcTLS sends nothing.
+        self._send_resumption_flight()
         # Server finishes first in the abbreviated flow.
         verify = ks.finished_verify_data(
             self._endpoint_secret,
             ks.LABEL_SERVER_FINISHED,
-            self.transcript.hash_over(ms.resumed_order_server_finished()),
+            self.transcript.hash_over(self._resumed_order_server()),
         )
         self._send_change_cipher_spec()
         self.records.activate_write()
@@ -378,6 +391,24 @@ class McTLSServer(ms.McTLSConnectionBase):
             tls_msgs.Finished(verify_data=verify), tag=ms.TAG_SERVER_FINISHED
         )
         self._state = _State.WAIT_CLIENT_FLIGHT
+
+    def _send_resumption_flight(self) -> None:
+        """Subclass hook: extra abbreviated-flow messages after the
+        ServerHello, covered by the (overridden) resumed order."""
+
+    # -- canonical transcript orders (delegation stack overrides) -----------
+
+    def _order_t1(self) -> "list[str]":
+        return ms.canonical_order_t1(self.topology, self.mode, self.key_transport)
+
+    def _order_t2(self) -> "list[str]":
+        return ms.canonical_order_t2(self.topology, self.mode, self.key_transport)
+
+    def _resumed_order_server(self) -> "list[str]":
+        return ms.resumed_order_server_finished()
+
+    def _resumed_order_client(self) -> "list[str]":
+        return ms.resumed_order_client_finished(self.topology)
 
     def _send_server_key_exchange(self) -> None:
         group = self.config.dh_group
@@ -418,7 +449,7 @@ class McTLSServer(ms.McTLSConnectionBase):
         return (
             self.verify_middleboxes
             and self.config.verify_certificates
-            and self.mode is ms.HandshakeMode.DEFAULT
+            and self.mode is not ms.HandshakeMode.CLIENT_KEY_DIST
         )
 
     def _on_middlebox_key_exchange(self, ke: mm.MiddleboxKeyExchange) -> None:
@@ -489,18 +520,12 @@ class McTLSServer(ms.McTLSConnectionBase):
         expected = ks.finished_verify_data(
             self._endpoint_secret,
             ks.LABEL_CLIENT_FINISHED,
-            self.transcript.hash_over(
-                ms.canonical_order_t1(self.topology, self.mode, self.key_transport)
-            ),
+            self.transcript.hash_over(self._order_t1()),
         )
         if finished.verify_data != expected:
             raise TLSError("client Finished verification failed", ALERT_DECRYPT_ERROR)
 
-        if self.mode is ms.HandshakeMode.DEFAULT:
-            self._generate_and_send_key_material()
-            self._install_combined_context_keys()
-        else:
-            self._install_ckd_context_keys()
+        self._finish_key_setup()
 
         self._maybe_send_new_session_ticket()
         self._send_change_cipher_spec()
@@ -508,9 +533,7 @@ class McTLSServer(ms.McTLSConnectionBase):
         verify = ks.finished_verify_data(
             self._endpoint_secret,
             ks.LABEL_SERVER_FINISHED,
-            self.transcript.hash_over(
-                ms.canonical_order_t2(self.topology, self.mode, self.key_transport)
-            ),
+            self.transcript.hash_over(self._order_t2()),
         )
         self._send_handshake(tls_msgs.Finished(verify_data=verify))
         self._state = _State.CONNECTED
@@ -530,9 +553,7 @@ class McTLSServer(ms.McTLSConnectionBase):
         expected = ks.finished_verify_data(
             self._endpoint_secret,
             ks.LABEL_CLIENT_FINISHED,
-            self.transcript.hash_over(
-                ms.resumed_order_client_finished(self.topology)
-            ),
+            self.transcript.hash_over(self._resumed_order_client()),
         )
         if finished.verify_data != expected:
             raise TLSError("client Finished verification failed", ALERT_DECRYPT_ERROR)
@@ -546,6 +567,16 @@ class McTLSServer(ms.McTLSConnectionBase):
                 resumed=True,
             )
         )
+
+    def _finish_key_setup(self) -> None:
+        """Distribute (if this mode requires it) and install context keys
+        once the client's Finished has verified.  The delegation stack
+        overrides this to send per-middlebox delegated key material."""
+        if self.mode is ms.HandshakeMode.DEFAULT:
+            self._generate_and_send_key_material()
+            self._install_combined_context_keys()
+        else:
+            self._install_ckd_context_keys()
 
     def _cache_session(self) -> None:
         """Make a completed full handshake resumable."""

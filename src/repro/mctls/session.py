@@ -51,10 +51,11 @@ from repro.wire import DecodeError
 
 
 class HandshakeMode(IntEnum):
-    """mcTLS handshake modes (§3.6)."""
+    """mcTLS handshake modes (§3.6), plus the mdTLS delegation mode."""
 
     DEFAULT = mm.MODE_DEFAULT
     CLIENT_KEY_DIST = mm.MODE_CLIENT_KEY_DIST
+    DELEGATION = mm.MODE_DELEGATION
 
 
 class KeyTransport(IntEnum):

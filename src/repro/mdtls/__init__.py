@@ -1,0 +1,57 @@
+"""mdTLS — mcTLS with delegated credentials instead of key distribution.
+
+The delegation variant (after Ahn et al.'s mdTLS proxy-signature design)
+keeps mcTLS's record layer, contexts and wire geometry unchanged and
+replaces the per-middlebox key-distribution flights with **warrants**:
+
+* each endpoint signs one context-scoped, session-bound, time-limited
+  :class:`~repro.mdtls.warrants.Warrant` per middlebox
+  (:mod:`repro.mdtls.warrants`);
+* the middlebox proves possession of the warranted certificate key with
+  the signed key exchange it already sends
+  (:mod:`repro.mdtls.middlebox`);
+* context keys flow once, from the server, sealed to the warranted key
+  and clamped to the intersection of both warrants
+  (:mod:`repro.mdtls.server` / :mod:`repro.mdtls.client`).
+
+The net effect on the handshake economics (the reason mdTLS exists):
+adding a middlebox costs the endpoints one extra warrant signature each
+and the server one sealed key-material message — versus two to four
+per-middlebox secret computations and seals in mcTLS's modes.
+
+``MdTLSClient`` / ``MdTLSServer`` / ``MdTLSMiddlebox`` subclass the
+mcTLS stack and implement the same ``repro.core`` Connection /
+RelayProcessor protocols, so every runtime, the conformance battery,
+the fault matrix and the benchmark harness drive them unmodified.
+"""
+
+from repro.mdtls.client import MdTLSClient
+from repro.mdtls.messages import DelegatedKeyMaterial, WarrantIssue
+from repro.mdtls.middlebox import MdTLSMiddlebox
+from repro.mdtls.server import MdTLSServer
+from repro.mdtls.warrants import (
+    ISSUER_CLIENT,
+    ISSUER_SERVER,
+    Warrant,
+    WarrantError,
+    check_warrant,
+    check_warrant_set,
+    effective_permission,
+    issue_warrants,
+)
+
+__all__ = [
+    "DelegatedKeyMaterial",
+    "ISSUER_CLIENT",
+    "ISSUER_SERVER",
+    "MdTLSClient",
+    "MdTLSMiddlebox",
+    "MdTLSServer",
+    "Warrant",
+    "WarrantError",
+    "WarrantIssue",
+    "check_warrant",
+    "check_warrant_set",
+    "effective_permission",
+    "issue_warrants",
+]

@@ -1,0 +1,88 @@
+"""mdTLS handshake messages.
+
+Two additions to the mcTLS message set, in the same private-use
+handshake-type space:
+
+* ``WarrantIssue`` (0xF5) — one endpoint's full warrant flight: its
+  certificate chain (so warrants verify even in the abbreviated flow,
+  where no Certificate message exists) plus one signed
+  :class:`~repro.mdtls.warrants.Warrant` per middlebox.
+* ``DelegatedKeyMaterial`` (0xF6) — the server's context key blocks for
+  one middlebox, hybrid-sealed to the warranted certificate key.
+
+Both flow inside ordinary handshake records, pass through middleboxes
+like any other flight message, and are covered by the Finished hashes
+via the delegation-mode canonical orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.crypto.certs import Certificate
+from repro.mctls.messages import SENDER_CLIENT, SENDER_SERVER
+from repro.mdtls.warrants import Warrant
+from repro.tls import messages as tls_msgs
+from repro.wire import DecodeError, Reader, Writer
+
+
+@dataclass
+class WarrantIssue:
+    """One endpoint's warrants for every middlebox, plus the chain that
+    proves who signed them."""
+
+    sender: int  # SENDER_CLIENT or SENDER_SERVER
+    issuer_chain: Sequence[Certificate]
+    warrants: Sequence[Warrant]
+
+    msg_type = tls_msgs.WARRANT_ISSUE
+
+    def encode(self) -> bytes:
+        chain = Writer()
+        for cert in self.issuer_chain:
+            chain.vec24(cert.to_bytes())
+        w = Writer().u8(self.sender).vec24(chain.bytes())
+        w.u8(len(self.warrants))
+        for warrant in self.warrants:
+            w.vec16(warrant.encode())
+        return w.bytes()
+
+    @classmethod
+    def decode(cls, body: bytes) -> "WarrantIssue":
+        r = Reader(body)
+        sender = r.u8()
+        if sender not in (SENDER_CLIENT, SENDER_SERVER):
+            raise DecodeError(f"invalid warrant issue sender {sender}")
+        chain_r = Reader(r.vec24())
+        issuer_chain: List[Certificate] = []
+        while not chain_r.exhausted:
+            issuer_chain.append(Certificate.from_bytes(chain_r.vec24()))
+        warrants = [Warrant.decode(r.vec16()) for _ in range(r.u8())]
+        r.expect_end()
+        return cls(
+            sender=sender, issuer_chain=tuple(issuer_chain), warrants=tuple(warrants)
+        )
+
+
+@dataclass
+class DelegatedKeyMaterial:
+    """Full context key blocks for one middlebox, sealed by the server to
+    the middlebox's certificate key (the same hybrid construction the
+    mcTLS RSA key transport uses)."""
+
+    target: int  # mbox_id
+    sealed: bytes
+
+    msg_type = tls_msgs.DELEGATED_KEY_MATERIAL
+
+    def encode(self) -> bytes:
+        return Writer().u8(self.target).vec16(self.sealed).bytes()
+
+    @classmethod
+    def decode(cls, body: bytes) -> "DelegatedKeyMaterial":
+        r = Reader(body)
+        target = r.u8()
+        sealed = r.vec16()
+        r.expect_end()
+        return cls(target=target, sealed=sealed)

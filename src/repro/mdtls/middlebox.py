@@ -1,0 +1,192 @@
+"""The mdTLS middlebox.
+
+Rides the mcTLS middlebox relay with the delegation-mode deltas:
+
+* its handshake flight is naturally CKD-shaped (hello, certificate, one
+  client-directed signed key exchange — the base class already omits the
+  server-directed exchange outside the default mode).  That signature,
+  made with the certificate key both warrants name, is the middlebox's
+  proof of possession: both endpoints verify it in delegation mode;
+* it captures and verifies *its own* warrant from each passing
+  ``WarrantIssue`` (signature under the embedded issuer chain, session
+  binding, validity window, scope against the ClientHello it snooped) —
+  a middlebox handed a forged, expired or widened warrant refuses the
+  session rather than operate on bad credentials;
+* its context keys arrive in a single ``DelegatedKeyMaterial`` from the
+  server, sealed to its certificate key; it installs them clamped to
+  ``min(client warrant, server warrant, delivered material)``.
+
+``_handle_protected_record`` is deliberately *not* overridden, so the
+record-layer burst fast path stays engaged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.crypto.certs import verify_chain
+from repro.mctls import keys as mk
+from repro.mctls import messages as mm
+from repro.mctls import session as ms
+from repro.mctls.contexts import Permission
+from repro.mctls.middlebox import (
+    McTLSMiddlebox,
+    MiddleboxHandshakeComplete,
+    Observer,
+    Transformer,
+    _Side,
+)
+from repro.mdtls import messages as mdm
+from repro.mdtls import warrants as mdw
+from repro.tls import messages as tls_msgs
+from repro.tls.connection import TLSConfig, TLSError
+
+
+class MdTLSMiddlebox(McTLSMiddlebox):
+    """A sans-I/O mdTLS middlebox relay."""
+
+    def __init__(
+        self,
+        name: str,
+        config: TLSConfig,
+        transformer: Optional[Transformer] = None,
+        observer: Optional[Observer] = None,
+        verify_server: bool = False,
+        clock: Callable[[], float] = time.time,
+    ):
+        super().__init__(
+            name,
+            config,
+            transformer=transformer,
+            observer=observer,
+            verify_server=verify_server,
+        )
+        self._clock = clock
+        self._client_warrant: Optional[mdw.Warrant] = None
+        self._server_warrant: Optional[mdw.Warrant] = None
+
+    # -- handshake interception --------------------------------------------
+
+    def _handle_from_client(self, msg_type: int, body: bytes, msg_raw: bytes) -> None:
+        if msg_type == tls_msgs.WARRANT_ISSUE:
+            self._forward_message(_Side.CLIENT, msg_raw)
+            self._on_warrant_issue(mdm.WarrantIssue.decode(body), mdw.ISSUER_CLIENT)
+        else:
+            super()._handle_from_client(msg_type, body, msg_raw)
+
+    def _handle_from_server(self, msg_type: int, body: bytes, msg_raw: bytes) -> None:
+        if msg_type == tls_msgs.WARRANT_ISSUE:
+            self._forward_message(_Side.SERVER, msg_raw)
+            self._on_warrant_issue(mdm.WarrantIssue.decode(body), mdw.ISSUER_SERVER)
+        elif msg_type == tls_msgs.DELEGATED_KEY_MATERIAL:
+            dkm = mdm.DelegatedKeyMaterial.decode(body)
+            self._forward_message(_Side.SERVER, msg_raw)
+            if dkm.target == self.mbox_id:
+                self._on_own_delegated_material(dkm)
+        else:
+            super()._handle_from_server(msg_type, body, msg_raw)
+
+    # -- warrants ----------------------------------------------------------
+
+    def _on_warrant_issue(self, issue: mdm.WarrantIssue, issuer_role: int) -> None:
+        """Capture and verify our own warrant from a passing flight."""
+        own = next((w for w in issue.warrants if w.mbox_id == self.mbox_id), None)
+        if own is None:
+            role = "client" if issuer_role == mdw.ISSUER_CLIENT else "server"
+            raise mdw.WarrantError(
+                f"{role} issued no warrant for middlebox {self.mbox_id}",
+                where="middlebox",
+                reason="missing",
+                mbox_id=self.mbox_id,
+            )
+        if not issue.issuer_chain:
+            raise mdw.WarrantError(
+                "warrant issue lacks a certificate chain",
+                where="middlebox",
+                reason="forged",
+                mbox_id=self.mbox_id,
+            )
+        if self.config.trusted_roots:
+            try:
+                verify_chain(issue.issuer_chain, self.config.trusted_roots)
+            except Exception as exc:
+                raise mdw.WarrantError(
+                    f"warrant issuer chain rejected by middlebox: {exc}",
+                    where="middlebox",
+                    reason="forged",
+                    mbox_id=self.mbox_id,
+                ) from exc
+        mdw.check_warrant(
+            own,
+            issuer_role,
+            issue.issuer_chain[0].public_key,
+            self.topology,
+            self._client_random,
+            self._server_random,
+            int(self._clock() * 1000),
+            where="middlebox",
+        )
+        if issuer_role == mdw.ISSUER_CLIENT:
+            self._client_warrant = own
+        else:
+            self._server_warrant = own
+        self._maybe_install_keys()
+
+    # -- delegated key material --------------------------------------------
+
+    def _on_own_delegated_material(self, dkm: mdm.DelegatedKeyMaterial) -> None:
+        plaintext = mk.rsa_hybrid_open(self.suite, self.config.identity.key, dkm.sealed)
+        self._server_shares = {
+            s.context_id: s for s in mm.decode_key_shares(plaintext)
+        }
+        self._maybe_install_keys()
+
+    def _maybe_install_keys(self) -> None:
+        if self.mode is not ms.HandshakeMode.DELEGATION:
+            super()._maybe_install_keys()
+            return
+        if self._keys_installed:
+            return
+        if (
+            self._server_shares is None
+            or self._client_warrant is None
+            or self._server_warrant is None
+        ):
+            return
+        self._install_delegated_keys()
+        self._keys_installed = True
+        self.handshake_complete = True
+        self._emit(
+            MiddleboxHandshakeComplete(
+                topology=self.topology,
+                permissions=dict(self.permissions),
+                mode=self.mode,
+            )
+        )
+
+    def _install_delegated_keys(self) -> None:
+        """Install full key blocks from the server's delegated material,
+        clamped to the intersection of both warrants — access materialises
+        only where *both* endpoints' warrants and the delivered material
+        agree (R4 under delegation)."""
+        for ctx in self.topology.contexts:
+            ctx_id = ctx.context_id
+            granted = mdw.effective_permission(
+                ctx_id, self._client_warrant, self._server_warrant
+            )
+            share = self._server_shares.get(ctx_id)
+            if share is None or not share.reader_material or not granted.can_read:
+                self.permissions[ctx_id] = Permission.NONE
+                continue
+            readers = mk.reader_keys_from_block(share.reader_material)
+            if share.writer_material and granted.can_write:
+                writers = mk.writer_keys_from_block(share.writer_material)
+                permission = Permission.WRITE
+            else:
+                writers = mk.WriterKeys(mac_c2s=b"", mac_s2c=b"")
+                permission = Permission.READ
+            self.permissions[ctx_id] = permission
+            keys = mk.ContextKeys(readers=readers, writers=writers)
+            self._proc_c2s.install(ctx_id, permission, keys)
+            self._proc_s2c.install(ctx_id, permission, keys)

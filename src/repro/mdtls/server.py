@@ -1,0 +1,299 @@
+"""The mdTLS server.
+
+Rides the mcTLS server state machine with the delegation-mode deltas:
+
+* always negotiates :attr:`HandshakeMode.DELEGATION` and insists on the
+  DHE key transport (the middlebox's signed key exchange is its proof of
+  possession of the warranted key);
+* issues its warrants — scoped to the topology its *policy approved*,
+  the delegation form of "the server can say no" — right after its
+  ServerKeyExchange;
+* verifies the client's warrants (signature under the client's certified
+  key, session binding, window, scope against the proposed topology);
+* after the client's Finished verifies, seals one
+  ``DelegatedKeyMaterial`` per middlebox to that middlebox's certificate
+  key, carrying full context key blocks clamped to the *intersection* of
+  both warrants — this is the only per-middlebox key-distribution work
+  either endpoint does;
+* tickets seal the middlebox certificates too, so a stateless resumption
+  can re-seal fresh material; fresh warrants and material are sent
+  before the server's Finished in the abbreviated flow.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.crypto.certs import Certificate, verify_chain
+from repro.mctls import keys as mk
+from repro.mctls import messages as mm
+from repro.mctls import session as ms
+from repro.mctls.contexts import Permission, SessionTopology
+from repro.mctls.server import McTLSServer
+from repro.mdtls import messages as mdm
+from repro.mdtls import session as mds
+from repro.mdtls import warrants as mdw
+from repro.tls import messages as tls_msgs
+from repro.tls.connection import ALERT_BAD_CERTIFICATE, TLSConfig, TLSError
+from repro.tls.sessioncache import SessionCache
+from repro.tls.tickets import KIND_MDTLS, TicketKeyManager
+
+DEFAULT_WARRANT_LIFETIME_S = 3600.0
+
+
+class MdTLSServer(McTLSServer):
+    """A sans-I/O mdTLS (delegated-credential mcTLS) server."""
+
+    _ticket_kind = KIND_MDTLS
+
+    def __init__(
+        self,
+        config: TLSConfig,
+        mode: ms.HandshakeMode = ms.HandshakeMode.DELEGATION,
+        topology_policy=None,
+        verify_middleboxes: bool = True,
+        session_cache: Optional[SessionCache] = None,
+        ticket_manager: Optional[TicketKeyManager] = None,
+        warrant_lifetime: float = DEFAULT_WARRANT_LIFETIME_S,
+        clock: Callable[[], float] = time.time,
+    ):
+        if mode is not ms.HandshakeMode.DELEGATION:
+            raise TLSError("MdTLSServer only speaks the delegation mode")
+        super().__init__(
+            config,
+            mode=ms.HandshakeMode.DELEGATION,
+            topology_policy=topology_policy,
+            verify_middleboxes=verify_middleboxes,
+            session_cache=session_cache,
+            ticket_manager=ticket_manager,
+        )
+        self.warrant_lifetime = warrant_lifetime
+        self._clock = clock
+        self._client_warrants: Dict[int, mdw.Warrant] = {}
+        self._server_warrants: Dict[int, mdw.Warrant] = {}
+        self._resumed_certs: Dict[int, Certificate] = {}
+
+    # -- flight 1 ----------------------------------------------------------
+
+    def _send_server_key_exchange(self) -> None:
+        if self.key_transport is not ms.KeyTransport.DHE:
+            raise TLSError("mdTLS requires the DHE key transport")
+        super()._send_server_key_exchange()
+        self._send_server_warrants()
+
+    def _make_warrants(self, now_ms: int) -> List[mdw.Warrant]:
+        """Hook: the warrants this server issues (fault harnesses override
+        this to issue deliberately defective ones)."""
+        return mdw.issue_warrants(
+            mdw.ISSUER_SERVER,
+            self.config.identity.key,
+            self.approved_topology,
+            self._client_random,
+            self._server_random,
+            now_ms,
+            int(self.warrant_lifetime * 1000),
+        )
+
+    def _send_server_warrants(self) -> None:
+        warrants = self._make_warrants(int(self._clock() * 1000))
+        self._server_warrants = {w.mbox_id: w for w in warrants}
+        self._send_handshake(
+            mdm.WarrantIssue(
+                sender=mm.SENDER_SERVER,
+                issuer_chain=self.config.identity.chain,
+                warrants=warrants,
+            ),
+            tag=mds.TAG_SERVER_WARRANTS,
+        )
+
+    # -- client flight -----------------------------------------------------
+
+    def _on_client_flight_message(self, msg_type: int, body: bytes, raw: bytes) -> None:
+        if msg_type == tls_msgs.WARRANT_ISSUE:
+            self._on_client_warrants(mdm.WarrantIssue.decode(body), raw)
+            return
+        super()._on_client_flight_message(msg_type, body, raw)
+
+    def _on_client_warrants(self, issue: mdm.WarrantIssue, raw: bytes) -> None:
+        if issue.sender != mm.SENDER_CLIENT:
+            raise TLSError("server received its own warrants back")
+        self.transcript.add(mds.TAG_CLIENT_WARRANTS, raw)
+        if not issue.issuer_chain:
+            raise TLSError(
+                "client warrant issue lacks a certificate chain", ALERT_BAD_CERTIFICATE
+            )
+        if self.config.verify_certificates and self.config.trusted_roots:
+            try:
+                verify_chain(issue.issuer_chain, self.config.trusted_roots)
+            except Exception as exc:
+                raise TLSError(
+                    f"client warrant issuer chain verification failed: {exc}",
+                    ALERT_BAD_CERTIFICATE,
+                ) from exc
+        self._client_warrants = mdw.check_warrant_set(
+            issue.warrants,
+            mdw.ISSUER_CLIENT,
+            issue.issuer_chain[0].public_key,
+            self.topology,
+            self._client_random,
+            self._server_random,
+            int(self._clock() * 1000),
+            where="server",
+        )
+
+    # -- key setup ---------------------------------------------------------
+
+    def _finish_key_setup(self) -> None:
+        if self.topology.middleboxes and not self._client_warrants:
+            raise TLSError("client sent no warrants before its Finished")
+        self._send_delegated_key_material(resumption=False)
+        self._install_ckd_context_keys()
+
+    def _delegated_shares(
+        self, mbox_id: int, blocks: Dict[int, "tuple"]
+    ) -> List[mm.ContextKeyShare]:
+        """Key blocks for one middlebox, clamped to min(client warrant,
+        server warrant) per context.  On resumption the client's fresh
+        warrants arrive only after this flight; the server warrant (its
+        own approved grant) bounds the material, and the middlebox
+        additionally clamps to the client warrant before installing."""
+        server_warrant = self._server_warrants.get(mbox_id)
+        client_warrant = self._client_warrants.get(mbox_id)
+        shares = []
+        for ctx in self.approved_topology.contexts:
+            if client_warrant is not None:
+                permission = mdw.effective_permission(
+                    ctx.context_id, client_warrant, server_warrant
+                )
+            elif server_warrant is not None:
+                permission = server_warrant.grants.get(
+                    ctx.context_id, Permission.NONE
+                )
+            else:
+                permission = Permission.NONE
+            if not permission.can_read:
+                continue
+            reader_block, writer_block = blocks[ctx.context_id]
+            shares.append(
+                mm.ContextKeyShare(
+                    context_id=ctx.context_id,
+                    reader_material=reader_block,
+                    writer_material=writer_block if permission.can_write else b"",
+                )
+            )
+        return shares
+
+    def _send_delegated_key_material(self, resumption: bool) -> None:
+        suite = self.negotiated_suite
+        blocks: Dict[int, tuple] = {}
+        for ctx_id in self.topology.context_ids:
+            if resumption:
+                keys = mk.resumption_context_keys(
+                    self._endpoint_secret,
+                    self._client_random,
+                    self._server_random,
+                    ctx_id,
+                )
+            else:
+                keys = mk.ckd_context_keys(
+                    self._endpoint_secret,
+                    self._client_random,
+                    self._server_random,
+                    ctx_id,
+                )
+            blocks[ctx_id] = (
+                mk.reader_block_bytes(keys.readers),
+                mk.writer_block_bytes(keys.writers),
+            )
+        for mbox in self.topology.middleboxes:
+            cert = self._middlebox_certificate(mbox.mbox_id)
+            sealed = mk.rsa_hybrid_seal(
+                suite,
+                cert.public_key,
+                mm.encode_key_shares(self._delegated_shares(mbox.mbox_id, blocks)),
+            )
+            self._send_handshake(
+                mdm.DelegatedKeyMaterial(target=mbox.mbox_id, sealed=sealed),
+                tag=mds.tag_dkm(mbox.mbox_id),
+            )
+
+    def _middlebox_certificate(self, mbox_id: int) -> Certificate:
+        state = self._mboxes.get(mbox_id)
+        if state is not None and state.chain:
+            return state.chain[0]
+        cert = self._resumed_certs.get(mbox_id)
+        if cert is None:
+            raise TLSError(
+                f"no certificate for middlebox {mbox_id}; cannot seal "
+                "delegated key material"
+            )
+        return cert
+
+    # -- resumption --------------------------------------------------------
+
+    def _resume_session(self, cached: ms.McTLSSessionState) -> None:
+        self._resumed_certs = dict(cached.middlebox_certs)
+        super()._resume_session(cached)
+
+    def _send_resumption_flight(self) -> None:
+        """Fresh warrants (bound to the new randoms) + re-sealed key
+        material, all covered by the server's Finished."""
+        self._send_server_warrants()
+        self._send_delegated_key_material(resumption=True)
+
+    def _cache_session(self) -> None:
+        """Like the base, plus the middlebox certificates the abbreviated
+        flow needs to re-seal delegated key material."""
+        if self._session_cache is None or not self._session_id:
+            return
+        self._session_cache.put(
+            self._session_id,
+            ms.McTLSSessionState(
+                session_id=self._session_id,
+                endpoint_secret=self._endpoint_secret,
+                cipher_suite_id=self.negotiated_suite.suite_id,
+                mode=int(self.mode),
+                key_transport=int(self.key_transport),
+                topology_bytes=self.topology.encode(),
+                middlebox_certs={
+                    mbox_id: state.chain[0]
+                    for mbox_id, state in self._mboxes.items()
+                    if state.chain
+                },
+            ),
+        )
+
+    def _encode_ticket_payload(self) -> bytes:
+        return mds.encode_mdtls_ticket_state(
+            ms.McTLSSessionState(
+                session_id=b"",
+                endpoint_secret=self._endpoint_secret,
+                cipher_suite_id=self.negotiated_suite.suite_id,
+                mode=int(self.mode),
+                key_transport=int(self.key_transport),
+                topology_bytes=self.topology.encode(),
+                middlebox_certs={
+                    mbox_id: state.chain[0]
+                    for mbox_id, state in self._mboxes.items()
+                    if state.chain
+                },
+            )
+        )
+
+    def _decode_ticket_payload(self, payload: bytes) -> ms.McTLSSessionState:
+        return mds.decode_mdtls_ticket_state(payload)
+
+    # -- canonical orders --------------------------------------------------
+
+    def _order_t1(self) -> List[str]:
+        return mds.delegation_order_t1(self.topology)
+
+    def _order_t2(self) -> List[str]:
+        return mds.delegation_order_t2(self.topology)
+
+    def _resumed_order_server(self) -> List[str]:
+        return mds.delegation_resumed_order_server(self.topology)
+
+    def _resumed_order_client(self) -> List[str]:
+        return mds.delegation_resumed_order_client(self.topology)

@@ -32,8 +32,14 @@ stop — the port keeps serving throughout.
 
 A crashed worker (e.g. SIGKILL mid-handshake) is isolated: its kernel
 socket disappears, the survivors keep accepting, and the parent keeps
-the worker's last known snapshot.  There is deliberately no respawn —
-supervision policy belongs a layer up.
+the worker's last known snapshot.  With ``respawn=True`` the parent also
+*supervises*: a monitor thread notices the death and forks a replacement
+into the same slot, bounded by ``max_respawns`` (a cluster-wide budget —
+a crash-looping factory must not fork-bomb the host).  The dead worker's
+final snapshot is retired into the aggregate so its served-connection
+ledger survives the restart, and ``snapshot()/stop()`` report the number
+of restarts under ``"respawns"``.  Respawn is opt-in; the default
+remains no-respawn, supervision policy a layer up.
 
 Shared state is the caller's problem, and fork is the mechanism:
 anything captured by ``connection_factory`` *before* ``start()`` (most
@@ -52,6 +58,7 @@ import multiprocessing
 import os
 import signal
 import socket
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple
@@ -99,6 +106,7 @@ class _WorkerRecord:
     pid: Optional[int] = None
     last_snapshot: Dict[str, object] = field(default_factory=dict)
     stopped: bool = False
+    restarts: int = 0
 
 
 class ClusterEndpointServer:
@@ -116,6 +124,12 @@ class ClusterEndpointServer:
     *rotation* after the fork is per-worker and would diverge; rotate by
     restarting the pool, or keep ``rotation_period`` above the pool's
     lifetime.)
+
+    ``respawn=True`` turns on supervision: a monitor thread replaces any
+    worker that dies unexpectedly, charging a cluster-wide budget of
+    ``max_respawns`` forks (attempts count, not successes).  Workers
+    stopped deliberately — rolling ``stop()`` or an external SIGTERM
+    drain that reports ``stopped`` — are never respawned.
     """
 
     def __init__(
@@ -132,6 +146,9 @@ class ClusterEndpointServer:
         reuse_port: bool = True,
         start_timeout: float = 15.0,
         control_timeout: float = 5.0,
+        respawn: bool = False,
+        max_respawns: int = 3,
+        respawn_poll_interval: float = 0.05,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -152,6 +169,9 @@ class ClusterEndpointServer:
         self.reuse_port = reuse_port
         self.start_timeout = start_timeout
         self.control_timeout = control_timeout
+        self.respawn = respawn
+        self.max_respawns = max_respawns
+        self.respawn_poll_interval = respawn_poll_interval
         self._ctx = multiprocessing.get_context("fork")
         self._parent_sock: Optional[socket.socket] = None
         self._port: Optional[int] = None
@@ -159,6 +179,11 @@ class ClusterEndpointServer:
         self._records: List[_WorkerRecord] = []
         self._started = False
         self._stopped = False
+        self._lock = threading.RLock()
+        self._monitor_stop = threading.Event()
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._respawns_used = 0
+        self._retired_snapshots: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------
     # parent control plane
@@ -204,15 +229,7 @@ class ClusterEndpointServer:
         self._port = sock.getsockname()[1]
 
         for index in range(self.workers):
-            parent_pipe, child_pipe = self._ctx.Pipe(duplex=True)
-            process = self._ctx.Process(
-                target=self._worker_entry,
-                args=(index, child_pipe),
-                daemon=True,
-                name=f"cluster-worker-{index}",
-            )
-            process.start()
-            child_pipe.close()
+            process, parent_pipe = self._spawn_process(index)
             self._records.append(
                 _WorkerRecord(index=index, process=process, pipe=parent_pipe)
             )
@@ -239,38 +256,108 @@ class ClusterEndpointServer:
             # The parent never accepts.  In SO_REUSEPORT mode keeping
             # this socket open would make the kernel hash connections
             # into a queue nobody drains; in fallback mode the workers'
-            # inherited fds keep the underlying socket alive.
-            if self._parent_sock is not None:
+            # inherited fds keep the underlying socket alive — unless
+            # respawn is on, where the parent must keep its copy so
+            # *future* forks can inherit an accepting fd too.
+            keep_for_respawn = self.respawn and not self._reuse_port_active
+            if self._parent_sock is not None and not keep_for_respawn:
                 self._parent_sock.close()
                 self._parent_sock = None
+        if self.respawn:
+            self._monitor_thread = threading.Thread(
+                target=self._monitor_loop, name="cluster-respawn-monitor", daemon=True
+            )
+            self._monitor_thread.start()
         return self
+
+    def _spawn_process(self, index: int):
+        parent_pipe, child_pipe = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=self._worker_entry,
+            args=(index, child_pipe),
+            daemon=True,
+            name=f"cluster-worker-{index}",
+        )
+        process.start()
+        child_pipe.close()
+        return process, parent_pipe
+
+    # ------------------------------------------------------------------
+    # respawn supervision
+
+    def _monitor_loop(self) -> None:
+        while not self._monitor_stop.wait(self.respawn_poll_interval):
+            with self._lock:
+                if self._stopped:
+                    return
+                for rec in self._records:
+                    if rec.stopped or rec.process.is_alive():
+                        continue
+                    if self._respawns_used >= self.max_respawns:
+                        continue  # budget exhausted: stays dead
+                    self._respawn_worker(rec)
+
+    def _respawn_worker(self, rec: _WorkerRecord) -> None:
+        """Fork a replacement into a dead worker's slot.
+
+        The budget is charged for the *attempt*: a replacement that dies
+        before reporting ready still consumed a fork, and an unbounded
+        retry of a crash-looping factory must never fork-bomb the host.
+        """
+        self._drain_pipe(rec)
+        if rec.stopped:  # deliberate exit raced the monitor: not a crash
+            return
+        self._respawns_used += 1
+        if rec.last_snapshot:
+            # Retire the dead worker's final ledger into the aggregate.
+            self._retired_snapshots.append(dict(rec.last_snapshot))
+        try:
+            rec.pipe.close()
+        except OSError:  # pragma: no cover
+            pass
+        rec.process.join(timeout=0)
+        process, parent_pipe = self._spawn_process(rec.index)
+        try:
+            if not parent_pipe.poll(self.start_timeout):
+                raise RuntimeError("respawned worker never reported ready")
+            tag, payload = parent_pipe.recv()
+            if tag != "ready":
+                raise RuntimeError(f"respawned worker sent {tag!r} before ready")
+        except (RuntimeError, EOFError, OSError):
+            process.terminate()
+            process.join(timeout=5.0)
+            parent_pipe.close()
+            return
+        rec.process = process
+        rec.pipe = parent_pipe
+        rec.pid = payload
+        rec.last_snapshot = {}
+        rec.restarts += 1
 
     def snapshot(self) -> Dict[str, object]:
         """Aggregated cluster stats plus the per-worker breakdown.
 
         Live workers are polled over their control pipe; dead or
         unresponsive workers contribute their last known snapshot.
+        Workers retired by a respawn contribute their final snapshot, so
+        counters survive restarts; ``"respawns"`` counts the restarts.
         """
-        for rec in self._records:
-            if rec.stopped or not rec.process.is_alive():
-                self._drain_pipe(rec)
-                continue
-            try:
-                rec.pipe.send(("snapshot", None))
-                if rec.pipe.poll(self.control_timeout):
-                    tag, payload = rec.pipe.recv()
-                    if tag in ("snapshot", "stopped"):
-                        rec.last_snapshot = payload
-                    if tag == "stopped":
-                        rec.stopped = True
-            except (BrokenPipeError, EOFError, OSError):
-                pass
-        worker_snaps = [dict(rec.last_snapshot) for rec in self._records]
-        agg = aggregate_snapshots(worker_snaps)
-        agg["workers"] = worker_snaps
-        agg["worker_count"] = len(self._records)
-        agg["alive_workers"] = len(self.alive_workers())
-        return agg
+        with self._lock:
+            for rec in self._records:
+                if rec.stopped or not rec.process.is_alive():
+                    self._drain_pipe(rec)
+                    continue
+                try:
+                    rec.pipe.send(("snapshot", None))
+                    if rec.pipe.poll(self.control_timeout):
+                        tag, payload = rec.pipe.recv()
+                        if tag in ("snapshot", "stopped"):
+                            rec.last_snapshot = payload
+                        if tag == "stopped":
+                            rec.stopped = True
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+            return self._aggregate()
 
     def stop(
         self, graceful: bool = True, timeout: Optional[float] = None
@@ -278,18 +365,31 @@ class ClusterEndpointServer:
         """Rolling shutdown: drain workers one at a time; return final stats."""
         if self._stopped:
             return self.snapshot()
-        self._stopped = True
-        join_budget = timeout if timeout is not None else 30.0
-        for rec in self._records:
-            self._stop_worker(rec, graceful, timeout, join_budget)
-        if self._parent_sock is not None:  # start() failed before ready
-            self._parent_sock.close()
-            self._parent_sock = None
-        worker_snaps = [dict(rec.last_snapshot) for rec in self._records]
+        self._monitor_stop.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=self.start_timeout + 5.0)
+            self._monitor_thread = None
+        with self._lock:
+            if self._stopped:
+                return self._aggregate()
+            self._stopped = True
+            join_budget = timeout if timeout is not None else 30.0
+            for rec in self._records:
+                self._stop_worker(rec, graceful, timeout, join_budget)
+            if self._parent_sock is not None:  # respawn spare, or failed start()
+                self._parent_sock.close()
+                self._parent_sock = None
+            return self._aggregate()
+
+    def _aggregate(self) -> Dict[str, object]:
+        worker_snaps = self._retired_snapshots + [
+            dict(rec.last_snapshot) for rec in self._records
+        ]
         agg = aggregate_snapshots(worker_snaps)
         agg["workers"] = worker_snaps
         agg["worker_count"] = len(self._records)
         agg["alive_workers"] = len(self.alive_workers())
+        agg["respawns"] = self._respawns_used
         return agg
 
     def _drain_pipe(self, rec: _WorkerRecord) -> None:
@@ -304,6 +404,8 @@ class ClusterEndpointServer:
                 tag, payload = rec.pipe.recv()
                 if tag in ("snapshot", "stopped"):
                     rec.last_snapshot = payload
+                if tag == "stopped":
+                    rec.stopped = True
         except (BrokenPipeError, EOFError, OSError):
             pass
 
@@ -374,8 +476,11 @@ class ClusterEndpointServer:
             sock.close()
             raise
         # Our SO_REUSEPORT sibling is bound; the inherited parent copy
-        # must not linger as a second (undrained) accept queue.
-        self._parent_sock.close()
+        # must not linger as a second (undrained) accept queue.  (A
+        # respawned child inherits no copy — the parent closed its
+        # socket once the original pool was ready.)
+        if self._parent_sock is not None:
+            self._parent_sock.close()
         return sock
 
     async def _worker_main(self, listen_sock: socket.socket, pipe) -> None:

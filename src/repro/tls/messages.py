@@ -33,6 +33,10 @@ MIDDLEBOX_CERTIFICATE = 0xF2
 MIDDLEBOX_KEY_EXCHANGE = 0xF3
 MIDDLEBOX_KEY_MATERIAL = 0xF4
 
+# mdTLS delegation additions (same private-use space).
+WARRANT_ISSUE = 0xF5
+DELEGATED_KEY_MATERIAL = 0xF6
+
 RANDOM_LEN = 32
 VERIFY_DATA_LEN = 12
 

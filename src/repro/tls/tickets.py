@@ -64,6 +64,7 @@ MIN_TICKET_LEN = 1 + KEY_NAME_LEN + NONCE_LEN + MAC_LEN
 # Payload kinds: a ticket sealed for one protocol is garbage to the other.
 KIND_TLS = 1
 KIND_MCTLS = 2
+KIND_MDTLS = 3
 
 DEFAULT_LIFETIME_S = 3600.0
 

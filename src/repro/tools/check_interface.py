@@ -1,7 +1,7 @@
 """Interface drift check: every stack satisfies the ``repro.core`` protocols.
 
 CI runs this as ``python -m repro.tools.check_interface``.  It builds one
-instance of every endpoint connection and every relay across the five
+instance of every endpoint connection and every relay across the six
 protocol modes (with throwaway 512-bit material, so it is cheap) and
 asserts each satisfies the runtime-checkable
 :class:`repro.core.Connection` / :class:`repro.core.RelayProcessor`

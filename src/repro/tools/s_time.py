@@ -40,6 +40,7 @@ from repro.transport import Chain
 MODE_NAMES = {
     "mctls": Mode.MCTLS,
     "mctls-ckd": Mode.MCTLS_CKD,
+    "mdtls": Mode.MDTLS,
     "split": Mode.SPLIT_TLS,
     "e2e": Mode.E2E_TLS,
     "plain": Mode.NO_ENCRYPT,
@@ -77,7 +78,7 @@ def run_s_time(
     bed = _make_bed(key_bits, key_transport)
     topology = (
         bed.topology(n_middleboxes, n_contexts=n_contexts)
-        if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+        if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS)
         else None
     )
     count = 0

@@ -39,7 +39,11 @@ _HANDSHAKE_NAMES = {
     tls_msgs.MIDDLEBOX_CERTIFICATE: "MiddleboxCertificate",
     tls_msgs.MIDDLEBOX_KEY_EXCHANGE: "MiddleboxKeyExchange",
     tls_msgs.MIDDLEBOX_KEY_MATERIAL: "MiddleboxKeyMaterial",
+    tls_msgs.WARRANT_ISSUE: "WarrantIssue",
+    tls_msgs.DELEGATED_KEY_MATERIAL: "DelegatedKeyMaterial",
 }
+
+_PERM_NAMES = {0: "none", 1: "read", 2: "write"}
 
 
 def _describe_handshake_message(msg_type: int, body: bytes) -> str:
@@ -90,6 +94,26 @@ def _describe_handshake_message(msg_type: int, body: bytes) -> str:
             sender = "client" if mkm.sender == mm.SENDER_CLIENT else "server"
             target = "endpoint" if mkm.target == 0xFF else f"mbox {mkm.target}"
             detail = f" from={sender} to={target} sealed={len(mkm.sealed)}B"
+        elif msg_type == tls_msgs.WARRANT_ISSUE:
+            from repro.mdtls import messages as mdm
+
+            issue = mdm.WarrantIssue.decode(body)
+            sender = "client" if issue.sender == mm.SENDER_CLIENT else "server"
+            grants = ", ".join(
+                f"mbox{w.mbox_id}:{{"
+                + ",".join(
+                    f"{ctx}={_PERM_NAMES.get(int(perm), int(perm))}"
+                    for ctx, perm in sorted(w.grants.items())
+                )
+                + "}"
+                for w in issue.warrants
+            )
+            detail = f" issuer={sender} warrants=[{grants}]"
+        elif msg_type == tls_msgs.DELEGATED_KEY_MATERIAL:
+            from repro.mdtls import messages as mdm
+
+            dkm = mdm.DelegatedKeyMaterial.decode(body)
+            detail = f" to=mbox {dkm.target} sealed={len(dkm.sealed)}B"
     except DecodeError:
         detail = " (body undecodable)"
     return f"{name} ({len(body)}B){detail}"

@@ -429,7 +429,7 @@ def _app_events(events):
 
 def _build_chain(bed, mode):
     topology = (
-        bed.topology(1) if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else None
+        bed.topology(1) if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS) else None
     )
     client, server = bed.make_endpoints(mode, topology=topology)
     relays = bed.make_relays(mode, 1)
@@ -453,7 +453,7 @@ def test_burst_flight_delivers_same_stream_as_sequential(bed, mode):
     client, relays, server, chain = _build_chain(bed, mode)
     server_events = []
     chain.on_server_event = server_events.append
-    ctx = 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else 0
+    ctx = 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS) else 0
     payloads = _random_payloads(_rng(f"stack-{mode.value}"), count=6, max_len=200)
     payloads = [p for p in payloads if p]  # empty app data is a no-op on plain TCP
 
@@ -483,7 +483,7 @@ def test_views_drain_equivalent_to_joined_drain(bed, mode):
     client, relays, server, chain = _build_chain(bed, mode)
     server_events = []
     chain.on_server_event = server_events.append
-    ctx = 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else 0
+    ctx = 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS) else 0
     payloads = [p for p in _random_payloads(_rng(f"views-{mode.value}"), 6, 200) if p]
 
     for payload in payloads:

@@ -1,7 +1,7 @@
 """Conformance battery: every protocol stack behind ``repro.core``.
 
-The point of the sans-I/O refactor is that the five stacks (mcTLS,
-mcTLS-CKD, SplitTLS, E2E-TLS, NoEncrypt) are interchangeable behind the
+The point of the sans-I/O refactor is that the six stacks (mcTLS,
+mcTLS-CKD, mdTLS, SplitTLS, E2E-TLS, NoEncrypt) are interchangeable behind the
 :class:`repro.core.Connection` / :class:`repro.core.RelayProcessor`
 protocols, and that *both* runtimes (``repro.sockets`` threaded,
 ``repro.aio`` asyncio) drive them through that interface alone.  This
@@ -42,7 +42,7 @@ def bed() -> TestBed:
 
 def _context_id(mode: Mode) -> int:
     """mcTLS reserves context 0 for the endpoints' handshake channel."""
-    return 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else 0
+    return 1 if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS) else 0
 
 
 # -- runtime drivers --------------------------------------------------------
@@ -69,7 +69,7 @@ class ThreadedDriver:
         self._bed, self._mode = bed, mode
         self._topology = (
             bed.topology(n_relays)
-            if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS)
             else None
         )
         self._endpoint = sockets.EndpointServer(
@@ -170,7 +170,7 @@ class AioDriver:
         self._bed, self._mode = bed, mode
         self._topology = (
             bed.topology(n_relays)
-            if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS)
             else None
         )
         self._endpoint = aio.AsyncEndpointServer(
@@ -266,7 +266,7 @@ class MpDriver:
         self._bed, self._mode = bed, mode
         self._topology = (
             bed.topology(n_relays)
-            if mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+            if mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS)
             else None
         )
         # Fork first, thread later: the relay threads must not exist in
@@ -453,8 +453,8 @@ def test_all_stacks_satisfy_protocols(bed):
     from repro.tools.check_interface import check_interfaces
 
     checked = check_interfaces(bed)
-    # 5 modes x (client + server + relay) = 15 objects.
-    assert len(checked) == 15
+    # 6 modes x (client + server + relay) = 18 objects.
+    assert len(checked) == 18
 
 
 def test_instruments_aggregate_across_runtime(bed):

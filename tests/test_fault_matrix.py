@@ -117,6 +117,16 @@ def test_matrix_covers_every_mutation_class():
         "reader-mbox",
         "writer-mbox",
         "handshake",
+        # mdTLS warrant rows attribute detection per party:
+        "client",
+        "server",
+        "middlebox",
+    }
+    warrant_cells = [spec for spec in CELLS if spec.attacker == "warrant"]
+    assert {EXPECTED[spec].reason for spec in warrant_cells} == {
+        "forged",
+        "expired",
+        "widened",
     }
 
 

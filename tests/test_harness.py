@@ -14,6 +14,7 @@ from repro.experiments.harness import (
     shared_testbed,
 )
 from repro.mctls import KeyTransport, McTLSClient, McTLSMiddlebox, McTLSServer
+from repro.mdtls import MdTLSClient, MdTLSMiddlebox, MdTLSServer
 from repro.netsim import Simulator
 from repro.netsim.profiles import controlled
 from repro.tls.client import TLSClient
@@ -36,6 +37,7 @@ class TestTestBed:
         cases = {
             Mode.MCTLS: (McTLSClient, McTLSServer),
             Mode.MCTLS_CKD: (McTLSClient, McTLSServer),
+            Mode.MDTLS: (MdTLSClient, MdTLSServer),
             Mode.SPLIT_TLS: (TLSClient, TLSServer),
             Mode.E2E_TLS: (TLSClient, TLSServer),
             Mode.NO_ENCRYPT: (PlainConnection, PlainConnection),
@@ -48,6 +50,7 @@ class TestTestBed:
     def test_relay_factories(self, bed):
         assert bed.make_relays(Mode.MCTLS, 0) == []
         assert all(isinstance(r, McTLSMiddlebox) for r in bed.make_relays(Mode.MCTLS, 2))
+        assert all(isinstance(r, MdTLSMiddlebox) for r in bed.make_relays(Mode.MDTLS, 2))
         assert all(isinstance(r, SplitTLSRelay) for r in bed.make_relays(Mode.SPLIT_TLS, 2))
         assert all(isinstance(r, BlindRelay) for r in bed.make_relays(Mode.E2E_TLS, 2))
         assert all(isinstance(r, PlainRelay) for r in bed.make_relays(Mode.NO_ENCRYPT, 2))

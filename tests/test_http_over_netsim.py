@@ -28,7 +28,7 @@ def http_exchange(bed, mode, targets, body_size=2000, nagle=True):
     """
     sim = Simulator()
     links = build_links(sim, controlled(hops=2, bandwidth_mbps=10.0))
-    is_mctls = mode in (Mode.MCTLS, Mode.MCTLS_CKD)
+    is_mctls = mode in (Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS)
     topology = bed.topology(1, n_contexts=4) if is_mctls else None
     strategy = FOUR_CONTEXT if is_mctls else None
 
@@ -89,7 +89,8 @@ def http_exchange(bed, mode, targets, body_size=2000, nagle=True):
 
 
 @pytest.mark.parametrize(
-    "mode", [Mode.MCTLS, Mode.MCTLS_CKD, Mode.SPLIT_TLS, Mode.E2E_TLS, Mode.NO_ENCRYPT]
+    "mode",
+    [Mode.MCTLS, Mode.MCTLS_CKD, Mode.MDTLS, Mode.SPLIT_TLS, Mode.E2E_TLS, Mode.NO_ENCRYPT],
 )
 def test_single_request_all_modes(bed, mode):
     responses, done = http_exchange(bed, mode, ["/index.html"])

@@ -148,6 +148,48 @@ def test_worker_crash_is_isolated(bed):
     assert final["alive_workers"] == 0
 
 
+def test_worker_crash_respawns_and_keeps_serving(bed):
+    """With ``respawn=True`` a SIGKILLed worker is replaced: the cluster
+    returns to N live workers, keeps serving, notes the restart in its
+    stats, and the dead worker's counters survive into the aggregate.
+    The budget is bounded: a second crash past ``max_respawns`` stays
+    dead."""
+    cluster = _cluster(
+        bed, workers=2, respawn=True, max_respawns=1, respawn_poll_interval=0.02
+    )
+    try:
+        original = list(cluster.worker_pids)
+        _one_session(bed, cluster.port)
+        cluster.snapshot()  # capture every worker's ledger pre-crash
+        victim = original[0]
+        os.kill(victim, signal.SIGKILL)
+
+        assert _wait_until(
+            lambda: len(cluster.alive_workers()) == 2
+            and victim not in cluster.alive_workers()
+        )
+        replacement = [pid for pid in cluster.worker_pids if pid not in original]
+        assert len(replacement) == 1  # the slot was refilled by a new fork
+        for _ in range(6):
+            _one_session(bed, cluster.port)
+        snap = cluster.snapshot()
+        assert snap["respawns"] == 1
+        assert snap["alive_workers"] == 2
+        # The victim's pre-crash ledger was retired into the aggregate.
+        assert snap["accepted"] == 7
+
+        # Budget exhausted: the next crash is isolated, never replaced.
+        os.kill(replacement[0], signal.SIGKILL)
+        assert _wait_until(lambda: len(cluster.alive_workers()) == 1)
+        time.sleep(5 * cluster.respawn_poll_interval)
+        assert len(cluster.alive_workers()) == 1
+        _one_session(bed, cluster.port, payload=b"survivor")
+    finally:
+        final = cluster.stop()
+    assert final["respawns"] == 1
+    assert final["alive_workers"] == 0
+
+
 def test_sigterm_drains_in_flight_sessions(bed):
     """SIGTERM closes the listener but lets the in-flight session finish
     its echo before the worker exits — the rolling-restart contract."""
