@@ -11,11 +11,13 @@ doesn't.
 from repro.aio.connection import AsyncConnection, SessionEnded, connect
 from repro.aio.loadgen import (
     LoadResult,
+    PeriodicResult,
     merge_load_results,
     percentile,
     run_load,
     run_load_mp,
     run_load_threaded,
+    run_periodic,
 )
 from repro.aio.server import AsyncEndpointServer, AsyncRelayServer, ServerStats
 
@@ -24,6 +26,7 @@ __all__ = [
     "AsyncEndpointServer",
     "AsyncRelayServer",
     "LoadResult",
+    "PeriodicResult",
     "ServerStats",
     "SessionEnded",
     "connect",
@@ -32,4 +35,5 @@ __all__ = [
     "run_load",
     "run_load_mp",
     "run_load_threaded",
+    "run_periodic",
 ]

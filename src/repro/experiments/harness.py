@@ -84,6 +84,12 @@ class TestBed:
     # numbers correspond to the evaluated system.  Pass KeyTransport.DHE
     # for the full (forward-secret) design.
     key_transport: KeyTransport = KeyTransport.RSA
+    # Record framing the mcTLS clients offer ("mctls-default" or
+    # "mctls-compact") plus the per-field sub-context schemas the compact
+    # framing carries; non-mcTLS stacks have no framing negotiation and
+    # ignore both.
+    framing: str = "mctls-default"
+    field_schemas: Sequence = ()
 
     def __post_init__(self) -> None:
         # Resumption is opt-in: call enable_resumption() and endpoints built
@@ -154,6 +160,8 @@ class TestBed:
             server_name=self.server_name,
             dh_group=self.dh_group,
             cipher_suites=self.suites,
+            framing=self.framing,
+            field_schemas=tuple(self.field_schemas),
         )
 
     def server_tls_config(self) -> TLSConfig:

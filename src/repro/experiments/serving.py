@@ -28,6 +28,7 @@ from repro.aio import (
     run_load,
     run_load_mp,
     run_load_threaded,
+    run_periodic,
 )
 from repro.baselines import BlindRelay, PlainConnection, PlainRelay, SplitTLSRelay
 from repro.core import Connection, Instruments, RelayProcessor
@@ -112,6 +113,8 @@ def client_connection_factory(
     topology: Optional[SessionTopology] = None,
     session_store: Optional[ClientSessionStore] = None,
     ticket_store: Optional[ClientSessionStore] = None,
+    framing: str = "mctls-default",
+    field_schemas: Tuple = (),
 ) -> Callable[..., Connection]:
     """A ``client_factory(resume=..., ticket=...)`` for the load generator.
 
@@ -120,14 +123,20 @@ def client_connection_factory(
     always yields a full handshake.  ``ticket=True`` (with ``resume``)
     attaches the ``ticket_store`` instead, so that session resumes via a
     stateless server-sealed ticket rather than the server's cache.
+    ``framing``/``field_schemas`` select the record framing the mcTLS
+    client offers (servers accept any valid offer); the other modes have
+    no framing negotiation and ignore both.
     """
 
     def make(resume: bool = False, ticket: bool = False):
         store = session_store if (resume and not ticket) else None
         tstore = ticket_store if (resume and ticket) else None
         if mode in (Mode.MCTLS, Mode.MCTLS_CKD):
+            config = bed.client_tls_config()
+            config.framing = framing
+            config.field_schemas = tuple(field_schemas)
             return McTLSClient(
-                bed.client_tls_config(),
+                config,
                 topology=topology,
                 key_transport=bed.key_transport,
                 session_store=store,
@@ -507,6 +516,111 @@ def run_sharded_load(
     }
     report.update(chain.snapshot())
     return report
+
+
+async def run_industrial_load(
+    bed: TestBed,
+    mode: Mode,
+    n_middleboxes: int = 1,
+    records: int = 100,
+    record_size: int = 32,
+    period_s: float = 0.005,
+    sessions: int = 1,
+    framing: str = "mctls-default",
+    field_schemas: Tuple = (),
+    handshake_timeout: float = 60.0,
+    io_timeout: float = 60.0,
+) -> Dict[str, object]:
+    """The industrial low-latency scenario on one chain: a long-lived
+    session sending a small record every ``period_s`` seconds, reporting
+    per-record round-trip percentiles (the Madtls workload shape, where
+    the p99 against a cycle deadline is the figure of merit)."""
+    chain = await start_chain(
+        bed,
+        mode,
+        n_middleboxes,
+        max_connections=max(sessions * 2, 16),
+        handshake_timeout=handshake_timeout,
+        idle_timeout=io_timeout,
+    )
+    try:
+        result = await run_periodic(
+            (LOOPBACK, chain.port),
+            client_connection_factory(
+                bed,
+                mode,
+                topology=_topology(bed, mode, n_middleboxes, 1),
+                framing=framing,
+                field_schemas=field_schemas,
+            ),
+            records=records,
+            record_size=record_size,
+            period_s=period_s,
+            sessions=sessions,
+            context_id=_payload_context(mode),
+            handshake_timeout=handshake_timeout,
+            io_timeout=io_timeout,
+        )
+    finally:
+        await chain.stop(graceful=False)
+    report: Dict[str, object] = {
+        "mode": mode.value,
+        "middleboxes": n_middleboxes,
+        "framing": framing if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else None,
+        "load": result.to_dict(),
+    }
+    report.update(chain.snapshot())
+    return report
+
+
+async def measure_per_hop_latency(
+    bed: TestBed,
+    mode: Mode,
+    max_hops: int = 2,
+    records: int = 100,
+    record_size: int = 32,
+    period_s: float = 0.005,
+    framing: str = "mctls-default",
+    field_schemas: Tuple = (),
+    handshake_timeout: float = 60.0,
+    io_timeout: float = 60.0,
+) -> Dict[str, object]:
+    """Per-hop *added* record latency: run the industrial workload at
+    0..``max_hops`` middleboxes on the same host and difference the
+    percentiles against the zero-hop baseline.  The slope is the cost a
+    deployment pays per in-path inspection hop — the number an
+    industrial latency budget is spent against."""
+    runs: List[Dict[str, object]] = []
+    for hops in range(max_hops + 1):
+        report = await run_industrial_load(
+            bed,
+            mode,
+            n_middleboxes=hops,
+            records=records,
+            record_size=record_size,
+            period_s=period_s,
+            framing=framing,
+            field_schemas=field_schemas,
+            handshake_timeout=handshake_timeout,
+            io_timeout=io_timeout,
+        )
+        runs.append(report)
+    base = runs[0]["load"]["record_latency_s"]
+    added: Dict[str, Dict[str, float]] = {}
+    for hops, report in enumerate(runs[1:], start=1):
+        lat = report["load"]["record_latency_s"]
+        added[str(hops)] = {
+            k: round((lat[k] - base[k]) / hops, 6) for k in ("p50", "p95", "p99")
+        }
+    return {
+        "mode": mode.value,
+        "framing": framing if mode in (Mode.MCTLS, Mode.MCTLS_CKD) else None,
+        "record_size": record_size,
+        "period_s": period_s,
+        "records": records,
+        "per_hop": [r["load"] for r in runs],
+        "added_latency_per_hop_s": added,
+    }
 
 
 def run_threaded_load(

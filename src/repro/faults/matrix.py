@@ -44,6 +44,7 @@ from repro.faults.attacker import MaliciousReader, TamperPlan, TamperProxy
 from repro.faults.mutations import (
     DropHandshakeMessage,
     EscalatePermission,
+    FlipFieldRegionBit,
     FlipHandshakeBit,
     HandshakeMutator,
     standard_record_mutators,
@@ -179,6 +180,43 @@ def _writer_transform(direction: str, context_id: int, payload: bytes):
     if direction == mk.C2S and context_id == 1:
         return payload + b" [rewritten by writer]"
     return None
+
+
+# -- per-field sub-context rows (compact framing) ------------------------------
+
+# Field geometry over the shared payloads: "hdr" is granted to the
+# (record-level WRITE) middlebox, "body" is not.  Rewrites must be
+# length-preserving — the compact framing's field schemas describe a
+# fixed record layout, and the MAC prefix binds the payload length.
+_FIELD_HDR = (0, 8)
+_FIELD_BODY = (8, 38)
+
+
+def _field_schema():
+    from repro.mctls.contexts import FieldDef, FieldSchema
+
+    return FieldSchema(
+        context_id=1,
+        fields=(
+            FieldDef("hdr", *_FIELD_HDR),
+            FieldDef("body", _FIELD_BODY[0], 64),
+        ),
+        write_grants={"hdr": (1,)},
+    )
+
+
+def _field_rewrite(lo: int, hi: int):
+    """A length-preserving in-place rewrite of payload bytes [lo, hi)."""
+
+    def transform(direction: str, context_id: int, payload: bytes):
+        if direction == mk.C2S and context_id == 1:
+            mutated = bytearray(payload)
+            for i in range(lo, min(hi, len(mutated))):
+                mutated[i] ^= 0xFF
+            return bytes(mutated)
+        return None
+
+    return transform
 
 
 # -- warrant attackers (mdTLS delegation rows) --------------------------------
@@ -341,6 +379,60 @@ def _build_delegation_session(spec: CellSpec, seed: int, suite=None):
     return client, relays, server, Chain(client, relays, server)
 
 
+def _build_field_session(
+    spec: CellSpec, seed: int, record_index: int = 0, suite=None
+):
+    """Fresh compact-framed session for one per-field sub-context cell.
+
+    One record-level WRITE middlebox, one context, one field schema
+    granting it the "hdr" field only.  The "field" attacker is that
+    middlebox abusing (or honouring) its field grants; the
+    "flip-field-region" row is instead a key-less third party after the
+    middlebox, flipping ciphertext inside the "body" byte range.
+    """
+    ca, server_identity, mbox_identities = _fixture()
+    identity = mbox_identities[0]
+    schema = _field_schema()
+    topology = SessionTopology(
+        middleboxes=[MiddleboxInfo(1, identity.name)],
+        contexts=(ContextDefinition(1, "context-1", {1: Permission.WRITE}),),
+    )
+    client = McTLSClient(
+        _config(
+            suite=suite,
+            trusted_roots=[ca.certificate],
+            server_name=server_identity.name,
+            framing="mctls-compact",
+            field_schemas=(schema,),
+        ),
+        topology=topology,
+    )
+    server = McTLSServer(
+        _config(suite=suite, identity=server_identity, trusted_roots=[ca.certificate])
+    )
+    mbox_config = _config(suite=suite, identity=identity, trusted_roots=[ca.certificate])
+
+    relays: List[object] = []
+    if spec.mutation == "flip-field-region":
+        relays.append(McTLSMiddlebox(identity.name, mbox_config))
+        relays.append(
+            TamperProxy(
+                TamperPlan(
+                    seed=seed,
+                    record_mutator=FlipFieldRegionBit(*_FIELD_BODY),
+                    record_index=record_index,
+                    direction=mk.C2S,
+                )
+            )
+        )
+    else:
+        lo, hi = _FIELD_HDR if spec.mutation == "rewrite-granted" else _FIELD_BODY
+        relays.append(
+            McTLSMiddlebox(identity.name, mbox_config, transformer=_field_rewrite(lo, hi))
+        )
+    return client, relays, server, Chain(client, relays, server)
+
+
 # -- per-cell topology --------------------------------------------------------
 
 # Permission grants per (attacker, detector): a list of per-middlebox
@@ -461,7 +553,8 @@ def run_cell(
     """
     if spec.attacker == "warrant":
         return _run_warrant_cell(spec, seed, suite=suite)
-    client, relays, server, chain = _build_session(
+    builder = _build_field_session if spec.attacker == "field" else _build_session
+    client, relays, server, chain = builder(
         spec, seed, record_index=1 if burst else 0, suite=suite
     )
     server_events: List[object] = []
@@ -546,6 +639,13 @@ _HS_MUTATIONS = (
     "hs-escalate-permission",
 )
 
+# Per-field sub-context rows (compact framing; attacker "field").
+_FIELD_MUTATIONS = (
+    "rewrite-granted",
+    "rewrite-ungranted",
+    "flip-field-region",
+)
+
 # (detector, mutation, reason) per mdTLS warrant row.
 _WARRANT_ROWS = (
     ("middlebox", "forged-signature", "forged"),
@@ -612,6 +712,21 @@ def expected_matrix() -> Dict[CellSpec, Expected]:
         expected[CellSpec("handshake", "handshake", mutation)] = Expected(
             Outcome.HANDSHAKE_FAILED
         )
+    # Per-field sub-context rows (compact framing).  A record-level
+    # writer rewriting a field it was granted is legal (flagged via
+    # MAC_endpoints); rewriting an ungranted field passes the writer MAC
+    # but fails that field's MAC — detected by the endpoint and
+    # attributed *to the field*.  A key-less third party flipping bits
+    # inside a field's byte range fails the record writer MAC first:
+    # field MACs refine insider attribution, record MACs still cover the
+    # wire.
+    expected[CellSpec("field", "endpoint", "rewrite-granted")] = Expected(Outcome.LEGAL)
+    expected[CellSpec("field", "endpoint", "rewrite-ungranted")] = Expected(
+        Outcome.ILLEGAL, mac="field:body", detected_by="endpoint"
+    )
+    expected[CellSpec("field", "endpoint", "flip-field-region")] = Expected(
+        Outcome.ILLEGAL, mac=mrec.MAC_WRITERS, detected_by="endpoint"
+    )
     # mdTLS delegation rows: a forged, expired or scope-widened warrant
     # fails the handshake, attributed to the right party and reason.
     # The "server"/"client" rows route the defect past the middlebox (an

@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.framing import COMPACT_MARKER_BASE, MCTLS_COMPACT
 from repro.mctls.contexts import ContextDefinition, Permission, SessionTopology
 from repro.mctls.record import MAC_LEN, MCTLS_HEADER_LEN
 from repro.tls import messages as tls_msgs
@@ -41,14 +42,28 @@ NONCE_LEN = 16
 
 @dataclass
 class RecordView:
-    """One raw mcTLS record, mutable in place."""
+    """One raw mcTLS record, mutable in place.
+
+    ``compact`` marks a record that arrived under the compact framing
+    (4-byte marker header, no wire version field); :meth:`to_bytes`
+    re-serialises it with the same framing it was parsed with, so an
+    attacker forwards exactly what it saw.
+    """
 
     content_type: int
     version: int
     context_id: int
     fragment: bytearray
+    compact: bool = False
 
     def to_bytes(self) -> bytes:
+        if self.compact:
+            return (
+                bytes([COMPACT_MARKER_BASE | (self.content_type - 20)])
+                + bytes([self.context_id])
+                + len(self.fragment).to_bytes(2, "big")
+                + bytes(self.fragment)
+            )
         return (
             bytes([self.content_type])
             + self.version.to_bytes(2, "big")
@@ -59,14 +74,47 @@ class RecordView:
 
     def copy(self) -> "RecordView":
         return RecordView(
-            self.content_type, self.version, self.context_id, bytearray(self.fragment)
+            self.content_type,
+            self.version,
+            self.context_id,
+            bytearray(self.fragment),
+            compact=self.compact,
         )
 
 
+_COMPACT_HEADER_LEN = MCTLS_COMPACT.header_len
+
+
 def parse_records(buf: bytearray) -> List[RecordView]:
-    """Consume complete records from ``buf`` without validating them."""
+    """Consume complete records from ``buf`` without validating them.
+
+    The compact marker byte range (0xD0-0xD3) is disjoint from the
+    default content types, so mixed default/compact streams parse
+    per record with no session state.
+    """
     views: List[RecordView] = []
-    while len(buf) >= MCTLS_HEADER_LEN:
+    while buf:
+        if COMPACT_MARKER_BASE <= buf[0] <= COMPACT_MARKER_BASE | 0x03:
+            if len(buf) < _COMPACT_HEADER_LEN:
+                break
+            length = int.from_bytes(buf[2:4], "big")
+            if len(buf) < _COMPACT_HEADER_LEN + length:
+                break
+            views.append(
+                RecordView(
+                    content_type=20 + (buf[0] & 0x03),
+                    version=MCTLS_COMPACT.wire_version,
+                    context_id=buf[1],
+                    fragment=bytearray(
+                        buf[_COMPACT_HEADER_LEN : _COMPACT_HEADER_LEN + length]
+                    ),
+                    compact=True,
+                )
+            )
+            del buf[: _COMPACT_HEADER_LEN + length]
+            continue
+        if len(buf) < MCTLS_HEADER_LEN:
+            break
         length = int.from_bytes(buf[4:6], "big")
         if len(buf) < MCTLS_HEADER_LEN + length:
             break
@@ -145,6 +193,36 @@ class FlipMacBit(RecordMutator):
         end_offset = self._SLOTS[self.slot] * MAC_LEN
         start = len(view.fragment) - end_offset
         pos = start + rng.randrange(MAC_LEN)
+        view.fragment[pos] ^= 1 << rng.randrange(8)
+        return records
+
+
+class FlipFieldRegionBit(RecordMutator):
+    """Flip one seeded bit inside a specific payload byte range.
+
+    Built for the per-field sub-context rows of the fault matrix: under
+    a position-preserving stream suite, payload byte ``i`` lives at
+    ciphertext byte ``NONCE_LEN + i``, so the flip lands inside a chosen
+    :class:`~repro.mctls.contexts.FieldDef` byte range.  A third party
+    holds no keys at all, so the flip fails the *record* writer MAC
+    before any field MAC is consulted — field MACs refine attribution
+    for key-holding insiders, they do not replace record MACs.
+    """
+
+    name = "flip-field-region"
+    mutation_class = "bit-flip"
+
+    def __init__(self, start: int, end: int):
+        if not 0 <= start < end:
+            raise ValueError("field region must be a non-empty byte range")
+        self.start = start
+        self.end = end
+
+    def mutate(self, records, rng):
+        view = records[0]
+        pos = NONCE_LEN + rng.randrange(self.start, self.end)
+        if pos >= len(view.fragment):
+            raise ValueError("field region lies outside the record fragment")
         view.fragment[pos] ^= 1 << rng.randrange(8)
         return records
 
@@ -348,6 +426,7 @@ __all__ = [
     "DeleteRecord",
     "DropHandshakeMessage",
     "EscalatePermission",
+    "FlipFieldRegionBit",
     "FlipHandshakeBit",
     "FlipMacBit",
     "FlipPayloadBit",

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Dict, List, Optional, Sequence
 
+from repro import framing as frm
 from repro.crypto.certs import Certificate, verify_chain
 from repro.crypto.dh import DHGroup, DHKeyPair
 from repro.mctls import keys as mk
@@ -108,6 +109,16 @@ class McTLSClient(ms.McTLSConnectionBase):
         # Server halves, decrypted from the server's key material.
         self._server_reader_halves: Dict[int, bytes] = {}
         self._server_writer_halves: Dict[int, bytes] = {}
+        # Record-framing negotiation: the offer goes in the ClientHello,
+        # the server accepts by echoing it verbatim, and the negotiated
+        # framing takes effect at the CCS boundary.  Default framing
+        # needs no extension at all (bit-identical legacy handshakes).
+        self._requested_framing = frm.framing_by_name(config.framing)
+        self._field_schemas = tuple(config.field_schemas)
+        self._framing_offer: Optional[bytes] = None
+        self.negotiated_framing = frm.MCTLS_DEFAULT
+        # context_id -> per-field-index FieldKeys (tuple, schema order).
+        self._field_keys: Dict[int, tuple] = {}
 
     # -- driving ------------------------------------------------------------
 
@@ -119,6 +130,11 @@ class McTLSClient(ms.McTLSConnectionBase):
             (tls_msgs.EXT_MIDDLEBOX_LIST, self.topology.encode()),
             (mm.EXT_MCTLS_KEY_TRANSPORT, bytes([int(self.key_transport)])),
         ]
+        if self._requested_framing is not frm.MCTLS_DEFAULT:
+            self._framing_offer = mm.encode_framing_offer(
+                self._requested_framing.framing_id, self._field_schemas
+            )
+            extensions.append((mm.EXT_MCTLS_FRAMING, self._framing_offer))
         if self._ticket_store is not None:
             # Present even when empty: "I support tickets, issue me one".
             extensions.append(
@@ -270,12 +286,23 @@ class McTLSClient(ms.McTLSConnectionBase):
             self.mode = ms.HandshakeMode(mode_ext[0])
         except ValueError:
             raise TLSError(f"unknown mcTLS mode {mode_ext[0]}") from None
+        framing_ext = hello.find_extension(mm.EXT_MCTLS_FRAMING)
         if (
             self._offered_session is not None
             and hello.session_id == self._offered_session.session_id
         ):
+            # Abbreviated handshakes never negotiate a framing: field
+            # keys travel in the full handshake's key material flight,
+            # which resumption skips, so the session falls back to the
+            # default framing even if the offer went out.
+            if framing_ext is not None:
+                raise TLSError("server echoed a framing offer in a resumed handshake")
             self._begin_resumption(hello, suite)
             return
+        if framing_ext is not None:
+            if self._framing_offer is None or framing_ext != self._framing_offer:
+                raise TLSError("server echoed a framing offer we did not make")
+            self.negotiated_framing = self._requested_framing
         self._pending_session_id = hello.session_id
         self._state = _State.WAIT_CERTIFICATE
 
@@ -393,6 +420,7 @@ class McTLSClient(ms.McTLSConnectionBase):
             self._endpoint_secret, self._client_random, self._server_random
         )
         self.records.set_endpoint_keys(self._endpoint_keys)
+        self._setup_negotiated_framing()
 
         self._derive_middlebox_pairwise()
 
@@ -412,6 +440,43 @@ class McTLSClient(ms.McTLSConnectionBase):
         if self.mode is not ms.HandshakeMode.DEFAULT:
             self._install_ckd_context_keys()
         self._state = _State.WAIT_SERVER_FLIGHT
+
+    def _setup_negotiated_framing(self) -> None:
+        """Derive per-field MAC keys and arm the negotiated framing.
+
+        Field keys are derived from the *endpoint* secret — only the two
+        endpoints hold it, so a middlebox granted one field can never
+        forge another field's MAC — and take effect (with the framing)
+        at the CCS boundary, exactly like cipher activation.
+        """
+        if self.negotiated_framing is frm.MCTLS_DEFAULT:
+            return
+        if self.negotiated_framing.field_macs:
+            for schema in self._field_schemas:
+                self._field_keys[schema.context_id] = mk.derive_field_keys(
+                    self._endpoint_secret,
+                    self._client_random,
+                    self._server_random,
+                    schema,
+                )
+        self.records.set_framing(
+            self.negotiated_framing, self._field_schemas, self._field_keys
+        )
+
+    def _field_keys_for_middlebox(
+        self, mbox_id: int
+    ) -> Dict[int, Dict[int, mk.FieldKeys]]:
+        """Per-context field keys for exactly the fields granted to
+        ``mbox_id`` — holding a field key *is* the write grant."""
+        granted: Dict[int, Dict[int, mk.FieldKeys]] = {}
+        for schema in self._field_schemas:
+            keys = self._field_keys.get(schema.context_id)
+            if keys is None:
+                continue
+            indexes = schema.writable_fields(mbox_id)
+            if indexes:
+                granted[schema.context_id] = {i: keys[i] for i in indexes}
+        return granted
 
     def _derive_middlebox_pairwise(self) -> None:
         """Pairwise keys with each middlebox (single client DH key pair).
@@ -523,7 +588,10 @@ class McTLSClient(ms.McTLSConnectionBase):
         suite = self.negotiated_suite
         for mbox in self.topology.middleboxes:
             state = self._mboxes[mbox.mbox_id]
-            shares = mm.encode_key_shares(self._shares_for_middlebox(mbox.mbox_id))
+            shares = mm.encode_key_shares(
+                self._shares_for_middlebox(mbox.mbox_id),
+                self._field_keys_for_middlebox(mbox.mbox_id),
+            )
             if self.key_transport is ms.KeyTransport.RSA:
                 sealed = mk.rsa_hybrid_seal(suite, state.chain[0].public_key, shares)
             else:

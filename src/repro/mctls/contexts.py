@@ -198,6 +198,132 @@ class SessionTopology:
         return cls(middleboxes=tuple(middleboxes), contexts=tuple(contexts))
 
 
+@dataclass(frozen=True)
+class FieldDef:
+    """One named byte range of a record payload (a Madtls sub-context).
+
+    ``start``/``end`` index the *payload* of every record in the parent
+    context.  Ranges are clamped to the actual payload length so the
+    field codec is total over variable-length records: a field entirely
+    past the end covers zero bytes (its MAC still binds the absence).
+    """
+
+    name: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.end <= 0xFFFF:
+            raise ValueError("field range must satisfy 0 <= start <= end <= 65535")
+        if not self.name or len(self.name) > 255:
+            raise ValueError("field name must be 1..255 bytes")
+
+    def slice(self, payload):
+        """The bytes of this field within ``payload`` (clamped)."""
+        if self.start >= len(payload):
+            return b""
+        return payload[self.start : min(self.end, len(payload))]
+
+
+@dataclass(frozen=True)
+class FieldSchema:
+    """Per-field sub-contexts for one encryption context (Madtls-style).
+
+    Each field of the parent context's records gets its own MAC key,
+    derived from the session's endpoint secret — so the handshake is
+    unchanged — and its own set of per-middlebox *write grants*:
+    ``write_grants[name]`` lists the middlebox ids allowed to modify
+    that field.  Record-level write permission still gates whether a
+    middlebox may rebuild the record at all; the field MACs then pin
+    *which bytes* it legitimately changed.  Field read access is the
+    parent context's read permission (fields share the context's
+    encryption key); only write authority is refined per field.
+    """
+
+    context_id: int
+    fields: Sequence[FieldDef] = ()
+    write_grants: Dict[str, Sequence[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.context_id <= MAX_CONTEXTS:
+            raise ValueError("context id must be in 1..255")
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field names")
+        if len(self.fields) > 255:
+            raise ValueError("at most 255 fields per context")
+        unknown = set(self.write_grants) - set(names)
+        if unknown:
+            raise ValueError(f"write grants reference unknown fields {unknown}")
+
+    def field_index(self, name: str) -> int:
+        for i, f in enumerate(self.fields):
+            if f.name == name:
+                return i
+        raise KeyError(f"unknown field {name!r}")
+
+    def writers_of(self, name: str) -> Sequence[int]:
+        return tuple(self.write_grants.get(name, ()))
+
+    def writable_fields(self, mbox_id: int) -> List[int]:
+        """Field indexes ``mbox_id`` may modify."""
+        return [
+            i
+            for i, f in enumerate(self.fields)
+            if mbox_id in self.write_grants.get(f.name, ())
+        ]
+
+    # -- wire format ---------------------------------------------------
+
+    def encode(self) -> bytes:
+        w = Writer()
+        w.u8(self.context_id)
+        w.u8(len(self.fields))
+        for f in self.fields:
+            w.string8(f.name)
+            w.u16(f.start)
+            w.u16(f.end)
+            grants = tuple(self.write_grants.get(f.name, ()))
+            w.u8(len(grants))
+            for mbox_id in grants:
+                w.u8(mbox_id)
+        return w.bytes()
+
+    @classmethod
+    def decode_from(cls, r: Reader) -> "FieldSchema":
+        context_id = r.u8()
+        n_fields = r.u8()
+        fields = []
+        write_grants = {}
+        for _ in range(n_fields):
+            name = r.string8()
+            start = r.u16()
+            end = r.u16()
+            try:
+                fields.append(FieldDef(name=name, start=start, end=end))
+            except ValueError as exc:
+                raise DecodeError(str(exc)) from None
+            n_grants = r.u8()
+            grants = tuple(r.u8() for _ in range(n_grants))
+            if grants:
+                write_grants[name] = grants
+        try:
+            return cls(
+                context_id=context_id,
+                fields=tuple(fields),
+                write_grants=write_grants,
+            )
+        except ValueError as exc:
+            raise DecodeError(str(exc)) from None
+
+    @classmethod
+    def decode(cls, data: bytes) -> "FieldSchema":
+        r = Reader(data)
+        schema = cls.decode_from(r)
+        r.expect_end()
+        return schema
+
+
 def restrict_topology(
     topology: SessionTopology, grants: Dict[int, Dict[int, Permission]]
 ) -> SessionTopology:

@@ -50,6 +50,7 @@ LABEL_CKD_READER = b"ckd reader keys"
 LABEL_CKD_WRITER = b"ckd writer keys"
 LABEL_RES_READER = b"res reader keys"
 LABEL_RES_WRITER = b"res writer keys"
+LABEL_FIELD_MAC = b"field mac keys"
 
 # Directions, named from the endpoints' perspective.
 C2S = "c2s"
@@ -235,6 +236,45 @@ def resumption_context_keys(
         readers=_carve_reader_block(reader_block),
         writers=WriterKeys(mac_c2s=writer_block[:32], mac_s2c=writer_block[32:]),
     )
+
+
+@dataclass(frozen=True)
+class FieldKeys:
+    """Per-direction MAC keys for one field sub-context (no encryption
+    key: fields share the parent context's encryption; only write
+    authority is refined per field)."""
+
+    mac_c2s: bytes
+    mac_s2c: bytes
+
+    def mac_for_direction(self, direction: str) -> bytes:
+        return self.mac_c2s if direction == C2S else self.mac_s2c
+
+
+def derive_field_keys(
+    endpoint_secret: bytes, rand_c: bytes, rand_s: bytes, schema
+) -> tuple:
+    """One :class:`FieldKeys` per field of ``schema``, in field order.
+
+    Rooted in the *endpoint* secret — which only the two endpoints hold
+    — rather than any context key: a middlebox with record-level write
+    permission must not be able to forge the MAC of a field it was not
+    granted, so field keys cannot be derivable from material every
+    record writer already has.  The client distributes each field's key
+    to exactly the middleboxes named in the schema's write grants.
+    """
+    out = []
+    for index, field_def in enumerate(schema.fields):
+        count_op("key_gen")
+        seed = (
+            rand_c
+            + rand_s
+            + bytes([schema.context_id, index])
+            + field_def.name.encode("utf-8")
+        )
+        block = p_sha256(endpoint_secret, LABEL_FIELD_MAC + seed, 2 * MAC_KEY_LEN)
+        out.append(FieldKeys(mac_c2s=block[:MAC_KEY_LEN], mac_s2c=block[MAC_KEY_LEN:]))
+    return tuple(out)
 
 
 # -- serialization of full key blocks (client key distribution mode) -----

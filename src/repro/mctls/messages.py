@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.crypto.certs import Certificate
+from repro.mctls.contexts import FieldSchema
+from repro.mctls.keys import MAC_KEY_LEN, FieldKeys
 from repro.tls import messages as tls_msgs
 from repro.wire import DecodeError, Reader, Writer
 
@@ -46,6 +48,39 @@ MODE_DELEGATION = 2  # mdTLS: warrants instead of per-middlebox key dist
 EXT_MCTLS_KEY_TRANSPORT = 0xFF03
 KT_DHE = 0
 KT_RSA = 1
+
+# Record-framing negotiation (ClientHello offer, echoed verbatim in the
+# ServerHello on acceptance).  The body is ``framing_id(1) ||
+# n_schemas(1) || FieldSchema*`` — the client's proposed wire geometry
+# plus the per-field sub-context schemas the compact framing carries.
+# Absent extension (or no ServerHello echo) means the default framing:
+# framing is negotiated, never implied.  Abbreviated (resumption)
+# handshakes never echo it — field keys are distributed in the full
+# handshake's key material flight, which resumption skips.
+EXT_MCTLS_FRAMING = 0xFF04
+
+
+def encode_framing_offer(framing_id: int, schemas: Sequence[FieldSchema]) -> bytes:
+    """Body of the ``EXT_MCTLS_FRAMING`` extension."""
+    w = Writer()
+    w.u8(framing_id)
+    w.u8(len(schemas))
+    for schema in schemas:
+        w.raw(schema.encode())
+    return w.bytes()
+
+
+def decode_framing_offer(data: bytes):
+    """``(framing_id, schemas)`` from an ``EXT_MCTLS_FRAMING`` body."""
+    r = Reader(data)
+    framing_id = r.u8()
+    n_schemas = r.u8()
+    schemas = tuple(FieldSchema.decode_from(r) for _ in range(n_schemas))
+    r.expect_end()
+    seen = [s.context_id for s in schemas]
+    if len(set(seen)) != len(seen):
+        raise DecodeError("duplicate field schema context ids")
+    return framing_id, schemas
 
 
 @dataclass
@@ -174,20 +209,70 @@ class ContextKeyShare:
         )
 
 
-def encode_key_shares(shares: Sequence[ContextKeyShare]) -> bytes:
+# Marker byte introducing the optional field-key block after the context
+# key shares inside a sealed MiddleboxKeyMaterial blob.  When no field
+# keys travel (every default-framing session) the block is absent and
+# the sealed bytes are identical to what the repo produced before the
+# framing seam existed — pinned by the frozen golden transcripts.
+FIELD_KEY_BLOCK = 0xF1
+
+
+def encode_key_shares(
+    shares: Sequence[ContextKeyShare],
+    field_keys=None,
+) -> bytes:
+    """Key-share blob, optionally carrying per-field MAC keys.
+
+    ``field_keys`` maps ``context_id -> {field_index: FieldKeys}`` —
+    only the fields the target middlebox holds a write grant for (for a
+    middlebox target) or every field (for the opposite endpoint's copy).
+    """
     w = Writer()
     w.u8(len(shares))
     for share in shares:
         w.raw(share.encode())
+    if field_keys:
+        w.u8(FIELD_KEY_BLOCK)
+        w.u8(len(field_keys))
+        for context_id in sorted(field_keys):
+            entries = field_keys[context_id]
+            w.u8(context_id)
+            w.u8(len(entries))
+            for index in sorted(entries):
+                fk = entries[index]
+                w.u8(index)
+                w.raw(fk.mac_c2s)
+                w.raw(fk.mac_s2c)
     return w.bytes()
 
 
-def decode_key_shares(data: bytes) -> List[ContextKeyShare]:
+def decode_key_shares_ex(data: bytes):
+    """``(shares, field_keys)`` — the inverse of :func:`encode_key_shares`."""
     r = Reader(data)
     count = r.u8()
     shares = [ContextKeyShare.decode_from(r) for _ in range(count)]
+    field_keys = {}
+    if not r.exhausted:
+        marker = r.u8()
+        if marker != FIELD_KEY_BLOCK:
+            raise DecodeError(f"invalid key share trailer marker 0x{marker:02x}")
+        n_contexts = r.u8()
+        for _ in range(n_contexts):
+            context_id = r.u8()
+            n_entries = r.u8()
+            entries = {}
+            for _ in range(n_entries):
+                index = r.u8()
+                mac_c2s = r.raw(MAC_KEY_LEN)
+                mac_s2c = r.raw(MAC_KEY_LEN)
+                entries[index] = FieldKeys(mac_c2s=mac_c2s, mac_s2c=mac_s2c)
+            field_keys[context_id] = entries
     r.expect_end()
-    return shares
+    return shares, field_keys
+
+
+def decode_key_shares(data: bytes) -> List[ContextKeyShare]:
+    return decode_key_shares_ex(data)[0]
 
 
 @dataclass

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Callable, Dict, List, Optional
 
+from repro import framing as frm
 from repro.core.events import ContextData
 from repro.crypto.certs import verify_chain
 from repro.crypto.fastcipher import KEYSTREAM_POOL
@@ -143,6 +144,11 @@ class McTLSMiddlebox:
         self._flight: Optional[List[bytes]] = None  # framed own messages
         self._c2s_protected = False
         self._s2c_protected = False
+        # Wire framing after the CCS boundary, snooped from the server's
+        # echo of the client's framing offer (the single point on the
+        # path where the negotiated geometry is visible).
+        self._wire_framing: frm.RecordFraming = frm.MCTLS_DEFAULT
+        self._field_schemas: tuple = ()
         self._proc_c2s: Optional[mrec.MiddleboxRecordProcessor] = None
         self._proc_s2c: Optional[mrec.MiddleboxRecordProcessor] = None
         # The burst fast path re-MACs a whole wakeup's worth of records
@@ -194,9 +200,26 @@ class McTLSMiddlebox:
         try:
             if self._burst_capable and self._protected(side):
                 self._receive_burst(side, buf)
-            else:
+            elif self._wire_framing is frm.MCTLS_DEFAULT:
                 for content_type, context_id, fragment, raw in mrec.split_records(buf):
                     self._handle_record(side, content_type, context_id, fragment, raw)
+            else:
+                # A negotiated non-default framing switches at the CCS
+                # boundary, so a buffer can mix framings (default-framed
+                # CCS followed by a compact-framed Finished).  Drain one
+                # record at a time, re-selecting the framing between
+                # records: _handle_record flips the protection flag when
+                # it processes the CCS.
+                while True:
+                    fr = (
+                        self._wire_framing
+                        if self._protected(side)
+                        else frm.MCTLS_DEFAULT
+                    )
+                    item = mrec.split_one(buf, fr)
+                    if item is None:
+                        break
+                    self._handle_record(side, *item)
         except (mrec.McTLSRecordError, DecodeError, CipherError) as exc:
             self.closed = True
             if getattr(exc, "where", None) is None:
@@ -224,7 +247,8 @@ class McTLSMiddlebox:
         framing error surfaces only after every record before it has
         been relayed, matching split_records' sequential order.
         """
-        burst, entries, deferred = mrec.split_burst(buf)
+        fr = self._wire_framing
+        burst, entries, deferred = mrec.split_burst(buf, fr)
         i = 0
         n = len(entries)
         while i < n:
@@ -235,7 +259,7 @@ class McTLSMiddlebox:
                     side,
                     content_type,
                     context_id,
-                    memoryview(raw)[mrec.MCTLS_HEADER_LEN :],
+                    memoryview(raw)[fr.header_len :],
                     raw,
                 )
                 i += 1
@@ -491,8 +515,19 @@ class McTLSMiddlebox:
         self.resumed = bool(self._proposed_session_id) and (
             hello.session_id == self._proposed_session_id
         )
+        framing_ext = hello.find_extension(mm.EXT_MCTLS_FRAMING)
+        if framing_ext is not None and not self.resumed:
+            framing_id, schemas = mm.decode_framing_offer(framing_ext)
+            try:
+                self._wire_framing = frm.framing_by_id(framing_id)
+            except frm.FramingError as exc:
+                raise TLSError(str(exc)) from None
+            self._field_schemas = tuple(schemas)
         self._proc_c2s = mrec.MiddleboxRecordProcessor(self.suite, mk.C2S)
         self._proc_s2c = mrec.MiddleboxRecordProcessor(self.suite, mk.S2C)
+        if self._wire_framing is not frm.MCTLS_DEFAULT:
+            self._proc_c2s.set_framing(self._wire_framing, self._field_schemas)
+            self._proc_s2c.set_framing(self._wire_framing, self._field_schemas)
 
     def _on_server_certificate(self, message: tls_msgs.CertificateMessage) -> None:
         if self.verify_server and self.config.trusted_roots:
@@ -574,11 +609,18 @@ class McTLSMiddlebox:
             if pairwise is None:
                 raise TLSError("key material before pairwise key establishment")
             plaintext = mk.authenc_open(self.suite, pairwise.enc, pairwise.mac, mkm.sealed)
-        shares = {s.context_id: s for s in mm.decode_key_shares(plaintext)}
+        decoded, field_keys = mm.decode_key_shares_ex(plaintext)
+        shares = {s.context_id: s for s in decoded}
         if side is _Side.CLIENT:
             self._client_shares = shares
         else:
             self._server_shares = shares
+        # Field keys ride only the client's key material (they derive
+        # from the endpoint secret, so one distributor suffices); holding
+        # a field's key IS the write grant for that field.
+        for context_id, entries in field_keys.items():
+            self._proc_c2s.install_field_keys(context_id, entries)
+            self._proc_s2c.install_field_keys(context_id, entries)
         self._maybe_install_keys()
 
     def _maybe_install_keys(self) -> None:

@@ -44,7 +44,6 @@ from __future__ import annotations
 
 import hmac as _hmac
 from dataclasses import dataclass
-from struct import Struct
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 try:  # vectorized burst framing; scalar fallback below needs nothing
@@ -52,11 +51,13 @@ try:  # vectorized burst framing; scalar fallback below needs nothing
 except ImportError:  # pragma: no cover - numpy ships with the image
     _np = None
 
+from repro import framing as frm
 from repro.crypto.fastcipher import xor_bytes
 from repro.crypto.hmaccache import hmac_sha256
 from repro.crypto.opcount import current_counter
+from repro.framing import MCTLS_COMPACT, MCTLS_DEFAULT, FramingError, RecordFraming
 from repro.mctls import keys as mk
-from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, Permission
+from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, FieldSchema, Permission
 from repro.recbuf import RecordBuffer
 from repro.tls.ciphersuites import (
     CipherError,
@@ -74,17 +75,17 @@ from repro.tls.record import (
     TLS_VERSION,
 )
 
-MCTLS_HEADER_LEN = 6
-# mcTLS records carry their own version so cross-protocol confusion with
-# plain TLS fails immediately instead of stalling on a misparsed length.
-MCTLS_VERSION = 0xFC03
-MAC_LEN = 32
-MAX_FRAGMENT = MAX_PLAINTEXT + 2048
+# The default mcTLS wire geometry lives in repro.framing; these module
+# constants are aliases kept for the (large) existing import surface.
+MCTLS_HEADER_LEN = MCTLS_DEFAULT.header_len
+MCTLS_VERSION = frm.MCTLS_VERSION
+MAC_LEN = MCTLS_DEFAULT.mac_len
+MAX_FRAGMENT = frm.MAX_FRAGMENT
 
 # type(1) || version(2) || context_id(1) || length(2)
-_WIRE_HEADER = Struct(">BHBH")
+_WIRE_HEADER = MCTLS_DEFAULT.header
 # seq(8) || type(1) || version(2) || context_id(1) || payload_length(2)
-_MAC_PREFIX = Struct(">QBHBH")
+_MAC_PREFIX = MCTLS_DEFAULT.mac_prefix_struct
 
 _compare_digest = _hmac.compare_digest
 
@@ -153,7 +154,9 @@ def encode_header(content_type: int, context_id: int, fragment_len: int) -> byte
     return _WIRE_HEADER.pack(content_type, MCTLS_VERSION, context_id, fragment_len)
 
 
-def split_records(buf: bytearray) -> Iterator[Tuple[int, int, bytes, bytes]]:
+def split_records(
+    buf: bytearray, framing: Optional[RecordFraming] = None
+) -> Iterator[Tuple[int, int, bytes, bytes]]:
     """Consume complete records from ``buf``.
 
     Yields ``(content_type, context_id, fragment, raw_record_bytes)`` and
@@ -162,33 +165,69 @@ def split_records(buf: bytearray) -> Iterator[Tuple[int, int, bytes, bytes]]:
     ``bytes`` copy (safe to retain or forward); ``fragment`` is a
     zero-copy ``memoryview`` into it.  Consumed bytes are reclaimed from
     ``buf`` in one batched deletion when iteration stops (exhaustion,
-    ``break``, or an error on a later record).
+    ``break``, or an error on a later record).  ``framing`` selects the
+    wire geometry (default mcTLS framing when omitted).
     """
+    fr = framing if framing is not None else MCTLS_DEFAULT
+    header_len = fr.header_len
+    parse_header = fr.parse_header
     pos = 0
-    unpack_header = _WIRE_HEADER.unpack_from
     try:
         while True:
-            if len(buf) - pos < MCTLS_HEADER_LEN:
+            if len(buf) - pos < header_len:
                 return
-            content_type, version, context_id, length = unpack_header(buf, pos)
-            if content_type not in CONTENT_TYPES:
-                raise McTLSRecordError(f"invalid content type {content_type}")
-            if version != MCTLS_VERSION:
-                raise McTLSRecordError(f"unsupported record version 0x{version:04x}")
+            try:
+                content_type, context_id, length = parse_header(buf, pos)
+            except FramingError as exc:
+                raise McTLSRecordError(str(exc)) from None
             if length > MAX_FRAGMENT:
                 raise McTLSRecordError("record fragment too long")
-            end = pos + MCTLS_HEADER_LEN + length
+            end = pos + header_len + length
             if len(buf) < end:
                 return
             raw = bytes(buf[pos:end])
             pos = end
-            yield content_type, context_id, memoryview(raw)[MCTLS_HEADER_LEN:], raw
+            yield content_type, context_id, memoryview(raw)[header_len:], raw
     finally:
         if pos:
             del buf[:pos]
 
 
-def _vector_scan(buf: bytearray, total: int, entries: List[Tuple[int, int, int, int]]) -> int:
+def split_one(
+    buf: bytearray, framing: Optional[RecordFraming] = None
+) -> Optional[Tuple[int, int, bytes, bytes]]:
+    """Parse and consume exactly one complete record from ``buf``.
+
+    Returns ``(content_type, context_id, fragment, raw)`` like
+    :func:`split_records`, or ``None`` when the buffer holds no complete
+    record.  This is the stepwise drain middleboxes use on sessions
+    whose negotiated framing differs from the default: the framing may
+    change *between* records (at the ChangeCipherSpec boundary), so the
+    caller must be able to re-select it per record.
+    """
+    fr = framing if framing is not None else MCTLS_DEFAULT
+    if len(buf) < fr.header_len:
+        return None
+    try:
+        content_type, context_id, length = fr.parse_header(buf, 0)
+    except FramingError as exc:
+        raise McTLSRecordError(str(exc)) from None
+    if length > MAX_FRAGMENT:
+        raise McTLSRecordError("record fragment too long")
+    end = fr.header_len + length
+    if len(buf) < end:
+        return None
+    raw = bytes(buf[:end])
+    del buf[:end]
+    return content_type, context_id, memoryview(raw)[fr.header_len :], raw
+
+
+def _vector_scan(
+    buf: bytearray,
+    total: int,
+    entries: List[Tuple[int, int, int, int]],
+    fr: RecordFraming = MCTLS_DEFAULT,
+) -> int:
     """Uniform-stride vectorized header scan for :func:`split_burst`.
 
     Bulk-transfer bursts are overwhelmingly runs of same-size records, so
@@ -198,31 +237,28 @@ def _vector_scan(buf: bytearray, total: int, entries: List[Tuple[int, int, int, 
     trailing partial) record hands control back to the scalar loop, which
     re-parses it from the returned position with full error handling.
     Appends accepted ``(content_type, context_id, start, end)`` entries
-    and returns the resume position (0 when nothing was accepted).
+    and returns the resume position (0 when nothing was accepted).  The
+    fixed-byte offsets/values come from the framing's ``scan_pattern``.
     """
-    content_type, version, context_id, length = _WIRE_HEADER.unpack_from(buf, 0)
-    if (
-        content_type not in CONTENT_TYPES
-        or version != MCTLS_VERSION
-        or length > MAX_FRAGMENT
-    ):
+    try:
+        content_type, _, length = fr.parse_header(buf, 0)
+    except FramingError:
         return 0
-    stride = MCTLS_HEADER_LEN + length
+    if length > MAX_FRAGMENT:
+        return 0
+    stride = fr.header_len + length
     count = total // stride
     if count < 4:
         return 0
     arr = _np.frombuffer(memoryview(buf)[: count * stride], _np.uint8)
-    ok = (
-        (arr[0::stride] == content_type)
-        & (arr[1::stride] == version >> 8)
-        & (arr[2::stride] == version & 0xFF)
-        & (arr[4::stride] == length >> 8)
-        & (arr[5::stride] == length & 0xFF)
-    )
+    offsets, values = fr.scan_pattern(content_type, length)
+    ok = arr[offsets[0] :: stride] == values[0]
+    for offset, value in zip(offsets[1:], values[1:]):
+        ok = ok & (arr[offset::stride] == value)
     good = count if bool(ok.all()) else int(_np.argmin(ok))
     if not good:
         return 0
-    context_ids = arr[3::stride][:good].tolist()
+    context_ids = arr[fr.context_id_offset :: stride][:good].tolist()
     entries.extend(
         (content_type, cid, start, start + stride)
         for cid, start in zip(context_ids, range(0, good * stride, stride))
@@ -230,7 +266,9 @@ def _vector_scan(buf: bytearray, total: int, entries: List[Tuple[int, int, int, 
     return good * stride
 
 
-def split_burst(buf: bytearray) -> Tuple[bytes, List[Tuple[int, int, int, int]], Optional[McTLSRecordError]]:
+def split_burst(
+    buf: bytearray, framing: Optional[RecordFraming] = None
+) -> Tuple[bytes, List[Tuple[int, int, int, int]], Optional[McTLSRecordError]]:
     """Batched :func:`split_records`: parse every complete record at once.
 
     Returns ``(burst, entries, deferred_error)``:
@@ -238,7 +276,8 @@ def split_burst(buf: bytearray) -> Tuple[bytes, List[Tuple[int, int, int, int]],
     * ``burst`` — one immutable ``bytes`` snapshot of the parsed span
       (one copy for the whole burst instead of one per record);
     * ``entries`` — ``(content_type, context_id, start, end)`` *record*
-      offsets into ``burst`` (the fragment is ``burst[start + 6 : end]``);
+      offsets into ``burst`` (the fragment starts ``framing.header_len``
+      bytes after ``start``);
     * ``deferred_error`` — a framing error hit after the last good
       record, for the caller to raise once it has handled ``entries``
       (matching the order :func:`split_records` fails in).
@@ -249,25 +288,25 @@ def split_burst(buf: bytearray) -> Tuple[bytes, List[Tuple[int, int, int, int]],
     bytes are left in ``buf`` exactly as :func:`split_records` leaves
     them.
     """
+    fr = framing if framing is not None else MCTLS_DEFAULT
+    header_len = fr.header_len
+    parse_header = fr.parse_header
     pos = 0
     total = len(buf)
-    unpack_header = _WIRE_HEADER.unpack_from
     entries: List[Tuple[int, int, int, int]] = []
     error: Optional[McTLSRecordError] = None
-    if _np is not None and total >= 4 * MCTLS_HEADER_LEN:
-        pos = _vector_scan(buf, total, entries)
-    while total - pos >= MCTLS_HEADER_LEN:
-        content_type, version, context_id, length = unpack_header(buf, pos)
-        if content_type not in CONTENT_TYPES:
-            error = McTLSRecordError(f"invalid content type {content_type}")
-            break
-        if version != MCTLS_VERSION:
-            error = McTLSRecordError(f"unsupported record version 0x{version:04x}")
+    if _np is not None and total >= 4 * header_len:
+        pos = _vector_scan(buf, total, entries, fr)
+    while total - pos >= header_len:
+        try:
+            content_type, context_id, length = parse_header(buf, pos)
+        except FramingError as exc:
+            error = McTLSRecordError(str(exc))
             break
         if length > MAX_FRAGMENT:
             error = McTLSRecordError("record fragment too long")
             break
-        end = pos + MCTLS_HEADER_LEN + length
+        end = pos + header_len + length
         if end > total:
             break
         entries.append((content_type, context_id, pos, end))
@@ -320,6 +359,14 @@ class McTLSRecordLayer:
         self._read_ctx_state: Dict[int, tuple] = {}
         self._write_ep_state: Optional[tuple] = None
         self._read_ep_state: Optional[tuple] = None
+        # Negotiated wire framing (applies to protected records only; the
+        # handshake and ChangeCipherSpec always use the default framing)
+        # plus per-context field schemas and field MAC keys/contexts.
+        self._framing: RecordFraming = MCTLS_DEFAULT
+        self._field_schemas: Dict[int, FieldSchema] = {}
+        self._field_keys: Dict[int, tuple] = {}
+        self._field_write_ctx: Dict[int, tuple] = {}
+        self._field_read_ctx: Dict[int, tuple] = {}
 
     # -- direction helpers ----------------------------------------------
 
@@ -353,6 +400,36 @@ class McTLSRecordLayer:
         self._read_ctx_state.clear()
         self._write_ep_state = None
         self._read_ep_state = None
+        self._field_write_ctx.clear()
+        self._field_read_ctx.clear()
+
+    # -- framing ----------------------------------------------------------
+
+    @property
+    def framing(self) -> RecordFraming:
+        return self._framing
+
+    def set_framing(
+        self,
+        framing: RecordFraming,
+        schemas=(),
+        field_keys: Optional[Dict[int, tuple]] = None,
+    ) -> None:
+        """Adopt a negotiated wire framing.
+
+        Takes effect for protected records only: everything before the
+        ChangeCipherSpec boundary — and the ChangeCipherSpec itself —
+        stays default-framed, exactly like cipher activation.
+        ``schemas`` are the session's :class:`FieldSchema` declarations;
+        ``field_keys`` maps context id → tuple of
+        :class:`~repro.mctls.keys.FieldKeys` in schema field order (an
+        endpoint holds every field key).
+        """
+        self._framing = framing
+        self._field_schemas = {s.context_id: s for s in schemas}
+        self._field_keys = dict(field_keys or {})
+        self._field_write_ctx.clear()
+        self._field_read_ctx.clear()
 
     def activate_write(self) -> None:
         if self.endpoint_keys is None or self.suite is None:
@@ -417,36 +494,70 @@ class McTLSRecordLayer:
     def _encode_one(self, content_type: int, context_id: int, payload) -> bytes:
         if content_type == CHANGE_CIPHER_SPEC or not self._write_protected:
             fragment = payload if type(payload) is bytes else bytes(payload)
+            fr = MCTLS_DEFAULT
         elif context_id == ENDPOINT_CONTEXT_ID:
-            fragment = self._protect_endpoint(content_type, payload)
+            fr = self._framing
+            fragment = self._protect_endpoint(fr, content_type, payload)
         else:
-            fragment = self._protect_context(content_type, context_id, payload)
-        return (
-            _WIRE_HEADER.pack(content_type, MCTLS_VERSION, context_id, len(fragment))
-            + fragment
-        )
+            fr = self._framing
+            fragment = self._protect_context(fr, content_type, context_id, payload)
+        return fr.pack_header(content_type, context_id, len(fragment)) + fragment
 
-    def _protect_endpoint(self, content_type: int, payload) -> bytes:
+    def _protect_endpoint(self, fr: RecordFraming, content_type: int, payload) -> bytes:
         cipher, mac_ctx = self._endpoint_state(write=True)
         seq = self._write_seq
         self._write_seq = seq + 1
-        prefix = _MAC_PREFIX.pack(
-            seq, content_type, MCTLS_VERSION, ENDPOINT_CONTEXT_ID, len(payload)
-        )
-        mac = mac_ctx.digest(prefix, payload)
+        prefix = fr.pack_mac_prefix(seq, content_type, ENDPOINT_CONTEXT_ID, len(payload))
+        mac = mac_ctx.digest(prefix, payload)[: fr.mac_len]
         return cipher.encrypt(b"".join((payload, mac)))
 
-    def _protect_context(self, content_type: int, context_id: int, payload) -> bytes:
-        cipher, ep_mac, wr_mac, rd_mac = self._context_state(context_id, write=True)
+    def _protect_context(
+        self, fr: RecordFraming, content_type: int, context_id: int, payload
+    ) -> bytes:
+        cipher, _, _, _ = self._context_state(context_id, write=True)
         seq = self._write_seq
         self._write_seq = seq + 1
-        prefix = _MAC_PREFIX.pack(
-            seq, content_type, MCTLS_VERSION, context_id, len(payload)
+        return cipher.encrypt(
+            self._context_plaintext(fr, seq, content_type, context_id, payload)
         )
-        endpoint_mac = ep_mac.digest(prefix, payload)
-        writer_mac = wr_mac.digest(prefix, payload)
-        reader_mac = rd_mac.digest(prefix, payload)
-        return cipher.encrypt(b"".join((payload, endpoint_mac, writer_mac, reader_mac)))
+
+    def _context_plaintext(
+        self, fr: RecordFraming, seq: int, content_type: int, context_id: int, payload
+    ) -> bytes:
+        """``payload || MAC trailer`` for an application-context record
+        (shared by the sequential and batched encode paths)."""
+        _, ep_mac, wr_mac, rd_mac = self._context_state(context_id, write=True)
+        prefix = fr.pack_mac_prefix(seq, content_type, context_id, len(payload))
+        m = fr.mac_len
+        parts = [
+            payload,
+            ep_mac.digest(prefix, payload)[:m],
+            wr_mac.digest(prefix, payload)[:m],
+            rd_mac.digest(prefix, payload)[:m],
+        ]
+        if fr.field_macs:
+            schema = self._field_schemas.get(context_id)
+            if schema is not None:
+                ctxs = self._field_mac_contexts(context_id, write=True)
+                parts.extend(
+                    ctx.digest(prefix + bytes((index,)), field_def.slice(payload))[:m]
+                    for index, (field_def, ctx) in enumerate(zip(schema.fields, ctxs))
+                )
+        return b"".join(parts)
+
+    def _field_mac_contexts(self, context_id: int, write: bool) -> tuple:
+        """Cached per-field MAC contexts for one direction of a context."""
+        cache = self._field_write_ctx if write else self._field_read_ctx
+        ctxs = cache.get(context_id)
+        if ctxs is None:
+            keys = self._field_keys.get(context_id)
+            if not keys:
+                raise McTLSRecordError(f"no field keys for context {context_id}")
+            direction = self._write_dir if write else self._read_dir
+            ctxs = cache[context_id] = tuple(
+                self.suite.mac_context(fk.mac_for_direction(direction)) for fk in keys
+            )
+        return ctxs
 
     def _next_write_seq(self) -> int:
         seq = self._write_seq
@@ -486,12 +597,14 @@ class McTLSRecordLayer:
                     pending.append(
                         (content_type, context_id, view[offset : offset + MAX_PLAINTEXT])
                     )
+        fr = self._framing
         protect_items = []  # (cipher, payload || MACs) in record order
-        metas = []  # (content_type, context_id, raw_fragment_or_None)
+        metas = []  # (framing, content_type, context_id, raw_fragment_or_None)
         for content_type, context_id, payload in pending:
             if content_type == CHANGE_CIPHER_SPEC:
                 metas.append(
                     (
+                        MCTLS_DEFAULT,
                         content_type,
                         context_id,
                         payload if type(payload) is bytes else bytes(payload),
@@ -501,35 +614,25 @@ class McTLSRecordLayer:
             if context_id == ENDPOINT_CONTEXT_ID:
                 cipher, mac_ctx = self._endpoint_state(write=True)
                 seq = self._next_write_seq()
-                prefix = _MAC_PREFIX.pack(
-                    seq, content_type, MCTLS_VERSION, ENDPOINT_CONTEXT_ID, len(payload)
-                )
-                plaintext = b"".join((payload, mac_ctx.digest(prefix, payload)))
-            else:
-                cipher, ep_mac, wr_mac, rd_mac = self._context_state(
-                    context_id, write=True
-                )
-                seq = self._next_write_seq()
-                prefix = _MAC_PREFIX.pack(
-                    seq, content_type, MCTLS_VERSION, context_id, len(payload)
+                prefix = fr.pack_mac_prefix(
+                    seq, content_type, ENDPOINT_CONTEXT_ID, len(payload)
                 )
                 plaintext = b"".join(
-                    (
-                        payload,
-                        ep_mac.digest(prefix, payload),
-                        wr_mac.digest(prefix, payload),
-                        rd_mac.digest(prefix, payload),
-                    )
+                    (payload, mac_ctx.digest(prefix, payload)[: fr.mac_len])
                 )
-            metas.append((content_type, context_id, None))
+            else:
+                cipher = self._context_state(context_id, write=True)[0]
+                seq = self._next_write_seq()
+                plaintext = self._context_plaintext(
+                    fr, seq, content_type, context_id, payload
+                )
+            metas.append((fr, content_type, context_id, None))
             protect_items.append((cipher, plaintext))
         fragments = iter(stream_encrypt_batch(protect_items))
         parts = []
-        for content_type, context_id, raw in metas:
+        for meta_fr, content_type, context_id, raw in metas:
             fragment = raw if raw is not None else next(fragments)
-            parts.append(
-                _WIRE_HEADER.pack(content_type, MCTLS_VERSION, context_id, len(fragment))
-            )
+            parts.append(meta_fr.pack_header(content_type, context_id, len(fragment)))
             parts.append(fragment)
         return b"".join(parts)
 
@@ -540,20 +643,22 @@ class McTLSRecordLayer:
 
     def read_record(self) -> Optional[UnprotectedRecord]:
         buf = self._inbuf
-        if len(buf) < MCTLS_HEADER_LEN:
+        # Re-selected per record: a buffer can hold a (default-framed)
+        # ChangeCipherSpec followed by records in the negotiated framing,
+        # and the consumer activates read protection between the two.
+        fr = self._framing if self._read_protected else MCTLS_DEFAULT
+        header_len = fr.header_len
+        if len(buf) < header_len:
             return None
-        content_type, version, context_id, length = _WIRE_HEADER.unpack_from(
-            buf.data, buf.pos
-        )
-        if content_type not in CONTENT_TYPES:
-            raise McTLSRecordError(f"invalid content type {content_type}")
-        if version != MCTLS_VERSION:
-            raise McTLSRecordError(f"unsupported record version 0x{version:04x}")
+        try:
+            content_type, context_id, length = fr.parse_header(buf.data, buf.pos)
+        except FramingError as exc:
+            raise McTLSRecordError(str(exc)) from None
         if length > MAX_FRAGMENT:
             raise McTLSRecordError("record fragment too long")
-        if len(buf) < MCTLS_HEADER_LEN + length:
+        if len(buf) < header_len + length:
             return None
-        buf.consume(MCTLS_HEADER_LEN)
+        buf.consume(header_len)
         fragment = buf.take(length)
         return self._unprotect(content_type, context_id, fragment)
 
@@ -598,20 +703,20 @@ class McTLSRecordLayer:
         invalidating the parsed offsets.
         """
         buf = self._inbuf
+        # Burst planning only runs with read protection active, so the
+        # negotiated framing applies for the whole plan.
+        fr = self._framing
+        header_len = fr.header_len
         data, start = buf.data, buf.pos
         total = len(data)
         pos = start
         entries = []
         error = None
-        while total - pos >= MCTLS_HEADER_LEN:
-            content_type, version, context_id, length = _WIRE_HEADER.unpack_from(
-                data, pos
-            )
-            if content_type not in CONTENT_TYPES:
-                error = McTLSRecordError(f"invalid content type {content_type}")
-                break
-            if version != MCTLS_VERSION:
-                error = McTLSRecordError(f"unsupported record version 0x{version:04x}")
+        while total - pos >= header_len:
+            try:
+                content_type, context_id, length = fr.parse_header(data, pos)
+            except FramingError as exc:
+                error = McTLSRecordError(str(exc))
                 break
             if length > MAX_FRAGMENT:
                 error = McTLSRecordError("record fragment too long")
@@ -624,11 +729,11 @@ class McTLSRecordLayer:
                 # records against pre-transition state.  They end the
                 # plan and take the sequential path.
                 break
-            end = pos + MCTLS_HEADER_LEN + length
+            end = pos + header_len + length
             if end > total:
                 break
             entries.append(
-                (content_type, context_id, pos + MCTLS_HEADER_LEN - start, end - start)
+                (content_type, context_id, pos + header_len - start, end - start)
             )
             pos = end
         if len(entries) < 2:
@@ -701,15 +806,17 @@ class McTLSRecordLayer:
         """Verify a decrypted endpoint-context record (shared by both
         the sequential and batched read paths, so MAC coverage and error
         attribution can never drift between them)."""
+        fr = self._framing
+        m = fr.mac_len
         _, mac_ctx = self._endpoint_state(write=False)
-        if len(plaintext) < MAC_LEN:
+        if len(plaintext) < m:
             raise McTLSRecordError("record shorter than its MAC")
-        payload, mac = plaintext[:-MAC_LEN], plaintext[-MAC_LEN:]
+        payload, mac = plaintext[:-m], plaintext[-m:]
         seq = self._next_read_seq()
-        prefix = _MAC_PREFIX.pack(
-            seq, content_type, MCTLS_VERSION, ENDPOINT_CONTEXT_ID, len(payload)
+        prefix = fr.pack_mac_prefix(
+            seq, content_type, ENDPOINT_CONTEXT_ID, len(payload)
         )
-        if not _compare_digest(mac, mac_ctx.digest(prefix, payload)):
+        if not _compare_digest(mac, mac_ctx.digest(prefix, payload)[:m]):
             raise MacVerificationError(
                 "endpoint MAC verification failed",
                 mac=MAC_ENDPOINTS,
@@ -734,17 +841,21 @@ class McTLSRecordLayer:
     ) -> UnprotectedRecord:
         """Verify a decrypted application-context record (shared by both
         the sequential and batched read paths)."""
+        fr = self._framing
+        m = fr.mac_len
         _, ep_mac, wr_mac, _rd_mac = self._context_state(context_id, write=False)
-        if len(plaintext) < 3 * MAC_LEN:
+        schema = self._field_schemas.get(context_id) if fr.field_macs else None
+        n_fields = len(schema.fields) if schema is not None else 0
+        trailer = (3 + n_fields) * m
+        if len(plaintext) < trailer:
             raise McTLSRecordError("record shorter than its three MACs")
-        payload = plaintext[: -3 * MAC_LEN]
-        endpoint_mac = plaintext[-3 * MAC_LEN : -2 * MAC_LEN]
-        writer_mac = plaintext[-2 * MAC_LEN : -MAC_LEN]
+        base = len(plaintext) - trailer
+        payload = plaintext[:base]
+        endpoint_mac = plaintext[base : base + m]
+        writer_mac = plaintext[base + m : base + 2 * m]
         seq = self._next_read_seq()
-        prefix = _MAC_PREFIX.pack(
-            seq, content_type, MCTLS_VERSION, context_id, len(payload)
-        )
-        if not _compare_digest(writer_mac, wr_mac.digest(prefix, payload)):
+        prefix = fr.pack_mac_prefix(seq, content_type, context_id, len(payload))
+        if not _compare_digest(writer_mac, wr_mac.digest(prefix, payload)[:m]):
             raise MacVerificationError(
                 f"writer MAC verification failed on context {context_id} "
                 "(illegal modification)",
@@ -753,8 +864,31 @@ class McTLSRecordLayer:
                 context_id=context_id,
                 seq=seq,
             )
+        if n_fields:
+            # Per-field sub-contexts: each field MAC must verify under its
+            # own key.  A record-level writer that modified a field it was
+            # not granted passes the writer MAC (it holds K_writers) but
+            # cannot refresh that field's MAC — detected and attributed
+            # here, to the field.
+            ctxs = self._field_mac_contexts(context_id, write=False)
+            for index, (field_def, fctx) in enumerate(zip(schema.fields, ctxs)):
+                offset = base + (3 + index) * m
+                field_mac = plaintext[offset : offset + m]
+                expected = fctx.digest(
+                    prefix + bytes((index,)), field_def.slice(payload)
+                )[:m]
+                if not _compare_digest(field_mac, expected):
+                    raise MacVerificationError(
+                        f"field MAC verification failed on field "
+                        f"{field_def.name!r} of context {context_id} "
+                        "(unauthorized field modification)",
+                        mac=f"field:{field_def.name}",
+                        where="endpoint",
+                        context_id=context_id,
+                        seq=seq,
+                    )
         legally_modified = not _compare_digest(
-            endpoint_mac, ep_mac.digest(prefix, payload)
+            endpoint_mac, ep_mac.digest(prefix, payload)[:m]
         )
         return UnprotectedRecord(
             content_type, context_id, payload, legally_modified=legally_modified
@@ -785,6 +919,7 @@ class OpenedRecord(NamedTuple):
     writer_mac: bytes = b""
     reader_mac: bytes = b""
     seq: int = 0
+    field_macs: tuple = ()  # per-field MACs (compact framing), schema order
 
 
 class MiddleboxRecordProcessor:
@@ -811,12 +946,43 @@ class MiddleboxRecordProcessor:
         # permission / no keys / endpoint context) so the per-record cost
         # of a pass-through context is a single dict lookup.
         self._open_state: Dict[int, Optional[tuple]] = {}
+        # Negotiated wire framing for this (always post-CCS) direction,
+        # field schemas, and MAC contexts for the granted fields only.
+        self.framing: RecordFraming = MCTLS_DEFAULT
+        self._field_schemas: Dict[int, FieldSchema] = {}
+        self._field_keys: Dict[int, Dict[int, mk.FieldKeys]] = {}
+        self._field_ctx: Dict[int, Dict[int, object]] = {}
 
     def install(self, context_id: int, permission: Permission, keys: Optional[mk.ContextKeys]) -> None:
         self.permissions[context_id] = permission
         if keys is not None:
             self.context_keys[context_id] = keys
         self._open_state.pop(context_id, None)
+
+    def set_framing(self, framing: RecordFraming, schemas=()) -> None:
+        """Adopt the session's negotiated framing and field schemas."""
+        self.framing = framing
+        self._field_schemas = {s.context_id: s for s in schemas}
+        self._field_ctx.clear()
+
+    def install_field_keys(self, context_id: int, keys: Dict[int, mk.FieldKeys]) -> None:
+        """Install MAC keys for the fields this middlebox was granted.
+
+        ``keys`` maps field index → :class:`~repro.mctls.keys.FieldKeys`;
+        a middlebox only ever receives keys for fields it may write, so
+        holding a key *is* the write grant.
+        """
+        self._field_keys.setdefault(context_id, {}).update(keys)
+        self._field_ctx.pop(context_id, None)
+
+    def _field_mac_contexts(self, context_id: int) -> Dict[int, object]:
+        ctxs = self._field_ctx.get(context_id)
+        if ctxs is None:
+            ctxs = self._field_ctx[context_id] = {
+                index: self.suite.mac_context(fk.mac_for_direction(self.direction))
+                for index, fk in self._field_keys.get(context_id, {}).items()
+            }
+        return ctxs
 
     def activate(self) -> None:
         """Start counting sequence numbers (at the CCS boundary)."""
@@ -975,11 +1141,14 @@ class MiddleboxRecordProcessor:
         MAC attribution, and failure position match :meth:`open_burst`
         exactly.
         """
+        fr = self.framing
+        hlen = fr.header_len
+        m = fr.mac_len
         n = len(entries)
         if n == 0:
             return
         ct0, cid0, s0, e0 = entries[0]
-        length = e0 - s0 - MCTLS_HEADER_LEN
+        length = e0 - s0 - hlen
         if (
             _np is not None
             and n >= 4
@@ -996,8 +1165,8 @@ class MiddleboxRecordProcessor:
             # framing: every grid-aligned header must repeat record 0's
             # type, context and length (version was already validated by
             # split_burst for each parsed record).
-            expected = (ct0, cid0, length >> 8, length & 0xFF)
-            if bool((arr[:, [0, 3, 4, 5]] == expected).all()):
+            offsets, expected = fr.grid_pattern(ct0, cid0, length)
+            if bool((arr[:, list(offsets)] == expected).all()):
                 state = self._open_state.get(cid0, _MISSING_STATE)
                 if state is _MISSING_STATE:
                     state = self._build_open_state(cid0)
@@ -1010,24 +1179,27 @@ class MiddleboxRecordProcessor:
                 counter = current_counter()
                 if counter is not None:
                     counter.add("sym_decrypt", n)
+                schema = self._field_schemas.get(cid0) if fr.field_macs else None
+                n_fields = len(schema.fields) if schema is not None else 0
+                trailer = (3 + n_fields) * m
                 body_size = length - 16
-                if body_size < 3 * MAC_LEN:
-                    # Shorter than the three MACs: the generic loop
+                if body_size < trailer:
+                    # Shorter than the MAC trailer: the generic loop
                     # raises per record with the exact sequential error.
                     finish = self._finish_open
                     for i in range(n):
                         yield finish(ct0, cid0, seq + i, state, b"")
                     return
-                nonces = arr[:, MCTLS_HEADER_LEN : MCTLS_HEADER_LEN + 16].tobytes()
+                nonces = arr[:, hlen : hlen + 16].tobytes()
                 cipher = state[0]
                 ks_arr = cipher.stream_grid_arr(nonces, n, body_size)
                 if ks_arr is not None:
                     # Fused decrypt: XOR the keystream view straight
                     # against the strided wire bodies — no packed bodies
                     # buffer, no keystream bytes, one plaintext alloc.
-                    plain = (arr[:, MCTLS_HEADER_LEN + 16 :] ^ ks_arr).tobytes()
+                    plain = (arr[:, hlen + 16 :] ^ ks_arr).tobytes()
                 else:
-                    bodies = arr[:, MCTLS_HEADER_LEN + 16 :].tobytes()
+                    bodies = arr[:, hlen + 16 :].tobytes()
                     ks = cipher.stream_grid(nonces, n, body_size)
                     plain = xor_bytes(bodies, ks, n * body_size)
                 # Inlined uniform-burst twin of :meth:`_finish_open`:
@@ -1037,7 +1209,7 @@ class MiddleboxRecordProcessor:
                 # the burst plaintext.
                 _, wr_mac, rd_mac, can_write, permission = state
                 digest = wr_mac.digest2 if can_write else rd_mac.digest2
-                payload_len = body_size - 3 * MAC_LEN
+                payload_len = body_size - trailer
                 # All n MAC prefixes in one vectorized build: only the
                 # 8-byte sequence number varies record to record.
                 pre = _np.empty((n, 14), dtype=_np.uint8)
@@ -1048,7 +1220,7 @@ class MiddleboxRecordProcessor:
                     .reshape(n, 8)
                 )
                 pre[:, 8:] = _np.frombuffer(
-                    _MAC_PREFIX.pack(0, ct0, MCTLS_VERSION, cid0, payload_len)[8:],
+                    fr.pack_mac_prefix(0, ct0, cid0, payload_len)[8:],
                     dtype=_np.uint8,
                 )
                 prefixes = pre.tobytes()
@@ -1056,15 +1228,16 @@ class MiddleboxRecordProcessor:
                 poff = 0
                 for i in range(n):
                     end = off + body_size
-                    payload = plain[off : end - 3 * MAC_LEN]
+                    base = off + payload_len
+                    payload = plain[off:base]
                     prefix = prefixes[poff : poff + 14]
                     poff += 14
-                    endpoint_mac = plain[end - 3 * MAC_LEN : end - 2 * MAC_LEN]
-                    writer_mac = plain[end - 2 * MAC_LEN : end - MAC_LEN]
-                    reader_mac = plain[end - MAC_LEN : end]
+                    endpoint_mac = plain[base : base + m]
+                    writer_mac = plain[base + m : base + 2 * m]
+                    reader_mac = plain[base + 2 * m : base + 3 * m]
                     if not _compare_digest(
                         writer_mac if can_write else reader_mac,
-                        digest(prefix, payload),
+                        digest(prefix, payload)[:m],
                     ):
                         if can_write:
                             raise MacVerificationError(
@@ -1083,6 +1256,14 @@ class MiddleboxRecordProcessor:
                             context_id=cid0,
                             seq=seq + i,
                         )
+                    field_macs = (
+                        tuple(
+                            plain[base + (3 + j) * m : base + (4 + j) * m]
+                            for j in range(n_fields)
+                        )
+                        if n_fields
+                        else ()
+                    )
                     yield OpenedRecord(
                         ct0,
                         cid0,
@@ -1092,12 +1273,13 @@ class MiddleboxRecordProcessor:
                         writer_mac,
                         reader_mac,
                         seq + i,
+                        field_macs,
                     )
                     off = end
                 return
         view = memoryview(burst)
         yield from self.open_burst(
-            (ct, cid, view[s + MCTLS_HEADER_LEN : e]) for ct, cid, s, e in entries
+            (ct, cid, view[s + hlen : e]) for ct, cid, s, e in entries
         )
 
     def _finish_open(
@@ -1110,22 +1292,30 @@ class MiddleboxRecordProcessor:
     ) -> OpenedRecord:
         """Verify a decrypted record (shared by :meth:`open_record` and
         :meth:`open_burst`, so MAC attribution can never drift)."""
+        fr = self.framing
+        m = fr.mac_len
         _, wr_mac, rd_mac, can_write, permission = state
-        if len(plaintext) < 3 * MAC_LEN:
+        schema = self._field_schemas.get(context_id) if fr.field_macs else None
+        n_fields = len(schema.fields) if schema is not None else 0
+        trailer = (3 + n_fields) * m
+        if len(plaintext) < trailer:
             raise McTLSRecordError("record shorter than its three MACs")
         # bytes() wraps so both bytes and memoryview plaintexts (the
         # batched decrypt hands out views of one shared buffer) produce
         # self-contained, concatenation-safe fields.
-        payload = bytes(plaintext[: -3 * MAC_LEN])
-        endpoint_mac = bytes(plaintext[-3 * MAC_LEN : -2 * MAC_LEN])
-        writer_mac = bytes(plaintext[-2 * MAC_LEN : -MAC_LEN])
-        reader_mac = bytes(plaintext[-MAC_LEN:])
-        prefix = _MAC_PREFIX.pack(
-            seq, content_type, MCTLS_VERSION, context_id, len(payload)
+        base = len(plaintext) - trailer
+        payload = bytes(plaintext[:base])
+        endpoint_mac = bytes(plaintext[base : base + m])
+        writer_mac = bytes(plaintext[base + m : base + 2 * m])
+        reader_mac = bytes(plaintext[base + 2 * m : base + 3 * m])
+        field_macs = tuple(
+            bytes(plaintext[base + (3 + j) * m : base + (4 + j) * m])
+            for j in range(n_fields)
         )
+        prefix = fr.pack_mac_prefix(seq, content_type, context_id, len(payload))
 
         if can_write:
-            if not _compare_digest(writer_mac, wr_mac.digest(prefix, payload)):
+            if not _compare_digest(writer_mac, wr_mac.digest(prefix, payload)[:m]):
                 raise MacVerificationError(
                     "writer MAC verification failed at middlebox (illegal modification)",
                     mac=MAC_WRITERS,
@@ -1134,7 +1324,7 @@ class MiddleboxRecordProcessor:
                     seq=seq,
                 )
         else:
-            if not _compare_digest(reader_mac, rd_mac.digest(prefix, payload)):
+            if not _compare_digest(reader_mac, rd_mac.digest(prefix, payload)[:m]):
                 raise MacVerificationError(
                     "reader MAC verification failed at middlebox "
                     "(third-party modification)",
@@ -1152,6 +1342,7 @@ class MiddleboxRecordProcessor:
             writer_mac,
             reader_mac,
             seq,
+            field_macs,
         )
 
     def rebuild_record(self, opened: OpenedRecord, new_payload: bytes) -> bytes:
@@ -1159,27 +1350,67 @@ class MiddleboxRecordProcessor:
 
         Only legal for contexts this middlebox can write.  The original
         ``MAC_endpoints`` is forwarded untouched; writer and reader MACs
-        are regenerated over the new payload.
+        are regenerated over the new payload.  Under a field-MAC framing,
+        only fields this middlebox holds keys for are re-MACed — the
+        other field MACs are forwarded as received, so a write outside
+        the granted fields leaves a stale MAC the endpoint detects.
         """
+        fr = self.framing
+        m = fr.mac_len
         cipher, wr_mac, rd_mac = self._rebuild_state(opened.context_id)
-        prefix = _MAC_PREFIX.pack(
-            opened.seq,
-            opened.content_type,
-            MCTLS_VERSION,
-            opened.context_id,
-            len(new_payload),
+        prefix = fr.pack_mac_prefix(
+            opened.seq, opened.content_type, opened.context_id, len(new_payload)
         )
-        writer_mac = wr_mac.digest(prefix, new_payload)
-        reader_mac = rd_mac.digest(prefix, new_payload)
-        fragment = cipher.encrypt(
-            b"".join((new_payload, opened.endpoint_mac, writer_mac, reader_mac))
+        writer_mac = wr_mac.digest(prefix, new_payload)[:m]
+        reader_mac = rd_mac.digest(prefix, new_payload)[:m]
+        parts = [
+            new_payload,
+            opened.endpoint_mac[:m],
+            writer_mac,
+            reader_mac,
+        ]
+        parts.extend(
+            self._field_trailer(fr, prefix, opened.context_id, new_payload, opened)
         )
+        fragment = cipher.encrypt(b"".join(parts))
         return (
-            _WIRE_HEADER.pack(
-                opened.content_type, MCTLS_VERSION, opened.context_id, len(fragment)
-            )
+            fr.pack_header(opened.content_type, opened.context_id, len(fragment))
             + fragment
         )
+
+    def _field_trailer(
+        self,
+        fr: RecordFraming,
+        prefix: bytes,
+        context_id: int,
+        payload: bytes,
+        opened: OpenedRecord,
+    ) -> List[bytes]:
+        """Field-MAC trailer slots for a rebuilt record.
+
+        Fields this middlebox holds keys for are recomputed over the new
+        payload; the rest forward ``opened.field_macs`` untouched — if the
+        rewrite changed those bytes, the stale MAC is exactly the signal
+        the receiving endpoint uses to detect the unauthorized field
+        write.
+        """
+        schema = self._field_schemas.get(context_id) if fr.field_macs else None
+        if schema is None:
+            return []
+        m = fr.mac_len
+        ctxs = self._field_mac_contexts(context_id)
+        parts = []
+        for index, field_def in enumerate(schema.fields):
+            ctx = ctxs.get(index)
+            if ctx is not None:
+                parts.append(
+                    ctx.digest(prefix + bytes((index,)), field_def.slice(payload))[:m]
+                )
+            elif index < len(opened.field_macs):
+                parts.append(opened.field_macs[index])
+            else:
+                parts.append(b"\x00" * m)
+        return parts
 
     def _rebuild_state(self, context_id: int) -> tuple:
         """(cipher, writer_mac_ctx, reader_mac_ctx) for re-protecting."""
@@ -1221,9 +1452,11 @@ class MiddleboxRecordProcessor:
         """
         if not self.suite.stream:
             return [self.rebuild_record(o, p) for o, p in pairs]
+        fr = self.framing
+        m = fr.mac_len
         protect_items = []
         headers = []
-        pack = _MAC_PREFIX.pack
+        pack = fr.pack_mac_prefix
         state_cid = -1
         cipher = wr_mac = rd_mac = None
         for opened, new_payload in pairs:
@@ -1231,26 +1464,23 @@ class MiddleboxRecordProcessor:
                 state_cid = opened.context_id
                 cipher, wr_mac, rd_mac = self._rebuild_state(state_cid)
             prefix = pack(
-                opened.seq,
-                opened.content_type,
-                MCTLS_VERSION,
-                opened.context_id,
-                len(new_payload),
+                opened.seq, opened.content_type, opened.context_id, len(new_payload)
             )
-            writer_mac = wr_mac.digest2(prefix, new_payload)
-            reader_mac = rd_mac.digest2(prefix, new_payload)
-            protect_items.append(
-                (
-                    cipher,
-                    b"".join(
-                        (new_payload, opened.endpoint_mac, writer_mac, reader_mac)
-                    ),
-                )
+            writer_mac = wr_mac.digest2(prefix, new_payload)[:m]
+            reader_mac = rd_mac.digest2(prefix, new_payload)[:m]
+            parts = [
+                new_payload,
+                opened.endpoint_mac[:m],
+                writer_mac,
+                reader_mac,
+            ]
+            parts.extend(
+                self._field_trailer(fr, prefix, state_cid, new_payload, opened)
             )
+            protect_items.append((cipher, b"".join(parts)))
             headers.append((opened.content_type, opened.context_id))
         fragments = stream_encrypt_batch(protect_items)
         return [
-            _WIRE_HEADER.pack(content_type, MCTLS_VERSION, context_id, len(fragment))
-            + fragment
+            fr.pack_header(content_type, context_id, len(fragment)) + fragment
             for (content_type, context_id), fragment in zip(headers, fragments)
         ]

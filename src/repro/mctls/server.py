@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Callable, Dict, Optional, Sequence
 
+from repro import framing as frm
 from repro.crypto.certs import Certificate, verify_chain
 from repro.crypto.dh import DHKeyPair
 from repro.mctls import keys as mk
@@ -101,6 +102,15 @@ class McTLSServer(ms.McTLSConnectionBase):
         self._writer_halves: Dict[int, bytes] = {}
         self._client_reader_halves: Dict[int, bytes] = {}
         self._client_writer_halves: Dict[int, bytes] = {}
+        # Record-framing negotiation: a valid ClientHello offer is
+        # accepted by echoing it verbatim in the ServerHello; resumed
+        # sessions always fall back to the default framing (field keys
+        # travel only in the full handshake's key material flight).
+        self.negotiated_framing = frm.MCTLS_DEFAULT
+        self._field_schemas: Sequence = ()
+        self._framing_echo: Optional[bytes] = None
+        # context_id -> per-field-index FieldKeys (tuple, schema order).
+        self._field_keys: Dict[int, tuple] = {}
 
     # -- message handling -----------------------------------------------------
 
@@ -175,6 +185,17 @@ class McTLSServer(ms.McTLSConnectionBase):
                 self.key_transport = ms.KeyTransport(kt_ext[0])
             except ValueError:
                 raise TLSError(f"unknown key transport {kt_ext[0]}") from None
+        framing_ext = hello.find_extension(mm.EXT_MCTLS_FRAMING)
+        offered_framing = None
+        offered_schemas = ()
+        if framing_ext is not None:
+            framing_id, offered_schemas = mm.decode_framing_offer(framing_ext)
+            try:
+                offered_framing = frm.framing_by_id(framing_id)
+            except frm.FramingError as exc:
+                raise TLSError(str(exc)) from None
+            if not offered_framing.carries_context_id:
+                raise TLSError("offered framing cannot carry mcTLS records")
         self.topology = SessionTopology.decode(ext)
         self.approved_topology = (
             self.topology_policy(self.topology)
@@ -212,12 +233,21 @@ class McTLSServer(ms.McTLSConnectionBase):
         if self._session_cache is not None and self._session_cacheable():
             self._session_id = new_session_id()
 
+        extensions = [(mm.EXT_MCTLS_MODE, bytes([int(self.mode)]))]
+        if offered_framing is not None and offered_framing is not frm.MCTLS_DEFAULT:
+            # Accept by echoing the offer verbatim — the echo is also the
+            # single point on the path where middleboxes learn the
+            # session's framing and field schemas.
+            self.negotiated_framing = offered_framing
+            self._field_schemas = offered_schemas
+            self._framing_echo = bytes(framing_ext)
+            extensions.append((mm.EXT_MCTLS_FRAMING, self._framing_echo))
         self._send_handshake(
             tls_msgs.ServerHello(
                 random=self._server_random,
                 session_id=self._session_id,
                 cipher_suite=suite.suite_id,
-                extensions=[(mm.EXT_MCTLS_MODE, bytes([int(self.mode)]))],
+                extensions=extensions,
             ),
             tag=ms.TAG_SERVER_HELLO,
         )
@@ -481,6 +511,25 @@ class McTLSServer(ms.McTLSConnectionBase):
             self._endpoint_secret, self._client_random, self._server_random
         )
         self.records.set_endpoint_keys(self._endpoint_keys)
+        self._setup_negotiated_framing()
+
+    def _setup_negotiated_framing(self) -> None:
+        """Derive per-field MAC keys (endpoint secret — middleboxes can
+        never forge fields they were not granted) and arm the negotiated
+        framing; both take effect at the CCS boundary."""
+        if self.negotiated_framing is frm.MCTLS_DEFAULT:
+            return
+        if self.negotiated_framing.field_macs:
+            for schema in self._field_schemas:
+                self._field_keys[schema.context_id] = mk.derive_field_keys(
+                    self._endpoint_secret,
+                    self._client_random,
+                    self._server_random,
+                    schema,
+                )
+        self.records.set_framing(
+            self.negotiated_framing, self._field_schemas, self._field_keys
+        )
 
     def _on_client_key_material(self, mkm: mm.MiddleboxKeyMaterial, raw: bytes) -> None:
         if mkm.sender != mm.SENDER_CLIENT:

@@ -68,6 +68,14 @@ class TLSConfig:
     dh_group: DHGroup = GROUP_MODP_2048
     server_name: Optional[str] = None
     verify_certificates: bool = True
+    # Record-framing negotiation (mcTLS stacks only; plain TLS ignores
+    # both).  ``framing`` names a :mod:`repro.framing` instance the
+    # client offers / the server accepts ("mctls-default" or
+    # "mctls-compact"); ``field_schemas`` are the per-field sub-context
+    # declarations (``repro.mctls.contexts.FieldSchema``) the compact
+    # framing carries.
+    framing: str = "mctls-default"
+    field_schemas: Sequence = ()
 
     def suite_ids(self) -> List[int]:
         return [s.suite_id for s in self.cipher_suites]

@@ -20,9 +20,19 @@ are pinned by the golden-vector tests.
 from __future__ import annotations
 
 import hmac as _hmac
-from struct import Struct
 from typing import Iterator, Optional, Tuple
 
+from repro.framing import (
+    ALERT,
+    APPLICATION_DATA,
+    CHANGE_CIPHER_SPEC,
+    CONTENT_TYPES,
+    HANDSHAKE,
+    MAX_FRAGMENT,
+    MAX_PLAINTEXT,
+    TLS_DEFAULT,
+    TLS_VERSION,
+)
 from repro.recbuf import RecordBuffer
 from repro.tls.ciphersuites import (
     BulkCipher,
@@ -31,24 +41,15 @@ from repro.tls.ciphersuites import (
     StreamRecordCipher,
 )
 
-# Record content types (RFC 5246).
-CHANGE_CIPHER_SPEC = 20
-ALERT = 21
-HANDSHAKE = 22
-APPLICATION_DATA = 23
-
-CONTENT_TYPES = (CHANGE_CIPHER_SPEC, ALERT, HANDSHAKE, APPLICATION_DATA)
-
-TLS_VERSION = 0x0303  # TLS 1.2
-RECORD_HEADER_LEN = 5
-MAX_PLAINTEXT = 1 << 14
-# Protected fragments may exceed MAX_PLAINTEXT by MAC + padding + IV.
-MAX_FRAGMENT = MAX_PLAINTEXT + 2048
+# The wire geometry is the default TLS instance of the pluggable framing
+# seam (:mod:`repro.framing`); these aliases keep this module the
+# canonical import surface for TLS record constants.
+RECORD_HEADER_LEN = TLS_DEFAULT.header_len
 
 # type(1) || version(2) || length(2)
-_WIRE_HEADER = Struct(">BHH")
+_WIRE_HEADER = TLS_DEFAULT.header
 # seq(8) || type(1) || version(2) || plaintext_length(2)
-_MAC_PREFIX = Struct(">QBHH")
+_MAC_PREFIX = TLS_DEFAULT.mac_prefix_struct
 
 
 class RecordError(Exception):

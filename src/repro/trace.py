@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro import framing as frm
 from repro.mctls import messages as mm
 from repro.mctls import record as mrec
 from repro.tls import messages as tls_msgs
@@ -46,6 +47,34 @@ _HANDSHAKE_NAMES = {
 _PERM_NAMES = {0: "none", 1: "read", 2: "write"}
 
 
+def _framing_ext_note(hello) -> str:
+    """Render the mcTLS framing offer/echo carried in a hello, if any.
+
+    Shows the offered framing by name plus the per-field sub-context
+    declarations (``ctx<N>:name[start:end],...``) so a capture makes the
+    negotiated record geometry explicit — framing is negotiated, never
+    implied by the stream.
+    """
+    ext = hello.find_extension(mm.EXT_MCTLS_FRAMING)
+    if ext is None:
+        return ""
+    framing_id, schemas = mm.decode_framing_offer(ext)
+    try:
+        name = frm.framing_by_id(framing_id).name
+    except frm.FramingError:
+        name = f"id{framing_id}"
+    note = f" framing={name}"
+    if schemas:
+        parts = []
+        for schema in schemas:
+            fields = ",".join(
+                f"{f.name}[{f.start}:{f.end}]" for f in schema.fields
+            )
+            parts.append(f"ctx{schema.context_id}:{fields}")
+        note += " fields=" + " ".join(parts)
+    return note
+
+
 def _describe_handshake_message(msg_type: int, body: bytes) -> str:
     name = _HANDSHAKE_NAMES.get(msg_type, f"handshake[{msg_type}]")
     detail = ""
@@ -66,6 +95,7 @@ def _describe_handshake_message(msg_type: int, body: bytes) -> str:
                     f" middleboxes={len(topo.middleboxes)}"
                     f" contexts={len(topo.contexts)}"
                 )
+            detail += _framing_ext_note(hello)
         elif msg_type == tls_msgs.SERVER_HELLO:
             hello = tls_msgs.ServerHello.decode(body)
             detail = f" suite=0x{hello.cipher_suite:04x}"
@@ -74,6 +104,7 @@ def _describe_handshake_message(msg_type: int, body: bytes) -> str:
             mode = hello.find_extension(mm.EXT_MCTLS_MODE)
             if mode is not None:
                 detail += f" mode={mode[0]}"
+            detail += _framing_ext_note(hello)
         elif msg_type == tls_msgs.CERTIFICATE:
             message = tls_msgs.CertificateMessage.decode(body)
             detail = " chain=[" + ", ".join(c.subject for c in message.chain) + "]"
@@ -119,18 +150,26 @@ def _describe_handshake_message(msg_type: int, body: bytes) -> str:
     return f"{name} ({len(body)}B){detail}"
 
 
-def _trailer_note(mctls: bool, context_id) -> str:
+def _trailer_note(mctls: bool, context_id, fr=None) -> str:
     """The structural layout of a protected mcTLS record's trailer.
 
     Context 0 (the handshake/default context) carries a single MAC;
     contexts >= 1 carry the paper's three-MAC trailer — one MAC per key
     class — so endpoints, writers and readers can each verify exactly
-    what their permission allows (§3.3).
+    what their permission allows (§3.3).  Compact-framed records carry
+    the same trailer truncated to 8 bytes per MAC, followed by one
+    truncated MAC per declared sub-context field.
     """
     if not mctls or context_id is None:
         return ""
+    compact = fr is not None and fr.field_macs
     if context_id == 0:
-        return "; payload || MAC"
+        return "; payload || MAC8" if compact else "; payload || MAC"
+    if compact:
+        return (
+            "; payload || MAC_endpoints8 || MAC_writers8 || MAC_readers8"
+            " || field MACs"
+        )
     return "; payload || MAC_endpoints || MAC_writers || MAC_readers"
 
 
@@ -150,14 +189,22 @@ def describe_stream(data: bytes, mctls: bool = True, encrypted: bool = False) ->
     buf = bytearray(data)
     try:
         if mctls:
-            records = [
-                (ct, ctx, frag) for ct, ctx, frag, _ in mrec.split_records(buf)
-            ]
+            # Per-record framing auto-detect: the compact marker byte
+            # range (0xD0-0xD3) is disjoint from the default content
+            # types, so a mixed default/compact capture splits cleanly.
+            records = []
+            while buf:
+                fr = frm.detect_mctls_framing(buf[0])
+                item = mrec.split_one(buf, fr)
+                if item is None:
+                    break
+                ct, ctx, frag, _ = item
+                records.append((ct, ctx, frag, fr))
         else:
             layer = rec.RecordLayer()
             layer.feed(bytes(buf))
             buf.clear()
-            records = [(ct, None, frag) for ct, frag in layer.read_all()]
+            records = [(ct, None, frag, None) for ct, frag in layer.read_all()]
     except (mrec.McTLSRecordError, rec.RecordError) as exc:
         lines.append(f"!! malformed record stream: {exc}")
         return lines
@@ -165,11 +212,11 @@ def describe_stream(data: bytes, mctls: bool = True, encrypted: bool = False) ->
     seen_ccs = encrypted
     seen_server_hello = False
     seen_certificate = False
-    for content_type, context_id, fragment in records:
+    for content_type, context_id, fragment, fr in records:
         prefix = _CONTENT_NAMES.get(content_type, f"type[{content_type}]")
         ctx_part = f" ctx={context_id}" if context_id is not None else ""
         if content_type == rec.APPLICATION_DATA:
-            note = _trailer_note(mctls, context_id)
+            note = _trailer_note(mctls, context_id, fr)
             lines.append(f"{prefix}{ctx_part} <{len(fragment)}B protected{note}>")
             continue
         if content_type == rec.CHANGE_CIPHER_SPEC:

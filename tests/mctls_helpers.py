@@ -32,6 +32,8 @@ def build_session(
     session_cache=None,
     ticket_store=None,
     ticket_manager=None,
+    framing: str = "mctls-default",
+    field_schemas: Sequence = (),
 ):
     """Wire a client ⇄ N middleboxes ⇄ server session; returns
     (client, middleboxes, server, chain) with the handshake already pumped.
@@ -50,6 +52,8 @@ def build_session(
             trusted_roots=[ca.certificate],
             server_name=server_identity.name,
             dh_group=GROUP_TEST_512,
+            framing=framing,
+            field_schemas=field_schemas,
         ),
         topology=topology,
         key_transport=key_transport,

@@ -562,12 +562,48 @@ class TestLoadGenerator:
         assert result.completed == 6
         assert result.failed == 0
 
-    def test_percentile_interpolation(self):
-        values = [1.0, 2.0, 3.0, 4.0]
-        assert percentile(values, 50) == pytest.approx(2.5)
-        assert percentile(values, 0) == 1.0
-        assert percentile(values, 100) == 4.0
+    def test_percentile_nearest_rank_on_small_samples(self):
+        """n < 100 uses nearest-rank: a reported percentile is an actual
+        sample, so a sparse tail can't be interpolated away — the p99 of
+        25 latencies is the worst latency observed, not a blend of the
+        two largest (the old bug under-reported exactly the tail the
+        industrial scenario gates on)."""
+        values = [float(i) for i in range(1, 26)]  # n=25
+        assert percentile(values, 99) == 25.0  # the max sample, not 24.76
+        assert percentile(values, 95) == 24.0  # ceil(23.75) -> rank 24
+        assert percentile(values, 50) == 13.0  # ceil(12.5) -> rank 13
+        assert percentile(values, 0) == 1.0  # rank clamps to 1
+        assert percentile(values, 100) == 25.0
         assert percentile([7.0], 99) == 7.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+
+    def test_percentile_interpolates_on_large_samples(self):
+        values = [float(i) for i in range(100)]  # n=100: interpolation path
+        assert percentile(values, 50) == pytest.approx(49.5)
+        assert percentile(values, 99) == pytest.approx(98.01)
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 100) == 99.0
+
+    def test_percentile_seeded_regression_pins_both_paths(self):
+        import math
+        import random
+
+        rng = random.Random(2015)
+        small = sorted(rng.random() for _ in range(25))
+        big = sorted(rng.random() for _ in range(400))
+        for p in (50, 95, 99):
+            # Nearest-rank: always an actual sample, never below it.
+            rank = min(max(math.ceil(p / 100.0 * len(small)), 1), len(small))
+            assert percentile(small, p) == small[rank - 1]
+            assert percentile(small, p) in small
+        assert percentile(small, 99) == small[-1]
+        # Interpolation: linear between the two bracketing samples.
+        rank = 0.99 * (len(big) - 1)
+        low, frac = int(rank), 0.99 * (len(big) - 1) - int(rank)
+        expected = big[low] * (1 - frac) + big[low + 1] * frac
+        assert percentile(big, 99) == pytest.approx(expected)
+        assert big[0] <= percentile(big, 50) <= big[-1]
+        assert percentile([], 99) != percentile([], 99)  # NaN on empty
 
 
 class TestServingChains:
@@ -595,3 +631,39 @@ class TestServingChains:
         assert report["load"]["completed"] == 6
         assert report["load"]["failed"] == 0
         assert report["server"]["handshakes_ok"] == 6
+
+    @pytest.mark.parametrize("framing", ["mctls-default", "mctls-compact"])
+    def test_industrial_periodic_load(self, framing):
+        """The industrial scenario over a real loopback chain: a periodic
+        small-record session through one middlebox, under both framings."""
+        from repro.experiments.harness import Mode, TestBed
+        from repro.experiments.serving import run_industrial_load
+        from repro.mctls.contexts import FieldDef, FieldSchema
+
+        schemas = ()
+        if framing == "mctls-compact":
+            schemas = (
+                FieldSchema(
+                    context_id=1,
+                    fields=(FieldDef("hdr", 0, 8), FieldDef("body", 8, 64)),
+                    write_grants={"hdr": (1,)},
+                ),
+            )
+        bed = TestBed(key_bits=512, dh_group=GROUP_TEST_512)
+        report = run(
+            run_industrial_load(
+                bed,
+                Mode("mcTLS"),
+                n_middleboxes=1,
+                records=10,
+                record_size=32,
+                period_s=0.002,
+                framing=framing,
+                field_schemas=schemas,
+            )
+        )
+        assert report["framing"] == framing
+        assert report["load"]["completed"] == 10
+        assert report["load"]["failed"] == 0
+        lat = report["load"]["record_latency_s"]
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"]

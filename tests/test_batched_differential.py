@@ -411,6 +411,159 @@ def test_middlebox_tamper_mid_burst_fails_at_same_record():
     assert outcomes[0][0] == payloads[:5]
 
 
+# -- compact-framing differentials --------------------------------------------
+#
+# The batched==sequential identity must hold under the negotiated
+# compact framing too: shorter headers, truncated MACs, and per-field
+# MAC trailers change the geometry the burst paths slice, not the
+# record-order nonce/seq schedule.
+
+from repro.framing import MCTLS_COMPACT  # noqa: E402
+
+from tests.golden.gen_compact_vectors import SCHEMA as COMPACT_SCHEMA  # noqa: E402
+
+
+def _compact_two_context_layer(suite, is_client: bool) -> McTLSRecordLayer:
+    layer = _mctls_two_context_layer(suite, is_client)
+    field_keys = mk.derive_field_keys(SECRET, RC, RS, COMPACT_SCHEMA)
+    layer.set_framing(MCTLS_COMPACT, (COMPACT_SCHEMA,), {1: field_keys})
+    return layer
+
+
+@pytest.mark.parametrize("suite_name", ALL_SUITE_NAMES)
+def test_compact_encode_batch_matches_sequential(suite_name):
+    suite = ALL_SUITES[suite_name]
+    items = _mixed_mctls_items(_rng("compact-enc"))
+    with _patched_nonces():
+        batched = _compact_two_context_layer(suite, True).encode_batch(items)
+    with _patched_nonces():
+        layer = _compact_two_context_layer(suite, True)
+        sequential = b"".join(layer.encode(ct, p, cid) for ct, p, cid in items)
+    assert batched == sequential
+
+
+@pytest.mark.parametrize("suite_name", ALL_SUITE_NAMES)
+def test_compact_read_burst_matches_read_all(suite_name):
+    suite = ALL_SUITES[suite_name]
+    items = _mixed_mctls_items(_rng("compact-dec"))
+    with _patched_nonces():
+        wire = _compact_two_context_layer(suite, True).encode_batch(items)
+    burst_reader = _compact_two_context_layer(suite, False)
+    seq_reader = _compact_two_context_layer(suite, False)
+    burst_reader.feed(wire)
+    seq_reader.feed(wire)
+    batched = [
+        (r.content_type, r.context_id, r.payload, r.legally_modified)
+        for r in burst_reader.read_burst()
+    ]
+    sequential = [
+        (r.content_type, r.context_id, r.payload, r.legally_modified)
+        for r in seq_reader.read_all()
+    ]
+    assert batched == sequential
+    assert [p for _, _, p, _ in batched] == [p for _, p, _ in items]
+
+
+@pytest.mark.parametrize("suite_name", ALL_SUITE_NAMES)
+@pytest.mark.parametrize(
+    "permission", [Permission.NONE, Permission.READ, Permission.WRITE],
+    ids=lambda p: p.name.lower(),
+)
+def test_compact_middlebox_burst_matches_sequential(suite_name, permission):
+    """The middlebox burst grid under compact geometry: 4-byte headers,
+    8-byte MAC slots, field-MAC trailers forwarded or recomputed — same
+    bytes, opened payloads and post-burst seq as the sequential loop."""
+    suite = ALL_SUITES[suite_name]
+    rng = _rng(f"compact-mbox-{permission.name}")
+    payloads = _random_payloads(rng)
+    with _patched_nonces():
+        client = _compact_two_context_layer(suite, True)
+        wire = client.encode_batch([(APPLICATION_DATA, p, 1) for p in payloads])
+    field_keys = mk.derive_field_keys(SECRET, RC, RS, COMPACT_SCHEMA)
+
+    def _compact_processor():
+        proc = _processor(suite, permission)
+        proc.set_framing(MCTLS_COMPACT, (COMPACT_SCHEMA,))
+        if permission is Permission.WRITE:
+            proc.install_field_keys(1, {0: field_keys[0]})  # "hdr" grant
+        return proc
+
+    rebuild = permission is Permission.WRITE
+    header_len = MCTLS_COMPACT.header_len
+    with _patched_nonces():
+        seq_proc = _compact_processor()
+        seq_out, seq_opened = [], []
+        for ct, cid, fragment, raw in split_records(bytearray(wire), MCTLS_COMPACT):
+            opened = seq_proc.open_record(ct, cid, fragment)
+            if opened.payload is not None:
+                seq_opened.append(bytes(opened.payload))
+            if rebuild and opened.payload is not None:
+                seq_out.append(seq_proc.rebuild_record(opened, opened.payload))
+            else:
+                seq_out.append(bytes(raw))
+    with _patched_nonces():
+        burst_proc = _compact_processor()
+        burst, entries, error = split_burst(bytearray(wire), MCTLS_COMPACT)
+        assert error is None
+        batched_out, batched_opened = [], []
+        if burst_proc.opaque:
+            burst_proc.skip_burst(len(entries))
+            batched_out.append(burst[entries[0][2] : entries[-1][3]])
+        else:
+            view = memoryview(burst)
+            recs = [
+                (ct, cid, view[start + header_len : end])
+                for ct, cid, start, end in entries
+            ]
+            opened_records = []
+            for (ct, cid, start, end), opened in zip(
+                entries, burst_proc.open_burst(recs)
+            ):
+                if opened is None:
+                    batched_out.append(burst[start:end])
+                    continue
+                batched_opened.append(bytes(opened.payload))
+                if rebuild:
+                    opened_records.append(opened)
+                else:
+                    batched_out.append(burst[start:end])
+            if rebuild:
+                batched_out.extend(
+                    burst_proc.rebuild_burst([(o, o.payload) for o in opened_records])
+                )
+    assert b"".join(batched_out) == b"".join(seq_out)
+    if permission is Permission.READ:
+        assert batched_opened == seq_opened
+    assert burst_proc.seq == seq_proc.seq
+
+
+def test_compact_endpoint_tamper_mid_burst_fails_at_same_record():
+    """Mid-burst tamper under compact framing: batched and sequential
+    readers fail at the same record with the same MAC attribution."""
+    suite = SUITES["shactr"]
+    payloads = [b"tamper-target-%d" % i * 3 for i in range(8)]
+    with _patched_nonces():
+        wire = bytearray(
+            _compact_two_context_layer(suite, True).encode_batch(
+                [(APPLICATION_DATA, p, 1) for p in payloads]
+            )
+        )
+    entries = split_burst(bytearray(wire), MCTLS_COMPACT)[1]
+    wire[entries[5][2] + MCTLS_COMPACT.header_len + 16] ^= 0x40
+
+    outcomes = []
+    for reader_method in ("read_burst", "read_all"):
+        reader = _compact_two_context_layer(suite, False)
+        reader.feed(bytes(wire))
+        yielded = []
+        with pytest.raises(MacVerificationError) as excinfo:
+            for record in getattr(reader, reader_method)():
+                yielded.append(record.payload)
+        outcomes.append((yielded, excinfo.value.mac, excinfo.value.context_id))
+    assert outcomes[0] == outcomes[1]
+    assert outcomes[0][0] == payloads[:5]
+
+
 # -- full-stack event-stream equivalence --------------------------------------
 
 

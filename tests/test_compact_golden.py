@@ -1,0 +1,104 @@
+"""Frozen wire vectors for the compact (Madtls-style) record framing.
+
+Twin of ``tests/test_record_dataplane_golden.py`` for the negotiated
+compact geometry: the generator must reproduce ``compact_vectors.json``
+bit-for-bit, the frozen wires must decode on fresh receive-side layers
+(field MACs verifying), and middlebox rebuilds that stayed inside the
+granted field must re-verify as legal modifications.  The default-framing
+goldens (``record_vectors.json``) are asserted byte-identical elsewhere —
+adding a framing must not move a single default wire byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.framing import COMPACT_MARKER_BASE, MCTLS_COMPACT
+from repro.mctls.contexts import ENDPOINT_CONTEXT_ID, FieldSchema
+from repro.tls.record import APPLICATION_DATA, HANDSHAKE
+
+from tests.golden.gen_compact_vectors import (
+    COMPACT_VECTORS_PATH,
+    PAYLOADS,
+    SCHEMA,
+    _compact_layer,
+    build_vectors,
+)
+from tests.golden.gen_record_vectors import SUITES
+
+FROZEN = json.loads(COMPACT_VECTORS_PATH.read_text())
+
+
+def test_compact_generator_reproduces_frozen_vectors_bit_for_bit():
+    assert build_vectors() == FROZEN
+
+
+def test_frozen_field_schema_round_trips():
+    schema = FieldSchema.decode(bytes.fromhex(FROZEN["field_schema"]))
+    assert schema == SCHEMA
+
+
+@pytest.mark.parametrize("suite_name", sorted(SUITES))
+@pytest.mark.parametrize("direction", ["compact_c2s", "compact_s2c"])
+def test_frozen_compact_wires_decode(suite_name, direction):
+    suite = SUITES[suite_name]
+    group = FROZEN["suites"][suite_name][direction]
+    reader = _compact_layer(suite, is_client=(direction == "compact_s2c"))
+    for vector in group["records"]:
+        wire = bytes.fromhex(vector["wire"])
+        # Compact header: marker(1) || context_id(1) || length(2).
+        assert wire[0] & 0xFC == COMPACT_MARKER_BASE
+        assert wire[1] == vector["context_id"]
+        assert int.from_bytes(wire[2:4], "big") == len(wire) - MCTLS_COMPACT.header_len
+        reader.feed(wire)
+        record = reader.read_record()
+        assert record is not None
+        assert record.context_id == vector["context_id"]
+        assert record.content_type == vector.get("content_type", APPLICATION_DATA)
+        assert record.payload == bytes.fromhex(vector["payload"])
+        assert record.legally_modified is False
+    assert group["records"][-1]["context_id"] == ENDPOINT_CONTEXT_ID
+    assert group["records"][-1]["content_type"] == HANDSHAKE
+
+
+@pytest.mark.parametrize("suite_name", sorted(SUITES))
+def test_frozen_compact_rebuilds_decode_with_modification_verdict(suite_name):
+    """A hdr-granted middlebox rebuild re-verifies at the endpoint; the
+    endpoint MAC flags exactly the case whose payload actually changed."""
+    suite = SUITES[suite_name]
+    cases = FROZEN["suites"][suite_name]["middlebox_rebuild"]["cases"]
+    server = _compact_layer(suite, is_client=False)
+    for case in cases:
+        server.feed(bytes.fromhex(case["rebuilt_wire"]))
+        record = server.read_record()
+        assert record is not None
+        assert record.payload == bytes.fromhex(case["replacement_payload"])
+        modified = case["replacement_payload"] != case["original_payload"]
+        assert record.legally_modified is modified
+
+
+@pytest.mark.parametrize("suite_name", sorted(SUITES))
+def test_compact_overhead_beats_default_on_small_records(suite_name):
+    """Geometry check straight off the frozen bytes: at tiny payloads the
+    compact trailer (3 x 8 B record MACs + 2 x 8 B field MACs + 4 B
+    header) undercuts the default (3 x 32 B MACs + 6 B header)."""
+    from tests.golden.gen_record_vectors import VECTORS_PATH
+
+    default = json.loads(VECTORS_PATH.read_text())
+    compact_records = FROZEN["suites"][suite_name]["compact_c2s"]["records"]
+    default_records = default["suites"][suite_name]["mctls_c2s"]["records"]
+    # Both vector sets start with the empty payload: pure overhead.
+    compact_overhead = len(bytes.fromhex(compact_records[0]["wire"]))
+    default_overhead = len(bytes.fromhex(default_records[0]["wire"]))
+    assert compact_records[0]["payload"] == default_records[0]["payload"] == ""
+    assert compact_overhead < default_overhead
+
+
+def test_payload_set_covers_field_boundaries():
+    sizes = sorted(len(p) for p in PAYLOADS)
+    assert sizes[0] == 0
+    assert any(0 < size < 64 for size in sizes)  # short: fields clamp to payload
+    assert any(size == 64 for size in sizes)     # exactly the schema extent
+    assert sizes[-1] > 64                        # past the schema extent

@@ -446,6 +446,60 @@ class TestConformance:
             client.recv_app_data()
 
 
+# -- compact-framing axis ---------------------------------------------------
+#
+# The same scenarios again on the stacks that negotiate record framing,
+# with the client offering the compact framing plus a field schema.  The
+# negotiated record geometry must be invisible to the runtimes: the
+# drivers are byte-identical to the default-framing battery above.
+
+COMPACT_MODES = [Mode.MCTLS, Mode.MCTLS_CKD]
+
+
+@pytest.fixture(scope="module")
+def compact_bed() -> TestBed:
+    from repro.mctls.contexts import FieldDef, FieldSchema
+
+    schema = FieldSchema(
+        context_id=1,
+        fields=(FieldDef("hdr", 0, 8), FieldDef("body", 8, 64)),
+        write_grants={"hdr": (1,)},
+    )
+    return TestBed(
+        key_bits=512,
+        dh_group=GROUP_TEST_512,
+        framing="mctls-compact",
+        field_schemas=(schema,),
+    )
+
+
+@pytest.mark.parametrize("mode", COMPACT_MODES, ids=lambda m: m.value)
+class TestCompactFramingConformance:
+    def test_echo_through_relay_compact(self, driver, compact_bed, mode):
+        driver.serve(compact_bed, mode, 1, driver.echo_handler)
+        client = driver.connect()
+        client.handshake()
+        assert client.connection.negotiated_framing.name == "mctls-compact"
+        client.send(b"compact-ping", context_id=1)
+        assert client.recv_app_data().data == b"compact-ping"
+        client.close()
+
+    def test_batched_writer_single_flush_compact(self, driver, compact_bed, mode):
+        driver.serve(compact_bed, mode, 1, driver.echo_handler)
+        client = driver.connect()
+        client.handshake()
+        payloads = [b"compact-%d" % i for i in range(4)]
+        for payload in payloads:
+            client.connection.send_application_data(payload, context_id=1)
+        client.flush()
+        expected = b"".join(payloads)
+        got = b""
+        while len(got) < len(expected):
+            got += client.recv_app_data().data
+        assert got == expected
+        client.close()
+
+
 # -- cross-cutting checks (no parametrization) ------------------------------
 
 

@@ -1,0 +1,170 @@
+"""Record-framing negotiation: offered in the ClientHello, echoed by the
+server, armed at the CCS boundary — and never implied.
+
+The default framing produces bit-identical legacy handshakes (no
+extension at all); the compact framing must be explicitly offered and
+echoed; abbreviated (resumed) handshakes always fall back to the default
+framing because field keys travel in the full handshake's key-material
+flight, which resumption skips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.dh import GROUP_TEST_512
+from repro.mctls import messages as mm
+from repro.mctls.contexts import (
+    ContextDefinition,
+    FieldDef,
+    FieldSchema,
+    Permission,
+)
+from repro.tls.connection import TLSConfig, TLSError
+from repro.tls.sessioncache import ClientSessionStore, SessionCache
+
+from tests.mctls_helpers import build_session
+
+SCHEMA = FieldSchema(
+    context_id=1,
+    fields=(FieldDef("hdr", 0, 8), FieldDef("body", 8, 64)),
+    write_grants={"hdr": (1,)},
+)
+
+
+def _contexts(with_mbox: bool = False):
+    permissions = {1: Permission.WRITE} if with_mbox else {}
+    return [ContextDefinition(1, "telemetry", permissions)]
+
+
+def test_default_framing_sends_no_extension(ca, server_identity):
+    from repro.mctls import McTLSClient, SessionTopology
+    from repro.tls import messages as tls_msgs
+
+    client = McTLSClient(
+        TLSConfig(trusted_roots=[ca.certificate], dh_group=GROUP_TEST_512),
+        topology=SessionTopology(contexts=tuple(_contexts())),
+    )
+    client.start_handshake()
+    wire = client.data_to_send()
+    # Parse the ClientHello out of the first record and check extensions.
+    from repro.tls.messages import HandshakeBuffer
+
+    hs = HandshakeBuffer()
+    hs.feed(wire[6:])  # skip the 6-byte mcTLS record header
+    msg_type, body, _ = hs.next_message()
+    assert msg_type == tls_msgs.CLIENT_HELLO
+    hello = tls_msgs.ClientHello.decode(body)
+    assert hello.find_extension(mm.EXT_MCTLS_FRAMING) is None
+
+
+def test_compact_negotiates_on_both_endpoints_through_middlebox(
+    ca, server_identity, mbox_identity
+):
+    client, mboxes, server, chain = build_session(
+        ca,
+        server_identity,
+        [mbox_identity],
+        _contexts(with_mbox=True),
+        framing="mctls-compact",
+        field_schemas=(SCHEMA,),
+    )
+    assert client.handshake_complete and server.handshake_complete
+    assert client.negotiated_framing.name == "mctls-compact"
+    assert server.negotiated_framing.name == "mctls-compact"
+
+    # Application data crosses the middlebox in both directions.
+    client.send_application_data(b"temp=21.5;unit=C" + bytes(16), context_id=1)
+    events = chain.pump()
+    received = [e for e in events if type(e).__name__.endswith("ApplicationData")]
+    assert received and received[-1].data.startswith(b"temp=21.5")
+    server.send_application_data(b"ack" + bytes(29), context_id=1)
+    events = chain.pump()
+    received = [e for e in events if type(e).__name__.endswith("ApplicationData")]
+    assert received and received[-1].data.startswith(b"ack")
+
+
+def test_default_sessions_stay_on_default_framing(ca, server_identity):
+    client, _, server, chain = build_session(ca, server_identity, [], _contexts())
+    assert client.negotiated_framing.name == "mctls-default"
+    assert server.negotiated_framing.name == "mctls-default"
+
+
+def test_resumption_falls_back_to_default_framing(ca, server_identity):
+    """A resumed session never negotiates a framing: the field-key flight
+    only exists in full handshakes, so the abbreviated session falls back
+    to the default framing even though the client offered compact."""
+    store, cache = ClientSessionStore(), SessionCache()
+    client, _, server, chain = build_session(
+        ca,
+        server_identity,
+        [],
+        _contexts(),
+        session_store=store,
+        session_cache=cache,
+        framing="mctls-compact",
+        field_schemas=(SCHEMA,),
+    )
+    assert client.negotiated_framing.name == "mctls-compact"
+
+    resumed_client, _, resumed_server, chain2 = build_session(
+        ca,
+        server_identity,
+        [],
+        _contexts(),
+        session_store=store,
+        session_cache=cache,
+        framing="mctls-compact",
+        field_schemas=(SCHEMA,),
+    )
+    assert resumed_client.handshake_complete and resumed_server.handshake_complete
+    assert resumed_client.resumed and resumed_server.resumed
+    assert resumed_client.negotiated_framing.name == "mctls-default"
+    assert resumed_server.negotiated_framing.name == "mctls-default"
+    # The fallen-back session still moves data.
+    resumed_client.send_application_data(b"after-resume", context_id=1)
+    events = chain2.pump()
+    received = [e for e in events if type(e).__name__.endswith("ApplicationData")]
+    assert received and received[-1].data == b"after-resume"
+
+
+def test_unsolicited_framing_echo_raises(ca, server_identity):
+    """A ServerHello echoing a framing offer the client never made is a
+    negotiation violation: cross-wire a compact session's server flight
+    into a default-framing client."""
+    from repro.mctls import McTLSClient, McTLSServer, SessionTopology
+
+    topology = SessionTopology(contexts=tuple(_contexts()))
+    compact_client = McTLSClient(
+        TLSConfig(
+            trusted_roots=[ca.certificate],
+            server_name=server_identity.name,
+            dh_group=GROUP_TEST_512,
+            framing="mctls-compact",
+            field_schemas=(SCHEMA,),
+        ),
+        topology=topology,
+    )
+    server = McTLSServer(
+        TLSConfig(
+            identity=server_identity,
+            trusted_roots=[ca.certificate],
+            dh_group=GROUP_TEST_512,
+        )
+    )
+    compact_client.start_handshake()
+    server.receive_data(compact_client.data_to_send())
+    echoing_flight = server.data_to_send()
+
+    victim = McTLSClient(
+        TLSConfig(
+            trusted_roots=[ca.certificate],
+            server_name=server_identity.name,
+            dh_group=GROUP_TEST_512,
+        ),
+        topology=topology,
+    )
+    victim.start_handshake()
+    victim.data_to_send()
+    with pytest.raises(TLSError, match="framing offer we did not make"):
+        victim.receive_data(echoing_flight)

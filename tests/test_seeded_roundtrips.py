@@ -201,6 +201,122 @@ def test_session_topology_roundtrip():
         assert SessionTopology.decode(topology.encode()) == topology
 
 
+def _rand_field_schema(rng: random.Random):
+    from repro.mctls.contexts import FieldDef, FieldSchema
+
+    n_fields = rng.randrange(0, 6)
+    names = rng.sample(
+        ["hdr", "body", "crc", "unit", "setpoint", "seqno", "aux"], n_fields
+    )
+    fields = []
+    for name in names:
+        start = rng.randrange(0, 128)
+        end = start + rng.randrange(0, 128)
+        fields.append(FieldDef(name=name, start=start, end=end))
+    write_grants = {
+        f.name: tuple(sorted(rng.sample(range(1, 9), rng.randrange(1, 4))))
+        for f in fields
+        # Codec treats an empty grant list as "no entry"; mirror that.
+        if rng.random() < 0.7
+    }
+    return FieldSchema(
+        context_id=rng.randrange(1, 256),
+        fields=tuple(fields),
+        write_grants=write_grants,
+    )
+
+
+def test_field_schema_roundtrip():
+    from repro.mctls.contexts import FieldSchema
+
+    rng = _rng("field-schema")
+    for _ in range(N_CASES):
+        schema = _rand_field_schema(rng)
+        assert FieldSchema.decode(schema.encode()) == schema
+
+
+def test_field_schema_truncation_raises():
+    rng = _rng("field-schema-truncate")
+    for _ in range(N_CASES):
+        schema = _rand_field_schema(rng)
+        encoded = schema.encode()
+        if len(encoded) < 3:
+            continue
+        cut = rng.randrange(1, len(encoded))
+        with pytest.raises(DecodeError):
+            from repro.mctls.contexts import FieldSchema
+
+            FieldSchema.decode(encoded[:cut])
+
+
+def test_framing_offer_roundtrip():
+    rng = _rng("framing-offer")
+    for _ in range(N_CASES):
+        framing_id = rng.randrange(0, 3)
+        n_schemas = rng.randrange(0, 4)
+        schemas, used = [], set()
+        while len(schemas) < n_schemas:
+            schema = _rand_field_schema(rng)
+            if schema.context_id in used:
+                continue
+            used.add(schema.context_id)
+            schemas.append(schema)
+        encoded = mm.encode_framing_offer(framing_id, tuple(schemas))
+        got_id, got_schemas = mm.decode_framing_offer(encoded)
+        assert got_id == framing_id
+        assert got_schemas == tuple(schemas)
+
+
+def test_framing_offer_rejects_duplicate_context_ids():
+    from repro.mctls.contexts import FieldDef, FieldSchema
+
+    schema = FieldSchema(context_id=1, fields=(FieldDef("hdr", 0, 8),))
+    encoded = mm.encode_framing_offer(2, (schema, schema))
+    with pytest.raises(DecodeError, match="duplicate"):
+        mm.decode_framing_offer(encoded)
+
+
+def test_key_shares_with_field_keys_roundtrip():
+    from repro.mctls.keys import FieldKeys
+
+    rng = _rng("field-keys")
+    for _ in range(N_CASES):
+        shares = [
+            mm.ContextKeyShare(
+                context_id=ctx_id,
+                reader_material=_rand_bytes(rng, 64),
+                writer_material=_rand_bytes(rng, 64),
+            )
+            for ctx_id in rng.sample(range(1, 256), rng.randrange(0, 4))
+        ]
+        field_keys = {
+            ctx_id: {
+                index: FieldKeys(
+                    mac_c2s=bytes(rng.getrandbits(8) for _ in range(32)),
+                    mac_s2c=bytes(rng.getrandbits(8) for _ in range(32)),
+                )
+                for index in rng.sample(range(8), rng.randrange(1, 4))
+            }
+            for ctx_id in rng.sample(range(1, 256), rng.randrange(0, 3))
+        }
+        encoded = mm.encode_key_shares(shares, field_keys)
+        got_shares, got_field_keys = mm.decode_key_shares_ex(encoded)
+        assert got_shares == shares
+        assert got_field_keys == field_keys
+        # The compat accessor still returns just the shares.
+        assert mm.decode_key_shares(encoded) == shares
+
+
+def test_key_shares_rejects_bad_trailer_marker():
+    from repro.mctls.keys import FieldKeys
+
+    field_keys = {1: {0: FieldKeys(mac_c2s=b"c" * 32, mac_s2c=b"s" * 32)}}
+    encoded = bytearray(mm.encode_key_shares([], field_keys))
+    encoded[1] = 0x42  # corrupt the FIELD_KEY_BLOCK marker
+    with pytest.raises(DecodeError, match="trailer marker"):
+        mm.decode_key_shares_ex(bytes(encoded))
+
+
 def test_session_topology_rejects_bad_permission():
     topology = SessionTopology(
         middleboxes=(MiddleboxInfo(1, "m.example"),),

@@ -150,6 +150,77 @@ class TestTraceMcTLS:
         assert _trailer_note(False, 1) == ""
         assert _trailer_note(True, None) == ""
 
+    def test_mixed_framing_capture_decodes(self, ca, server_identity):
+        """One capture mixing default-framed handshake records with
+        compact-framed protected records (the negotiated switch happens
+        at the CCS boundary) must decode record by record, with the
+        offered framing and field schema annotated on the ClientHello."""
+        from repro.mctls.contexts import FieldDef, FieldSchema
+
+        schema = FieldSchema(
+            context_id=1,
+            fields=(FieldDef("hdr", 0, 4), FieldDef("body", 4, 64)),
+            write_grants={"hdr": (1,)},
+        )
+        client = McTLSClient(
+            TLSConfig(
+                trusted_roots=[ca.certificate],
+                server_name=server_identity.name,
+                dh_group=GROUP_TEST_512,
+                framing="mctls-compact",
+                field_schemas=(schema,),
+            ),
+            topology=SessionTopology(
+                contexts=[ContextDefinition(1, "telemetry")]
+            ),
+        )
+        from repro.mctls import McTLSServer
+        from repro.tls.connection import TLSConfig as _Config
+
+        server = McTLSServer(
+            _Config(
+                identity=server_identity,
+                trusted_roots=[ca.certificate],
+                dh_group=GROUP_TEST_512,
+            )
+        )
+        client.start_handshake()
+        capture = b""
+        for _ in range(10):
+            out = client.data_to_send()
+            capture += out
+            if out:
+                server.receive_data(out)
+            back = server.data_to_send()
+            if back:
+                client.receive_data(back)
+            if client.handshake_complete and server.handshake_complete:
+                break
+        assert client.handshake_complete
+        assert client.negotiated_framing.name == "mctls-compact"
+        client.send_application_data(b"temp=21.5;unit=C", context_id=1)
+        capture += client.data_to_send()
+
+        lines = describe_stream(capture)
+        names = "\n".join(lines)
+        # Default-framed plaintext handshake, annotated with the offer.
+        assert "ClientHello" in names
+        assert "framing=mctls-compact" in names
+        assert "fields=ctx1:hdr[0:4],body[4:64]" in names
+        assert "ChangeCipherSpec" in names
+        # Compact-framed records after the CCS: truncated-MAC trailers.
+        assert lines[-1].startswith("ApplicationData ctx=1 <")
+        assert "MAC_endpoints8 || MAC_writers8 || MAC_readers8" in lines[-1]
+        assert "field MACs" in lines[-1]
+        assert "temp=21.5" not in names  # payloads stay opaque
+        # The client's protected Finished is compact-framed too; it still
+        # decodes as a summarised protected handshake record, ctx 0.
+        assert any(
+            line.startswith("Handshake ctx=0 <") and "B protected" in line
+            for line in lines
+        )
+        assert not any(line.startswith("!!") for line in lines)
+
     def test_malformed_stream_reported(self):
         lines = describe_stream(b"\x99\x99\x99\x99\x99\x99\x99")
         assert lines[0].startswith("!! malformed")
